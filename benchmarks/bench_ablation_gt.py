@@ -1,0 +1,55 @@
+"""Leave-one-out ablation over the global transforms.
+
+Quantifies each GT's contribution to the two headline metrics of
+Figure 12: controller-controller channel count and total machine size.
+"""
+
+import pytest
+
+from repro.afsm import extract_controllers
+from repro.eval.metrics import count_design
+from repro.eval.tables import render_table
+from repro.transforms import optimize_global
+from repro.transforms.scripts import STANDARD_SEQUENCE
+
+
+def _counts(cdfg, enabled):
+    result = optimize_global(cdfg, enabled=enabled)
+    design = extract_controllers(result.cdfg, result.plan)
+    counts = count_design(design)
+    return counts.channels_controller, counts.total_states
+
+
+def test_gt_leave_one_out(diffeq, benchmark):
+    def run():
+        rows = []
+        full = _counts(diffeq, STANDARD_SEQUENCE)
+        rows.append(("full script", *full))
+        for drop in STANDARD_SEQUENCE:
+            enabled = tuple(name for name in STANDARD_SEQUENCE if name != drop)
+            rows.append((f"without {drop}", *_counts(diffeq, enabled)))
+        return rows
+
+    rows = benchmark(run)
+    print()
+    print(render_table(("variant", "cc channels", "total states"), rows))
+
+    by_variant = {row[0]: row[1:] for row in rows}
+    full_channels, full_states = by_variant["full script"]
+    # GT5 is what reaches 5 channels: dropping it explodes the count
+    assert by_variant["without GT5"][0] > full_channels
+    # dropping GT4 leaves the copy node unmerged: more states
+    assert by_variant["without GT4"][1] >= full_states
+
+
+@pytest.mark.parametrize("drop", list(STANDARD_SEQUENCE))
+def test_each_subset_still_correct(diffeq, drop):
+    """Every leave-one-out variant still computes DIFFEQ correctly."""
+    from repro.sim import simulate_tokens
+    from repro.workloads import diffeq_reference
+
+    enabled = tuple(name for name in STANDARD_SEQUENCE if name != drop)
+    result = optimize_global(diffeq, enabled=enabled)
+    sim = simulate_tokens(result.cdfg, seed=5)
+    for register, value in diffeq_reference().items():
+        assert sim.registers[register] == value

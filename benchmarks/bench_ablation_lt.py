@@ -1,0 +1,66 @@
+"""Leave-one-out ablation over the local transforms.
+
+Quantifies each LT's contribution to machine size (Figure 12's last
+row) and to output-wire count (which drives Figure 13's literals).
+"""
+
+from repro.afsm import extract_controllers
+from repro.channels import derive_channels
+from repro.eval.tables import render_table
+from repro.local_transforms import optimize_local
+from repro.local_transforms.scripts import STANDARD_LOCAL_SEQUENCE
+from repro.transforms import optimize_global
+
+
+def _design(diffeq):
+    optimized = optimize_global(diffeq)
+    return extract_controllers(optimized.cdfg, optimized.plan)
+
+
+def _counts(design, enabled):
+    result = optimize_local(design, enabled=enabled)
+    states = sum(c.state_count for c in result.design.controllers.values())
+    transitions = sum(c.transition_count for c in result.design.controllers.values())
+    outputs = sum(len(c.machine.outputs()) for c in result.design.controllers.values())
+    return states, transitions, outputs
+
+
+def test_lt_leave_one_out(diffeq, benchmark):
+    design = _design(diffeq)
+
+    def run():
+        rows = [("no local transforms", *_counts(design, ()))]
+        rows.append(("full script", *_counts(design, STANDARD_LOCAL_SEQUENCE)))
+        for drop in STANDARD_LOCAL_SEQUENCE:
+            enabled = tuple(n for n in STANDARD_LOCAL_SEQUENCE if n != drop)
+            rows.append((f"without {drop}", *_counts(design, enabled)))
+        return rows
+
+    rows = benchmark(run)
+    print()
+    print(render_table(("variant", "states", "transitions", "output wires"), rows))
+
+    by_variant = {row[0]: row[1:] for row in rows}
+    full = by_variant["full script"]
+    none = by_variant["no local transforms"]
+    # LT4 drives the state reduction: without it the fold never fires
+    assert by_variant["without LT4"][0] > full[0]
+    # LT5 drives the wire reduction
+    assert by_variant["without LT5"][2] > full[2]
+    # and the full script at least halves nothing it shouldn't: sanity
+    assert full[0] < none[0]
+    assert full[2] < none[2]
+
+
+def test_lt_correctness_each_variant(diffeq):
+    from repro.sim.system import simulate_system
+    from repro.workloads import diffeq_reference
+
+    design = _design(diffeq)
+    expected = diffeq_reference()
+    for drop in STANDARD_LOCAL_SEQUENCE:
+        enabled = tuple(n for n in STANDARD_LOCAL_SEQUENCE if n != drop)
+        result = optimize_local(design, enabled=enabled)
+        sim = simulate_system(result.design, seed=2)
+        for register, value in expected.items():
+            assert sim.registers[register] == value, (drop, register)

@@ -1,0 +1,36 @@
+"""Figure 12: state-machine comparison across synthesis levels.
+
+Regenerates the paper's table (channels + per-controller state and
+transition counts at three optimization levels, with Yun's manual
+design as reference) and checks the reproduced shape: the monotone
+reduction from unoptimized to optimized-GT-and-LT, and the exact
+channel counts.
+"""
+
+from repro.eval import run_fig12
+from repro.eval.experiments import synthesize_levels
+from repro.workloads.diffeq import DIFFEQ_FUS
+
+
+def test_fig12_reproduction(diffeq, benchmark):
+    result = benchmark(lambda: run_fig12(diffeq))
+    print()
+    print(result.table())
+
+    # channel counts match the paper exactly: 17 -> 5 -> 5
+    assert result.channels["unoptimized"] == 17
+    assert result.channels["optimized-GT"] == 5
+    assert result.channels["optimized-GT-and-LT"] == 5
+
+    # the headline shape: LT shrinks every controller substantially
+    unopt = result.counts["unoptimized"]
+    final = result.counts["optimized-GT-and-LT"]
+    assert final.total_states < 0.65 * unopt.total_states
+    assert final.total_transitions < 0.65 * unopt.total_transitions
+    for fu in DIFFEQ_FUS:
+        assert final.machines[fu][0] < unopt.machines[fu][0]
+
+
+def test_extraction_benchmark(diffeq, benchmark):
+    designs = benchmark(lambda: synthesize_levels(diffeq))
+    assert set(designs) == {"unoptimized", "optimized-GT", "optimized-GT-and-LT"}

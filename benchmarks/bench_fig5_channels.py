@@ -1,0 +1,25 @@
+"""Figure 5: GT5 channel elimination on DIFFEQ (10 -> 5 channels).
+
+Regenerates the paper's before/after channel summary and benchmarks
+the full global-transform script.
+"""
+
+from repro.eval import run_fig5
+from repro.transforms import optimize_global
+
+
+def test_fig5_reproduction(diffeq, benchmark):
+    result = benchmark(lambda: run_fig5(diffeq))
+    print()
+    print(result.table())
+    for channel in result.channels:
+        print("   ", channel)
+    # the paper's headline numbers are matched exactly
+    assert result.before_controller_channels == result.paper_before == 10
+    assert result.after_controller_channels == result.paper_after == 5
+    assert result.after_multiway >= 2
+
+
+def test_gt5_script_benchmark(diffeq, benchmark):
+    result = benchmark(lambda: optimize_global(diffeq))
+    assert result.plan.count(include_env=False) == 5

@@ -1,0 +1,49 @@
+"""Simulated makespan per synthesis level.
+
+Not a paper table — the paper argues GT1 (loop overlap) and the LTs
+(shorter fragments) improve performance without quantifying it; this
+bench quantifies the claim on our bounded-delay datapath model.
+"""
+
+import pytest
+
+from repro.eval import run_performance
+from repro.eval.experiments import synthesize_levels
+from repro.sim.system import simulate_system
+from repro.transforms import LoopParallelism
+from repro.sim.token_sim import simulate_tokens
+from repro.workloads import build_diffeq_cdfg, build_ewf_cdfg
+
+
+def test_performance_levels(diffeq, benchmark):
+    result = benchmark(lambda: run_performance(diffeq))
+    print()
+    print(result.table())
+    # local transforms must make the controllers measurably faster
+    assert (
+        result.system_times["optimized-GT-and-LT"]
+        < 0.9 * result.system_times["unoptimized"]
+    )
+
+
+def test_gt1_overlap_speedup_token_level(benchmark):
+    """GT1's loop overlap shortens the CDFG-level makespan."""
+
+    def run():
+        baseline = simulate_tokens(build_diffeq_cdfg()).end_time
+        overlapped_cdfg = build_diffeq_cdfg()
+        LoopParallelism().apply(overlapped_cdfg)
+        overlapped = simulate_tokens(overlapped_cdfg).end_time
+        return baseline, overlapped
+
+    baseline, overlapped = benchmark(run)
+    print(f"\nGT1 token-level makespan: {baseline:.1f} -> {overlapped:.1f}")
+    assert overlapped < baseline
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_system_sim_benchmark(diffeq, benchmark, seed):
+    designs = synthesize_levels(diffeq)
+    design = designs["optimized-GT-and-LT"]
+    result = benchmark(lambda: simulate_system(design, seed=seed))
+    assert result.end_time > 0

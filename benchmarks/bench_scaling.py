@@ -1,0 +1,60 @@
+"""Scaling study: makespan distribution vs problem size.
+
+Sweeps the DIFFEQ step size (iteration count) and reports the mean
+makespan with confidence intervals for the unoptimized and the fully
+optimized design, demonstrating that the optimized design's advantage
+holds across problem sizes and that makespan grows linearly in the
+iteration count (the loop is throughput-bound).
+"""
+
+import pytest
+
+from repro import synthesize
+from repro.afsm import extract_controllers
+from repro.channels import derive_channels
+from repro.eval.stats import measure_makespan, speedup
+from repro.eval.tables import render_table
+from repro.workloads import build_diffeq_cdfg, diffeq_reference
+
+SEEDS = tuple(range(8))
+
+
+def _designs(dx):
+    cdfg = build_diffeq_cdfg({"dx": dx})
+    unopt = extract_controllers(cdfg, derive_channels(cdfg))
+    optimized = synthesize(cdfg)
+    return unopt, optimized
+
+
+def test_scaling_sweep(benchmark):
+    def run():
+        rows = []
+        factors = []
+        for dx, iterations in ((0.25, 4), (0.125, 8), (0.0625, 16)):
+            expected = diffeq_reference(dx=dx)
+            unopt, optimized = _designs(dx)
+            base = measure_makespan(unopt, SEEDS, expected_registers=expected)
+            fast = measure_makespan(optimized, SEEDS, expected_registers=expected)
+            rows.append((iterations, str(base), str(fast), f"{speedup(base, fast):.2f}x"))
+            factors.append(speedup(base, fast))
+        return rows, factors
+
+    rows, factors = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ("iterations", "unoptimized makespan", "GT+LT makespan", "speedup"), rows
+    ))
+    # the optimized design wins at every size
+    assert all(factor > 1.15 for factor in factors)
+
+
+def test_linear_growth():
+    """Makespan grows roughly linearly with the iteration count."""
+    means = []
+    for dx in (0.25, 0.125, 0.0625):
+        __, optimized = _designs(dx)
+        means.append(measure_makespan(optimized, seeds=range(4)).mean)
+    ratio_a = means[1] / means[0]
+    ratio_b = means[2] / means[1]
+    assert 1.6 < ratio_a < 2.4
+    assert 1.6 < ratio_b < 2.4

@@ -1,0 +1,31 @@
+"""Transform trajectory: arc/channel counts along Figures 1 -> 3 -> 4 -> 6.
+
+The CDFG snapshots the paper draws correspond to prefixes of the
+GT1..GT5 script; this bench prints the counts after each prefix and
+verifies the direction of every step.
+"""
+
+from repro.eval import run_trajectory
+
+
+def test_trajectory_reproduction(diffeq, benchmark):
+    result = benchmark(lambda: run_trajectory(diffeq))
+    print()
+    print(result.table())
+
+    by_stage = {stage: (arcs, channels) for stage, arcs, channels in result.steps}
+    assert by_stage["Figure 1 (input)"][1] == 15  # + 2 env wires = 17
+    # GT1 trades three ENDLOOP syncs for two backward arcs
+    assert by_stage["GT1"][0] == by_stage["Figure 1 (input)"][0] - 1
+    # GT2 is the big arc killer
+    assert by_stage["GT2"][0] < by_stage["GT1"][0]
+    # GT3 removes exactly arc 10
+    assert by_stage["GT3"][0] == by_stage["GT2"][0] - 1
+    # GT5 reaches the Figure 6 channel structure
+    assert by_stage["GT5 (Figure 6)"][1] == 5
+
+
+def test_channel_monotonicity(diffeq):
+    result = run_trajectory(diffeq)
+    channels = [c for __, __, c in result.steps]
+    assert all(later <= earlier for earlier, later in zip(channels, channels[1:]))

@@ -1,0 +1,10 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.workloads import build_diffeq_cdfg
+
+
+@pytest.fixture(scope="session")
+def diffeq():
+    return build_diffeq_cdfg()

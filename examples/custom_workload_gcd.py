@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Bring your own algorithm: GCD with data-dependent branching.
+
+Shows the public API for describing a *new* scheduled computation —
+Euclid's algorithm, with an IF/ENDIF block inside the loop — and
+pushing it through the complete synthesis flow.  This exercises the
+conditional-control support (XBM conditionals in the extracted
+machines) that DIFFEQ does not need.
+
+Run:  python examples/custom_workload_gcd.py [a] [b]
+"""
+
+import sys
+
+from repro.afsm import extract_controllers
+from repro.cdfg import CdfgBuilder, check_well_formed
+from repro.channels import derive_channels
+from repro.local_transforms import optimize_local
+from repro.sim import simulate_tokens
+from repro.sim.system import simulate_system
+from repro.transforms import optimize_global
+
+
+def build_gcd(a0: int, b0: int):
+    """Describe Euclid's GCD as a structured program.
+
+    Binding: the subtractor executes both branch bodies; the comparator
+    computes the branch condition D and the loop condition C.
+    """
+    builder = CdfgBuilder("gcd")
+    builder.functional_unit("SUB", "subtractor")
+    builder.functional_unit("CMP", "comparator")
+
+    with builder.loop("C", fu="CMP"):
+        with builder.if_block("D", fu="SUB") as branch:
+            builder.op("A := A - B", fu="SUB")
+            with branch.otherwise():
+                builder.op("B := B - A", fu="SUB")
+        builder.op("D := A > B", fu="CMP")
+        builder.op("C := A != B", fu="CMP")
+
+    return builder.build(
+        initial={
+            "A": float(a0),
+            "B": float(b0),
+            "C": 1.0 if a0 != b0 else 0.0,
+            "D": 1.0 if a0 > b0 else 0.0,
+        }
+    )
+
+
+def main() -> None:
+    a0 = int(sys.argv[1]) if len(sys.argv) > 1 else 1071
+    b0 = int(sys.argv[2]) if len(sys.argv) > 2 else 462
+
+    cdfg = build_gcd(a0, b0)
+    check_well_formed(cdfg)
+    print(cdfg.summary())
+
+    # quick semantic check at the CDFG level
+    token_result = simulate_tokens(cdfg, seed=1)
+    print(f"token simulation: gcd({a0}, {b0}) = {token_result.registers['A']:.0f} "
+          f"in {token_result.loop_iterations.get('LOOP', 0)} iterations")
+
+    # full synthesis
+    optimized = optimize_global(cdfg)
+    print(f"channels: {derive_channels(cdfg).count(include_env=False)} -> "
+          f"{optimized.plan.count(include_env=False)}")
+    design = optimize_local(extract_controllers(optimized.cdfg, optimized.plan)).design
+    for fu, controller in design.controllers.items():
+        print(f"  {fu}: {controller.state_count} states, "
+              f"{controller.transition_count} transitions")
+
+    # run the synthesized controllers
+    result = simulate_system(design, seed=1)
+    print(f"distributed control computes gcd = {result.registers['A']:.0f} "
+          f"(makespan {result.end_time:.1f})")
+    assert result.registers["A"] == token_result.registers["A"]
+
+
+if __name__ == "__main__":
+    main()

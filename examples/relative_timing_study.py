@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""GT3 relative-timing study: how delay models change the design.
+
+GT3 removes a constraint arc only when timing analysis proves another
+arc always arrives later.  This example sweeps the multiplier/ALU
+delay ratio and shows where the paper's arc-10 removal becomes
+provable — and that the resulting design stays correct across random
+delay assignments *within the assumed bounds*.
+
+Run:  python examples/relative_timing_study.py
+"""
+
+from repro.eval.tables import render_table
+from repro.sim import simulate_tokens
+from repro.timing import DelayModel
+from repro.transforms import optimize_global
+from repro.workloads import build_diffeq_cdfg, diffeq_reference
+from repro.workloads.diffeq import N_M2, N_U
+
+
+def delay_model(multiplier_delay: float, jitter: float) -> DelayModel:
+    model = DelayModel()
+    low = multiplier_delay * (1 - jitter)
+    high = multiplier_delay * (1 + jitter)
+    for unit in ("MUL1", "MUL2"):
+        model = model.with_override(unit, "*", (low, high))
+    return model
+
+
+def main() -> None:
+    rows = []
+    for multiplier_delay in (1.0, 2.0, 4.0, 6.0, 12.0):
+        for jitter in (0.2, 0.8):
+            delays = delay_model(multiplier_delay, jitter)
+            cdfg = build_diffeq_cdfg()
+            result = optimize_global(cdfg, delays=delays)
+            removed = not result.cdfg.has_arc(N_M2, N_U)
+
+            # verify semantics under 20 random delay draws within bounds
+            expected = diffeq_reference()
+            clean = True
+            for seed in range(20):
+                sim = simulate_tokens(result.cdfg, delay_model=delays, seed=seed)
+                clean &= all(sim.registers[r] == v for r, v in expected.items())
+
+            rows.append(
+                (
+                    f"{multiplier_delay:.0f}x ALU",
+                    f"+/-{jitter:.0%}",
+                    "removed" if removed else "kept",
+                    "20/20 OK" if clean else "FAILED",
+                )
+            )
+    print(render_table(
+        ("multiplier delay", "delay spread", "arc 10 (M2 -> U)", "verification"), rows
+    ))
+    print(
+        "\nSlow, tightly-bounded multipliers make the three-operation chain\n"
+        "(arc 11) provably dominate the single multiply (arc 10), enabling\n"
+        "the paper's relative-timing removal; fast or loosely-bounded ones\n"
+        "do not -- and in every case the design remains correct."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Prints Figure 5 (channel elimination), Figure 12 (state machines),
+Figure 13 (gate-level logic), the transform trajectory across the
+paper's CDFG snapshots, and the simulated performance of each
+synthesis level.  Measured numbers are shown next to the published
+ones ("m/p") — see EXPERIMENTS.md for the discussion of deltas.
+
+Run:  python examples/reproduce_paper_tables.py
+"""
+
+from repro.eval import (
+    run_fig5,
+    run_fig12,
+    run_fig13,
+    run_performance,
+    run_trajectory,
+)
+
+
+def main() -> None:
+    fig5 = run_fig5()
+    print(fig5.table())
+    print()
+    for channel in fig5.channels:
+        print("  ", channel)
+    print()
+
+    print(run_fig12().table())
+    print()
+    print(run_fig13().table())
+    print()
+    print(run_trajectory().table())
+    print()
+    print(run_performance().table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Asynchronous distributed control synthesis.
+
+Reproduction of Theobald & Nowick, "Transformations for the Synthesis
+and Optimization of Asynchronous Distributed Control" (DAC 2001).
+
+The flow, end to end:
+
+>>> from repro import synthesize
+>>> from repro.workloads import build_diffeq_cdfg
+>>> design = synthesize(build_diffeq_cdfg())          # doctest: +SKIP
+>>> from repro.sim.system import simulate_system
+>>> simulate_system(design).registers["Y"]            # doctest: +SKIP
+
+Subpackages: :mod:`repro.cdfg` (the IR and builder), :mod:`repro.transforms`
+(GT1..GT5), :mod:`repro.afsm` (burst-mode extraction),
+:mod:`repro.local_transforms` (LT1..LT5), :mod:`repro.logic` (two-level
+hazard-checked synthesis), :mod:`repro.sim` (token and system
+simulators), :mod:`repro.timing`, :mod:`repro.channels`,
+:mod:`repro.workloads`, :mod:`repro.eval`, :mod:`repro.explore`.
+"""
+
+from typing import Optional, Sequence
+
+__version__ = "1.0.0"
+
+from repro.cdfg.graph import Cdfg
+
+
+def synthesize(
+    cdfg: "Cdfg",
+    global_transforms: Optional[Sequence[str]] = None,
+    local_transforms: Optional[Sequence[str]] = None,
+):
+    """One-call synthesis: CDFG -> optimized distributed controllers.
+
+    Applies the standard global script (or ``global_transforms``),
+    extracts one burst-mode controller per functional unit, and applies
+    the standard local script (or ``local_transforms``).  Returns a
+    :class:`repro.afsm.extract.DistributedDesign`.
+    """
+    from repro.afsm.extract import extract_controllers
+    from repro.local_transforms import optimize_local
+    from repro.local_transforms.scripts import STANDARD_LOCAL_SEQUENCE
+    from repro.transforms import optimize_global
+    from repro.transforms.scripts import STANDARD_SEQUENCE
+
+    optimized = optimize_global(
+        cdfg,
+        enabled=tuple(global_transforms) if global_transforms is not None else STANDARD_SEQUENCE,
+    )
+    design = extract_controllers(optimized.cdfg, optimized.plan)
+    enabled_local = (
+        tuple(local_transforms) if local_transforms is not None else STANDARD_LOCAL_SEQUENCE
+    )
+    if enabled_local:
+        design = optimize_local(design, enabled=enabled_local).design
+    return design
+
+
+__all__ = ["Cdfg", "synthesize", "__version__"]

@@ -1,0 +1,35 @@
+"""Extended burst-mode (XBM) asynchronous finite state machines.
+
+Controllers are Mealy-like machines whose state transitions fire when
+an *input burst* (a set of signal edges, plus optional sampled
+conditions) has completely arrived, producing an *output burst*
+(paper Section 4.1).  The two XBM extensions are supported: directed
+don't-cares (edges that may arrive early) and conditionals (levels
+sampled on a transition).
+
+:mod:`repro.afsm.extract` translates a CDFG plus a channel plan into
+one machine per functional unit, via the six-micro-operation fragment
+templates of :mod:`repro.afsm.fragments`.
+"""
+
+from repro.afsm.burst import Cond, Edge, InputBurst, OutputBurst
+from repro.afsm.extract import Controller, DistributedDesign, extract_controllers
+from repro.afsm.machine import BurstModeMachine, State, Transition
+from repro.afsm.signals import Signal, SignalKind
+from repro.afsm.validate import check_machine
+
+__all__ = [
+    "Cond",
+    "Edge",
+    "InputBurst",
+    "OutputBurst",
+    "Controller",
+    "DistributedDesign",
+    "extract_controllers",
+    "BurstModeMachine",
+    "State",
+    "Transition",
+    "Signal",
+    "SignalKind",
+    "check_machine",
+]

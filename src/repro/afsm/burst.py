@@ -1,0 +1,116 @@
+"""Input and output bursts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A signal transition: ``x+`` (rise) or ``x-`` (fall).
+
+    ``ddc`` marks a *directed don't-care* input edge (XBM): the edge
+    may arrive on this transition or may already have arrived earlier.
+    """
+
+    signal: str
+    rising: bool
+    ddc: bool = False
+
+    @property
+    def direction(self) -> str:
+        return "+" if self.rising else "-"
+
+    def inverted(self) -> "Edge":
+        return Edge(self.signal, not self.rising, self.ddc)
+
+    def compulsory(self) -> "Edge":
+        return Edge(self.signal, self.rising, ddc=False)
+
+    def as_ddc(self) -> "Edge":
+        return Edge(self.signal, self.rising, ddc=True)
+
+    def __str__(self) -> str:
+        marker = "*" if self.ddc else ""
+        return f"{self.signal}{self.direction}{marker}"
+
+
+@dataclass(frozen=True)
+class Cond:
+    """An XBM conditional: a level sampled when the burst fires,
+    written ``<C+>`` (must be high) or ``<C->`` (must be low)."""
+
+    signal: str
+    high: bool
+
+    def __str__(self) -> str:
+        return f"<{self.signal}{'+' if self.high else '-'}>"
+
+
+@dataclass(frozen=True)
+class InputBurst:
+    """The trigger of a transition: compulsory/ddc edges + conditions.
+
+    An empty input burst is legal only transiently (during local
+    transformations); :func:`repro.afsm.machine.fold_trivial_states`
+    eliminates it by merging transitions.
+    """
+
+    edges: Tuple[Edge, ...] = ()
+    conditions: Tuple[Cond, ...] = ()
+
+    @property
+    def compulsory_edges(self) -> Tuple[Edge, ...]:
+        return tuple(edge for edge in self.edges if not edge.ddc)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.compulsory_edges and not self.conditions
+
+    def signals(self) -> FrozenSet[str]:
+        return frozenset(edge.signal for edge in self.edges) | frozenset(
+            cond.signal for cond in self.conditions
+        )
+
+    def with_edges(self, edges: Iterable[Edge]) -> "InputBurst":
+        return InputBurst(tuple(edges), self.conditions)
+
+    def without_signal(self, signal: str) -> "InputBurst":
+        return InputBurst(
+            tuple(edge for edge in self.edges if edge.signal != signal),
+            self.conditions,
+        )
+
+    def adding(self, edge: Edge) -> "InputBurst":
+        return InputBurst(self.edges + (edge,), self.conditions)
+
+    def __str__(self) -> str:
+        parts = [str(cond) for cond in self.conditions] + [str(edge) for edge in self.edges]
+        return "{" + ", ".join(parts) + "}"
+
+
+@dataclass(frozen=True)
+class OutputBurst:
+    """The effect of a transition: a set of output edges."""
+
+    edges: Tuple[Edge, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.edges
+
+    def signals(self) -> FrozenSet[str]:
+        return frozenset(edge.signal for edge in self.edges)
+
+    def with_edges(self, edges: Iterable[Edge]) -> "OutputBurst":
+        return OutputBurst(tuple(edges))
+
+    def without_signal(self, signal: str) -> "OutputBurst":
+        return OutputBurst(tuple(edge for edge in self.edges if edge.signal != signal))
+
+    def adding(self, edge: Edge) -> "OutputBurst":
+        return OutputBurst(self.edges + (edge,))
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(edge) for edge in self.edges) + "}"

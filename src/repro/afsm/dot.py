@@ -1,0 +1,52 @@
+"""Graphviz export of burst-mode machines (Figure 11 style).
+
+States are circles; each transition edge is labelled
+``input burst / output burst`` with XBM markers: ``*`` for directed
+don't-cares and ``<C+>`` for conditionals.  Micro-operation tags are
+shown as edge tooltips (and optionally inline).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.afsm.machine import BurstModeMachine
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def machine_to_dot(
+    machine: BurstModeMachine,
+    title: str = "",
+    show_micro_tags: bool = False,
+) -> str:
+    """Render ``machine`` as DOT text."""
+    lines: List[str] = [f"digraph {_quote(machine.name)} {{"]
+    lines.append("  rankdir=TB;")
+    lines.append("  node [shape=circle fontsize=10 width=0.4];")
+    if title:
+        lines.append(f"  label={_quote(title)};")
+    lines.append(f"  {_quote(machine.initial_state)} [shape=doublecircle];")
+    for state in machine.states():
+        if state != machine.initial_state:
+            lines.append(f"  {_quote(state)};")
+    for transition in sorted(machine.transitions(), key=lambda t: t.uid):
+        label = f"{transition.input_burst} / {transition.output_burst}"
+        if show_micro_tags and "micro" in transition.tags:
+            label = f"[{transition.tags['micro']}] {label}"
+        tooltip = transition.tags.get("node", "")
+        lines.append(
+            f"  {_quote(transition.src)} -> {_quote(transition.dst)} "
+            f"[label={_quote(label)} fontsize=8 tooltip={_quote(tooltip)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_machine_dot(machine: BurstModeMachine, path: str, title: str = "") -> None:
+    """Write the DOT rendering of ``machine`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(machine_to_dot(machine, title))
+        handle.write("\n")

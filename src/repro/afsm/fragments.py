@@ -1,0 +1,279 @@
+"""Burst-mode fragment templates for CDFG nodes (paper Section 4.2).
+
+Each operation node expands into the six-micro-operation fragment of
+Figure 11:
+
+(i) wait for requests and set input muxes, (ii) select and initiate
+the operation, (iii) set the destination register mux, (iv) write the
+register, (v) reset all local request/acknowledge pairs in parallel,
+(vi) send done signals.
+
+Global request waits and done emissions are one transition per wire
+(the naive translation): the global transformations shrink exactly
+this part by eliminating channels, which is how Figure 12's
+unoptimized -> optimized-GT reduction arises.  Local signal pairs are
+``*_req``/``*_ack`` wires whose datapath meaning is carried in the
+signal's ``action`` tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.afsm.burst import Cond, Edge, InputBurst, OutputBurst
+from repro.afsm.machine import BurstModeMachine
+from repro.afsm.signals import Signal, SignalKind
+from repro.cdfg.node import Node
+from repro.rtl.ast import BinaryExpr, Operand, RtlStatement
+
+#: operator -> wire-name fragment
+OPERATOR_NAMES: Dict[str, str] = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "<": "lt",
+    "<=": "le",
+    ">": "gt",
+    ">=": "ge",
+    "==": "eq",
+    "!=": "ne",
+}
+
+
+def _sanitize(value: object) -> str:
+    return str(value).replace(".", "p").replace("-", "m")
+
+
+@dataclass
+class GlobalEdge:
+    """A global event the fragment must wait for or emit."""
+
+    wire: str
+    rising: bool
+    ddc: bool = False
+
+    def as_edge(self) -> Edge:
+        return Edge(self.wire, self.rising, self.ddc)
+
+
+@dataclass
+class FragmentPlan:
+    """Everything needed to expand one CDFG node in one controller."""
+
+    node: Node
+    #: global request events, in wait order (one transition each)
+    waits: List[GlobalEdge] = field(default_factory=list)
+    #: global done events, in emission order (one transition each)
+    dones: List[GlobalEdge] = field(default_factory=list)
+    #: ddc edges to absorb (synthetic channel resets), attached to the
+    #: first transition after the waits
+    absorbs: List[GlobalEdge] = field(default_factory=list)
+    #: synthetic reset events this fragment must emit at its very end
+    emit_resets: List[GlobalEdge] = field(default_factory=list)
+
+
+def _req_ack(machine: BurstModeMachine, base: str, action: tuple) -> Tuple[str, str]:
+    req = f"{base}_req"
+    ack = f"{base}_ack"
+    machine.declare_signal(Signal(req, SignalKind.LOCAL_REQ, is_input=False, partner=ack, action=action))
+    machine.declare_signal(Signal(ack, SignalKind.LOCAL_ACK, is_input=True, partner=req))
+    return req, ack
+
+
+def _source_mux_wires(
+    machine: BurstModeMachine, fu: str, statement: RtlStatement
+) -> List[Tuple[str, str]]:
+    """Input-mux req/ack pairs for the FU operation's source operands."""
+    if not isinstance(statement.expr, BinaryExpr):
+        return []
+    wires = []
+    for port, operand in enumerate((statement.expr.left, statement.expr.right)):
+        if operand.is_register:
+            base = f"mux{port}_{operand.register}"
+            action = ("src_mux", fu, port, ("reg", operand.register))
+        else:
+            base = f"mux{port}_const_{_sanitize(operand.literal)}"
+            action = ("src_mux", fu, port, ("const", operand.literal))
+        wires.append(_req_ack(machine, base, action))
+    return wires
+
+
+def _go_wires(machine: BurstModeMachine, fu: str, statement: RtlStatement) -> Tuple[str, str]:
+    operator = statement.operator
+    assert operator is not None
+    name = OPERATOR_NAMES[operator]
+    return _req_ack(machine, f"go_{name}", ("fu_go", fu, operator))
+
+
+def _dest_wires(
+    machine: BurstModeMachine, fu: str, statement: RtlStatement
+) -> Tuple[Tuple[str, str], Tuple[str, str]]:
+    """(register-mux pair, latch pair) for a statement's destination.
+
+    An operation result is routed from the FU; a copy routes another
+    register (or a constant) through the register's input mux.
+    """
+    dest = statement.dest
+    if statement.is_copy:
+        operand = statement.expr
+        assert isinstance(operand, Operand)
+        if operand.is_register:
+            source = ("reg", operand.register)
+            tag = operand.register
+        else:
+            source = ("const", operand.literal)
+            tag = f"const_{_sanitize(operand.literal)}"
+    else:
+        source = ("fu", fu)
+        tag = fu
+    mux = _req_ack(machine, f"reg_{dest}_sel_{tag}", ("reg_mux", dest, source))
+    latch = _req_ack(machine, f"reg_{dest}_latch", ("latch", dest))
+    return mux, latch
+
+
+def expand_operation(
+    machine: BurstModeMachine,
+    cursor: str,
+    plan: FragmentPlan,
+    pending_outputs: Optional[List[Edge]] = None,
+) -> str:
+    """Expand an operation node fragment starting at state ``cursor``.
+
+    ``pending_outputs`` are edges a previous fragment asked to ride on
+    this fragment's first transition (LT3-style preselection uses the
+    same mechanism during extraction for mux-less fragments).  Returns
+    the state the machine is in after the fragment.
+    """
+    node = plan.node
+    fu = node.fu or "FU"
+    tags = {"node": node.name}
+    pending = list(pending_outputs or [])
+
+    operation = next((s for s in node.statements if not s.is_copy), None)
+    src_wires = _source_mux_wires(machine, fu, operation) if operation else []
+    go_pair = _go_wires(machine, fu, operation) if operation else None
+    dest_pairs = [_dest_wires(machine, fu, statement) for statement in node.statements]
+
+    # ddc absorptions (synthetic channel resets that may arrive at any
+    # point of the iteration) ride on the first transition after the
+    # waits so they never collide with a compulsory edge on their wire
+    absorb_edges = tuple(edge.as_edge() for edge in plan.absorbs)
+
+    # -- (i) waits: one transition per global request wire -------------
+    # synthetic channel resets are emitted on the fragment's first
+    # output transition, before any of this fragment's own events
+    reset_out = tuple(edge.as_edge() for edge in plan.emit_resets)
+
+    state = cursor
+    wait_edges = list(plan.waits)
+    for index, wait in enumerate(wait_edges):
+        nxt = machine.fresh_state()
+        outputs: Tuple[Edge, ...] = ()
+        if index == len(wait_edges) - 1:
+            outputs = (
+                reset_out
+                + tuple(pending)
+                + tuple(Edge(req, True) for req, __ in src_wires)
+            )
+            reset_out = ()
+            pending = []
+        machine.add_transition(
+            state,
+            nxt,
+            InputBurst((wait.as_edge(),)),
+            OutputBurst(outputs),
+            tags={**tags, "micro": "wait" if not outputs else "mux"},
+        )
+        state = nxt
+
+    if not wait_edges:
+        # no global requests: mux setting rides on entry (empty burst
+        # folds into the predecessor transition later)
+        nxt = machine.fresh_state()
+        machine.add_transition(
+            state,
+            nxt,
+            InputBurst(()),
+            OutputBurst(
+                reset_out
+                + tuple(pending)
+                + tuple(Edge(req, True) for req, __ in src_wires)
+            ),
+            tags={**tags, "micro": "mux"},
+        )
+        reset_out = ()
+        pending = []
+        state = nxt
+
+    # -- (ii) operation -------------------------------------------------
+    if go_pair is not None:
+        nxt = machine.fresh_state()
+        machine.add_transition(
+            state,
+            nxt,
+            InputBurst(tuple(Edge(ack, True) for __, ack in src_wires) + absorb_edges),
+            OutputBurst((Edge(go_pair[0], True),)),
+            tags={**tags, "micro": "op"},
+        )
+        absorb_edges = ()
+        state = nxt
+
+    # -- (iii) destination register mux ---------------------------------
+    nxt = machine.fresh_state()
+    trigger = (Edge(go_pair[1], True),) if go_pair is not None else ()
+    machine.add_transition(
+        state,
+        nxt,
+        InputBurst(trigger + absorb_edges),
+        OutputBurst(tuple(Edge(mux_req, True) for (mux_req, __), ___ in dest_pairs)),
+        tags={**tags, "micro": "dstmux"},
+    )
+    absorb_edges = ()
+    state = nxt
+
+    # -- (iv) write ------------------------------------------------------
+    nxt = machine.fresh_state()
+    machine.add_transition(
+        state,
+        nxt,
+        InputBurst(tuple(Edge(mux_ack, True) for (__, mux_ack), ___ in dest_pairs)),
+        OutputBurst(tuple(Edge(latch_req, True) for ___, (latch_req, __) in dest_pairs)),
+        tags={**tags, "micro": "write"},
+    )
+    state = nxt
+
+    # -- (v) parallel reset ----------------------------------------------
+    all_reqs = [req for req, __ in src_wires]
+    if go_pair is not None:
+        all_reqs.append(go_pair[0])
+    for (mux_req, __), (latch_req, ___) in dest_pairs:
+        all_reqs.extend((mux_req, latch_req))
+    nxt = machine.fresh_state()
+    machine.add_transition(
+        state,
+        nxt,
+        InputBurst(tuple(Edge(latch_ack, True) for ___, (__, latch_ack) in dest_pairs)),
+        OutputBurst(tuple(Edge(req, False) for req in all_reqs)),
+        tags={**tags, "micro": "reset"},
+    )
+    state = nxt
+
+    # -- (vi) dones: one transition per global wire -----------------------
+    all_acks = [ack for __, ack in src_wires]
+    if go_pair is not None:
+        all_acks.append(go_pair[1])
+    for (__, mux_ack), (___, latch_ack) in dest_pairs:
+        all_acks.extend((mux_ack, latch_ack))
+
+    done_edges = tuple(done.as_edge() for done in plan.dones)
+    nxt = machine.fresh_state()
+    machine.add_transition(
+        state,
+        nxt,
+        InputBurst(tuple(Edge(ack, False) for ack in all_acks)),
+        OutputBurst(done_edges),
+        tags={**tags, "micro": "done"},
+    )
+    return nxt

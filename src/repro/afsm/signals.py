@@ -1,0 +1,51 @@
+"""Signals of a burst-mode controller."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class SignalKind(enum.Enum):
+    """What a controller wire is connected to."""
+
+    #: Global inter-controller ready wire (single-transition channel).
+    GLOBAL_READY = "global"
+    #: Local request to a datapath element (mux select, FU go, write).
+    LOCAL_REQ = "req"
+    #: Local acknowledgment from a datapath element.
+    LOCAL_ACK = "ack"
+    #: Sampled level (XBM conditional), e.g. a condition register bit.
+    CONDITIONAL = "cond"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A named controller wire.
+
+    ``is_input`` is from the controller's perspective; ``partner``
+    names the matching req wire for an ack (used by LT4 to find the
+    pair).  ``action`` carries the datapath binding for local requests
+    (interpreted by :mod:`repro.sim.datapath`).
+    """
+
+    name: str
+    kind: SignalKind
+    is_input: bool
+    partner: Optional[str] = None
+    action: Optional[tuple] = None
+    #: wire level at reset (pre-enabled backward channels start at 1:
+    #: the sender's output flop is initialized high, which the
+    #: receivers consume as their first pending transition)
+    initial_level: int = 0
+
+    @property
+    def is_local(self) -> bool:
+        return self.kind in (SignalKind.LOCAL_REQ, SignalKind.LOCAL_ACK)
+
+    def __str__(self) -> str:
+        return self.name

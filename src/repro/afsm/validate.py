@@ -1,0 +1,156 @@
+"""Well-formedness checks for burst-mode machines.
+
+``check_machine`` verifies the properties a synthesizable (X)BM spec
+needs:
+
+1. every state is reachable and (except possibly terminal states) left
+   by at least one transition;
+2. *polarity consistency*: each signal has a well-defined level in
+   every state, and every compulsory edge toggles from that level
+   (directed don't-cares weaken the tracked level to "unknown");
+3. *distinguishability* (maximal-set property): two transitions
+   leaving the same state must differ in conditions or neither's
+   compulsory input burst may contain the other's;
+4. signals used in bursts are declared with the right direction
+   (inputs trigger, outputs are driven).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.afsm.machine import BurstModeMachine, Transition
+from repro.errors import BurstModeError
+
+Level = Optional[int]  # 0, 1 or None (unknown)
+
+
+def signal_levels(machine: BurstModeMachine) -> Dict[str, Dict[str, Level]]:
+    """Level of every signal in every reachable state (None = unknown).
+
+    All wires start low in the initial state.  Raises on polarity
+    conflicts for compulsory edges.
+    """
+    problems: List[str] = []
+    levels = _propagate_levels(machine, problems)
+    if problems:
+        raise BurstModeError("; ".join(problems))
+    return levels
+
+
+def _propagate_levels(
+    machine: BurstModeMachine, problems: List[str]
+) -> Dict[str, Dict[str, Level]]:
+    signals = machine.signals()
+    levels: Dict[str, Dict[str, Level]] = {
+        machine.initial_state: {s.name: s.initial_level for s in signals}
+    }
+    names = [s.name for s in signals]
+    frontier = [machine.initial_state]
+    seen_transitions: Set[Tuple[int, str]] = set()
+    while frontier:
+        state = frontier.pop()
+        for transition in machine.transitions_from(state):
+            key = (transition.uid, state)
+            if key in seen_transitions:
+                continue
+            seen_transitions.add(key)
+            current = dict(levels[state])
+            for edge in transition.input_burst.edges:
+                before = current.get(edge.signal)
+                expected = 0 if edge.rising else 1
+                if edge.ddc:
+                    current[edge.signal] = None
+                    continue
+                if before is not None and before != expected:
+                    problems.append(
+                        f"{machine.name}: edge {edge} in {transition} fires from level {before}"
+                    )
+                current[edge.signal] = 1 if edge.rising else 0
+            for edge in transition.output_burst.edges:
+                before = current.get(edge.signal)
+                expected = 0 if edge.rising else 1
+                if before is not None and before != expected:
+                    problems.append(
+                        f"{machine.name}: output {edge} in {transition} driven from level {before}"
+                    )
+                current[edge.signal] = 1 if edge.rising else 0
+            destination = levels.get(transition.dst)
+            if destination is None:
+                levels[transition.dst] = current
+                frontier.append(transition.dst)
+            else:
+                # paths reaching a state with different levels weaken
+                # the tracked level to "unknown"; an actual polarity
+                # error is then caught where a compulsory edge fires
+                # from a known-wrong level
+                merged_changed = False
+                for name in names:
+                    if destination.get(name) != current.get(name):
+                        if destination.get(name) is not None:
+                            destination[name] = None
+                            merged_changed = True
+                if merged_changed:
+                    frontier.append(transition.dst)
+    return levels
+
+
+def collect_problems(machine: BurstModeMachine, allow_polarity_conflicts: bool = False) -> List[str]:
+    problems: List[str] = []
+
+    reachable = machine.reachable_states()
+    unreachable = sorted(set(machine.states()) - reachable)
+    if unreachable:
+        problems.append(f"unreachable states: {unreachable}")
+
+    # direction discipline
+    for transition in machine.transitions():
+        for edge in transition.input_burst.edges:
+            signal = machine.signal(edge.signal)
+            if not signal.is_input:
+                problems.append(f"output {edge.signal!r} used in input burst of {transition}")
+        for cond in transition.input_burst.conditions:
+            signal = machine.signal(cond.signal)
+            if not signal.is_input:
+                problems.append(f"output {cond.signal!r} sampled as conditional")
+        for edge in transition.output_burst.edges:
+            signal = machine.signal(edge.signal)
+            if signal.is_input:
+                problems.append(f"input {edge.signal!r} driven in output burst of {transition}")
+
+    # distinguishability
+    for state in machine.states():
+        outgoing = machine.transitions_from(state)
+        for i, left in enumerate(outgoing):
+            for right in outgoing[i + 1 :]:
+                if _conditions_disjoint(left, right):
+                    continue
+                left_set = {(e.signal, e.rising) for e in left.input_burst.compulsory_edges}
+                right_set = {(e.signal, e.rising) for e in right.input_burst.compulsory_edges}
+                if left_set <= right_set or right_set <= left_set:
+                    problems.append(
+                        f"transitions from {state} are not distinguishable: "
+                        f"{left.input_burst} vs {right.input_burst}"
+                    )
+
+    polarity_problems: List[str] = []
+    _propagate_levels(machine, polarity_problems)
+    if not allow_polarity_conflicts:
+        problems.extend(polarity_problems)
+    return problems
+
+
+def _conditions_disjoint(left: Transition, right: Transition) -> bool:
+    left_conditions = {c.signal: c.high for c in left.input_burst.conditions}
+    right_conditions = {c.signal: c.high for c in right.input_burst.conditions}
+    for signal, level in left_conditions.items():
+        if signal in right_conditions and right_conditions[signal] != level:
+            return True
+    return False
+
+
+def check_machine(machine: BurstModeMachine, allow_polarity_conflicts: bool = False) -> None:
+    """Raise :class:`BurstModeError` listing every violated property."""
+    problems = collect_problems(machine, allow_polarity_conflicts=allow_polarity_conflicts)
+    if problems:
+        raise BurstModeError(f"{machine.name}: " + "; ".join(problems))

@@ -1,0 +1,33 @@
+"""Control-Data Flow Graph (CDFG) intermediate representation.
+
+The CDFG is the input of the synthesis flow (paper Section 2.1): a
+scheduled, resource-bound graph whose *constraint arcs* make all firing
+conditions explicit.  Node kinds are START/END, LOOP/ENDLOOP, IF/ENDIF
+and operation nodes labelled with RTL statements; arc roles are control
+flow, per-FU scheduling, data dependency and register allocation.
+
+Most users build a CDFG with :class:`repro.cdfg.builder.CdfgBuilder`
+(which derives all constraint arcs from a structured program) rather
+than adding arcs by hand.
+"""
+
+from repro.cdfg.arc import Arc, ArcRole
+from repro.cdfg.blocks import Block, block_tree
+from repro.cdfg.builder import CdfgBuilder, FunctionalUnit
+from repro.cdfg.graph import Cdfg
+from repro.cdfg.kinds import NodeKind
+from repro.cdfg.node import Node
+from repro.cdfg.validate import check_well_formed
+
+__all__ = [
+    "Arc",
+    "ArcRole",
+    "Block",
+    "block_tree",
+    "Cdfg",
+    "CdfgBuilder",
+    "FunctionalUnit",
+    "Node",
+    "NodeKind",
+    "check_well_formed",
+]

@@ -1,0 +1,475 @@
+"""Construction of scheduled, resource-bound CDFGs from programs.
+
+:class:`CdfgBuilder` accepts a *structured program*: a sequence of RTL
+statements (each bound to a functional unit) interleaved with LOOP and
+IF blocks.  Program order defines both the per-FU schedule and the
+read/write ordering used to derive constraint arcs.  ``build()`` then
+derives, per the paper's Section 2.1 rules:
+
+- **control arcs** from block roots (START/LOOP/IF) to the first
+  scheduled item of each functional unit inside the block, and from the
+  last item of each functional unit to the block close (ENDLOOP/ENDIF),
+  plus the ENDLOOP->LOOP iterate arc and IF->ENDIF decision arc;
+- **scheduling arcs** chaining the items of each functional unit inside
+  a block (nested blocks occupy one slot in the chain and are entered
+  at their root / left at their exit, so no arc ever crosses a block
+  boundary);
+- **data-dependency arcs** from the last writer of each register read;
+  reads of values produced outside the block are routed to the block
+  root;
+- **register-allocation arcs** from every reader of a register's old
+  value to the next write of that register.
+
+Cross-iteration ordering is *not* represented by arcs: the unoptimized
+design synchronizes every functional unit at ENDLOOP, which makes such
+constraints unnecessary.  GT1 adds explicit backward arcs when it
+removes that synchronization.
+
+Example
+-------
+>>> builder = CdfgBuilder("demo")
+>>> builder.op("T := A + B", fu="ALU")
+'T := A + B'
+>>> with builder.loop("C", fu="ALU"):
+...     _ = builder.op("T := T + A", fu="ALU")
+...     _ = builder.op("C := T < B", fu="ALU")
+>>> cdfg = builder.build(initial={"A": 1, "B": 10, "C": 1})
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.cdfg.arc import (
+    Arc,
+    ArcTag,
+    control_tag,
+    data_tag,
+    register_tag,
+    scheduling_tag,
+)
+from repro.cdfg.graph import Cdfg
+from repro.cdfg.kinds import NodeKind
+from repro.cdfg.node import Node
+from repro.errors import BlockStructureError, CdfgError
+from repro.rtl.ast import RtlStatement
+from repro.rtl.parser import parse_statement
+
+
+@dataclass(frozen=True)
+class FunctionalUnit:
+    """A datapath resource: one controller is synthesized per unit."""
+
+    name: str
+    description: str = ""
+
+
+@dataclass
+class _OpItem:
+    name: str
+    statement: RtlStatement
+    fu: str
+
+
+@dataclass
+class _BlockDef:
+    kind: NodeKind  # LOOP or IF
+    root_name: str
+    close_name: str
+    condition: str
+    fu: str
+    #: loop body, or the then-branch for IF blocks
+    items: List["_Item"] = field(default_factory=list)
+    else_items: List["_Item"] = field(default_factory=list)
+
+    def branches(self) -> List[Tuple[Optional[str], List["_Item"]]]:
+        if self.kind is NodeKind.LOOP:
+            return [(None, self.items)]
+        return [("then", self.items), ("else", self.else_items)]
+
+
+_Item = Union[_OpItem, _BlockDef]
+
+
+def _item_entry(item: _Item) -> str:
+    return item.name if isinstance(item, _OpItem) else item.root_name
+
+
+def _item_exit(item: _Item) -> str:
+    """The node whose firing signals that the item has completed.
+
+    For a LOOP block this is the LOOP node itself: the loop is complete
+    when the LOOP node takes its false (exit) branch.  For an IF block
+    completion is signalled by the ENDIF node.
+    """
+    if isinstance(item, _OpItem):
+        return item.name
+    if item.kind is NodeKind.LOOP:
+        return item.root_name
+    return item.close_name
+
+
+def _item_fus(item: _Item) -> Set[str]:
+    """All functional units with work anywhere inside an item."""
+    if isinstance(item, _OpItem):
+        return {item.fu}
+    fus = {item.fu}
+    for __, items in item.branches():
+        for child in items:
+            fus |= _item_fus(child)
+    return fus
+
+
+class CdfgBuilder:
+    """Incrementally describe a structured program, then :meth:`build`."""
+
+    def __init__(self, name: str = "cdfg"):
+        self.name = name
+        self._fus: Dict[str, FunctionalUnit] = {}
+        self._inputs: Dict[str, float] = {}
+        self._top: List[_Item] = []
+        #: stack of (block, branch-items-list) currently open
+        self._open: List[List[_Item]] = [self._top]
+        self._names: Set[str] = set()
+        self._loop_count = 0
+        self._if_count = 0
+
+    # ------------------------------------------------------------------
+    # program description
+    # ------------------------------------------------------------------
+    def functional_unit(self, name: str, description: str = "") -> FunctionalUnit:
+        """Declare a functional unit (optional; ``op`` auto-declares)."""
+        unit = FunctionalUnit(name, description)
+        self._fus[name] = unit
+        return unit
+
+    def input(self, name: str, value: float) -> None:
+        """Declare a read-only input register with its value."""
+        self._inputs[name] = value
+
+    def _fresh_name(self, base: str) -> str:
+        name = base
+        suffix = 2
+        while name in self._names:
+            name = f"{base} #{suffix}"
+            suffix += 1
+        self._names.add(name)
+        return name
+
+    def op(self, text: str, fu: str, name: Optional[str] = None) -> str:
+        """Add an RTL statement bound to functional unit ``fu``.
+
+        Returns the node name (defaults to the statement text).
+        """
+        statement = parse_statement(text)
+        if fu not in self._fus:
+            self.functional_unit(fu)
+        node_name = self._fresh_name(name or str(statement))
+        self._open[-1].append(_OpItem(node_name, statement, fu))
+        return node_name
+
+    @contextmanager
+    def loop(self, condition: str, fu: str, name: Optional[str] = None) -> Iterator[str]:
+        """Open a LOOP/ENDLOOP block; yields the LOOP node name.
+
+        ``condition`` is the register the LOOP node examines;
+        ``fu`` is the unit LOOP and ENDLOOP are bound to.
+        """
+        if fu not in self._fus:
+            self.functional_unit(fu)
+        self._loop_count += 1
+        base = name or (f"LOOP" if self._loop_count == 1 else f"LOOP{self._loop_count}")
+        root = self._fresh_name(base)
+        close = self._fresh_name(base.replace("LOOP", "ENDLOOP", 1) if "LOOP" in base else f"END{base}")
+        block = _BlockDef(NodeKind.LOOP, root, close, condition, fu)
+        self._open[-1].append(block)
+        self._open.append(block.items)
+        try:
+            yield root
+        finally:
+            popped = self._open.pop()
+            if popped is not block.items:
+                raise BlockStructureError(f"mismatched block nesting closing {root!r}")
+
+    @contextmanager
+    def if_block(self, condition: str, fu: str, name: Optional[str] = None) -> Iterator["_IfHandle"]:
+        """Open an IF/ENDIF block; the handle switches to the else branch.
+
+        >>> with builder.if_block("C", fu="ALU") as branch:   # doctest: +SKIP
+        ...     builder.op("X := X + 1", fu="ALU")
+        ...     with branch.otherwise():
+        ...         builder.op("X := X - 1", fu="ALU")
+        """
+        if fu not in self._fus:
+            self.functional_unit(fu)
+        self._if_count += 1
+        base = name or (f"IF" if self._if_count == 1 else f"IF{self._if_count}")
+        root = self._fresh_name(base)
+        close = self._fresh_name(base.replace("IF", "ENDIF", 1))
+        block = _BlockDef(NodeKind.IF, root, close, condition, fu)
+        self._open[-1].append(block)
+        self._open.append(block.items)
+        handle = _IfHandle(self, block)
+        try:
+            yield handle
+        finally:
+            popped = self._open.pop()
+            if popped is not block.items and popped is not block.else_items:
+                raise BlockStructureError(f"mismatched block nesting closing {root!r}")
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    def build(self, initial: Optional[Dict[str, float]] = None) -> Cdfg:
+        """Derive all constraint arcs and return the finished CDFG."""
+        if len(self._open) != 1:
+            raise BlockStructureError("build() called with an open block")
+        cdfg = Cdfg(self.name)
+        cdfg.inputs = dict(self._inputs)
+        cdfg.initial_registers = dict(initial or {})
+
+        start = cdfg.add_node(Node("START", NodeKind.START))
+        self._add_items(cdfg, self._top, block=None, branch=None)
+        end = cdfg.add_node(Node("END", NodeKind.END))
+
+        self._derive_block(cdfg, root=None, close=None, items=self._top, branch=None)
+        self._attach_start_end(cdfg, start.name, end.name)
+        return cdfg
+
+    # -- node creation --------------------------------------------------
+    def _add_items(
+        self,
+        cdfg: Cdfg,
+        items: Sequence[_Item],
+        block: Optional[str],
+        branch: Optional[str],
+    ) -> None:
+        for item in items:
+            if isinstance(item, _OpItem):
+                cdfg.add_node(
+                    Node(item.name, NodeKind.OPERATION, fu=item.fu, statements=(item.statement,)),
+                    block=block,
+                    branch=branch,
+                )
+            else:
+                cdfg.add_node(
+                    Node(item.root_name, item.kind, fu=item.fu, condition=item.condition),
+                    block=block,
+                    branch=branch,
+                )
+                close_kind = NodeKind.ENDLOOP if item.kind is NodeKind.LOOP else NodeKind.ENDIF
+                for child_branch, child_items in item.branches():
+                    self._add_items(cdfg, child_items, block=item.root_name, branch=child_branch)
+                cdfg.add_node(
+                    Node(item.close_name, close_kind, fu=item.fu),
+                    block=block,
+                    branch=branch,
+                )
+
+    # -- reads/writes summaries -----------------------------------------
+    def _block_reads_writes(self, block: _BlockDef) -> Tuple[Set[str], Set[str]]:
+        """Registers a block reads-before-writing / writes, seen from outside."""
+        reads: Set[str] = {block.condition}
+        writes: Set[str] = set()
+        for __, items in block.branches():
+            branch_written: Set[str] = set()
+            for item in items:
+                item_reads, item_writes = self._item_reads_writes(item)
+                reads |= item_reads - branch_written
+                branch_written |= item_writes
+            writes |= branch_written
+        return reads, writes
+
+    def _item_reads_writes(self, item: _Item) -> Tuple[Set[str], Set[str]]:
+        if isinstance(item, _OpItem):
+            return set(item.statement.reads), {item.statement.dest}
+        return self._block_reads_writes(item)
+
+    # -- data / register-allocation arcs ---------------------------------
+    def _derive_data_arcs(
+        self,
+        cdfg: Cdfg,
+        root: Optional[str],
+        items: Sequence[_Item],
+    ) -> None:
+        """Data and register-allocation arcs among the items of one level.
+
+        ``root`` is the block root node name (None for top level, where
+        reads of entry values come from initial register contents and
+        need no arc).  Within a block, entry values are synchronized by
+        the root, so a read with no in-level writer needs no arc either
+        — the root control arc covers it.
+        """
+        last_write: Dict[str, Tuple[str, str]] = {}  # reg -> (writer exit node, writer entry node)
+        readers: Dict[str, List[str]] = {}  # reg -> reader nodes since last write
+
+        def record_read(reg: str, reader_node: str) -> None:
+            if reg in last_write:
+                writer_exit = last_write[reg][0]
+                if writer_exit != reader_node:
+                    cdfg.add_arc(Arc(writer_exit, reader_node, frozenset({data_tag(reg)})))
+            readers.setdefault(reg, []).append(reader_node)
+
+        def record_write(reg: str, writer_entry: str, writer_exit: str) -> None:
+            prior_readers = [r for r in readers.get(reg, []) if r != writer_entry]
+            for reader in prior_readers:
+                cdfg.add_arc(Arc(reader, writer_entry, frozenset({register_tag(reg)})))
+            if not prior_readers and reg in last_write:
+                # write-after-write with no intervening reader: the
+                # overwrite must still happen after the first write
+                previous_exit = last_write[reg][0]
+                if previous_exit != writer_entry:
+                    cdfg.add_arc(
+                        Arc(previous_exit, writer_entry, frozenset({register_tag(reg)}))
+                    )
+            readers[reg] = []
+            last_write[reg] = (writer_exit, writer_entry)
+
+        if root is not None:
+            root_node = cdfg.node(root)
+            if root_node.condition is not None:
+                # the root examines the loop/if condition at block entry
+                readers.setdefault(root_node.condition, []).append(root)
+
+        for item in items:
+            if isinstance(item, _OpItem):
+                for reg in sorted(item.statement.reads):
+                    record_read(reg, item.name)
+                record_write(item.statement.dest, item.name, item.name)
+            else:
+                block_reads, block_writes = self._block_reads_writes(item)
+                for reg in sorted(block_reads):
+                    record_read(reg, item.root_name)
+                exit_node = _item_exit(item)
+                for reg in sorted(block_writes):
+                    record_write(reg, item.root_name, exit_node)
+
+    # -- control / scheduling arcs ----------------------------------------
+    def _derive_chains(
+        self,
+        cdfg: Cdfg,
+        root: Optional[str],
+        close: Optional[str],
+        items: Sequence[_Item],
+    ) -> None:
+        """Per-FU chains, root entry arcs and close sync arcs for one level."""
+        fus: List[str] = []
+        for item in items:
+            for fu in sorted(_item_fus(item)):
+                if fu not in fus:
+                    fus.append(fu)
+        root_fu = cdfg.fu_of(root) if root is not None else None
+        close_fu = cdfg.fu_of(close) if close is not None else None
+
+        for fu in fus:
+            seq = [item for item in items if fu in _item_fus(item)]
+            if not seq:
+                continue
+            # root -> first item of this FU
+            if root is not None:
+                tags = {control_tag()}
+                if root_fu == fu and cdfg.fu_of(_item_entry(seq[0])) == fu:
+                    tags.add(scheduling_tag())
+                cdfg.add_arc(Arc(root, _item_entry(seq[0]), frozenset(tags)))
+            # chain consecutive items
+            for left, right in zip(seq, seq[1:]):
+                src = _item_exit(left)
+                dst = _item_entry(right)
+                if src == dst:
+                    continue
+                if cdfg.fu_of(src) == fu and cdfg.fu_of(dst) == fu:
+                    tags = {scheduling_tag()}
+                else:
+                    tags = {control_tag()}
+                cdfg.add_arc(Arc(src, dst, frozenset(tags)))
+            # last item of this FU -> close node
+            if close is not None:
+                src = _item_exit(seq[-1])
+                if src != close:
+                    if cdfg.fu_of(src) == close_fu:
+                        tags = {scheduling_tag()}
+                    else:
+                        tags = {control_tag()}
+                    cdfg.add_arc(Arc(src, close, frozenset(tags)))
+        # a block root with no items still synchronizes with its close
+        if root is not None and close is not None and not items:
+            cdfg.add_arc(Arc(root, close, frozenset({control_tag()})))
+
+    # -- recursion over blocks --------------------------------------------
+    def _derive_block(
+        self,
+        cdfg: Cdfg,
+        root: Optional[str],
+        close: Optional[str],
+        items: Sequence[_Item],
+        branch: Optional[str],
+    ) -> None:
+        self._derive_data_arcs(cdfg, root, items)
+        self._derive_chains(cdfg, root, close, items)
+        for item in items:
+            if isinstance(item, _BlockDef):
+                for child_branch, child_items in item.branches():
+                    self._derive_block(
+                        cdfg, item.root_name, item.close_name, child_items, child_branch
+                    )
+                if item.kind is NodeKind.LOOP:
+                    # iterate arc: ENDLOOP -> LOOP
+                    cdfg.add_arc(
+                        Arc(item.close_name, item.root_name, frozenset({control_tag()}))
+                    )
+                else:
+                    # decision arc: IF -> ENDIF (fires on every execution,
+                    # carries the taken-branch information)
+                    cdfg.add_arc(
+                        Arc(item.root_name, item.close_name, frozenset({control_tag()}))
+                    )
+
+    # -- START/END attachment ----------------------------------------------
+    def _attach_start_end(self, cdfg: Cdfg, start: str, end: str) -> None:
+        """Connect START to top-level sources and top-level sinks to END."""
+        for item in self._top:
+            entry = _item_entry(item)
+            incoming = [
+                arc
+                for arc in cdfg.arcs_to(entry)
+                if cdfg.block_of(arc.src) is None and not cdfg.is_iterate_arc(arc)
+            ]
+            if not incoming:
+                cdfg.add_arc(Arc(start, entry, frozenset({control_tag()})))
+        for item in self._top:
+            exit_node = _item_exit(item)
+            outgoing = [
+                arc
+                for arc in cdfg.arcs_from(exit_node)
+                if cdfg.block_of(arc.dst) is None and not cdfg.is_iterate_arc(arc)
+            ]
+            if not outgoing:
+                cdfg.add_arc(Arc(exit_node, end, frozenset({control_tag()})))
+        if not self._top:
+            cdfg.add_arc(Arc(start, end, frozenset({control_tag()})))
+
+
+class _IfHandle:
+    """Handle yielded by :meth:`CdfgBuilder.if_block` to open the else branch."""
+
+    def __init__(self, builder: CdfgBuilder, block: _BlockDef):
+        self._builder = builder
+        self._block = block
+
+    @contextmanager
+    def otherwise(self) -> Iterator[None]:
+        """Switch subsequent statements to the else branch."""
+        top = self._builder._open.pop()
+        if top is not self._block.items:
+            self._builder._open.append(top)
+            raise BlockStructureError("otherwise() must be called directly inside its if_block")
+        self._builder._open.append(self._block.else_items)
+        try:
+            yield
+        finally:
+            popped = self._builder._open.pop()
+            if popped is not self._block.else_items:
+                raise BlockStructureError("mismatched block nesting in else branch")
+            self._builder._open.append(self._block.items)

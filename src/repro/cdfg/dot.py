@@ -1,0 +1,67 @@
+"""Graphviz (DOT) export of CDFGs.
+
+Produces drawings in the visual convention of the paper's Figure 1:
+one column (cluster) per functional unit, solid control arcs, dotted
+scheduling arcs, dashed data/register arcs, and bold backward arcs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cdfg.arc import Arc, ArcRole
+from repro.cdfg.graph import ENV, Cdfg
+
+
+def _arc_style(arc: Arc) -> str:
+    if arc.backward:
+        return "style=bold color=red"
+    roles = arc.roles
+    if ArcRole.DATA in roles or ArcRole.REGISTER in roles:
+        return "style=dashed"
+    if ArcRole.SCHEDULING in roles:
+        return "style=dotted"
+    return "style=solid"
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def to_dot(cdfg: Cdfg, title: str = "") -> str:
+    """Render ``cdfg`` as DOT text."""
+    lines: List[str] = [f"digraph {_quote(cdfg.name)} {{"]
+    lines.append("  rankdir=TB;")
+    lines.append("  node [shape=box fontsize=10];")
+    if title:
+        lines.append(f"  label={_quote(title)};")
+
+    by_fu: Dict[str, List[str]] = {}
+    for node in cdfg.nodes():
+        by_fu.setdefault(node.fu or ENV, []).append(node.name)
+
+    for index, (fu, names) in enumerate(sorted(by_fu.items())):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f"    label={_quote(fu)};")
+        for name in names:
+            node = cdfg.node(name)
+            shape = "box" if node.is_operation else "ellipse"
+            lines.append(f"    {_quote(name)} [label={_quote(node.label())} shape={shape}];")
+        lines.append("  }")
+
+    for arc in cdfg.arcs():
+        attrs = _arc_style(arc)
+        label = arc.label or ""
+        if label:
+            attrs += f" label={_quote(label)}"
+        lines.append(f"  {_quote(arc.src)} -> {_quote(arc.dst)} [{attrs}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(cdfg: Cdfg, path: str, title: str = "") -> None:
+    """Write the DOT rendering of ``cdfg`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_dot(cdfg, title))
+        handle.write("\n")

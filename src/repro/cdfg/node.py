@@ -1,0 +1,104 @@
+"""CDFG node objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.cdfg.kinds import NodeKind
+from repro.rtl.ast import RtlStatement
+
+
+@dataclass(frozen=True)
+class Node:
+    """A CDFG node.
+
+    Nodes are immutable; transforms that change a node (e.g. GT4
+    merging) create a replacement node and rewire arcs through
+    :meth:`repro.cdfg.graph.Cdfg.replace_node`.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the graph.  For operation nodes this
+        is conventionally the RTL text (``"A := Y + M1"``).
+    kind:
+        The :class:`~repro.cdfg.kinds.NodeKind`.
+    fu:
+        Name of the functional unit the node is bound to, or ``None``
+        for START/END (which are bound to no unit).  Per the paper,
+        LOOP/ENDLOOP/IF/ENDIF *are* bound to a unit (ALU2 in DIFFEQ).
+    statements:
+        The RTL statements the node executes, in order.  Empty for
+        structural nodes.  A merged node (GT4) carries several
+        statements; the first is the one that uses the functional unit.
+    condition:
+        For LOOP and IF nodes, the register examined to decide control
+        flow (the "loop variable").
+    """
+
+    name: str
+    kind: NodeKind
+    fu: Optional[str] = None
+    statements: Tuple[RtlStatement, ...] = field(default_factory=tuple)
+    condition: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is NodeKind.OPERATION and not self.statements:
+            raise ValueError(f"operation node {self.name!r} needs >= 1 RTL statement")
+        if self.kind is not NodeKind.OPERATION and self.statements:
+            raise ValueError(f"{self.kind} node {self.name!r} cannot carry statements")
+        if self.kind in (NodeKind.LOOP, NodeKind.IF) and self.condition is None:
+            raise ValueError(f"{self.kind} node {self.name!r} needs a condition register")
+        if self.kind in (NodeKind.START, NodeKind.END) and self.fu is not None:
+            raise ValueError(f"{self.kind} node {self.name!r} must not be bound to a FU")
+
+    @property
+    def is_operation(self) -> bool:
+        return self.kind is NodeKind.OPERATION
+
+    @property
+    def reads(self) -> FrozenSet[str]:
+        """Registers read by the node.
+
+        For operation nodes this is the union of statement reads minus
+        registers produced by *earlier statements of the same node*
+        (relevant only for merged nodes).  LOOP/IF nodes read their
+        condition register.
+        """
+        if self.kind in (NodeKind.LOOP, NodeKind.IF):
+            assert self.condition is not None
+            return frozenset({self.condition})
+        reads: set = set()
+        written: set = set()
+        for statement in self.statements:
+            reads.update(statement.reads - written)
+            written.add(statement.dest)
+        return frozenset(reads)
+
+    @property
+    def writes(self) -> FrozenSet[str]:
+        """Registers written by the node."""
+        return frozenset(statement.dest for statement in self.statements)
+
+    @property
+    def uses_functional_unit(self) -> bool:
+        """True if executing the node occupies its functional unit.
+
+        Pure copy statements (``X1 := X``) do not use the FU datapath;
+        GT4 relies on this.  Structural nodes bound to a unit (LOOP,
+        ENDLOOP, ...) only examine registers, so they do not use the FU
+        either — but they do occupy a slot in the unit's *schedule*.
+        """
+        return any(not statement.is_copy for statement in self.statements)
+
+    def label(self) -> str:
+        """Human-readable label (used by DOT export and tracing)."""
+        if self.is_operation:
+            return "; ".join(str(statement) for statement in self.statements)
+        if self.condition is not None:
+            return f"{self.kind.value.upper()}({self.condition})"
+        return self.kind.value.upper()
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,14 @@
+"""Communication channels between functional-unit controllers.
+
+In the target architecture every constraint arc between two different
+controllers is carried by a *communication channel* — a single wire
+signalling with one transition per event (paper Section 2.2).  GT5
+reduces the number of channels by multiplexing, concurrency reduction
+and symmetrization; the resulting :class:`~repro.channels.model.ChannelPlan`
+maps every arc to the wire that carries it and is consumed by the
+burst-mode extraction step.
+"""
+
+from repro.channels.model import Channel, ChannelPlan, derive_channels
+
+__all__ = ["Channel", "ChannelPlan", "derive_channels"]

@@ -1,0 +1,116 @@
+"""Channel and channel-plan data structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.cdfg.graph import ENV, Cdfg
+from repro.errors import CdfgError
+
+ArcKey = Tuple[str, str]
+
+
+@dataclass
+class Channel:
+    """One wire from a sender controller to one or more receivers.
+
+    ``arcs`` lists the constraint arcs the wire carries; every event is
+    a single transition, seen by all receivers.  A channel with more
+    than one receiver FU is a *multi-way* channel (GT5.3).
+    """
+
+    name: str
+    src_fu: str
+    dst_fus: FrozenSet[str]
+    arcs: List[ArcKey] = field(default_factory=list)
+
+    @property
+    def is_multiway(self) -> bool:
+        return len(self.dst_fus) > 1
+
+    @property
+    def is_env(self) -> bool:
+        return self.src_fu == ENV or ENV in self.dst_fus
+
+    def wire_name(self) -> str:
+        """Deterministic signal name for the extracted controllers."""
+        return self.name
+
+    def __str__(self) -> str:
+        receivers = "+".join(sorted(self.dst_fus))
+        kind = " (multi-way)" if self.is_multiway else ""
+        return f"{self.name}: {self.src_fu} -> {receivers}, {len(self.arcs)} arc(s){kind}"
+
+
+@dataclass
+class ChannelPlan:
+    """Assignment of every inter-controller arc to a channel."""
+
+    channels: List[Channel] = field(default_factory=list)
+    #: arc key -> channel name
+    arc_to_channel: Dict[ArcKey, str] = field(default_factory=dict)
+
+    def add(self, channel: Channel) -> Channel:
+        self.channels.append(channel)
+        for key in channel.arcs:
+            if key in self.arc_to_channel:
+                raise CdfgError(f"arc {key} already assigned to {self.arc_to_channel[key]}")
+            self.arc_to_channel[key] = channel.name
+        return channel
+
+    def channel_of(self, key: ArcKey) -> Channel:
+        name = self.arc_to_channel.get(key)
+        if name is None:
+            raise CdfgError(f"arc {key} carried by no channel")
+        return self.by_name(name)
+
+    def by_name(self, name: str) -> Channel:
+        for channel in self.channels:
+            if channel.name == name:
+                return channel
+        raise CdfgError(f"no channel named {name!r}")
+
+    # ------------------------------------------------------------------
+    def count(self, include_env: bool = True) -> int:
+        """Number of channels (the paper's Figure 12 column 1 counts
+        environment wires; Figure 5 counts controller-controller only)."""
+        if include_env:
+            return len(self.channels)
+        return sum(1 for channel in self.channels if not channel.is_env)
+
+    def multiway_count(self) -> int:
+        return sum(1 for channel in self.channels if channel.is_multiway)
+
+    def controller_channels(self) -> List[Channel]:
+        return [channel for channel in self.channels if not channel.is_env]
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.count()} channels "
+            f"({self.count(include_env=False)} controller-controller, "
+            f"{self.multiway_count()} multi-way)"
+        ]
+        for channel in self.channels:
+            lines.append(f"  {channel}")
+        return "\n".join(lines)
+
+
+def derive_channels(cdfg: Cdfg) -> ChannelPlan:
+    """The *unoptimized* channel assignment: one channel per arc.
+
+    This is the paper's basic synthesis method (Section 2.3): "each
+    communication channel is implemented by a single wire".
+    """
+    plan = ChannelPlan()
+    for index, arc in enumerate(sorted(cdfg.inter_fu_arcs(), key=lambda a: a.key)):
+        src_fu = cdfg.fu_of(arc.src)
+        dst_fu = cdfg.fu_of(arc.dst)
+        channel = Channel(
+            name=f"ch{index}_{src_fu}_{dst_fu}",
+            src_fu=src_fu,
+            dst_fus=frozenset({dst_fu}),
+            arcs=[arc.key],
+        )
+        plan.add(channel)
+    return plan

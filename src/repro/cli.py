@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``      regenerate every paper table/figure (Figures 5/12/13,
+                trajectory, performance)
+``synthesize``  run the full flow on a workload and print the design
+``simulate``    execute a synthesized design and report the register
+                file, makespan and event counts
+``explore``     sweep transform subsets and print the Pareto frontier
+``dot``         export the (optionally optimized) CDFG as Graphviz
+``vcd``         dump a VCD waveform of a system simulation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.afsm.extract import extract_controllers
+from repro.cdfg.dot import to_dot
+from repro.channels.model import derive_channels
+from repro.eval.experiments import (
+    run_fig5,
+    run_fig12,
+    run_fig13,
+    run_performance,
+    run_trajectory,
+)
+from repro.eval.tables import render_table
+from repro.local_transforms import optimize_local
+from repro.sim.system import ControllerSystem, simulate_system
+from repro.transforms import optimize_global
+from repro.workloads import (
+    build_diffeq_cdfg,
+    build_ewf_cdfg,
+    build_fir_cdfg,
+    build_gcd_cdfg,
+)
+
+WORKLOADS: Dict[str, Callable] = {
+    "diffeq": build_diffeq_cdfg,
+    "gcd": build_gcd_cdfg,
+    "ewf": build_ewf_cdfg,
+    "fir": build_fir_cdfg,
+}
+
+LEVELS = ("unoptimized", "gt", "gt+lt")
+
+
+def _build_design(workload: str, level: str):
+    cdfg = WORKLOADS[workload]()
+    if level == "unoptimized":
+        return extract_controllers(cdfg, derive_channels(cdfg))
+    optimized = optimize_global(cdfg)
+    design = extract_controllers(optimized.cdfg, optimized.plan)
+    if level == "gt+lt":
+        design = optimize_local(design).design
+    return design
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    for result in (run_fig5(), run_fig12(), run_fig13(), run_trajectory(), run_performance()):
+        print(result.table())
+        print()
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    design = _build_design(args.workload, args.level)
+    print(design.summary())
+    if args.verbose:
+        for controller in design.controllers.values():
+            print()
+            print(controller.machine.describe())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    design = _build_design(args.workload, args.level)
+    result = simulate_system(design, seed=args.seed)
+    rows = sorted(result.registers.items())
+    print(render_table(("register", "value"), rows))
+    print(f"makespan: {result.end_time:.2f}   events: {result.events_processed}")
+    if result.hazards:
+        print("HAZARDS:")
+        for hazard in result.hazards:
+            print("  ", hazard)
+        return 1
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.explore import explore_design_space
+
+    cdfg = WORKLOADS[args.workload]()
+    result = explore_design_space(cdfg)
+    frontier = result.pareto_points()
+    rows = [
+        (point.label, point.channels, point.total_states, f"{point.makespan:.1f}")
+        for point in sorted(frontier, key=lambda p: p.objectives())
+    ]
+    print(render_table(("configuration", "channels", "states", "makespan"), rows))
+    print(f"{len(frontier)} Pareto-optimal of {len(result.points)} explored points")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    cdfg = WORKLOADS[args.workload]()
+    if args.optimized:
+        cdfg = optimize_global(cdfg).cdfg
+    text = to_dot(cdfg, title=f"{args.workload} ({'optimized' if args.optimized else 'input'})")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_vcd(args: argparse.Namespace) -> int:
+    from repro.sim.trace import VcdTracer
+
+    design = _build_design(args.workload, args.level)
+    system = ControllerSystem(design, seed=args.seed)
+    tracer = VcdTracer(system)
+    result = tracer.run()
+    with open(args.output, "w", encoding="utf-8") as handle:
+        tracer.write(handle)
+    print(f"wrote {args.output} ({len(tracer.changes)} value changes, "
+          f"makespan {result.end_time:.1f})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Asynchronous distributed control synthesis (Theobald/Nowick DAC'01 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="regenerate every paper table/figure")
+
+    for name, help_text in (
+        ("synthesize", "run the synthesis flow and print the controllers"),
+        ("simulate", "execute a synthesized design"),
+        ("vcd", "dump a VCD waveform of a run"),
+    ):
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument("workload", choices=sorted(WORKLOADS))
+        command.add_argument("--level", choices=LEVELS, default="gt+lt")
+        command.add_argument("--seed", type=int, default=0)
+        if name == "synthesize":
+            command.add_argument("--verbose", action="store_true")
+        if name == "vcd":
+            command.add_argument("--output", "-o", default="trace.vcd")
+
+    explore = sub.add_parser("explore", help="design-space exploration")
+    explore.add_argument("workload", choices=sorted(WORKLOADS))
+
+    dot = sub.add_parser("dot", help="export a CDFG as Graphviz")
+    dot.add_argument("workload", choices=sorted(WORKLOADS))
+    dot.add_argument("--optimized", action="store_true")
+    dot.add_argument("--output", "-o", default=None)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "tables": _cmd_tables,
+        "synthesize": _cmd_synthesize,
+        "simulate": _cmd_simulate,
+        "explore": _cmd_explore,
+        "dot": _cmd_dot,
+        "vcd": _cmd_vcd,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the phase that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class RtlSyntaxError(ReproError):
+    """An RTL statement could not be parsed."""
+
+    def __init__(self, text: str, reason: str):
+        self.text = text
+        self.reason = reason
+        super().__init__(f"cannot parse RTL statement {text!r}: {reason}")
+
+
+class CdfgError(ReproError):
+    """Structural problem in a CDFG (bad arc, unknown node, ...)."""
+
+
+class BlockStructureError(CdfgError):
+    """The CDFG violates the block-structure restriction of Section 2.1."""
+
+
+class ValidationError(CdfgError):
+    """A CDFG failed a well-formedness check."""
+
+
+class TransformError(ReproError):
+    """A transformation could not be applied."""
+
+    def __init__(self, transform: str, reason: str):
+        self.transform = transform
+        self.reason = reason
+        super().__init__(f"{transform}: {reason}")
+
+
+class TimingError(ReproError):
+    """Timing analysis failed or a timing assumption is violated."""
+
+
+class ExtractionError(ReproError):
+    """Burst-mode controller extraction failed."""
+
+
+class BurstModeError(ReproError):
+    """A burst-mode machine is malformed or violates BM properties."""
+
+
+class LogicError(ReproError):
+    """Two-level logic synthesis or minimization failed."""
+
+
+class HazardError(LogicError):
+    """A cover violates a hazard-freedom requirement."""
+
+
+class SimulationError(ReproError):
+    """The event-driven simulation detected a protocol violation."""
+
+
+class ChannelSafetyError(SimulationError):
+    """Two transitions were outstanding on a single-wire channel.
+
+    This is exactly the failure mode GT1 step D ("limit parallelism")
+    exists to prevent: transition-signalling channels carry a single
+    unacknowledged event, so queueing a second request on the same wire
+    before the first is consumed loses an event.
+    """

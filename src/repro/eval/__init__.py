@@ -1,0 +1,40 @@
+"""Evaluation drivers: one function per paper table/figure.
+
+- :mod:`repro.eval.yun`: Yun et al.'s published reference numbers
+  (Figures 12/13 last rows), used exactly as the paper uses them;
+- :mod:`repro.eval.metrics`: channel/state/transition/logic counters;
+- :mod:`repro.eval.experiments`: ``run_fig5`` / ``run_fig12`` /
+  ``run_fig13`` / ``run_trajectory`` / ``run_performance``;
+- :mod:`repro.eval.tables`: fixed-width table rendering.
+"""
+
+from repro.eval.experiments import (
+    Fig5Result,
+    Fig12Result,
+    Fig13Result,
+    PerformanceResult,
+    TrajectoryResult,
+    run_fig5,
+    run_fig12,
+    run_fig13,
+    run_performance,
+    run_trajectory,
+)
+from repro.eval.yun import YUN_FIG12, YUN_FIG13, PAPER_FIG12, PAPER_FIG13
+
+__all__ = [
+    "Fig5Result",
+    "Fig12Result",
+    "Fig13Result",
+    "PerformanceResult",
+    "TrajectoryResult",
+    "run_fig5",
+    "run_fig12",
+    "run_fig13",
+    "run_performance",
+    "run_trajectory",
+    "YUN_FIG12",
+    "YUN_FIG13",
+    "PAPER_FIG12",
+    "PAPER_FIG13",
+]

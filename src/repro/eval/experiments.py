@@ -1,0 +1,262 @@
+"""Experiment drivers reproducing the paper's evaluation artifacts.
+
+Each ``run_*`` function regenerates one table/figure end-to-end from
+the DIFFEQ CDFG and returns a result object whose ``table()`` method
+prints the same rows the paper reports, side by side with the
+published numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.afsm.extract import DistributedDesign, extract_controllers
+from repro.channels.model import ChannelPlan, derive_channels
+from repro.eval.metrics import DesignCounts, count_design
+from repro.eval.tables import render_table
+from repro.eval.yun import (
+    PAPER_FIG5,
+    PAPER_FIG12,
+    PAPER_FIG12_CHANNELS,
+    PAPER_FIG13,
+    YUN_FIG12,
+    YUN_FIG13,
+)
+from repro.local_transforms import optimize_local
+from repro.logic.synthesis import LogicSummary, synthesize_design
+from repro.sim.system import simulate_system
+from repro.sim.token_sim import simulate_tokens
+from repro.timing.delays import DelayModel
+from repro.transforms import optimize_global
+from repro.workloads.diffeq import DIFFEQ_FUS, build_diffeq_cdfg
+
+LEVELS = ("unoptimized", "optimized-GT", "optimized-GT-and-LT")
+
+
+def synthesize_levels(
+    cdfg=None, delays: Optional[DelayModel] = None
+) -> Dict[str, DistributedDesign]:
+    """The three synthesis levels of Figure 12 for one CDFG."""
+    cdfg = cdfg if cdfg is not None else build_diffeq_cdfg()
+    unopt = extract_controllers(cdfg, derive_channels(cdfg))
+    optimized = optimize_global(cdfg, delays=delays)
+    gt = extract_controllers(optimized.cdfg, optimized.plan)
+    gt_lt = optimize_local(gt).design
+    return {
+        "unoptimized": unopt,
+        "optimized-GT": gt,
+        "optimized-GT-and-LT": gt_lt,
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 5: channel elimination
+# ----------------------------------------------------------------------
+@dataclass
+class Fig5Result:
+    before_controller_channels: int
+    after_controller_channels: int
+    after_multiway: int
+    paper_before: int = PAPER_FIG5[0]
+    paper_after: int = PAPER_FIG5[1]
+    channels: List[str] = field(default_factory=list)
+
+    def table(self) -> str:
+        rows = [
+            ("before GT5 (controller-controller)", self.before_controller_channels, self.paper_before),
+            ("after GT5 (controller-controller)", self.after_controller_channels, self.paper_after),
+            ("after GT5 (multi-way among them)", self.after_multiway, 2),
+        ]
+        return render_table(("Figure 5: DIFFEQ channels", "measured", "paper"), rows)
+
+
+def run_fig5(cdfg=None) -> Fig5Result:
+    cdfg = cdfg if cdfg is not None else build_diffeq_cdfg()
+    before = optimize_global(cdfg, enabled=("GT1", "GT2", "GT3", "GT4"))
+    before_channels = derive_channels(before.cdfg).count(include_env=False)
+    after = optimize_global(cdfg)
+    plan = after.plan
+    return Fig5Result(
+        before_controller_channels=before_channels,
+        after_controller_channels=plan.count(include_env=False),
+        after_multiway=plan.multiway_count(),
+        channels=[str(channel) for channel in plan.controller_channels()],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 12: state machine comparison
+# ----------------------------------------------------------------------
+@dataclass
+class Fig12Result:
+    counts: Dict[str, DesignCounts]
+    channels: Dict[str, int]
+
+    def table(self) -> str:
+        headers = ["level", "#ch (measured/paper)"]
+        for fu in DIFFEQ_FUS:
+            headers.append(f"{fu} states (m/p)")
+            headers.append(f"{fu} trans (m/p)")
+        headers_yun = list(headers)
+        rows = []
+        for level in LEVELS:
+            counts = self.counts[level]
+            row: List[object] = [
+                level,
+                f"{self.channels[level]}/{PAPER_FIG12_CHANNELS[level]}",
+            ]
+            for fu in DIFFEQ_FUS:
+                states, transitions = counts.machines[fu]
+                paper_states, paper_transitions = PAPER_FIG12[level][fu]
+                row.append(f"{states}/{paper_states}")
+                row.append(f"{transitions}/{paper_transitions}")
+            rows.append(row)
+        yun_row: List[object] = ["YUN (manual)", "5/5"]
+        for fu in DIFFEQ_FUS:
+            states, transitions = YUN_FIG12[fu]
+            yun_row.append(f"-/{states}")
+            yun_row.append(f"-/{transitions}")
+        rows.append(yun_row)
+        return render_table(headers_yun, rows)
+
+
+def run_fig12(cdfg=None) -> Fig12Result:
+    designs = synthesize_levels(cdfg)
+    counts = {level: count_design(design) for level, design in designs.items()}
+    channels = {
+        "unoptimized": counts["unoptimized"].channels_total,
+        # the paper's optimized rows count the controller-controller
+        # channels of Figure 5/6 (environment wires excluded)
+        "optimized-GT": counts["optimized-GT"].channels_controller,
+        "optimized-GT-and-LT": counts["optimized-GT-and-LT"].channels_controller,
+    }
+    return Fig12Result(counts=counts, channels=channels)
+
+
+# ----------------------------------------------------------------------
+# Figure 13: gate-level comparison
+# ----------------------------------------------------------------------
+@dataclass
+class Fig13Result:
+    summaries: Dict[str, LogicSummary]
+
+    def totals(self) -> Tuple[int, int]:
+        products = sum(s.products for s in self.summaries.values())
+        literals = sum(s.literals for s in self.summaries.values())
+        return products, literals
+
+    def table(self) -> str:
+        headers = (
+            "unit",
+            "Yun #prod",
+            "Yun #lits",
+            "paper #prod",
+            "paper #lits",
+            "measured #prod",
+            "measured #lits",
+        )
+        rows = []
+        for fu in DIFFEQ_FUS:
+            summary = self.summaries[fu]
+            rows.append(
+                (
+                    fu,
+                    YUN_FIG13[fu][0],
+                    YUN_FIG13[fu][1],
+                    PAPER_FIG13[fu][0],
+                    PAPER_FIG13[fu][1],
+                    summary.products,
+                    summary.literals,
+                )
+            )
+        products, literals = self.totals()
+        rows.append(
+            (
+                "total",
+                sum(v[0] for v in YUN_FIG13.values()),
+                sum(v[1] for v in YUN_FIG13.values()),
+                sum(v[0] for v in PAPER_FIG13.values()),
+                sum(v[1] for v in PAPER_FIG13.values()),
+                products,
+                literals,
+            )
+        )
+        return render_table(headers, rows)
+
+
+def run_fig13(cdfg=None) -> Fig13Result:
+    designs = synthesize_levels(cdfg)
+    # the paper synthesized ALU1 with Minimalist (shared products) and
+    # the XBM controllers with 3D (single-output)
+    summaries = synthesize_design(designs["optimized-GT-and-LT"], shared_for=("ALU1",))
+    return Fig13Result(summaries=summaries)
+
+
+# ----------------------------------------------------------------------
+# transform trajectory (Figures 1 -> 3 -> 4 -> 6)
+# ----------------------------------------------------------------------
+@dataclass
+class TrajectoryResult:
+    steps: List[Tuple[str, int, int]]  # (stage, arcs, controller channels)
+
+    def table(self) -> str:
+        return render_table(("after", "#constraint arcs", "#cc channels"), self.steps)
+
+
+def run_trajectory(cdfg=None) -> TrajectoryResult:
+    cdfg = cdfg if cdfg is not None else build_diffeq_cdfg()
+    steps = [("Figure 1 (input)", cdfg.arc_count(), derive_channels(cdfg).count(include_env=False))]
+    prefixes = [
+        ("GT1", ("GT1",)),
+        ("GT2", ("GT1", "GT2")),
+        ("GT3", ("GT1", "GT2", "GT3")),
+        ("GT4 (Figure 4)", ("GT1", "GT2", "GT3", "GT4")),
+        ("GT5 (Figure 6)", ("GT1", "GT2", "GT3", "GT4", "GT5")),
+    ]
+    for label, enabled in prefixes:
+        result = optimize_global(cdfg, enabled=enabled)
+        steps.append(
+            (
+                label,
+                result.cdfg.arc_count(),
+                result.plan.count(include_env=False),
+            )
+        )
+    return TrajectoryResult(steps=steps)
+
+
+# ----------------------------------------------------------------------
+# performance (simulated makespan per synthesis level)
+# ----------------------------------------------------------------------
+@dataclass
+class PerformanceResult:
+    token_times: Dict[str, float]
+    system_times: Dict[str, float]
+
+    def table(self) -> str:
+        rows = []
+        for level in LEVELS:
+            rows.append(
+                (
+                    level,
+                    f"{self.token_times[level]:.1f}" if level in self.token_times else "-",
+                    f"{self.system_times[level]:.1f}",
+                )
+            )
+        return render_table(
+            ("level", "CDFG token-sim makespan", "AFSM system-sim makespan"), rows
+        )
+
+
+def run_performance(cdfg=None, seed: int = 7) -> PerformanceResult:
+    cdfg = cdfg if cdfg is not None else build_diffeq_cdfg()
+    optimized = optimize_global(cdfg)
+    token_times = {
+        "unoptimized": simulate_tokens(cdfg, seed=seed).end_time,
+        "optimized-GT": simulate_tokens(optimized.cdfg, seed=seed).end_time,
+    }
+    system_times = {}
+    for level, design in synthesize_levels(cdfg).items():
+        system_times[level] = simulate_system(design, seed=seed).end_time
+    return PerformanceResult(token_times=token_times, system_times=system_times)

@@ -1,0 +1,46 @@
+"""Counting helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.afsm.extract import DistributedDesign
+from repro.cdfg.graph import Cdfg
+from repro.channels.model import ChannelPlan, derive_channels
+
+
+@dataclass
+class DesignCounts:
+    """Channel and machine sizes of one synthesized design."""
+
+    channels_total: int
+    channels_controller: int
+    channels_multiway: int
+    machines: Dict[str, Tuple[int, int]]  # fu -> (states, transitions)
+
+    @property
+    def total_states(self) -> int:
+        return sum(states for states, __ in self.machines.values())
+
+    @property
+    def total_transitions(self) -> int:
+        return sum(transitions for __, transitions in self.machines.values())
+
+
+def count_design(design: DistributedDesign) -> DesignCounts:
+    return DesignCounts(
+        channels_total=design.plan.count(),
+        channels_controller=design.plan.count(include_env=False),
+        channels_multiway=design.plan.multiway_count(),
+        machines={
+            fu: (controller.state_count, controller.transition_count)
+            for fu, controller in design.controllers.items()
+        },
+    )
+
+
+def channel_counts(cdfg: Cdfg, plan: Optional[ChannelPlan] = None) -> Tuple[int, int, int]:
+    """(total, controller-controller, multiway) channels of a CDFG."""
+    plan = plan or derive_channels(cdfg)
+    return (plan.count(), plan.count(include_env=False), plan.multiway_count())

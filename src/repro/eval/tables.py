@@ -1,0 +1,23 @@
+"""Fixed-width table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain monospace table (papers' figure style)."""
+    columns = len(headers)
+    texts: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(str(headers[i])) for i in range(columns)]
+    for row in texts:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    separator = "-" * (sum(widths) + 2 * (columns - 1))
+    out = [line([str(h) for h in headers]), separator]
+    out.extend(line(row) for row in texts)
+    return "\n".join(out)

@@ -1,0 +1,68 @@
+"""Published reference numbers.
+
+``YUN_*`` are Yun et al.'s manual-design numbers as printed in the
+paper's Figures 12 and 13 (the paper itself compares against these
+published values; the circuits are not available).  ``PAPER_*`` are
+the paper's own tool results, used by EXPERIMENTS.md to report
+paper-vs-measured deltas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Figure 12, row "YUN (manual)": controller -> (#states, #transitions)
+YUN_FIG12: Dict[str, Tuple[int, int]] = {
+    "ALU1": (7, 9),
+    "ALU2": (14, 16),
+    "MUL1": (4, 4),
+    "MUL2": (3, 3),
+}
+
+#: Figure 12, paper's tool: level -> {controller: (#states, #transitions)}
+PAPER_FIG12: Dict[str, Dict[str, Tuple[int, int]]] = {
+    "unoptimized": {
+        "ALU1": (26, 29),
+        "ALU2": (45, 52),
+        "MUL1": (21, 24),
+        "MUL2": (12, 14),
+    },
+    "optimized-GT": {
+        "ALU1": (16, 18),
+        "ALU2": (26, 32),
+        "MUL1": (12, 14),
+        "MUL2": (8, 10),
+    },
+    "optimized-GT-and-LT": {
+        "ALU1": (7, 9),
+        "ALU2": (11, 13),
+        "MUL1": (6, 6),
+        "MUL2": (4, 5),
+    },
+}
+
+#: Figure 12, column 1: level -> #communication channels
+PAPER_FIG12_CHANNELS: Dict[str, int] = {
+    "unoptimized": 17,
+    "optimized-GT": 5,
+    "optimized-GT-and-LT": 5,
+}
+
+#: Figure 13: controller -> (#products, #literals), Yun's manual design
+YUN_FIG13: Dict[str, Tuple[int, int]] = {
+    "ALU1": (18, 110),
+    "ALU2": (46, 141),
+    "MUL1": (19, 41),
+    "MUL2": (10, 15),
+}
+
+#: Figure 13: the paper's tool ("our method" column)
+PAPER_FIG13: Dict[str, Tuple[int, int]] = {
+    "ALU1": (14, 83),
+    "ALU2": (40, 113),
+    "MUL1": (11, 30),
+    "MUL2": (8, 18),
+}
+
+#: Figure 5: controller-controller channels before/after GT5
+PAPER_FIG5: Tuple[int, int] = (10, 5)

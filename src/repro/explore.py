@@ -1,0 +1,150 @@
+"""Design-space exploration over transform subsets.
+
+The paper positions its transforms as a toolbox for *systematic design
+space exploration* and announces scripts as future work.  This module
+provides that layer: enumerate (or sample) subsets of the global and
+local transforms, push each through the complete flow, score the
+resulting design points, and extract the Pareto frontier.
+
+>>> from repro.explore import explore_design_space
+>>> result = explore_design_space(build_diffeq_cdfg())   # doctest: +SKIP
+>>> result.pareto_points()                               # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.afsm.extract import extract_controllers
+from repro.cdfg.graph import Cdfg
+from repro.local_transforms import optimize_local
+from repro.local_transforms.scripts import STANDARD_LOCAL_SEQUENCE
+from repro.sim.system import simulate_system
+from repro.timing.delays import DelayModel
+from repro.transforms import optimize_global
+from repro.transforms.scripts import STANDARD_SEQUENCE
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One explored configuration and its scores (all minimized)."""
+
+    global_transforms: Tuple[str, ...]
+    local_transforms: Tuple[str, ...]
+    channels: int
+    total_states: int
+    total_transitions: int
+    makespan: float
+
+    @property
+    def label(self) -> str:
+        gt = "+".join(self.global_transforms) or "(no GT)"
+        lt = "+".join(self.local_transforms) or "(no LT)"
+        return f"{gt} / {lt}"
+
+    def objectives(self) -> Tuple[float, float, float]:
+        return (self.channels, self.total_states, self.makespan)
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        mine, theirs = self.objectives(), other.objectives()
+        return all(m <= t for m, t in zip(mine, theirs)) and mine != theirs
+
+
+@dataclass
+class ExplorationResult:
+    points: List[DesignPoint] = field(default_factory=list)
+
+    def pareto_points(self) -> List[DesignPoint]:
+        return [
+            point
+            for point in self.points
+            if not any(other.dominates(point) for other in self.points)
+        ]
+
+    def best(self, objective: str) -> DesignPoint:
+        """The single best point for one objective
+        ('channels' | 'states' | 'makespan')."""
+        keys = {
+            "channels": lambda p: p.channels,
+            "states": lambda p: p.total_states,
+            "makespan": lambda p: p.makespan,
+        }
+        try:
+            key = keys[objective]
+        except KeyError:
+            raise ValueError(f"unknown objective {objective!r}") from None
+        return min(self.points, key=key)
+
+
+def evaluate_point(
+    cdfg: Cdfg,
+    global_transforms: Sequence[str],
+    local_transforms: Sequence[str],
+    delays: Optional[DelayModel] = None,
+    seed: int = 9,
+    reference: Optional[Dict[str, float]] = None,
+) -> DesignPoint:
+    """Synthesize and execute one configuration; optionally verify
+    against a golden register file."""
+    optimized = optimize_global(cdfg, enabled=tuple(global_transforms), delays=delays)
+    design = extract_controllers(optimized.cdfg, optimized.plan)
+    if local_transforms:
+        design = optimize_local(design, enabled=tuple(local_transforms)).design
+    result = simulate_system(design, delays=delays, seed=seed)
+    if reference is not None:
+        for register, value in reference.items():
+            if result.registers.get(register) != value:
+                raise AssertionError(
+                    f"configuration {global_transforms}/{local_transforms} "
+                    f"computed {register}={result.registers.get(register)!r}, "
+                    f"expected {value!r}"
+                )
+    return DesignPoint(
+        global_transforms=tuple(global_transforms),
+        local_transforms=tuple(local_transforms),
+        channels=design.plan.count(include_env=False),
+        total_states=sum(c.state_count for c in design.controllers.values()),
+        total_transitions=sum(c.transition_count for c in design.controllers.values()),
+        makespan=result.end_time,
+    )
+
+
+def explore_design_space(
+    cdfg: Cdfg,
+    global_subsets: Optional[Sequence[Sequence[str]]] = None,
+    local_subsets: Optional[Sequence[Sequence[str]]] = None,
+    delays: Optional[DelayModel] = None,
+    seed: int = 9,
+    reference: Optional[Dict[str, float]] = None,
+) -> ExplorationResult:
+    """Evaluate a grid of transform configurations.
+
+    Defaults explore every prefix-closed subset of GT1..GT5 crossed
+    with {no LTs, all LTs} — 64 points is already informative; pass
+    explicit subset lists for a wider or narrower sweep.
+    """
+    if global_subsets is None:
+        global_subsets = [
+            subset
+            for size in range(len(STANDARD_SEQUENCE) + 1)
+            for subset in combinations(STANDARD_SEQUENCE, size)
+        ]
+    if local_subsets is None:
+        local_subsets = [(), tuple(STANDARD_LOCAL_SEQUENCE)]
+
+    result = ExplorationResult()
+    for global_transforms in global_subsets:
+        for local_transforms in local_subsets:
+            result.points.append(
+                evaluate_point(
+                    cdfg,
+                    global_transforms,
+                    local_transforms,
+                    delays=delays,
+                    seed=seed,
+                    reference=reference,
+                )
+            )
+    return result

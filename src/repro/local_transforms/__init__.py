@@ -1,0 +1,44 @@
+"""Local (controller-datapath) transformations — paper Section 5.
+
+Applied to each extracted burst-mode controller after the global
+signal interaction is fixed:
+
+- :class:`~repro.local_transforms.lt1_move_up.MoveUp` (LT1): outputs
+  move to earlier bursts, shortening the critical path — notably
+  global "done" signals rise together with the result latch;
+- :class:`~repro.local_transforms.lt2_move_down.MoveDown` (LT2):
+  off-critical-path outputs (reset phases) move to later bursts,
+  enabling folding and signal sharing;
+- :class:`~repro.local_transforms.lt3_mux_preselection.MuxPreselection`
+  (LT3): the next operation's input muxes are selected at the end of
+  the current one;
+- :class:`~repro.local_transforms.lt4_remove_acks.RemoveAcknowledgments`
+  (LT4): non-essential local acknowledge wires are deleted under
+  user-supplied timing assumptions;
+- :class:`~repro.local_transforms.lt5_signal_sharing.SignalSharing`
+  (LT5): control wires that always switch together merge into one
+  forked wire.
+
+:func:`repro.local_transforms.scripts.optimize_local` runs the
+canonical sequence LT4 -> LT2 -> LT1 -> LT3 -> LT5 (with state folding
+between steps) over every controller of a design.
+"""
+
+from repro.local_transforms.base import LocalTransform, LocalReport
+from repro.local_transforms.lt1_move_up import MoveUp
+from repro.local_transforms.lt2_move_down import MoveDown
+from repro.local_transforms.lt3_mux_preselection import MuxPreselection
+from repro.local_transforms.lt4_remove_acks import RemoveAcknowledgments
+from repro.local_transforms.lt5_signal_sharing import SignalSharing
+from repro.local_transforms.scripts import optimize_local
+
+__all__ = [
+    "LocalTransform",
+    "LocalReport",
+    "MoveUp",
+    "MoveDown",
+    "MuxPreselection",
+    "RemoveAcknowledgments",
+    "SignalSharing",
+    "optimize_local",
+]

@@ -1,0 +1,86 @@
+"""Local transform framework and fragment navigation helpers."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.afsm.machine import BurstModeMachine, Transition
+
+
+@dataclass
+class LocalReport:
+    """What a local transform did to one machine."""
+
+    name: str
+    machine: str
+    applied: bool = False
+    moved_edges: List[str] = field(default_factory=list)
+    removed_signals: List[str] = field(default_factory=list)
+    merged_signals: List[str] = field(default_factory=list)
+    folded_states: int = 0
+    details: List[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        self.details.append(message)
+
+
+class LocalTransform(abc.ABC):
+    """A rewrite of one burst-mode machine, in place."""
+
+    name: str = "LT?"
+
+    @abc.abstractmethod
+    def apply(self, machine: BurstModeMachine) -> LocalReport:
+        """Apply to ``machine``; return a report."""
+
+
+def fragment_chains(machine: BurstModeMachine) -> List[List[Transition]]:
+    """Linear chains of transitions grouped by originating CDFG node.
+
+    Fragments were emitted as linear state chains; this walks each
+    maximal linear run of transitions sharing a ``node`` tag, in state
+    order, so transforms can reason about "earlier/later in the same
+    fragment".
+    """
+    chains: List[List[Transition]] = []
+    visited: set = set()
+    for transition in sorted(machine.transitions(), key=lambda t: t.uid):
+        if transition.uid in visited:
+            continue
+        node = transition.tags.get("node")
+        if node is None:
+            continue
+        # walk backwards to the chain head (guarding against a fragment
+        # whose transitions form a cycle, e.g. a one-node loop body)
+        head = transition
+        walked = {head.uid}
+        while True:
+            previous = [
+                t
+                for t in machine.transitions_to(head.src)
+                if t.tags.get("node") == node and t.uid not in visited and t is not head
+            ]
+            if len(previous) != 1 or len(machine.transitions_from(head.src)) != 1:
+                break
+            if previous[0].uid in walked:
+                break  # wrapped around a cyclic fragment
+            head = previous[0]
+            walked.add(head.uid)
+        chain = [head]
+        visited.add(head.uid)
+        current = head
+        while True:
+            following = [
+                t
+                for t in machine.transitions_from(current.dst)
+                if t.tags.get("node") == node and t.uid not in visited
+            ]
+            if len(following) != 1 or len(machine.transitions_to(current.dst)) != 1:
+                break
+            chain.append(following[0])
+            visited.add(following[0].uid)
+            current = following[0]
+        chains.append(chain)
+    return chains

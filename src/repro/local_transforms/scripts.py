@@ -1,0 +1,83 @@
+"""Canonical local-transformation script.
+
+Order matters: LT4 first removes the acknowledgment waits (enabling
+folding), LT2 packs reset phases into late bursts, LT1 hoists the
+global dones to the latch burst, LT3 pre-selects the next fragment's
+muxes, and LT5 finally merges wires that now switch identically.
+Machines are folded and re-validated after every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.afsm.extract import Controller, DistributedDesign
+from repro.afsm.signals import SignalKind
+from repro.afsm.validate import check_machine
+from repro.local_transforms.base import LocalReport, LocalTransform
+from repro.local_transforms.lt1_move_up import MoveUp
+from repro.local_transforms.lt2_move_down import MoveDown
+from repro.local_transforms.lt3_mux_preselection import MuxPreselection
+from repro.local_transforms.lt4_remove_acks import RemoveAcknowledgments
+from repro.local_transforms.lt5_signal_sharing import SignalSharing
+
+#: canonical application order
+STANDARD_LOCAL_SEQUENCE = ("LT4", "LT2", "LT1", "LT3", "LT5")
+
+
+@dataclass
+class LocalOptimizationResult:
+    """A locally-optimized design plus per-machine reports."""
+
+    design: DistributedDesign
+    reports: List[LocalReport] = field(default_factory=list)
+
+    def reports_for(self, fu: str) -> List[LocalReport]:
+        return [report for report in self.reports if report.machine == fu]
+
+
+def build_local_sequence(enabled: Sequence[str] = STANDARD_LOCAL_SEQUENCE) -> List[LocalTransform]:
+    catalog = {
+        "LT1": MoveUp,
+        "LT2": MoveDown,
+        "LT3": MuxPreselection,
+        "LT4": RemoveAcknowledgments,
+        "LT5": SignalSharing,
+    }
+    unknown = [name for name in enabled if name not in catalog]
+    if unknown:
+        raise KeyError(f"unknown local transforms: {unknown}")
+    return [catalog[name]() for name in STANDARD_LOCAL_SEQUENCE if name in enabled]
+
+
+def optimize_local(
+    design: DistributedDesign,
+    enabled: Sequence[str] = STANDARD_LOCAL_SEQUENCE,
+    checked: bool = True,
+) -> LocalOptimizationResult:
+    """Apply the local-transform script to a copy of every controller."""
+    transforms = build_local_sequence(enabled)
+    optimized = DistributedDesign(
+        cdfg=design.cdfg, plan=design.plan, phases=design.phases
+    )
+    reports: List[LocalReport] = []
+    for fu, controller in design.controllers.items():
+        machine = controller.machine.copy()
+        for transform in transforms:
+            reports.append(transform.apply(machine))
+            if checked:
+                check_machine(machine)
+        machine.fold_trivial_states()
+        machine.prune_unreachable()
+        optimized.controllers[fu] = Controller(
+            fu=fu,
+            machine=machine,
+            input_wires=[
+                s.name for s in machine.inputs() if s.kind is SignalKind.GLOBAL_READY
+            ],
+            output_wires=[
+                s.name for s in machine.outputs() if s.kind is SignalKind.GLOBAL_READY
+            ],
+        )
+    return LocalOptimizationResult(design=optimized, reports=reports)

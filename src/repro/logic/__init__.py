@@ -1,0 +1,38 @@
+"""Two-level hazard-free logic synthesis substrate.
+
+Implements the back-end the paper delegates to Minimalist [10] and 3D
+[25]: burst-mode controllers are encoded into incompletely-specified
+Boolean functions and minimized into two-level covers that satisfy the
+hazard-freedom requirements of multiple-input-change transitions
+(required cubes covered by single products; no illegal intersection of
+privileged cubes — Nowick/Dill theory).
+
+- :mod:`repro.logic.cube`/:mod:`repro.logic.cover`: positional cube
+  algebra (0/1/dash), sharp, containment;
+- :mod:`repro.logic.hazards`: transition cubes, required/privileged
+  cubes, hazard-freedom checking;
+- :mod:`repro.logic.espresso`: expand/irredundant heuristic minimizer
+  honouring the hazard constraints;
+- :mod:`repro.logic.encode`: state encoding;
+- :mod:`repro.logic.synthesis`: machine -> logic, with single-output
+  ("3D mode") and shared-product ("Minimalist mode") counting.
+"""
+
+from repro.logic.cube import Cube, DASH
+from repro.logic.cover import Cover
+from repro.logic.synthesis import (
+    LogicSummary,
+    SynthesisMode,
+    synthesize_controller,
+    synthesize_design,
+)
+
+__all__ = [
+    "Cube",
+    "DASH",
+    "Cover",
+    "LogicSummary",
+    "SynthesisMode",
+    "synthesize_controller",
+    "synthesize_design",
+]

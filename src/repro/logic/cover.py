@@ -1,0 +1,77 @@
+"""Covers: lists of cubes with set-style operations."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.logic.cube import Cube, DASH
+
+
+class Cover:
+    """A sum-of-products: the union of its cubes' minterms."""
+
+    def __init__(self, cubes: Iterable[Cube] = ()):
+        self.cubes: List[Cube] = list(cubes)
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self):
+        return iter(self.cubes)
+
+    def __contains__(self, cube: Cube) -> bool:
+        return cube in self.cubes
+
+    def add(self, cube: Cube) -> None:
+        self.cubes.append(cube)
+
+    # ------------------------------------------------------------------
+    def intersects_cube(self, cube: Cube) -> bool:
+        return any(own.intersects(cube) for own in self.cubes)
+
+    def contains_cube(self, cube: Cube) -> bool:
+        """True when every minterm of ``cube`` is covered.
+
+        Computed by sharping the cube against each member: empty
+        remainder means containment (no tautology check needed at the
+        problem sizes of controller synthesis).
+        """
+        remainders = [cube]
+        for own in self.cubes:
+            next_remainders: List[Cube] = []
+            for piece in remainders:
+                next_remainders.extend(piece.sharp(own))
+            remainders = next_remainders
+            if not remainders:
+                return True
+        return not remainders
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        return any(cube.contains_point(point) for cube in self.cubes)
+
+    # ------------------------------------------------------------------
+    def drop_contained(self) -> "Cover":
+        """Remove cubes single-cube-contained in another (dedup too)."""
+        kept: List[Cube] = []
+        for index, cube in enumerate(self.cubes):
+            redundant = False
+            for other_index, other in enumerate(self.cubes):
+                if index == other_index:
+                    continue
+                if other.contains(cube) and not (
+                    cube.contains(other) and other_index > index
+                ):
+                    redundant = True
+                    break
+            if not redundant:
+                kept.append(cube)
+        return Cover(kept)
+
+    def literal_count(self) -> int:
+        return sum(cube.literal_count for cube in self.cubes)
+
+    def __str__(self) -> str:
+        return " + ".join(str(cube) for cube in self.cubes) or "0"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Cover {len(self.cubes)} cubes>"

@@ -1,0 +1,160 @@
+"""Positional cube algebra.
+
+A cube over n Boolean variables is a tuple of n values from
+``{0, 1, DASH}``; DASH means "either".  Cubes denote conjunctions of
+literals; a cover (list of cubes) denotes their disjunction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import LogicError
+
+#: the "don't care this variable" position value
+DASH = 2
+
+Value = int  # 0 | 1 | DASH
+
+
+class Cube:
+    """An immutable cube."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Sequence[Value]):
+        for value in values:
+            if value not in (0, 1, DASH):
+                raise LogicError(f"invalid cube value {value!r}")
+        object.__setattr__(self, "values", tuple(values))
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("Cube is immutable")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def full(cls, width: int) -> "Cube":
+        """The universal cube (all dashes)."""
+        return cls((DASH,) * width)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Cube":
+        """Parse '10-1' style notation ('-' or '2' = dash)."""
+        mapping = {"0": 0, "1": 1, "-": DASH, "2": DASH}
+        try:
+            return cls(tuple(mapping[ch] for ch in text))
+        except KeyError as exc:
+            raise LogicError(f"bad cube literal in {text!r}") from exc
+
+    def __str__(self) -> str:
+        return "".join("-" if v == DASH else str(v) for v in self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cube('{self}')"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Cube) and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index: int) -> Value:
+        return self.values[index]
+
+    # ------------------------------------------------------------------
+    @property
+    def literal_count(self) -> int:
+        """Number of non-dash positions (SOP literal count)."""
+        return sum(1 for v in self.values if v != DASH)
+
+    def with_value(self, index: int, value: Value) -> "Cube":
+        values = list(self.values)
+        values[index] = value
+        return Cube(values)
+
+    def intersects(self, other: "Cube") -> bool:
+        """True when the cubes share at least one minterm."""
+        self._check_width(other)
+        for left, right in zip(self.values, other.values):
+            if left != DASH and right != DASH and left != right:
+                return False
+        return True
+
+    def intersection(self, other: "Cube") -> Optional["Cube"]:
+        """The shared sub-cube, or None when disjoint."""
+        if not self.intersects(other):
+            return None
+        merged = []
+        for left, right in zip(self.values, other.values):
+            merged.append(left if left != DASH else right)
+        return Cube(merged)
+
+    def contains(self, other: "Cube") -> bool:
+        """True when every minterm of ``other`` lies in this cube."""
+        self._check_width(other)
+        for left, right in zip(self.values, other.values):
+            if left != DASH and left != right:
+                return False
+        return True
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        return all(v == DASH or v == p for v, p in zip(self.values, point))
+
+    def supercube(self, other: "Cube") -> "Cube":
+        """Smallest cube containing both."""
+        self._check_width(other)
+        merged = []
+        for left, right in zip(self.values, other.values):
+            merged.append(left if left == right else DASH)
+        return Cube(merged)
+
+    def sharp(self, other: "Cube") -> List["Cube"]:
+        """``self`` minus ``other`` as a disjoint cube list."""
+        self._check_width(other)
+        if not self.intersects(other):
+            return [self]
+        if other.contains(self):
+            return []
+        remainder: List[Cube] = []
+        current = list(self.values)
+        for index, (left, right) in enumerate(zip(self.values, other.values)):
+            if right == DASH or left != DASH:
+                continue
+            # self has DASH where other is fixed: split off the half
+            # outside other
+            piece = list(current)
+            piece[index] = 1 - right
+            remainder.append(Cube(piece))
+            current[index] = right
+        return remainder
+
+    def distance(self, other: "Cube") -> int:
+        """Number of variables with directly conflicting values."""
+        self._check_width(other)
+        return sum(
+            1
+            for left, right in zip(self.values, other.values)
+            if left != DASH and right != DASH and left != right
+        )
+
+    def minterm_count(self) -> int:
+        return 2 ** sum(1 for v in self.values if v == DASH)
+
+    def minterms(self) -> Iterable[Tuple[int, ...]]:
+        """Enumerate the cube's minterms (use only for small cubes)."""
+        dashes = [i for i, v in enumerate(self.values) if v == DASH]
+        base = [0 if v == DASH else v for v in self.values]
+        for mask in range(2 ** len(dashes)):
+            point = list(base)
+            for bit, index in enumerate(dashes):
+                point[index] = (mask >> bit) & 1
+            yield tuple(point)
+
+    def _check_width(self, other: "Cube") -> None:
+        if len(self.values) != len(other.values):
+            raise LogicError(
+                f"cube width mismatch: {len(self.values)} vs {len(other.values)}"
+            )

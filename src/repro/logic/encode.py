@@ -1,0 +1,46 @@
+"""State encoding for burst-mode machines.
+
+A minimal-length binary encoding assigned along a depth-first walk of
+the machine's transition structure, so consecutive states tend to get
+adjacent codes (fewer state bits switching per transition).  A true
+critical-race-free assignment (as Minimalist/3D compute) is out of
+scope; the encoding choice mainly perturbs product/literal counts,
+which EXPERIMENTS.md reports against the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.afsm.machine import BurstModeMachine
+
+
+def _gray(index: int) -> int:
+    return index ^ (index >> 1)
+
+
+def encode_states(machine: BurstModeMachine) -> Tuple[Dict[str, Tuple[int, ...]], int]:
+    """(state -> bit tuple, number of state bits)."""
+    order: List[str] = []
+    seen = set()
+
+    def visit(state: str) -> None:
+        if state in seen:
+            return
+        seen.add(state)
+        order.append(state)
+        for transition in sorted(
+            machine.transitions_from(state), key=lambda t: t.uid
+        ):
+            visit(transition.dst)
+
+    visit(machine.initial_state)
+    for state in machine.states():
+        visit(state)
+
+    bits = max(1, (len(order) - 1).bit_length())
+    codes: Dict[str, Tuple[int, ...]] = {}
+    for index, state in enumerate(order):
+        gray = _gray(index)
+        codes[state] = tuple((gray >> bit) & 1 for bit in reversed(range(bits)))
+    return codes, bits

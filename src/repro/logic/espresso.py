@@ -1,0 +1,128 @@
+"""Heuristic two-level minimization with hazard-freedom constraints.
+
+An espresso-style EXPAND / IRREDUNDANT loop specialized for the
+burst-mode synthesis problem:
+
+- the initial cover is the list of ON cubes produced by the flow-table
+  construction (each required cube appears as an initial cube, so the
+  single-product requirement holds from the start and is preserved —
+  expansion only grows cubes);
+- EXPAND raises literals greedily; an expansion is accepted iff the
+  grown cube stays off the OFF-set and does not illegally intersect a
+  privileged cube;
+- IRREDUNDANT removes products not needed for ON-set coverage, while
+  keeping at least one single-product container for every required
+  cube.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube, DASH
+from repro.logic.hazards import PrivilegedCube, RequiredCube
+
+
+def _expansion_legal(
+    candidate: Cube,
+    off_set: Cover,
+    privileged: Sequence[PrivilegedCube],
+) -> bool:
+    if off_set.intersects_cube(candidate):
+        return False
+    for priv in privileged:
+        if priv.illegally_intersected_by(candidate):
+            return False
+    return True
+
+
+def expand_cube(
+    cube: Cube,
+    off_set: Cover,
+    privileged: Sequence[PrivilegedCube],
+) -> Cube:
+    """Greedily raise literals of ``cube`` (dash them) while legal.
+
+    Variables are tried in order of descending OFF-set freedom: a
+    position where the OFF-set rarely differs is raised first, a cheap
+    approximation of the espresso expansion heuristic.  A privileged
+    cube the seed already intersects illegally (unrepairable) does not
+    block expansion further — only *new* illegal intersections do.
+    """
+    baseline_illegal = {
+        id(priv) for priv in privileged if priv.illegally_intersected_by(cube)
+    }
+    live_privileged = [p for p in privileged if id(p) not in baseline_illegal]
+    order = sorted(
+        (index for index, value in enumerate(cube.values) if value != DASH),
+        key=lambda index: sum(
+            1 for off in off_set if off[index] != DASH and off[index] != cube[index]
+        ),
+    )
+    current = cube
+    for index in order:
+        candidate = current.with_value(index, DASH)
+        if _expansion_legal(candidate, off_set, live_privileged):
+            current = candidate
+    return current
+
+
+def irredundant(
+    cover: Cover,
+    on_cubes: Sequence[Cube],
+    required: Sequence[RequiredCube],
+) -> Cover:
+    """Drop products while keeping coverage and required containment."""
+    products = list(cover)
+    # try to drop the largest covers last (prefer dropping small cubes)
+    for product in sorted(list(products), key=lambda c: c.literal_count, reverse=True):
+        trial = [p for p in products if p is not product]
+        trial_cover = Cover(trial)
+        if not all(trial_cover.contains_cube(cube) for cube in on_cubes):
+            continue
+        if not all(req.satisfied_by(trial_cover) for req in required):
+            continue
+        products = trial
+    return Cover(products)
+
+
+def repair_privileged(
+    cube: Cube,
+    off_set: Cover,
+    privileged: Sequence[PrivilegedCube],
+) -> Cube:
+    """Try to legalize a cube's privileged intersections by growing it
+    to contain the offending start sub-cubes (the standard dhf fix: a
+    product that reaches into a dynamic 1->0 transition must cover its
+    start).  Growth is abandoned if it would touch the OFF-set."""
+    current = cube
+    for priv in privileged:
+        if not priv.illegally_intersected_by(current):
+            continue
+        candidate = current.supercube(priv.start)
+        if not off_set.intersects_cube(candidate):
+            current = candidate
+    return current
+
+
+def minimize(
+    on_cubes: Sequence[Cube],
+    off_set: Cover,
+    required: Sequence[RequiredCube] = (),
+    privileged: Sequence[PrivilegedCube] = (),
+) -> Cover:
+    """Minimize the ON cubes against the OFF-set under the hazard
+    constraints; returns an irredundant cover that satisfies every
+    satisfiable hazard constraint (residual privileged intersections —
+    possible when directed don't-cares widen start points — are
+    reported by the caller as relative-timing warnings)."""
+    seed = Cover(on_cubes).drop_contained()
+    expanded: List[Cube] = []
+    for cube in seed:
+        grown = repair_privileged(cube, off_set, privileged)
+        grown = expand_cube(grown, off_set, privileged)
+        if not any(existing.contains(grown) for existing in expanded):
+            expanded = [e for e in expanded if not grown.contains(e)]
+            expanded.append(grown)
+    return irredundant(Cover(expanded), list(seed), required)

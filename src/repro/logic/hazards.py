@@ -1,0 +1,87 @@
+"""Hazard-freedom theory for multiple-input-change transitions.
+
+Following Nowick & Dill's exact hazard-free two-level minimization:
+for each specified input transition (a *transition cube* ``[A, B]``
+from start point A to end point B) and each output function f,
+
+- **static 1 -> 1**: the whole transition cube is a *required cube* —
+  it must be contained in a single product of f's cover, or a product
+  could momentarily drop during the burst (static-1 hazard);
+- **dynamic 1 -> 0**: the transition cube is *privileged* with start
+  point A: a product that intersects ``[A, B]`` without containing A
+  could turn on and off again mid-burst (dynamic hazard), so such
+  intersections are illegal;
+- **0 -> 1 and static 0**: no constraint beyond the OFF-set (products
+  simply must not cover OFF points).
+
+``check_hazard_free`` verifies a cover against these constraints; the
+minimizer (:mod:`repro.logic.espresso`) uses the same predicates while
+expanding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import HazardError
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+
+
+@dataclass(frozen=True)
+class RequiredCube:
+    """A cube that must lie inside one single product."""
+
+    cube: Cube
+
+    def satisfied_by(self, cover: Cover) -> bool:
+        return any(product.contains(self.cube) for product in cover)
+
+
+@dataclass(frozen=True)
+class PrivilegedCube:
+    """A dynamic 1->0 transition cube with its start point."""
+
+    cube: Cube
+    start: Cube  # the start *sub-cube* (A with don't-care inputs dashed)
+
+    def illegally_intersected_by(self, product: Cube) -> bool:
+        if not product.intersects(self.cube):
+            return False
+        return not product.contains(self.start)
+
+
+def check_hazard_free(
+    cover: Cover,
+    required: Sequence[RequiredCube],
+    privileged: Sequence[PrivilegedCube],
+    off_set: Cover,
+) -> List[str]:
+    """All hazard/correctness violations of ``cover`` (empty = clean)."""
+    problems: List[str] = []
+    for requirement in required:
+        if not requirement.satisfied_by(cover):
+            problems.append(f"required cube {requirement.cube} split across products")
+    for product in cover:
+        for priv in privileged:
+            if priv.illegally_intersected_by(product):
+                problems.append(
+                    f"product {product} illegally intersects privileged cube "
+                    f"{priv.cube} (start {priv.start})"
+                )
+        for off in off_set:
+            if product.intersects(off):
+                problems.append(f"product {product} covers OFF-set cube {off}")
+    return problems
+
+
+def assert_hazard_free(
+    cover: Cover,
+    required: Sequence[RequiredCube],
+    privileged: Sequence[PrivilegedCube],
+    off_set: Cover,
+) -> None:
+    problems = check_hazard_free(cover, required, privileged, off_set)
+    if problems:
+        raise HazardError("; ".join(problems[:5]))

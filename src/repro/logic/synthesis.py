@@ -1,0 +1,322 @@
+"""Burst-mode machine -> two-level hazard-free logic.
+
+The construction follows classical burst-mode synthesis: the machine
+becomes an incompletely-specified flow table over the variables
+``inputs ++ state bits``, with one Boolean function per output signal
+and per next-state bit.
+
+For a transition ``s --{burst}/--> s'`` with start point A (the input
+levels in s) and end point B (levels after the burst; directed
+don't-cares dashed; sampled conditionals fixed):
+
+- during the burst (``[A,B] - B``) every function holds its old value
+  and the state code stays ``K(s)``;
+- at B the outputs take their new values and the state bits ``K(s')``;
+- a function that is 1 across the whole transition contributes a
+  *required cube* (static-1 hazard freedom), one that falls 1->0 makes
+  the transition cube *privileged* with start point A.
+
+Unspecified total states are don't-cares.  Functions are minimized by
+:mod:`repro.logic.espresso` and the resulting covers are verified
+hazard-free.  Counting supports the paper's two back-ends: ``SINGLE``
+("3D mode", per-output covers summed) and ``SHARED`` ("Minimalist
+mode", identical product terms across outputs counted once).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.afsm.extract import DistributedDesign
+from repro.afsm.machine import BurstModeMachine
+from repro.afsm.validate import _propagate_levels
+from repro.errors import LogicError
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube, DASH
+from repro.logic.encode import encode_states
+from repro.logic.espresso import minimize
+from repro.logic.hazards import (
+    PrivilegedCube,
+    RequiredCube,
+    check_hazard_free,
+)
+
+
+class SynthesisMode(enum.Enum):
+    #: per-output minimization and counting (the 3D tool's style)
+    SINGLE = "single-output"
+    #: identical products shared between outputs (Minimalist's style)
+    SHARED = "shared-products"
+
+
+@dataclass
+class FunctionSpec:
+    """ON/OFF/required/privileged sets of one Boolean function."""
+
+    name: str
+    on_cubes: List[Cube] = field(default_factory=list)
+    off_cubes: List[Cube] = field(default_factory=list)
+    required: List[RequiredCube] = field(default_factory=list)
+    privileged: List[PrivilegedCube] = field(default_factory=list)
+
+
+@dataclass
+class LogicSummary:
+    """Gate-level results for one controller (Figure 13 row)."""
+
+    machine: str
+    mode: SynthesisMode
+    products: int
+    literals: int
+    functions: int
+    covers: Dict[str, Cover] = field(default_factory=dict)
+    variables: List[str] = field(default_factory=list)
+    #: unsatisfiable hazard constraints (ddc-widened start points):
+    #: residual dynamic-hazard risks to be discharged by timing
+    hazard_warnings: List[str] = field(default_factory=list)
+
+
+def _machine_variables(machine: BurstModeMachine) -> Tuple[List[str], List[str]]:
+    inputs = sorted(signal.name for signal in machine.inputs())
+    outputs = sorted(signal.name for signal in machine.outputs())
+    return inputs, outputs
+
+
+def build_function_specs(
+    machine: BurstModeMachine,
+    back_annotate: bool = False,
+) -> Tuple[Dict[str, FunctionSpec], List[str]]:
+    """Flow-table construction: per-function ON/OFF/hazard sets.
+
+    ``back_annotate`` implements the extraction's fourth step ("modify
+    the BM specification to back-annotate the early arrival of
+    requests"): a global request wire whose next event may arrive
+    while the controller is working through earlier bursts is treated
+    as a don't-care in every state where no outgoing transition
+    samples it.  The covers then cannot depend on those wires in those
+    states — which is exactly what makes early arrivals safe.  The
+    robustness is not free: forcing independence is a constraint on the
+    cover rather than a don't-care, typically costing a few products,
+    so it is off by default and measured as an ablation
+    (`tests/logic/test_synthesis.py`).
+    """
+    problems: List[str] = []
+    levels = _propagate_levels(machine, problems)
+    if problems:
+        raise LogicError(f"{machine.name}: {problems[0]}")
+    inputs, outputs = _machine_variables(machine)
+    codes, state_bits = encode_states(machine)
+    width = len(inputs) + state_bits
+    input_index = {name: i for i, name in enumerate(inputs)}
+
+    from repro.afsm.signals import SignalKind as _SignalKind
+
+    global_inputs = {
+        signal.name
+        for signal in machine.inputs()
+        if signal.kind is _SignalKind.GLOBAL_READY
+    }
+
+    function_names = outputs + [f"__state{bit}" for bit in range(state_bits)]
+    specs = {name: FunctionSpec(name) for name in function_names}
+
+    from repro.afsm.signals import SignalKind
+
+    conditional_inputs = {
+        signal.name
+        for signal in machine.inputs()
+        if signal.kind is SignalKind.CONDITIONAL
+    }
+
+    def base_cube(state: str) -> List[int]:
+        sampled_here: set = set()
+        if back_annotate:
+            for transition in machine.transitions_from(state):
+                sampled_here |= {
+                    edge.signal for edge in transition.input_burst.edges
+                }
+        values = []
+        for name in inputs:
+            if name in conditional_inputs:
+                # sampled levels are external data, unknown at rest
+                values.append(DASH)
+                continue
+            if back_annotate and name in global_inputs and name not in sampled_here:
+                # back-annotation: the wire may toggle early while this
+                # state does not sample it; the logic must not depend
+                # on it here
+                values.append(DASH)
+                continue
+            level = levels.get(state, {}).get(name)
+            values.append(DASH if level is None else level)
+        values.extend(codes[state])
+        return values
+
+    def output_level(state: str, name: str) -> Optional[int]:
+        return levels.get(state, {}).get(name)
+
+    for state in machine.states():
+        if state not in levels:
+            continue  # unreachable
+        transitions = machine.transitions_from(state)
+        state_code = codes[state]
+
+        # end points of this state's transitions (to carve out of rest
+        # and pre-burst regions)
+        end_cubes: List[Cube] = []
+        per_transition = []
+        for transition in transitions:
+            start_values = base_cube(state)
+            # a conditional transition exists only where its sampled
+            # level holds: the condition literal restricts the whole
+            # transition cube, start point included
+            for cond in transition.input_burst.conditions:
+                position = input_index[cond.signal]
+                start_values[position] = 1 if cond.high else 0
+            end_values = list(start_values)
+            for edge in transition.input_burst.edges:
+                position = input_index[edge.signal]
+                end_values[position] = DASH if edge.ddc else (1 if edge.rising else 0)
+            start = Cube(start_values)
+            end = Cube(end_values)
+            per_transition.append((transition, start, end))
+            end_cubes.append(end)
+
+        # rest region: the state is stable at its entry levels, minus
+        # the departure points
+        rest_pieces = [Cube(base_cube(state))]
+        for end in end_cubes:
+            rest_pieces = [piece for cube in rest_pieces for piece in cube.sharp(end)]
+        for name in function_names:
+            if name.startswith("__state"):
+                value: Optional[int] = state_code[int(name[len("__state"):])]
+            else:
+                value = output_level(state, name)
+            if value is None:
+                continue
+            target = specs[name].on_cubes if value == 1 else specs[name].off_cubes
+            target.extend(rest_pieces)
+
+        for transition, start, end in per_transition:
+            trans_cube = start.supercube(end)
+            # the pre-burst region excludes every sibling's end point:
+            # reaching any complete burst fires that sibling instead
+            pre_pieces = [trans_cube]
+            for sibling_end in end_cubes:
+                pre_pieces = [
+                    piece for cube in pre_pieces for piece in cube.sharp(sibling_end)
+                ]
+            next_code = codes[transition.dst]
+            edge_changes = {
+                edge.signal: (1 if edge.rising else 0)
+                for edge in transition.output_burst.edges
+            }
+            for name in function_names:
+                if name.startswith("__state"):
+                    bit = int(name[len("__state"):])
+                    old: Optional[int] = state_code[bit]
+                    new: Optional[int] = next_code[bit]
+                else:
+                    old = output_level(state, name)
+                    new = edge_changes.get(name, old)
+                spec = specs[name]
+                if new is not None:
+                    (spec.on_cubes if new == 1 else spec.off_cubes).append(end)
+                if old is None:
+                    continue
+                if old == 1 and new == 1:
+                    spec.on_cubes.append(trans_cube)
+                    spec.required.append(RequiredCube(trans_cube))
+                elif old == 1 and new == 0:
+                    spec.on_cubes.extend(pre_pieces)
+                    spec.privileged.append(PrivilegedCube(trans_cube, start))
+                elif old == 0:
+                    spec.off_cubes.extend(pre_pieces)
+
+    # consistency check: ON and OFF must not overlap
+    for name, spec in specs.items():
+        off_cover = Cover(spec.off_cubes).drop_contained()
+        for on_cube in spec.on_cubes:
+            for off_cube in off_cover:
+                if on_cube.intersects(off_cube):
+                    raise LogicError(
+                        f"{machine.name}.{name}: specification conflict between "
+                        f"ON {on_cube} and OFF {off_cube}"
+                    )
+
+    variables = inputs + [f"y{bit}" for bit in range(state_bits)]
+    return specs, variables
+
+
+def synthesize_controller(
+    machine: BurstModeMachine,
+    mode: SynthesisMode = SynthesisMode.SINGLE,
+    verify: bool = True,
+    back_annotate: bool = False,
+) -> LogicSummary:
+    """Minimize every function of one controller and count the result."""
+    specs, variables = build_function_specs(machine, back_annotate=back_annotate)
+    covers: Dict[str, Cover] = {}
+    warnings: List[str] = []
+    for name, spec in specs.items():
+        off_cover = Cover(spec.off_cubes).drop_contained()
+        cover = minimize(
+            spec.on_cubes, off_cover, required=spec.required, privileged=spec.privileged
+        )
+        if verify:
+            problems = check_hazard_free(cover, spec.required, spec.privileged, off_cover)
+            hard = [p for p in problems if "OFF-set" in p or "required" in p]
+            if hard:
+                raise LogicError(f"{machine.name}.{name}: " + "; ".join(hard[:3]))
+            warnings.extend(f"{name}: {p}" for p in problems)
+            on_check = Cover(list(cover))
+            for cube in Cover(spec.on_cubes).drop_contained():
+                if not on_check.contains_cube(cube):
+                    raise LogicError(
+                        f"{machine.name}.{name}: ON-set cube {cube} left uncovered"
+                    )
+        covers[name] = cover
+
+    if mode is SynthesisMode.SHARED:
+        distinct: Dict[Tuple, Cube] = {}
+        for cover in covers.values():
+            for cube in cover:
+                distinct[cube.values] = cube
+        products = len(distinct)
+        literals = sum(cube.literal_count for cube in distinct.values())
+    else:
+        products = sum(len(cover) for cover in covers.values())
+        literals = sum(cover.literal_count() for cover in covers.values())
+
+    return LogicSummary(
+        machine=machine.name,
+        mode=mode,
+        products=products,
+        literals=literals,
+        functions=len(covers),
+        covers=covers,
+        variables=variables,
+        hazard_warnings=warnings,
+    )
+
+
+def synthesize_design(
+    design: DistributedDesign,
+    shared_for: Sequence[str] = (),
+    verify: bool = True,
+    back_annotate: bool = False,
+) -> Dict[str, LogicSummary]:
+    """Synthesize every controller of a design.
+
+    ``shared_for`` lists units minimized with shared products (the
+    paper used Minimalist for ALU1, 3D for the rest).
+    """
+    summaries: Dict[str, LogicSummary] = {}
+    for fu, controller in design.controllers.items():
+        mode = SynthesisMode.SHARED if fu in shared_for else SynthesisMode.SINGLE
+        summaries[fu] = synthesize_controller(
+            controller.machine, mode=mode, verify=verify, back_annotate=back_annotate
+        )
+    return summaries

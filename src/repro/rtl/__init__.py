@@ -1,0 +1,22 @@
+"""RTL statement micro-language.
+
+The CDFGs of the paper label operation nodes with register-transfer-level
+statements such as ``A := Y + M1`` or ``X1 := X``.  This subpackage
+provides the small AST (:mod:`repro.rtl.ast`), a parser
+(:mod:`repro.rtl.parser`) and an evaluator (:mod:`repro.rtl.semantics`)
+for that statement language.
+"""
+
+from repro.rtl.ast import BinaryExpr, Expr, Operand, RtlStatement
+from repro.rtl.parser import parse_statement
+from repro.rtl.semantics import evaluate_expr, execute_statement
+
+__all__ = [
+    "BinaryExpr",
+    "Expr",
+    "Operand",
+    "RtlStatement",
+    "parse_statement",
+    "evaluate_expr",
+    "execute_statement",
+]

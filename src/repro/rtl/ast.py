@@ -1,0 +1,115 @@
+"""AST for the RTL statement micro-language.
+
+A statement has the shape ``DEST := SRC`` (a register copy) or
+``DEST := SRC op SRC`` (a binary operation).  Operands are either
+register names or integer/float literals.  This is exactly the
+expressiveness the paper's CDFG node labels need: every operation node
+reads at most two registers and writes one.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple, Union
+
+#: Binary operators supported in RTL expressions.  ``<`` and friends
+#: produce the integers 0/1, which is how loop conditions (``C := X < a``)
+#: are modelled.
+BINARY_OPERATORS: Tuple[str, ...] = ("+", "-", "*", "/", "<", "<=", ">", ">=", "==", "!=")
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A leaf of an RTL expression: a register reference or a literal."""
+
+    #: Register name, or ``None`` for a literal.
+    register: Union[str, None] = None
+    #: Literal numeric value, or ``None`` for a register reference.
+    literal: Union[int, float, None] = None
+
+    def __post_init__(self) -> None:
+        has_reg = self.register is not None
+        has_lit = self.literal is not None
+        if has_reg == has_lit:
+            raise ValueError("operand must be exactly one of register or literal")
+        if has_lit and not isinstance(self.literal, numbers.Real):
+            raise ValueError(f"literal must be numeric, got {self.literal!r}")
+
+    @property
+    def is_register(self) -> bool:
+        return self.register is not None
+
+    def __str__(self) -> str:
+        if self.register is not None:
+            return self.register
+        return repr(self.literal)
+
+
+@dataclass(frozen=True)
+class BinaryExpr:
+    """A binary operation ``left op right``."""
+
+    op: str
+    left: Operand
+    right: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPERATORS:
+            raise ValueError(f"unsupported operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+#: An RTL expression is either a single operand (copy) or a binary op.
+Expr = Union[Operand, BinaryExpr]
+
+
+def expr_reads(expr: Expr) -> FrozenSet[str]:
+    """Return the set of registers an expression reads."""
+    if isinstance(expr, Operand):
+        return frozenset({expr.register} if expr.is_register else set())
+    reads = set()
+    for operand in (expr.left, expr.right):
+        if operand.is_register:
+            reads.add(operand.register)
+    return frozenset(reads)
+
+
+@dataclass(frozen=True)
+class RtlStatement:
+    """A single register transfer: ``dest := expr``."""
+
+    dest: str
+    expr: Expr
+
+    @property
+    def reads(self) -> FrozenSet[str]:
+        """Registers read by this statement."""
+        return expr_reads(self.expr)
+
+    @property
+    def writes(self) -> str:
+        """The register written by this statement."""
+        return self.dest
+
+    @property
+    def is_copy(self) -> bool:
+        """True for pure register/literal copies (``X1 := X``).
+
+        Copy statements do not use the functional unit they are bound
+        to; GT4 exploits this to merge them with a neighbouring
+        operation node.
+        """
+        return isinstance(self.expr, Operand)
+
+    @property
+    def operator(self) -> Union[str, None]:
+        """The binary operator, or ``None`` for a copy."""
+        if isinstance(self.expr, BinaryExpr):
+            return self.expr.op
+        return None
+
+    def __str__(self) -> str:
+        return f"{self.dest} := {self.expr}"

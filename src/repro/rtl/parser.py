@@ -1,0 +1,89 @@
+"""Parser for RTL statements such as ``A := Y + M1``.
+
+The grammar is deliberately tiny — it matches the statement labels used
+in the paper's CDFG figures:
+
+.. code-block:: text
+
+    statement ::= IDENT ':=' operand (BINOP operand)?
+    operand   ::= IDENT | NUMBER
+    BINOP     ::= '+' | '-' | '*' | '/' | '<' | '<=' | '>' | '>=' | '==' | '!='
+
+Register names are C-like identifiers and may contain digits after the
+first character (``M1``, ``X1``, ``dx2``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.errors import RtlSyntaxError
+from repro.rtl.ast import BINARY_OPERATORS, BinaryExpr, Expr, Operand, RtlStatement
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<assign>:=)"
+    r"|(?P<number>\d+\.\d+|\d+)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><=|>=|==|!=|[+\-*/<>])"
+    r")"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise RtlSyntaxError(text, f"unexpected input at {remainder!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        assert kind is not None
+        tokens.append((kind, match.group(kind)))
+    return tokens
+
+
+def _parse_operand(kind: str, value: str, text: str) -> Operand:
+    if kind == "ident":
+        return Operand(register=value)
+    if kind == "number":
+        if "." in value:
+            return Operand(literal=float(value))
+        return Operand(literal=int(value))
+    raise RtlSyntaxError(text, f"expected operand, got {value!r}")
+
+
+def parse_statement(text: str) -> RtlStatement:
+    """Parse ``text`` into an :class:`~repro.rtl.ast.RtlStatement`.
+
+    >>> parse_statement("A := Y + M1")
+    RtlStatement(dest='A', expr=BinaryExpr(op='+', left=Operand(...), ...))
+    """
+    tokens = _tokenize(text)
+    if len(tokens) < 3:
+        raise RtlSyntaxError(text, "statement too short")
+    kind, dest = tokens[0]
+    if kind != "ident":
+        raise RtlSyntaxError(text, f"destination must be a register, got {dest!r}")
+    if tokens[1][0] != "assign":
+        raise RtlSyntaxError(text, "expected ':=' after destination")
+
+    body = tokens[2:]
+    expr: Expr
+    if len(body) == 1:
+        expr = _parse_operand(body[0][0], body[0][1], text)
+    elif len(body) == 3:
+        left = _parse_operand(body[0][0], body[0][1], text)
+        op_kind, op = body[1]
+        if op_kind != "op" or op not in BINARY_OPERATORS:
+            raise RtlSyntaxError(text, f"expected binary operator, got {op!r}")
+        right = _parse_operand(body[2][0], body[2][1], text)
+        expr = BinaryExpr(op=op, left=left, right=right)
+    else:
+        raise RtlSyntaxError(text, "expected 'dest := src' or 'dest := src op src'")
+    return RtlStatement(dest=dest, expr=expr)

@@ -1,0 +1,74 @@
+"""Numeric evaluation of RTL statements.
+
+Used by the CDFG token simulator and the AFSM-level datapath model to
+execute workloads and compare final register files against golden
+models.  Comparison operators return the integers 0/1 so conditions can
+be stored in ordinary registers (``C := X < a``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, MutableMapping, Union
+
+from repro.errors import SimulationError
+from repro.rtl.ast import BinaryExpr, Expr, Operand, RtlStatement
+
+Number = Union[int, float]
+
+
+def _operand_value(operand: Operand, registers: Mapping[str, Number]) -> Number:
+    if operand.is_register:
+        assert operand.register is not None
+        try:
+            return registers[operand.register]
+        except KeyError:
+            raise SimulationError(
+                f"read of uninitialized register {operand.register!r}"
+            ) from None
+    assert operand.literal is not None
+    return operand.literal
+
+
+def _apply(op: str, left: Number, right: Number) -> Number:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise SimulationError("division by zero in RTL expression")
+        return left / right
+    if op == "<":
+        return int(left < right)
+    if op == "<=":
+        return int(left <= right)
+    if op == ">":
+        return int(left > right)
+    if op == ">=":
+        return int(left >= right)
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    raise SimulationError(f"unsupported operator {op!r}")
+
+
+def evaluate_expr(expr: Expr, registers: Mapping[str, Number]) -> Number:
+    """Evaluate an RTL expression against a register file."""
+    if isinstance(expr, Operand):
+        return _operand_value(expr, registers)
+    assert isinstance(expr, BinaryExpr)
+    left = _operand_value(expr.left, registers)
+    right = _operand_value(expr.right, registers)
+    return _apply(expr.op, left, right)
+
+
+def execute_statement(
+    statement: RtlStatement, registers: MutableMapping[str, Number]
+) -> Number:
+    """Execute ``statement`` in-place on ``registers``; return the value written."""
+    value = evaluate_expr(statement.expr, registers)
+    registers[statement.dest] = value
+    return value

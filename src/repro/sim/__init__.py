@@ -1,0 +1,25 @@
+"""Event-driven execution substrates.
+
+Two levels of simulation back the correctness story:
+
+- :mod:`repro.sim.token_sim` executes a CDFG directly: nodes fire when
+  their constraint arcs deliver tokens, registers are read at operation
+  start and written at completion.  It checks end-to-end semantics and
+  the single-transition channel-safety property at the graph level.
+- :mod:`repro.sim.system` executes the *extracted burst-mode
+  controllers* against a handshaking datapath model (registers, muxes,
+  functional units), checking the same semantics after extraction and
+  after each local transform.
+
+Both share the :mod:`repro.sim.kernel` event queue.
+"""
+
+from repro.sim.kernel import EventKernel
+from repro.sim.token_sim import TokenSimulator, TokenSimResult, simulate_tokens
+
+__all__ = [
+    "EventKernel",
+    "TokenSimulator",
+    "TokenSimResult",
+    "simulate_tokens",
+]

@@ -1,0 +1,194 @@
+"""Burst-mode controller interpreter for the AFSM-level simulation.
+
+Each controller tracks its current state and fires outgoing
+transitions whose input bursts are satisfied:
+
+- local acknowledgments are 4-phase level signals driven by the
+  datapath model;
+- global ready wires are single-transition channels: each event is
+  queued per receiver and consumed exactly once (edge semantics, so a
+  "pulse" is never lost even when the receiver is busy);
+- directed don't-care edges consume a queued event if one is present,
+  otherwise they leave a *debt* that silently absorbs the event when
+  it arrives;
+- conditionals sample a register level at firing time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.afsm.machine import BurstModeMachine, Transition
+from repro.afsm.signals import SignalKind
+from repro.errors import ChannelSafetyError, SimulationError
+from repro.sim.datapath import Datapath
+from repro.sim.kernel import EventKernel
+
+#: controller logic delay per state transition
+CONTROL_DELAY = 0.2
+
+
+class GlobalWire:
+    """A single-transition channel wire with per-receiver event queues.
+
+    Events are *directed* (rising/falling): a receiver waiting for a
+    rising transition is not released by a falling one (a synthetic
+    reset may overtake the wait; it stays queued for the matching ddc
+    absorption).  ``debt`` records ddc edges that fired before their
+    transition arrived; the arrival is then absorbed silently.
+    """
+
+    def __init__(self, name: str, receivers: List[str], strict: bool = True):
+        self.name = name
+        self.pending: Dict[Tuple[str, bool], int] = {
+            (fu, rising): 0 for fu in receivers for rising in (True, False)
+        }
+        self.debt: Dict[Tuple[str, bool], int] = dict(self.pending)
+        self.receivers = list(receivers)
+        self.events_sent = 0
+        self.strict = strict
+        self.violations: List[str] = []
+
+    def emit(self, now: float, rising: bool) -> None:
+        self.events_sent += 1
+        for fu in self.receivers:
+            key = (fu, rising)
+            if self.debt[key] > 0:
+                self.debt[key] -= 1
+                continue
+            self.pending[key] += 1
+            if self.pending[key] > 1:
+                message = (
+                    f"t={now:.2f}: wire {self.name} holds {self.pending[key]} unconsumed "
+                    f"{'rising' if rising else 'falling'} transitions toward {fu}"
+                )
+                self.violations.append(message)
+                if self.strict:
+                    raise ChannelSafetyError(message)
+
+    def available(self, fu: str, rising: bool) -> bool:
+        return self.pending[(fu, rising)] > 0
+
+    def consume(self, fu: str, rising: bool) -> None:
+        key = (fu, rising)
+        if self.pending[key] < 1:
+            raise SimulationError(f"wire {self.name}: consuming missing event for {fu}")
+        self.pending[key] -= 1
+
+    def consume_ddc(self, fu: str, rising: bool) -> None:
+        key = (fu, rising)
+        if self.pending[key] > 0:
+            self.pending[key] -= 1
+        else:
+            self.debt[key] += 1
+
+    def pending_total(self, fu: str) -> int:
+        return self.pending[(fu, True)] + self.pending[(fu, False)]
+
+
+@dataclass
+class ControllerRuntime:
+    """One controller's dynamic state."""
+
+    fu: str
+    machine: BurstModeMachine
+    kernel: EventKernel
+    datapath: Datapath
+    wires: Dict[str, GlobalWire]
+    #: local ack levels (req levels live implicitly in the machine)
+    ack_levels: Dict[str, int] = field(default_factory=dict)
+    state: str = ""
+    busy: bool = False
+    transitions_taken: int = 0
+
+    def __post_init__(self) -> None:
+        self.state = self.machine.initial_state
+        for signal in self.machine.signals():
+            if signal.kind is SignalKind.LOCAL_ACK:
+                self.ack_levels[signal.name] = 0
+
+    # ------------------------------------------------------------------
+    def poke(self) -> None:
+        """Schedule an enablement check (called on any input change)."""
+        self.kernel.schedule(0.0, self._step)
+
+    def _step(self) -> None:
+        if self.busy:
+            return
+        enabled = [t for t in self.machine.transitions_from(self.state) if self._satisfied(t)]
+        if not enabled:
+            return
+        if len(enabled) > 1:
+            raise SimulationError(
+                f"{self.fu}: nondeterministic choice in state {self.state}: "
+                + " | ".join(str(t.input_burst) for t in enabled)
+            )
+        transition = enabled[0]
+        self.busy = True
+        self.kernel.schedule(CONTROL_DELAY, lambda: self._fire(transition))
+
+    def _satisfied(self, transition: Transition) -> bool:
+        for cond in transition.input_burst.conditions:
+            signal = self.machine.signal(cond.signal)
+            assert signal.action is not None and signal.action[0] == "cond"
+            if self.datapath.condition_level(signal.action[1]) != cond.high:
+                return False
+        for edge in transition.input_burst.compulsory_edges:
+            signal = self.machine.signal(edge.signal)
+            if signal.kind is SignalKind.GLOBAL_READY:
+                if not self.wires[edge.signal].available(self.fu, edge.rising):
+                    return False
+            elif signal.kind is SignalKind.LOCAL_ACK:
+                expected = 1 if edge.rising else 0
+                if self.ack_levels[edge.signal] != expected:
+                    return False
+            else:
+                raise SimulationError(f"{self.fu}: unexpected input {edge.signal}")
+        return True
+
+    def _fire(self, transition: Transition) -> None:
+        self.busy = False
+        if not self._satisfied(transition):
+            # inputs changed during the control delay; re-evaluate
+            self.poke()
+            return
+        for edge in transition.input_burst.edges:
+            signal = self.machine.signal(edge.signal)
+            if signal.kind is SignalKind.GLOBAL_READY:
+                if edge.ddc:
+                    self.wires[edge.signal].consume_ddc(self.fu, edge.rising)
+                else:
+                    self.wires[edge.signal].consume(self.fu, edge.rising)
+        self.state = transition.dst
+        self.transitions_taken += 1
+        for edge in transition.output_burst.edges:
+            signal = self.machine.signal(edge.signal)
+            if signal.kind is SignalKind.GLOBAL_READY:
+                self.wires[edge.signal].emit(self.kernel.now, edge.rising)
+                if self.poke_all is not None:
+                    self.poke_all()  # wake the receivers
+            elif signal.kind is SignalKind.LOCAL_REQ:
+                self._drive_request(signal.name, edge.rising)
+            else:
+                raise SimulationError(f"{self.fu}: cannot drive {edge.signal}")
+        self.poke()
+
+    def _drive_request(self, req: str, rising: bool) -> None:
+        signal = self.machine.signal(req)
+        assert signal.action is not None
+
+        ack = signal.partner
+
+        def complete() -> None:
+            if ack is not None and ack in self.ack_levels:
+                self.ack_levels[ack] = 1 if rising else 0
+            self.poke()
+
+        if rising:
+            self.datapath.request(signal.action, complete)
+        else:
+            self.datapath.release(signal.action, complete)
+
+    #: injected by the system: wakes every controller after an emission
+    poke_all: Optional[Callable[[], None]] = None

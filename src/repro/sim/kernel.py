@@ -1,0 +1,46 @@
+"""Minimal deterministic event-driven simulation kernel.
+
+Events are callbacks scheduled at absolute times; ties are broken by
+insertion order, so runs are reproducible for a fixed delay model and
+random seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+from repro.errors import SimulationError
+
+
+class EventKernel:
+    """A time-ordered event queue."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, callback))
+        self._sequence += 1
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def run(self, max_events: int = 1_000_000) -> float:
+        """Process events until the queue drains; return the final time."""
+        while self._queue:
+            if self.events_processed >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events (livelock or runaway loop?)"
+                )
+            time, __, callback = heapq.heappop(self._queue)
+            self.now = time
+            self.events_processed += 1
+            callback()
+        return self.now

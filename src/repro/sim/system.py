@@ -1,0 +1,141 @@
+"""Whole-system simulation of a :class:`DistributedDesign`.
+
+Instantiates one :class:`~repro.sim.controller.ControllerRuntime` per
+extracted machine, a shared :class:`~repro.sim.datapath.Datapath`, and
+the environment (which drives the channels leaving START and observes
+the channels entering END).  Running the system executes the complete
+distributed control: controller-controller ready events, controller-
+datapath handshakes, register updates — and verifies that the design
+terminates with the correct register file.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.afsm.extract import DistributedDesign
+from repro.cdfg.graph import ENV
+from repro.errors import SimulationError
+from repro.sim.controller import ControllerRuntime, GlobalWire
+from repro.sim.datapath import Datapath
+from repro.sim.kernel import EventKernel
+from repro.timing.delays import DelayModel
+
+
+@dataclass
+class SystemResult:
+    """Outcome of one AFSM-level run."""
+
+    registers: Dict[str, float]
+    end_time: float
+    transitions_taken: Dict[str, int] = field(default_factory=dict)
+    wire_events: Dict[str, int] = field(default_factory=dict)
+    hazards: List[str] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+    events_processed: int = 0
+
+
+class ControllerSystem:
+    """The instantiated distributed design, ready to run."""
+
+    def __init__(
+        self,
+        design: DistributedDesign,
+        delays: Optional[DelayModel] = None,
+        seed: Optional[int] = None,
+        strict: bool = True,
+        max_events: int = 2_000_000,
+    ):
+        self.design = design
+        self.kernel = EventKernel()
+        self.max_events = max_events
+        rng = random.Random(seed) if seed is not None else None
+        self.datapath = Datapath(
+            self.kernel,
+            design.cdfg.initial_registers,
+            design.cdfg.inputs,
+            delays=delays,
+            rng=rng,
+        )
+
+        # wires: one per channel; receivers are the channel's dst FUs
+        self.wires: Dict[str, GlobalWire] = {}
+        self.env_done_wires: List[str] = []
+        for channel in design.plan.channels:
+            receivers = [fu for fu in channel.dst_fus if fu != ENV]
+            if ENV in channel.dst_fus:
+                receivers.append(ENV)
+                self.env_done_wires.append(channel.wire_name())
+            self.wires[channel.wire_name()] = GlobalWire(
+                channel.wire_name(), receivers, strict=strict
+            )
+
+        self.controllers: Dict[str, ControllerRuntime] = {}
+        for fu, controller in design.controllers.items():
+            runtime = ControllerRuntime(
+                fu=fu,
+                machine=controller.machine,
+                kernel=self.kernel,
+                datapath=self.datapath,
+                wires=self.wires,
+            )
+            runtime.poke_all = self._poke_all
+            self.controllers[fu] = runtime
+
+    def _poke_all(self) -> None:
+        for runtime in self.controllers.values():
+            runtime.poke()
+
+    # ------------------------------------------------------------------
+    def run(self) -> SystemResult:
+        # pre-enabled (backward) channels start with one pending
+        # transition, then the environment raises every "go" wire
+        for wire_name, rising in self.design.phases.init_events:
+            self.wires[wire_name].emit(self.kernel.now, rising)
+        for channel in self.design.plan.channels:
+            if channel.src_fu == ENV:
+                self.wires[channel.wire_name()].emit(self.kernel.now, rising=True)
+        self._poke_all()
+        end_time = self.kernel.run(max_events=self.max_events)
+
+        # the environment must have received every "done"
+        for wire_name in self.env_done_wires:
+            wire = self.wires[wire_name]
+            if wire.pending_total(ENV) < 1:
+                raise SimulationError(
+                    f"system quiesced without environment done on {wire_name} "
+                    f"(controllers at: "
+                    + ", ".join(f"{fu}@{rt.state}" for fu, rt in self.controllers.items())
+                    + ")"
+                )
+
+        violations: List[str] = []
+        for wire in self.wires.values():
+            violations.extend(wire.violations)
+        return SystemResult(
+            registers=dict(self.datapath.registers),
+            end_time=end_time,
+            transitions_taken={
+                fu: runtime.transitions_taken for fu, runtime in self.controllers.items()
+            },
+            wire_events={name: wire.events_sent for name, wire in self.wires.items()},
+            hazards=list(self.datapath.hazards),
+            violations=violations,
+            events_processed=self.kernel.events_processed,
+        )
+
+
+def simulate_system(
+    design: DistributedDesign,
+    delays: Optional[DelayModel] = None,
+    seed: Optional[int] = None,
+    strict: bool = True,
+    max_events: int = 2_000_000,
+) -> SystemResult:
+    """Instantiate and run a distributed design once."""
+    system = ControllerSystem(
+        design, delays=delays, seed=seed, strict=strict, max_events=max_events
+    )
+    return system.run()

@@ -1,0 +1,146 @@
+"""VCD (Value Change Dump) waveform export for system simulations.
+
+Wraps a :class:`~repro.sim.system.ControllerSystem` so that every
+global wire transition, local request/acknowledge change and register
+update is recorded and can be written as a standard VCD file viewable
+in GTKWave & co.  Time is scaled by ``resolution`` (simulation time
+unit -> VCD timesteps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from repro.sim.system import ControllerSystem, SystemResult
+
+
+@dataclass
+class _Change:
+    time: float
+    identifier: str
+    value: str  # '0'/'1' for wires, 'r<float>' for registers
+
+
+class VcdTracer:
+    """Record a system run and dump it as VCD."""
+
+    def __init__(self, system: ControllerSystem, resolution: float = 100.0):
+        self.system = system
+        self.resolution = resolution
+        self.changes: List[_Change] = []
+        self._identifiers: Dict[Tuple[str, str], str] = {}
+        self._next_code = 33  # '!' onwards, printable VCD id chars
+        self._instrument()
+
+    # ------------------------------------------------------------------
+    def _identifier(self, scope: str, name: str) -> str:
+        key = (scope, name)
+        if key not in self._identifiers:
+            code = ""
+            value = self._next_code
+            self._next_code += 1
+            while True:
+                code = chr(33 + value % 94) + code
+                value //= 94
+                if value == 0:
+                    break
+            self._identifiers[key] = code
+        return self._identifiers[key]
+
+    def _record(self, scope: str, name: str, value: str) -> None:
+        self.changes.append(
+            _Change(self.system.kernel.now, self._identifier(scope, name), value)
+        )
+
+    def _instrument(self) -> None:
+        # global wires: wrap emit
+        for wire in self.system.wires.values():
+            self._wrap_wire(wire)
+        # registers: wrap the datapath's register dict writes via latch
+        datapath = self.system.datapath
+        original_request = datapath.request
+
+        def traced_request(action, on_complete):
+            if action[0] == "latch":
+                register = action[1]
+
+                def complete():
+                    on_complete()
+                    self._record("registers", register, f"r{datapath.registers[register]}")
+
+                original_request(action, complete)
+                return
+            original_request(action, on_complete)
+
+        datapath.request = traced_request
+        # controller states
+        for runtime in self.system.controllers.values():
+            self._wrap_controller(runtime)
+
+    def _wrap_wire(self, wire) -> None:
+        original_emit = wire.emit
+        level = {"value": 0}
+
+        def emit(now, rising):
+            level["value"] = 1 if rising else 0
+            self._record("wires", wire.name, str(level["value"]))
+            original_emit(now, rising)
+
+        wire.emit = emit
+
+    def _wrap_controller(self, runtime) -> None:
+        original_fire = runtime._fire
+
+        def fire(transition):
+            before = runtime.state
+            original_fire(transition)
+            if runtime.state != before:
+                self._record("states", runtime.fu, f"s{runtime.state}")
+
+        runtime._fire = fire
+
+    # ------------------------------------------------------------------
+    def run(self) -> SystemResult:
+        for name, wire in self.system.wires.items():
+            self._record("wires", name, "0")
+        return self.system.run()
+
+    def write(self, stream: TextIO, timescale: str = "1ns") -> None:
+        """Dump the recorded changes as VCD."""
+        stream.write("$date repro asynchronous distributed control $end\n")
+        stream.write(f"$timescale {timescale} $end\n")
+        scopes: Dict[str, List[Tuple[str, str]]] = {}
+        for (scope, name), identifier in self._identifiers.items():
+            scopes.setdefault(scope, []).append((name, identifier))
+        for scope, entries in sorted(scopes.items()):
+            stream.write(f"$scope module {scope} $end\n")
+            for name, identifier in sorted(entries):
+                sanitized = name.replace(" ", "_")
+                if scope == "wires":
+                    stream.write(f"$var wire 1 {identifier} {sanitized} $end\n")
+                else:
+                    stream.write(f"$var real 64 {identifier} {sanitized} $end\n")
+            stream.write("$upscope $end\n")
+        stream.write("$enddefinitions $end\n")
+
+        current_time: Optional[int] = None
+        for change in sorted(self.changes, key=lambda c: c.time):
+            step = int(round(change.time * self.resolution))
+            if step != current_time:
+                stream.write(f"#{step}\n")
+                current_time = step
+            if change.value in ("0", "1"):
+                stream.write(f"{change.value}{change.identifier}\n")
+            else:
+                stream.write(f"{change.value} {change.identifier}\n")
+
+
+def trace_to_vcd(system: ControllerSystem, path: str) -> SystemResult:
+    """Run ``system`` and write its waveform to ``path``; returns the
+    simulation result."""
+    tracer = VcdTracer(system)
+    result = tracer.run()
+    with open(path, "w", encoding="utf-8") as stream:
+        tracer.write(stream)
+    return result

@@ -1,0 +1,28 @@
+"""Bounded-delay timing model and analysis.
+
+The paper's GT3 ("relative timing") and the safety checks of GT1/LT1/
+LT4 require knowledge about the relative occurrence of events.  We
+model every operation with a ``[min, max]`` delay interval
+(:mod:`repro.timing.delays`) and compute interval arrival times over
+the CDFG (:mod:`repro.timing.analysis`): an arc may be removed when it
+can never be the last constraint to arrive at its destination, under
+every execution within the delay bounds.
+"""
+
+from repro.timing.delays import DelayModel
+from repro.timing.analysis import (
+    ArrivalTimes,
+    arc_slack,
+    compute_arrival_times,
+    is_provably_not_last,
+    critical_path,
+)
+
+__all__ = [
+    "DelayModel",
+    "ArrivalTimes",
+    "arc_slack",
+    "compute_arrival_times",
+    "is_provably_not_last",
+    "critical_path",
+]

@@ -1,0 +1,41 @@
+"""Global (CDFG-level) transformations — paper Section 3.
+
+The five transforms optimize controller-controller communication:
+
+- :class:`~repro.transforms.gt1_loop_parallelism.LoopParallelism` (GT1)
+- :class:`~repro.transforms.gt2_dominated.RemoveDominatedConstraints` (GT2)
+- :class:`~repro.transforms.gt3_relative_timing.RelativeTimingOptimization` (GT3)
+- :class:`~repro.transforms.gt4_merge_assignments.MergeAssignmentNodes` (GT4)
+- :class:`~repro.transforms.gt5_channel_elimination.ChannelElimination` (GT5)
+
+All transforms preserve the precedence order of the original CDFG
+(checked by :func:`repro.transforms.base.check_precedence_preserved`).
+:mod:`repro.transforms.scripts` packages the standard sequences.
+"""
+
+from repro.transforms.base import (
+    PassManager,
+    Transform,
+    TransformReport,
+    check_precedence_preserved,
+)
+from repro.transforms.gt1_loop_parallelism import LoopParallelism
+from repro.transforms.gt2_dominated import RemoveDominatedConstraints
+from repro.transforms.gt3_relative_timing import RelativeTimingOptimization
+from repro.transforms.gt4_merge_assignments import MergeAssignmentNodes
+from repro.transforms.gt5_channel_elimination import ChannelElimination
+from repro.transforms.scripts import GlobalOptimizationResult, optimize_global
+
+__all__ = [
+    "PassManager",
+    "Transform",
+    "TransformReport",
+    "check_precedence_preserved",
+    "LoopParallelism",
+    "RemoveDominatedConstraints",
+    "RelativeTimingOptimization",
+    "MergeAssignmentNodes",
+    "ChannelElimination",
+    "GlobalOptimizationResult",
+    "optimize_global",
+]

@@ -1,0 +1,144 @@
+"""Transform framework: reports, the pass manager and safety checks."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cdfg.graph import Cdfg
+from repro.cdfg.validate import check_well_formed
+from repro.errors import TransformError
+from repro.transforms.unfold import UnfoldedReach
+
+
+@dataclass
+class TransformReport:
+    """What a transform did to a CDFG."""
+
+    name: str
+    applied: bool = False
+    removed_arcs: List[str] = field(default_factory=list)
+    added_arcs: List[str] = field(default_factory=list)
+    merged_nodes: List[str] = field(default_factory=list)
+    details: List[str] = field(default_factory=list)
+    #: transform-specific outputs (GT5 stores its ChannelPlan here)
+    artifacts: Dict[str, object] = field(default_factory=dict)
+
+    def note(self, message: str) -> None:
+        self.details.append(message)
+
+    def summary(self) -> str:
+        parts = [self.name, "applied" if self.applied else "no-op"]
+        if self.removed_arcs:
+            parts.append(f"-{len(self.removed_arcs)} arcs")
+        if self.added_arcs:
+            parts.append(f"+{len(self.added_arcs)} arcs")
+        if self.merged_nodes:
+            parts.append(f"{len(self.merged_nodes)} merges")
+        return " ".join(parts)
+
+
+class Transform(abc.ABC):
+    """A CDFG transformation.  ``apply`` mutates the graph in place."""
+
+    #: Short name (GT1..GT5) used in reports and logs.
+    name: str = "transform"
+
+    @abc.abstractmethod
+    def apply(self, cdfg: Cdfg) -> TransformReport:
+        """Apply the transform to ``cdfg``; return a report."""
+
+
+class PassManager:
+    """Run a sequence of transforms with optional safety checking.
+
+    With ``checked=True`` (the default) the pass manager validates
+    well-formedness after each transform and verifies that the ordering
+    the original CDFG guarantees between operation nodes is preserved
+    (transforms may *add* ordering — GT5.2 does — but never lose any,
+    except where a transform is explicitly entitled to: GT3 removals
+    are justified by timing analysis and GT1 re-expresses ENDLOOP
+    synchronization, so those two carry their own proofs).
+    """
+
+    def __init__(self, checked: bool = True):
+        self.checked = checked
+
+    def run(
+        self, cdfg: Cdfg, transforms: Sequence[Transform]
+    ) -> Tuple[Cdfg, List[TransformReport]]:
+        """Apply ``transforms`` to a copy of ``cdfg``."""
+        working = cdfg.copy()
+        reports: List[TransformReport] = []
+        for transform in transforms:
+            report = transform.apply(working)
+            reports.append(report)
+            if self.checked:
+                check_well_formed(working)
+        return working, reports
+
+
+def operation_order_pairs(cdfg: Cdfg, unfold: int = 2) -> Set[Tuple[str, str]]:
+    """Ordered pairs of *operation* node copies implied by the constraints.
+
+    Computed over an ``unfold``-copy loop unfolding so cross-iteration
+    ordering (backward arcs) is included.  Shared node names are paired
+    with their unfolded iteration index.
+    """
+    reach = UnfoldedReach(cdfg, unfold=unfold)
+    pairs: Set[Tuple[str, str]] = set()
+    operations = [node.name for node in cdfg.operation_nodes()]
+    for src in operations:
+        for src_copy in reach.copies(src):
+            for dst_copy in reach.reachable(src_copy):
+                dst, dst_k = dst_copy
+                if dst in operations:
+                    pairs.add((_copy_id(src_copy), _copy_id(dst_copy)))
+    return pairs
+
+
+def _copy_id(copy: Tuple[str, Optional[int]]) -> str:
+    name, iteration = copy
+    return name if iteration is None else f"{name}@{iteration}"
+
+
+def check_precedence_preserved(
+    before: Cdfg,
+    after: Cdfg,
+    allow_missing: bool = False,
+    unfold: int = 2,
+) -> List[Tuple[str, str]]:
+    """Ordered operation pairs of ``before`` missing from ``after``.
+
+    Node renaming from GT4 merges is resolved: a merged node stands in
+    for each of its constituents.  Returns the missing pairs (empty
+    means full preservation); raises :class:`TransformError` unless
+    ``allow_missing`` is set.
+    """
+    alias: Dict[str, str] = {}
+    for node in after.operation_nodes():
+        for part in node.name.split("; "):
+            alias[part] = node.name
+        alias[node.name] = node.name
+
+    before_pairs = operation_order_pairs(before, unfold=unfold)
+    after_pairs = operation_order_pairs(after, unfold=unfold)
+
+    missing: List[Tuple[str, str]] = []
+    for src_id, dst_id in sorted(before_pairs):
+        src, __, src_k = src_id.partition("@")
+        dst, __, dst_k = dst_id.partition("@")
+        if src not in alias or dst not in alias:
+            continue  # node disappeared entirely (not produced by our transforms)
+        mapped_src = alias[src] + (f"@{src_k}" if src_k else "")
+        mapped_dst = alias[dst] + (f"@{dst_k}" if dst_k else "")
+        if mapped_src == mapped_dst:
+            continue  # the pair collapsed into one node (GT4)
+        if (mapped_src, mapped_dst) not in after_pairs:
+            missing.append((src_id, dst_id))
+    if missing and not allow_missing:
+        raise TransformError(
+            "precedence", f"ordering lost for {len(missing)} pairs, e.g. {missing[:3]}"
+        )
+    return missing

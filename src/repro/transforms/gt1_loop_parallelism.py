@@ -1,0 +1,213 @@
+"""GT1: loop parallelism (paper Section 3.1).
+
+Re-structures each loop so that successive iterations may overlap:
+
+A. *Remove synchronization at ENDLOOP*: every arc into ENDLOOP is
+   removed except the FU scheduling arc from ENDLOOP's predecessor in
+   its own unit's schedule.
+B. *Add backward arcs* for loop-body variables: for each variable, from
+   its last instances (one write, or the parallel reads since the last
+   write) to its first instances (the first write, or the reads that
+   precede it).  Backward arcs are pre-enabled for the first iteration.
+   Candidates already implied by a cross-iteration path of remaining
+   constraints are pruned (the paper's steps C/D show the same
+   dominated-constraint reasoning; we apply it uniformly).
+C. *Add an arc for the loop variable*: from its last write to ENDLOOP,
+   so the LOOP node examines an up-to-date value — unless implied.
+D. *Limit parallelism*: from the first body node of each functional
+   unit to ENDLOOP, restoring the single-outstanding-transition
+   property of ready wires — unless implied.  This restricts overlap
+   to two consecutive iterations.
+
+The transform is safe under the paper's system timing constraint for
+loop exit (all components of the final iteration complete before their
+results are needed); the token simulator checks exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdfg.arc import Arc, ArcRole, control_tag
+from repro.cdfg.graph import Cdfg
+from repro.cdfg.kinds import NodeKind
+from repro.cdfg.node import Node
+from repro.transforms.base import Transform, TransformReport
+from repro.transforms.unfold import UnfoldedReach
+
+
+class LoopParallelism(Transform):
+    """GT1: overlap successive loop iterations."""
+
+    name = "GT1"
+
+    def apply(self, cdfg: Cdfg) -> TransformReport:
+        report = TransformReport(self.name)
+        for loop in cdfg.nodes_of_kind(NodeKind.LOOP):
+            self._apply_to_loop(cdfg, loop.name, report)
+        report.applied = bool(report.removed_arcs or report.added_arcs)
+        return report
+
+    # ------------------------------------------------------------------
+    def _apply_to_loop(self, cdfg: Cdfg, loop: str, report: TransformReport) -> None:
+        endloop = self._endloop_of(cdfg, loop)
+        members = self._body_members(cdfg, loop)
+
+        self._step_a(cdfg, endloop, report)
+        self._step_b(cdfg, loop, members, report)
+        self._step_c(cdfg, loop, endloop, members, report)
+        self._step_d(cdfg, loop, endloop, members, report)
+
+    @staticmethod
+    def _endloop_of(cdfg: Cdfg, loop: str) -> str:
+        for arc in cdfg.arcs_to(loop):
+            if cdfg.node(arc.src).kind is NodeKind.ENDLOOP:
+                return arc.src
+        raise AssertionError(f"LOOP {loop!r} without ENDLOOP")
+
+    @staticmethod
+    def _body_members(cdfg: Cdfg, loop: str) -> List[str]:
+        """Direct member nodes of the loop block, in program order.
+
+        Program order is recovered from insertion order of the graph's
+        nodes, which the builder guarantees.
+        """
+        return [name for name in cdfg.node_names() if cdfg.block_of(name) == loop]
+
+    # -- step A ---------------------------------------------------------
+    def _step_a(self, cdfg: Cdfg, endloop: str, report: TransformReport) -> None:
+        prev_in_schedule, __ = cdfg.schedule_neighbors(endloop)
+        for arc in list(cdfg.arcs_to(endloop)):
+            if arc.src == prev_in_schedule and arc.has_role(ArcRole.SCHEDULING):
+                continue
+            cdfg.remove_arc(arc.src, arc.dst)
+            report.removed_arcs.append(str(arc))
+            report.note(f"A: removed ENDLOOP sync {arc}")
+
+    # -- step B ---------------------------------------------------------
+    def _step_b(
+        self, cdfg: Cdfg, loop: str, members: List[str], report: TransformReport
+    ) -> None:
+        candidates: List[Tuple[str, str, str]] = []  # (src, dst, variable)
+        for variable, (firsts, lasts) in sorted(self._variable_instances(cdfg, members).items()):
+            for last in lasts:
+                for first in firsts:
+                    if last != first:
+                        candidates.append((last, first, variable))
+
+        added: List[Tuple[str, str, str]] = []
+        for src, dst, variable in candidates:
+            if not cdfg.has_arc(src, dst):
+                cdfg.add_arc(
+                    Arc(src, dst, frozenset({control_tag()}), backward=True,
+                        label=f"backward[{variable}]")
+                )
+            added.append((src, dst, variable))
+
+        # prune candidates implied by a cross-iteration path of the others
+        for src, dst, variable in added:
+            if not cdfg.has_arc(src, dst):
+                continue  # already pruned together with a sibling
+            arc = cdfg.arc(src, dst)
+            if not arc.backward:
+                continue  # pre-existing forward arc: not ours to prune
+            cdfg.remove_arc(src, dst)
+            reach = UnfoldedReach(cdfg, unfold=2)
+            if reach.implies_next_iteration(src, dst):
+                report.note(f"B: backward arc {src} -> {dst} [{variable}] implied; pruned")
+            else:
+                cdfg.add_arc(arc)
+                if str(arc) not in report.added_arcs:
+                    report.added_arcs.append(str(arc))
+                    report.note(f"B: added backward arc {arc}")
+
+    def _variable_instances(
+        self, cdfg: Cdfg, members: List[str]
+    ) -> Dict[str, Tuple[List[str], List[str]]]:
+        """For each variable: (first instances, last instances).
+
+        Accesses are scanned in program order.  The first instances are
+        the initial write, or every read that precedes it; the last
+        instances are the final write, or every read after it.  Nested
+        block roots stand in for all accesses inside their blocks.
+        """
+        accesses: Dict[str, List[Tuple[str, str]]] = {}  # var -> [(kind, node)]
+        for name in members:
+            node = cdfg.node(name)
+            reads, writes = self._node_accesses(cdfg, node)
+            for variable in sorted(reads):
+                accesses.setdefault(variable, []).append(("read", name))
+            for variable in sorted(writes):
+                accesses.setdefault(variable, []).append(("write", name))
+
+        instances: Dict[str, Tuple[List[str], List[str]]] = {}
+        for variable, events in accesses.items():
+            firsts: List[str] = []
+            for kind, name in events:
+                if kind == "write":
+                    if not firsts:
+                        firsts = [name]
+                    break
+                firsts.append(name)
+            lasts: List[str] = []
+            for kind, name in reversed(events):
+                if kind == "write":
+                    if not lasts:
+                        lasts = [name]
+                    break
+                lasts.append(name)
+            lasts.reverse()
+            instances[variable] = (firsts, lasts)
+        return instances
+
+    def _node_accesses(self, cdfg: Cdfg, node: Node) -> Tuple[set, set]:
+        if node.kind.is_block_open:
+            # nested block: summarize (condition read + member accesses)
+            reads = set(node.reads)
+            writes = set()
+            for member in cdfg.block_members(node.name):
+                member_reads, member_writes = self._node_accesses(cdfg, cdfg.node(member))
+                reads |= member_reads
+                writes |= member_writes
+            return reads, writes
+        if node.kind.is_block_close:
+            return set(), set()
+        return set(node.reads), set(node.writes)
+
+    # -- step C ---------------------------------------------------------
+    def _step_c(
+        self, cdfg: Cdfg, loop: str, endloop: str, members: List[str], report: TransformReport
+    ) -> None:
+        condition = cdfg.node(loop).condition
+        assert condition is not None
+        last_write: Optional[str] = None
+        for name in members:
+            node = cdfg.node(name)
+            __, writes = self._node_accesses(cdfg, node)
+            if condition in writes:
+                last_write = name
+        if last_write is None:
+            report.note(f"C: loop variable {condition!r} not written in body of {loop}")
+            return
+        if cdfg.implies(last_write, endloop):
+            report.note(f"C: ({last_write}, {endloop}) dominated; not added")
+            return
+        arc = cdfg.add_arc(Arc(last_write, endloop, frozenset({control_tag()})))
+        report.added_arcs.append(str(arc))
+        report.note(f"C: added loop-variable arc {arc}")
+
+    # -- step D ---------------------------------------------------------
+    def _step_d(
+        self, cdfg: Cdfg, loop: str, endloop: str, members: List[str], report: TransformReport
+    ) -> None:
+        first_of_fu: Dict[str, str] = {}
+        for name in members:
+            fu = cdfg.fu_of(name)
+            first_of_fu.setdefault(fu, name)
+        for fu, first in sorted(first_of_fu.items()):
+            if cdfg.implies(first, endloop):
+                report.note(f"D: ({first}, {endloop}) dominated; not added")
+                continue
+            arc = cdfg.add_arc(Arc(first, endloop, frozenset({control_tag()})))
+            report.added_arcs.append(str(arc))
+            report.note(f"D: added limit-parallelism arc {arc}")

@@ -1,0 +1,49 @@
+"""GT2: removal of dominated constraints (paper Section 3.2).
+
+A constraint arc (a, b) is *implied* when a path of other constraints
+leads from a to b; implied arcs are removed ("the constraint is
+removed if it is contained in the transitive closure of all other
+constraints").
+
+For a DAG the transitive reduction is unique, and every arc with an
+alternative path of length >= 2 can be dropped simultaneously; we
+operate on the single-iteration forward DAG and therefore never touch
+backward arcs, iterate arcs, or the IF decision arc (whose role is
+behavioural, not ordering).
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.graph import Cdfg
+from repro.cdfg.kinds import NodeKind
+from repro.transforms.base import Transform, TransformReport
+
+
+class RemoveDominatedConstraints(Transform):
+    """GT2: drop arcs implied by the remaining constraints."""
+
+    name = "GT2"
+
+    def apply(self, cdfg: Cdfg) -> TransformReport:
+        report = TransformReport(self.name)
+        dominated = []
+        for arc in cdfg.forward_arcs():
+            if self._is_protected(cdfg, arc):
+                continue
+            if cdfg.implies(arc.src, arc.dst, exclude_arc=arc.key):
+                dominated.append(arc)
+        for arc in dominated:
+            cdfg.remove_arc(arc.src, arc.dst)
+            report.removed_arcs.append(str(arc))
+            report.note(f"removed dominated {arc}")
+        report.applied = bool(dominated)
+        return report
+
+    @staticmethod
+    def _is_protected(cdfg: Cdfg, arc) -> bool:
+        src_kind = cdfg.node(arc.src).kind
+        dst_kind = cdfg.node(arc.dst).kind
+        # the IF decision arc tells ENDIF which branch ran: never remove
+        if src_kind is NodeKind.IF and dst_kind is NodeKind.ENDIF:
+            return True
+        return False

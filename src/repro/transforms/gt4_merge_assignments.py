@@ -1,0 +1,122 @@
+"""GT4: merging of assignment nodes (paper Section 3.4).
+
+Pure register-copy nodes (``X1 := X``) examine and write registers but
+do not use their functional unit, so they can execute *in parallel*
+with the preceding (preferred, as in the paper's ``Y := Y + M2; X1 :=
+X`` example) or succeeding operation bound to the same unit.  Merging
+removes one node from the controller's schedule, shortening the
+extracted state machine.
+
+A merge is performed only when the two nodes are independent — no data
+or register-allocation arc connects them in either direction (their
+only mutual constraint is the FU scheduling arc), and they live in the
+same block and branch.  The merged node inherits every remaining
+constraint of both: the union can only tighten ordering, so precedence
+is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cdfg.arc import Arc, ArcRole
+from repro.cdfg.graph import Cdfg
+from repro.cdfg.node import Node
+from repro.cdfg.kinds import NodeKind
+from repro.transforms.base import Transform, TransformReport
+
+
+class MergeAssignmentNodes(Transform):
+    """GT4: fold copy nodes into neighbouring operation nodes."""
+
+    name = "GT4"
+
+    def apply(self, cdfg: Cdfg) -> TransformReport:
+        report = TransformReport(self.name)
+        merged = True
+        while merged:
+            merged = False
+            for node in list(cdfg.operation_nodes()):
+                if node.uses_functional_unit:
+                    continue
+                partner = self._pick_partner(cdfg, node.name)
+                if partner is None:
+                    continue
+                self._merge(cdfg, partner, node.name, report)
+                merged = True
+                break
+        report.applied = bool(report.merged_nodes)
+        return report
+
+    # ------------------------------------------------------------------
+    def _pick_partner(self, cdfg: Cdfg, copy_name: str) -> Optional[str]:
+        previous, following = cdfg.schedule_neighbors(copy_name)
+        for candidate in (previous, following):
+            if candidate is None:
+                continue
+            if self._mergeable(cdfg, candidate, copy_name):
+                return candidate
+        return None
+
+    def _mergeable(self, cdfg: Cdfg, target: str, copy_name: str) -> bool:
+        target_node = cdfg.node(target)
+        if target_node.kind is not NodeKind.OPERATION:
+            return False
+        if cdfg.block_of(target) != cdfg.block_of(copy_name):
+            return False
+        if cdfg.branch_of(target) != cdfg.branch_of(copy_name):
+            return False
+        # independence: only a scheduling arc may connect the pair
+        for src, dst in ((target, copy_name), (copy_name, target)):
+            if cdfg.has_arc(src, dst):
+                arc = cdfg.arc(src, dst)
+                if arc.roles != frozenset({ArcRole.SCHEDULING}):
+                    return False
+        copy_node = cdfg.node(copy_name)
+        if copy_node.reads & target_node.writes or target_node.reads & copy_node.writes:
+            return False
+        if copy_node.writes & target_node.writes:
+            return False
+        # a longer path between the pair would become a cycle after merging
+        for src, dst in ((target, copy_name), (copy_name, target)):
+            exclude = (src, dst) if cdfg.has_arc(src, dst) else None
+            if cdfg.implies(src, dst, exclude_arc=exclude):
+                return False
+        return True
+
+    def _merge(self, cdfg: Cdfg, target: str, copy_name: str, report: TransformReport) -> None:
+        target_node = cdfg.node(target)
+        copy_node = cdfg.node(copy_name)
+        # keep schedule order within the merged statement list
+        schedule = cdfg.fu_schedule(target_node.fu or "")
+        if schedule.index(target) < schedule.index(copy_name):
+            statements = target_node.statements + copy_node.statements
+            merged_name = f"{target}; {copy_name}"
+        else:
+            statements = copy_node.statements + target_node.statements
+            merged_name = f"{copy_name}; {target}"
+
+        # drop the pair's mutual scheduling arc before rewiring
+        for src, dst in ((target, copy_name), (copy_name, target)):
+            if cdfg.has_arc(src, dst):
+                cdfg.remove_arc(src, dst)
+
+        merged_node = Node(
+            merged_name,
+            NodeKind.OPERATION,
+            fu=target_node.fu,
+            statements=statements,
+        )
+        cdfg.replace_node(target, merged_node)
+        # rewire the copy node's remaining arcs onto the merged node
+        for arc in list(cdfg.arcs_to(copy_name)):
+            cdfg.remove_arc(arc.src, arc.dst)
+            if arc.src != merged_name:
+                cdfg.add_arc(Arc(arc.src, merged_name, arc.tags, backward=arc.backward, label=arc.label))
+        for arc in list(cdfg.arcs_from(copy_name)):
+            cdfg.remove_arc(arc.src, arc.dst)
+            if arc.dst != merged_name:
+                cdfg.add_arc(Arc(merged_name, arc.dst, arc.tags, backward=arc.backward, label=arc.label))
+        cdfg.remove_node(copy_name)
+        report.merged_nodes.append(merged_name)
+        report.note(f"merged {copy_name!r} into {target!r} as {merged_name!r}")

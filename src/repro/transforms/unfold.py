@@ -1,0 +1,110 @@
+"""Cross-iteration reachability via loop unfolding.
+
+Several transforms need to answer "does a path of constraints lead
+from node *a* in iteration *k* to node *b* in iteration *k+d*?" —
+GT1 step B prunes implied backward arcs with it, GT5's multiplexing
+check uses it to prove two channels are never concurrently active, and
+the precedence-preservation checker compares unfolded orderings.
+
+:class:`UnfoldedReach` materializes ``unfold`` copies of every loop
+iteration (non-nested loops only, like :mod:`repro.timing.analysis`)
+and answers reachability queries over the copies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.cdfg.graph import Cdfg
+from repro.cdfg.kinds import NodeKind
+from repro.errors import TransformError
+
+#: A node copy: (name, iteration index or None for out-of-loop nodes).
+Copy = Tuple[str, Optional[int]]
+
+
+def _loop_of(cdfg: Cdfg, name: str) -> Optional[str]:
+    current = cdfg.block_of(name)
+    while current is not None:
+        if cdfg.node(current).kind is NodeKind.LOOP:
+            return current
+        current = cdfg.block_of(current)
+    return None
+
+
+def _is_iterated(cdfg: Cdfg, name: str) -> bool:
+    node = cdfg.node(name)
+    return node.kind in (NodeKind.LOOP, NodeKind.ENDLOOP) or _loop_of(cdfg, name) is not None
+
+
+class UnfoldedReach:
+    """Reachability over an ``unfold``-copy loop unfolding of a CDFG."""
+
+    def __init__(self, cdfg: Cdfg, unfold: int = 2):
+        if unfold < 1:
+            raise TransformError("unfold", "needs unfold >= 1")
+        for node in cdfg.nodes_of_kind(NodeKind.LOOP):
+            if _loop_of(cdfg, node.name) is not None:
+                raise TransformError("unfold", f"nested loop {node.name!r} unsupported")
+        self.cdfg = cdfg
+        self.unfold = unfold
+        self._succ: Dict[Copy, List[Copy]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        cdfg = self.cdfg
+        for name in cdfg.node_names():
+            for copy in self.copies(name):
+                self._succ.setdefault(copy, [])
+        for arc in cdfg.arcs():
+            src_iterated = _is_iterated(cdfg, arc.src)
+            dst_iterated = _is_iterated(cdfg, arc.dst)
+            cross = arc.backward or cdfg.is_iterate_arc(arc)
+            if not src_iterated and not dst_iterated:
+                self._succ[(arc.src, None)].append((arc.dst, None))
+            elif not src_iterated:
+                self._succ[(arc.src, None)].append((arc.dst, 0))
+            elif not dst_iterated:
+                self._succ[(arc.src, self.unfold - 1)].append((arc.dst, None))
+            else:
+                for k in range(self.unfold):
+                    if cross:
+                        if k + 1 < self.unfold:
+                            self._succ[(arc.src, k)].append((arc.dst, k + 1))
+                    else:
+                        self._succ[(arc.src, k)].append((arc.dst, k))
+
+    def copies(self, name: str) -> List[Copy]:
+        if _is_iterated(self.cdfg, name):
+            return [(name, k) for k in range(self.unfold)]
+        return [(name, None)]
+
+    def reachable(self, source: Copy) -> Set[Copy]:
+        seen: Set[Copy] = {source}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for successor in self._succ[current]:
+                if successor not in seen:
+                    seen.add(successor)
+                    queue.append(successor)
+        return seen
+
+    def path_exists(self, source: Copy, target: Copy) -> bool:
+        return target in self.reachable(source)
+
+    def implies_same_iteration(self, src: str, dst: str) -> bool:
+        """Path from ``src`` to ``dst`` within one iteration (or between
+        the unique copies for out-of-loop nodes)."""
+        src_copy = (src, 0) if _is_iterated(self.cdfg, src) else (src, None)
+        dst_copy = (dst, 0) if _is_iterated(self.cdfg, dst) else (dst, None)
+        return self.path_exists(src_copy, dst_copy)
+
+    def implies_next_iteration(self, src: str, dst: str) -> bool:
+        """Path from ``src`` in iteration 0 to ``dst`` in iteration 1."""
+        if not (_is_iterated(self.cdfg, src) and _is_iterated(self.cdfg, dst)):
+            raise TransformError("unfold", "next-iteration query needs in-loop nodes")
+        if self.unfold < 2:
+            raise TransformError("unfold", "next-iteration query needs unfold >= 2")
+        return self.path_exists((src, 0), (dst, 1))

@@ -1,0 +1,30 @@
+"""Benchmark workloads.
+
+- :mod:`repro.workloads.diffeq`: the paper's differential-equation
+  solver case study, reconstructed from the paper's prose;
+- :mod:`repro.workloads.gcd`: Euclid's GCD (exercises IF/ENDIF inside
+  a loop);
+- :mod:`repro.workloads.ewf`: a small elliptic-wave-filter-style
+  multiply-accumulate pipeline (deeper FU schedules, no loop-carried
+  control decisions);
+- :mod:`repro.workloads.reference`: golden numeric models used to check
+  that every synthesis level computes the same results.
+"""
+
+from repro.workloads.diffeq import build_diffeq_cdfg, DIFFEQ_DEFAULTS
+from repro.workloads.gcd import build_gcd_cdfg
+from repro.workloads.ewf import build_ewf_cdfg
+from repro.workloads.fir import build_fir_cdfg, fir_reference
+from repro.workloads.reference import diffeq_reference, gcd_reference, ewf_reference
+
+__all__ = [
+    "build_diffeq_cdfg",
+    "DIFFEQ_DEFAULTS",
+    "build_gcd_cdfg",
+    "build_ewf_cdfg",
+    "build_fir_cdfg",
+    "diffeq_reference",
+    "gcd_reference",
+    "ewf_reference",
+    "fir_reference",
+]

@@ -1,0 +1,123 @@
+"""The differential-equation solver case study (paper Section 2.1, Figure 1).
+
+The classic Paulin-Knight high-level-synthesis benchmark integrates
+
+.. math:: y'' + 3xy' + 3y = 0
+
+with forward Euler steps.  The behavioural loop is::
+
+    while (x < a):
+        x1 = x + dx
+        u1 = u - (3 * x * u * dx) - (3 * y * dx)
+        y1 = y + u * dx
+        x, u, y = x1, u1, y1
+
+The paper's scheduled, resource-bound CDFG uses two ALUs and two
+multipliers and the factorization ``u1 = u - 3*dx*(y + u*x)``: register
+``X1`` latches the incremented X at the *end* of each iteration, so the
+next iteration's ``M1 := U * X1`` sees its own start-of-step x — the
+standard benchmark semantics.  The statement-to-unit binding is taken
+verbatim from the paper:
+
+========  ==============================================
+ALU1      ``B := dx2 + dx`` (before the loop; B = 3*dx),
+          ``A := Y + M1``, ``U := U - M1``
+MUL1      ``M1 := U * X1``, ``M1 := A * B``
+MUL2      ``M2 := U * dx``
+ALU2      ``LOOP``, ``X := X + dx``, ``Y := Y + M2``,
+          ``X1 := X``, ``C := X < a``, ``ENDLOOP``
+========  ==============================================
+
+The derived constraint-arc set reproduces every fact stated in the
+paper's prose; :mod:`tests.cdfg.test_diffeq_reconstruction` checks them
+(17 channels, arc 5 dominated by arcs 6+7, GT3's arcs 10/11, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cdfg.builder import CdfgBuilder
+from repro.cdfg.graph import Cdfg
+
+#: Functional unit names, in the paper's column order.
+ALU1 = "ALU1"
+MUL1 = "MUL1"
+MUL2 = "MUL2"
+ALU2 = "ALU2"
+DIFFEQ_FUS = (ALU1, MUL1, MUL2, ALU2)
+
+#: Default problem parameters: integrate from x=0 to a=0.4 with dx=0.1
+#: (4 loop iterations), starting at y(0)=1, y'(0)=u0.
+DIFFEQ_DEFAULTS: Dict[str, float] = {
+    "x0": 0.0,
+    "y0": 1.0,
+    "u0": 0.0,
+    "dx": 0.125,
+    "a": 1.0,
+}
+
+#: Node names of the reconstruction, exported for tests and examples.
+N_B = "B := dx2 + dx"
+N_A = "A := Y + M1"
+N_U = "U := U - M1"
+N_M1A = "M1 := U * X1"
+N_M1B = "M1 := A * B"
+N_M2 = "M2 := U * dx"
+N_X = "X := X + dx"
+N_Y = "Y := Y + M2"
+N_X1 = "X1 := X"
+N_C = "C := X < a"
+N_LOOP = "LOOP"
+N_ENDLOOP = "ENDLOOP"
+
+
+def build_diffeq_cdfg(params: Optional[Dict[str, float]] = None) -> Cdfg:
+    """Build the paper's DIFFEQ CDFG (Figure 1, unoptimized).
+
+    ``params`` overrides entries of :data:`DIFFEQ_DEFAULTS`.
+    """
+    values = dict(DIFFEQ_DEFAULTS)
+    if params:
+        unknown = set(params) - set(values)
+        if unknown:
+            raise ValueError(f"unknown DIFFEQ parameters: {sorted(unknown)}")
+        values.update(params)
+
+    builder = CdfgBuilder("diffeq")
+    for fu in DIFFEQ_FUS:
+        builder.functional_unit(fu)
+    builder.input("dx", values["dx"])
+    builder.input("dx2", 2 * values["dx"])
+    builder.input("a", values["a"])
+
+    builder.op(N_B, fu=ALU1)
+    with builder.loop("C", fu=ALU2):
+        # program order fixes data dependencies and per-unit schedules;
+        # the interleaving below reproduces the paper's arc set
+        builder.op(N_M1A, fu=MUL1)
+        builder.op(N_M2, fu=MUL2)
+        builder.op(N_X, fu=ALU2)
+        builder.op(N_A, fu=ALU1)
+        builder.op(N_M1B, fu=MUL1)
+        builder.op(N_Y, fu=ALU2)
+        builder.op(N_X1, fu=ALU2)
+        builder.op(N_U, fu=ALU1)
+        builder.op(N_C, fu=ALU2)
+
+    x0 = values["x0"]
+    initial = {
+        "X": x0,
+        "Y": values["y0"],
+        "U": values["u0"],
+        "X1": x0,  # pre-loop copy of X, consumed by the first iteration
+        "C": 1.0 if x0 < values["a"] else 0.0,
+        # M1/M2/A/B start undefined in hardware; any value works because
+        # the first iteration writes them before their first (data-arc
+        # ordered) read.  Zero keeps simulation traces tidy.
+        "M1": 0.0,
+        "M2": 0.0,
+        "A": 0.0,
+        "B": 0.0,
+    }
+    return builder.build(initial=initial)

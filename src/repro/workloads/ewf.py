@@ -1,0 +1,53 @@
+"""Elliptic-wave-filter-style multiply-accumulate workload.
+
+A counted loop with two multipliers feeding an adder, plus a counter
+unit.  No data-dependent branching: a good stress test for GT1 loop
+overlap (the whole body is throughput-bound on the multipliers).
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.builder import CdfgBuilder
+from repro.cdfg.graph import Cdfg
+
+MUL1 = "MUL1"
+MUL2 = "MUL2"
+ADD = "ADD"
+CNT = "CNT"
+
+
+def build_ewf_cdfg(
+    s0: float = 1.0,
+    y0: float = 0.0,
+    k1: float = 0.5,
+    k2: float = 0.25,
+    decay: float = 0.75,
+    n: int = 8,
+) -> Cdfg:
+    """CDFG running ``n`` filter steps: ``Y = S*k1 + Y*k2; S *= decay``."""
+    builder = CdfgBuilder("ewf")
+    for fu in (MUL1, MUL2, ADD, CNT):
+        builder.functional_unit(fu)
+    builder.input("k1", k1)
+    builder.input("k2", k2)
+    builder.input("decay", decay)
+    builder.input("n", float(n))
+    builder.input("one", 1.0)
+
+    with builder.loop("C", fu=ADD):
+        builder.op("T1 := S * k1", fu=MUL1)
+        builder.op("T2 := Y * k2", fu=MUL2)
+        builder.op("Y := T1 + T2", fu=ADD)
+        builder.op("S := S * decay", fu=MUL1)
+        builder.op("I := I + one", fu=CNT)
+        builder.op("C := I < n", fu=CNT)
+
+    initial = {
+        "S": s0,
+        "Y": y0,
+        "I": 0.0,
+        "T1": 0.0,
+        "T2": 0.0,
+        "C": 1.0 if 0 < n else 0.0,
+    }
+    return builder.build(initial=initial)

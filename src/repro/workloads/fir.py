@@ -1,0 +1,118 @@
+"""Parameterized FIR filter workload generator.
+
+``build_fir_cdfg(taps)`` produces a transposed-form FIR filter
+
+.. math:: y_n = \\sum_{i=0}^{T-1} c_i \\cdot x_{n-i}
+
+processing one input sample per loop iteration.  Tap products are
+bound round-robin onto two multipliers, the accumulation chain onto
+one adder, and the delay-line shift onto a copy unit — so the number
+of operation nodes, constraint arcs, channels and controller states
+grows linearly with ``taps``.  This makes the generator the scaling
+stress test for the synthesis flow (see ``benchmarks/bench_scaling.py``
+and the FIR tests): every structure the paper's transforms manipulate
+appears O(taps) times.
+
+The input samples are synthesized on-chip (``X := X * decay``) so no
+testbench stimulus plumbing is needed; the golden model is
+:func:`fir_reference`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cdfg.builder import CdfgBuilder
+from repro.cdfg.graph import Cdfg
+
+MUL_UNITS = ("FMUL0", "FMUL1")
+ADD = "FADD"
+SHIFT = "FSHIFT"
+CNT = "FCNT"
+
+
+def default_coefficients(taps: int) -> List[float]:
+    """A simple symmetric low-pass-ish coefficient set."""
+    return [round(1.0 / (1 + abs(i - (taps - 1) / 2)), 4) for i in range(taps)]
+
+
+def build_fir_cdfg(
+    taps: int = 4,
+    samples: int = 6,
+    coefficients: Optional[Sequence[float]] = None,
+    x0: float = 1.0,
+    decay: float = 0.8,
+) -> Cdfg:
+    """Build a ``taps``-tap FIR filter CDFG running ``samples`` steps."""
+    if taps < 2:
+        raise ValueError("a FIR filter needs at least 2 taps")
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    coefficients = list(coefficients or default_coefficients(taps))
+    if len(coefficients) != taps:
+        raise ValueError(f"expected {taps} coefficients, got {len(coefficients)}")
+
+    builder = CdfgBuilder(f"fir{taps}")
+    for fu in (*MUL_UNITS, ADD, SHIFT, CNT):
+        builder.functional_unit(fu)
+    for i, coefficient in enumerate(coefficients):
+        builder.input(f"c{i}", coefficient)
+    builder.input("decay", decay)
+    builder.input("nsamp", float(samples))
+    builder.input("one", 1.0)
+
+    with builder.loop("C", fu=CNT):
+        # tap products, round-robin on the two multipliers
+        for i in range(taps):
+            builder.op(f"P{i} := D{i} * c{i}", fu=MUL_UNITS[i % len(MUL_UNITS)])
+        # accumulation chain on the adder
+        builder.op("Y := P0 + P1", fu=ADD)
+        for i in range(2, taps):
+            builder.op(f"Y := Y + P{i}", fu=ADD)
+        # delay-line shift (pure copies) and next input sample
+        for i in range(taps - 1, 1, -1):
+            builder.op(f"D{i} := D{i - 1}", fu=SHIFT)
+        builder.op("D1 := D0", fu=SHIFT)
+        builder.op("D0 := D0 * decay", fu=MUL_UNITS[0])
+        # loop bookkeeping
+        builder.op("I := I + one", fu=CNT)
+        builder.op("C := I < nsamp", fu=CNT)
+
+    initial: Dict[str, float] = {f"D{i}": 0.0 for i in range(taps)}
+    initial["D0"] = x0
+    initial.update({f"P{i}": 0.0 for i in range(taps)})
+    initial.update({"Y": 0.0, "I": 0.0, "C": 1.0 if samples > 0 else 0.0})
+    return builder.build(initial=initial)
+
+
+def fir_reference(
+    taps: int = 4,
+    samples: int = 6,
+    coefficients: Optional[Sequence[float]] = None,
+    x0: float = 1.0,
+    decay: float = 0.8,
+) -> Dict[str, float]:
+    """Golden register file, mirroring the CDFG's exact operation order."""
+    coefficients = list(coefficients or default_coefficients(taps))
+    delay = [0.0] * taps
+    delay[0] = x0
+    products = [0.0] * taps
+    y = 0.0
+    i = 0.0
+    c = 1.0 if samples > 0 else 0.0
+    while c:
+        for tap in range(taps):
+            products[tap] = delay[tap] * coefficients[tap]
+        y = products[0] + products[1]
+        for tap in range(2, taps):
+            y = y + products[tap]
+        for tap in range(taps - 1, 0, -1):
+            delay[tap] = delay[tap - 1]
+        delay[0] = delay[0] * decay
+        i += 1.0
+        c = 1.0 if i < samples else 0.0
+
+    registers: Dict[str, float] = {f"D{t}": delay[t] for t in range(taps)}
+    registers.update({f"P{t}": products[t] for t in range(taps)})
+    registers.update({"Y": y, "I": i, "C": c})
+    return registers

@@ -1,0 +1,37 @@
+"""Euclid's GCD as a CDFG workload.
+
+Exercises the IF/ENDIF block support (the paper's approach "also
+allows IF and ENDIF nodes"): a data-dependent branch inside a loop,
+with the same subtractor unit bound in both branches.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.builder import CdfgBuilder
+from repro.cdfg.graph import Cdfg
+
+SUB = "SUB"
+CMP = "CMP"
+
+
+def build_gcd_cdfg(a0: int = 84, b0: int = 36) -> Cdfg:
+    """CDFG computing ``gcd(a0, b0)`` into register ``A`` (== ``B``)."""
+    builder = CdfgBuilder("gcd")
+    builder.functional_unit(SUB, "subtractor")
+    builder.functional_unit(CMP, "comparator")
+
+    with builder.loop("C", fu=CMP):
+        with builder.if_block("D", fu=SUB) as branch:
+            builder.op("A := A - B", fu=SUB)
+            with branch.otherwise():
+                builder.op("B := B - A", fu=SUB)
+        builder.op("D := A > B", fu=CMP)
+        builder.op("C := A != B", fu=CMP)
+
+    initial = {
+        "A": float(a0),
+        "B": float(b0),
+        "C": 1.0 if a0 != b0 else 0.0,
+        "D": 1.0 if a0 > b0 else 0.0,
+    }
+    return builder.build(initial=initial)

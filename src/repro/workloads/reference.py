@@ -1,0 +1,90 @@
+"""Golden numeric models for the workloads.
+
+These are straight-line Python implementations of the behavioural
+programs.  Every synthesis level (token simulation of the CDFG before
+and after each transform, AFSM-level simulation of the extracted
+controllers) must reproduce these register files exactly — the
+simulators compare against them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+def diffeq_reference(
+    x0: float = 0.0,
+    y0: float = 1.0,
+    u0: float = 0.0,
+    dx: float = 0.125,
+    a: float = 1.0,
+) -> Dict[str, float]:
+    """Reference register file after the DIFFEQ loop terminates.
+
+    Mirrors the CDFG's exact factorization (``B = 3*dx``; ``U`` update
+    via ``(Y + U*X) * B``) so floating-point results match bit-for-bit.
+    """
+    x, y, u = x0, y0, u0
+    x1 = x0
+    b = (2 * dx) + dx
+    m1 = m2 = a_val = 0.0
+    c = 1.0 if x < a else 0.0
+    while c:
+        m1 = u * x1
+        m2 = u * dx
+        x = x + dx
+        a_val = y + m1
+        m1 = a_val * b
+        y = y + m2
+        x1 = x
+        u = u - m1
+        c = 1.0 if x < a else 0.0
+    return {
+        "X": x,
+        "Y": y,
+        "U": u,
+        "X1": x1,
+        "A": a_val,
+        "B": b,
+        "M1": m1,
+        "M2": m2,
+        "C": c,
+    }
+
+
+def gcd_reference(a0: int = 84, b0: int = 36) -> Dict[str, float]:
+    """Reference register file for the GCD workload."""
+    a, b = a0, b0
+    c = 1.0 if a != b else 0.0
+    d = 1.0 if a > b else 0.0
+    while c:
+        if d:
+            a = a - b
+        else:
+            b = b - a
+        d = 1.0 if a > b else 0.0
+        c = 1.0 if a != b else 0.0
+    return {"A": a, "B": b, "C": c, "D": d}
+
+
+def ewf_reference(
+    s0: float = 1.0,
+    y0: float = 0.0,
+    k1: float = 0.5,
+    k2: float = 0.25,
+    decay: float = 0.75,
+    n: int = 8,
+) -> Dict[str, float]:
+    """Reference register file for the EWF-style filter workload."""
+    s, y = s0, y0
+    i = 0.0
+    t1 = t2 = 0.0
+    c = 1.0 if i < n else 0.0
+    while c:
+        t1 = s * k1
+        t2 = y * k2
+        y = t1 + t2
+        s = s * decay
+        i = i + 1
+        c = 1.0 if i < n else 0.0
+    return {"S": s, "Y": y, "I": i, "T1": t1, "T2": t2, "C": c}

@@ -1,0 +1,52 @@
+"""Burst containers and edges."""
+
+from repro.afsm import Cond, Edge, InputBurst, OutputBurst
+
+
+class TestEdge:
+    def test_direction_string(self):
+        assert str(Edge("x", True)) == "x+"
+        assert str(Edge("x", False)) == "x-"
+        assert str(Edge("x", True, ddc=True)) == "x+*"
+
+    def test_inverted(self):
+        assert Edge("x", True).inverted() == Edge("x", False)
+
+    def test_ddc_conversions(self):
+        edge = Edge("x", True, ddc=True)
+        assert edge.compulsory() == Edge("x", True)
+        assert Edge("x", True).as_ddc() == edge
+
+
+class TestInputBurst:
+    def test_compulsory_filter(self):
+        burst = InputBurst((Edge("a", True), Edge("b", False, ddc=True)))
+        assert [e.signal for e in burst.compulsory_edges] == ["a"]
+
+    def test_is_empty_semantics(self):
+        assert InputBurst(()).is_empty
+        assert InputBurst((Edge("a", True, ddc=True),)).is_empty  # ddc only
+        assert not InputBurst((Edge("a", True),)).is_empty
+        assert not InputBurst((), (Cond("c", True),)).is_empty
+
+    def test_signals(self):
+        burst = InputBurst((Edge("a", True),), (Cond("c", False),))
+        assert burst.signals() == frozenset({"a", "c"})
+
+    def test_without_signal(self):
+        burst = InputBurst((Edge("a", True), Edge("b", True)))
+        assert burst.without_signal("a").signals() == frozenset({"b"})
+
+    def test_str(self):
+        burst = InputBurst((Edge("a", True),), (Cond("c", True),))
+        assert str(burst) == "{<c+>, a+}"
+
+
+class TestOutputBurst:
+    def test_adding_and_removing(self):
+        burst = OutputBurst((Edge("z", True),)).adding(Edge("w", False))
+        assert burst.signals() == frozenset({"z", "w"})
+        assert burst.without_signal("z").signals() == frozenset({"w"})
+
+    def test_empty(self):
+        assert OutputBurst(()).is_empty

@@ -1,0 +1,35 @@
+"""Burst-mode machine DOT export."""
+
+from repro import synthesize
+from repro.afsm.dot import machine_to_dot, write_machine_dot
+from repro.workloads import build_diffeq_cdfg
+
+
+class TestMachineDot:
+    def test_contains_all_states(self):
+        design = synthesize(build_diffeq_cdfg())
+        machine = design.controllers["MUL2"].machine
+        text = machine_to_dot(machine, title="MUL2")
+        for state in machine.states():
+            assert state in text
+        assert "doublecircle" in text
+        assert "MUL2" in text
+
+    def test_burst_notation(self):
+        design = synthesize(build_diffeq_cdfg())
+        machine = design.controllers["ALU2"].machine
+        text = machine_to_dot(machine)
+        assert "<cond_C+>" in text  # XBM conditional
+        assert " / " in text
+
+    def test_micro_tags_optional(self):
+        design = synthesize(build_diffeq_cdfg())
+        machine = design.controllers["MUL2"].machine
+        assert "[mux]" not in machine_to_dot(machine)
+        assert "[" in machine_to_dot(machine, show_micro_tags=True)
+
+    def test_write(self, tmp_path):
+        design = synthesize(build_diffeq_cdfg())
+        path = tmp_path / "mul2.dot"
+        write_machine_dot(design.controllers["MUL2"].machine, str(path))
+        assert path.read_text().startswith("digraph")

@@ -1,0 +1,128 @@
+"""Controller extraction: structure, phases, and Figure 11 anatomy."""
+
+import pytest
+
+from repro.afsm import extract_controllers
+from repro.afsm.extract import assign_phases
+from repro.afsm.signals import SignalKind
+from repro.channels import derive_channels
+from repro.transforms import optimize_global
+from repro.workloads import build_diffeq_cdfg
+from repro.workloads.diffeq import DIFFEQ_FUS, N_A, N_M1A, N_M1B, N_U
+
+
+@pytest.fixture(scope="module")
+def gt_design():
+    cdfg = build_diffeq_cdfg()
+    optimized = optimize_global(cdfg)
+    return extract_controllers(optimized.cdfg, optimized.plan)
+
+
+@pytest.fixture(scope="module")
+def unopt_design():
+    cdfg = build_diffeq_cdfg()
+    return extract_controllers(cdfg, derive_channels(cdfg))
+
+
+class TestDesignShape:
+    def test_one_controller_per_unit(self, gt_design):
+        assert set(gt_design.controllers) == set(DIFFEQ_FUS)
+
+    def test_controllers_wired_to_their_channels(self, gt_design):
+        for fu, controller in gt_design.controllers.items():
+            for wire in controller.input_wires:
+                channel = gt_design.plan.by_name(wire)
+                assert fu in channel.dst_fus
+            for wire in controller.output_wires:
+                channel = gt_design.plan.by_name(wire)
+                assert channel.src_fu == fu
+
+    def test_optimization_shrinks_controllers(self, unopt_design, gt_design):
+        unopt_total = sum(c.state_count for c in unopt_design.controllers.values())
+        gt_total = sum(c.state_count for c in gt_design.controllers.values())
+        assert gt_total < unopt_total
+
+    def test_summary_readable(self, gt_design):
+        text = gt_design.summary()
+        for fu in DIFFEQ_FUS:
+            assert fu in text
+
+
+class TestFragmentAnatomy:
+    """The six micro-operations of Figure 11, on ALU1's A := Y + M1."""
+
+    def _fragment(self, design, node):
+        machine = design.controllers["ALU1"].machine
+        return [t for t in machine.transitions() if t.tags.get("node") == node]
+
+    def test_micro_operation_sequence(self, unopt_design):
+        fragment = self._fragment(unopt_design, N_A)
+        micros = [t.tags["micro"] for t in fragment]
+        for required in ("mux", "op", "dstmux", "write", "reset", "done"):
+            assert required in micros, micros
+
+    def test_mux_selects_operands(self, unopt_design):
+        fragment = self._fragment(unopt_design, N_A)
+        mux = next(t for t in fragment if t.tags["micro"] == "mux")
+        signals = {e.signal for e in mux.output_burst.edges}
+        assert "mux0_Y_req+"[:-1] in signals  # Y operand
+        assert "mux1_M1_req" in signals  # M1 operand
+
+    def test_operation_selected_and_started(self, unopt_design):
+        fragment = self._fragment(unopt_design, N_A)
+        op = next(t for t in fragment if t.tags["micro"] == "op")
+        assert any(e.signal == "go_add_req" and e.rising for e in op.output_burst.edges)
+
+    def test_reset_phase_returns_to_zero(self, unopt_design):
+        fragment = self._fragment(unopt_design, N_A)
+        reset = next(t for t in fragment if t.tags["micro"] == "reset")
+        assert reset.output_burst.edges
+        assert all(not e.rising for e in reset.output_burst.edges)
+
+    def test_merged_node_single_fragment(self, gt_design):
+        """GT4's merged node expands into ONE fragment writing both
+        registers in parallel."""
+        machine = gt_design.controllers["ALU2"].machine
+        merged = [
+            t for t in machine.transitions()
+            if t.tags.get("node") == "Y := Y + M2; X1 := X"
+        ]
+        write_signals = set()
+        for t in merged:
+            for e in t.output_burst.edges:
+                if "latch" in e.signal and e.rising:
+                    write_signals.add(e.signal)
+        assert "reg_Y_latch_req" in write_signals
+        assert "reg_X1_latch_req" in write_signals
+
+
+class TestPhases:
+    def test_two_events_share_the_mul1_wire(self, gt_design):
+        """The MUL1 -> ALU1 channel carries M1A's and M1B's dones as
+        opposite phases (the paper's M1A+/M1A- pattern)."""
+        cdfg = gt_design.cdfg
+        phases = gt_design.phases
+        channel = gt_design.plan.channel_of((N_M1A, N_A))
+        assert channel is gt_design.plan.channel_of((N_M1B, N_U))
+        first = phases.event_for(channel.name, N_M1A)
+        second = phases.event_for(channel.name, N_M1B)
+        assert first.rising != second.rising
+
+    def test_backward_channels_pre_enabled(self, gt_design):
+        assert gt_design.phases.init_events, "U-done channel must be pre-enabled"
+        wires = {wire for wire, __ in gt_design.phases.init_events}
+        channel = gt_design.plan.channel_of((N_U, N_M1A))
+        assert channel.wire_name() in wires
+
+    def test_every_cross_fu_arc_has_an_event(self, gt_design):
+        cdfg = gt_design.cdfg
+        for arc in cdfg.inter_fu_arcs():
+            channel = gt_design.plan.channel_of(arc.key)
+            event = gt_design.phases.event_for(channel.name, arc.src)
+            assert event.wire == channel.wire_name()
+
+    def test_conditional_signals_declared(self, gt_design):
+        machine = gt_design.controllers["ALU2"].machine
+        cond = machine.signal("cond_C")
+        assert cond.kind is SignalKind.CONDITIONAL
+        assert cond.action == ("cond", "C")

@@ -1,0 +1,94 @@
+"""Fragment expansion in isolation."""
+
+import pytest
+
+from repro.afsm.burst import Edge
+from repro.afsm.fragments import FragmentPlan, GlobalEdge, expand_operation
+from repro.afsm.machine import BurstModeMachine
+from repro.afsm.signals import Signal, SignalKind
+from repro.cdfg import Node, NodeKind
+from repro.rtl import parse_statement
+
+
+def _machine():
+    machine = BurstModeMachine("frag")
+    for wire in ("req_in", "done_out", "extra_out"):
+        machine.declare_signal(
+            Signal(wire, SignalKind.GLOBAL_READY, is_input=(wire == "req_in"))
+        )
+    return machine
+
+
+def _node(text="A := B + C", fu="ALU"):
+    statements = tuple(parse_statement(part) for part in text.split("; "))
+    return Node(text, NodeKind.OPERATION, fu=fu, statements=statements)
+
+
+class TestExpansion:
+    def test_six_micro_operations(self):
+        machine = _machine()
+        plan = FragmentPlan(
+            node=_node(),
+            waits=[GlobalEdge("req_in", True)],
+            dones=[GlobalEdge("done_out", True)],
+        )
+        end = expand_operation(machine, machine.initial_state, plan)
+        micros = [t.tags["micro"] for t in sorted(machine.transitions(), key=lambda t: t.uid)]
+        assert micros == ["mux", "op", "dstmux", "write", "reset", "done"]
+        assert end in machine.states()
+
+    def test_copy_statement_skips_fu(self):
+        machine = _machine()
+        plan = FragmentPlan(node=_node("X1 := X"), waits=[GlobalEdge("req_in", True)])
+        expand_operation(machine, machine.initial_state, plan)
+        names = {s.name for s in machine.signals()}
+        assert not any(name.startswith("go_") for name in names)
+        assert "reg_X1_sel_X_req" in names
+
+    def test_merged_statements_share_fragment(self):
+        machine = _machine()
+        plan = FragmentPlan(
+            node=_node("Y := Y + M2; X1 := X"), waits=[GlobalEdge("req_in", True)]
+        )
+        expand_operation(machine, machine.initial_state, plan)
+        write = next(t for t in machine.transitions() if t.tags["micro"] == "write")
+        latched = {e.signal for e in write.output_burst.edges}
+        assert latched == {"reg_Y_latch_req", "reg_X1_latch_req"}
+
+    def test_sequential_waits(self):
+        machine = _machine()
+        machine.declare_signal(Signal("req2", SignalKind.GLOBAL_READY, is_input=True))
+        plan = FragmentPlan(
+            node=_node(),
+            waits=[GlobalEdge("req_in", True), GlobalEdge("req2", False)],
+        )
+        expand_operation(machine, machine.initial_state, plan)
+        waits = [t for t in machine.transitions() if t.tags["micro"] in ("wait", "mux")]
+        assert len(waits) == 2
+        assert len(waits[0].input_burst.edges) == 1
+
+    def test_literal_operand_const_mux(self):
+        machine = _machine()
+        plan = FragmentPlan(node=_node("X := X + 1"), waits=[GlobalEdge("req_in", True)])
+        expand_operation(machine, machine.initial_state, plan)
+        names = {s.name for s in machine.signals()}
+        assert "mux1_const_1_req" in names
+
+    def test_reset_edges_ride_first_output(self):
+        machine = _machine()
+        plan = FragmentPlan(
+            node=_node(),
+            waits=[GlobalEdge("req_in", True)],
+            emit_resets=[GlobalEdge("extra_out", False)],
+        )
+        expand_operation(machine, machine.initial_state, plan)
+        first = next(t for t in machine.transitions() if t.tags["micro"] == "mux")
+        assert Edge("extra_out", False) in first.output_burst.edges
+
+    def test_pending_outputs_attach(self):
+        machine = _machine()
+        plan = FragmentPlan(node=_node(), waits=[GlobalEdge("req_in", True)])
+        pending = [Edge("extra_out", True)]
+        expand_operation(machine, machine.initial_state, plan, pending_outputs=pending)
+        first = next(t for t in machine.transitions() if t.tags["micro"] == "mux")
+        assert Edge("extra_out", True) in first.output_burst.edges

@@ -1,0 +1,141 @@
+"""Burst-mode machine container and rewrite helpers."""
+
+import pytest
+
+from repro.afsm import BurstModeMachine, Edge, InputBurst, OutputBurst, Signal, SignalKind
+from repro.errors import BurstModeError
+
+
+def _machine():
+    machine = BurstModeMachine("test")
+    machine.declare_signal(Signal("req", SignalKind.GLOBAL_READY, is_input=True))
+    machine.declare_signal(Signal("x_req", SignalKind.LOCAL_REQ, is_input=False, partner="x_ack"))
+    machine.declare_signal(Signal("x_ack", SignalKind.LOCAL_ACK, is_input=True, partner="x_req"))
+    machine.declare_signal(Signal("done", SignalKind.GLOBAL_READY, is_input=False))
+    return machine
+
+
+class TestStructure:
+    def test_states_and_transitions(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        machine.add_transition(
+            "s0", s1, InputBurst((Edge("req", True),)), OutputBurst((Edge("x_req", True),))
+        )
+        assert machine.state_count == 2
+        assert machine.transition_count == 1
+
+    def test_unknown_state_rejected(self):
+        machine = _machine()
+        with pytest.raises(BurstModeError):
+            machine.add_transition("s0", "nope", InputBurst(()), OutputBurst(()))
+
+    def test_duplicate_state_rejected(self):
+        machine = _machine()
+        machine.add_state("sX")
+        with pytest.raises(BurstModeError):
+            machine.add_state("sX")
+
+    def test_inconsistent_signal_redeclaration(self):
+        machine = _machine()
+        with pytest.raises(BurstModeError):
+            machine.declare_signal(Signal("req", SignalKind.GLOBAL_READY, is_input=False))
+
+    def test_remove_state_guards(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        transition = machine.add_transition("s0", s1, InputBurst((Edge("req", True),)), OutputBurst(()))
+        with pytest.raises(BurstModeError):
+            machine.remove_state(s1)
+        machine.remove_transition(transition.uid)
+        machine.remove_state(s1)
+        with pytest.raises(BurstModeError):
+            machine.remove_state("s0")  # initial state
+
+
+class TestFolding:
+    def test_empty_input_transition_folds(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        s2 = machine.fresh_state()
+        machine.add_transition(
+            "s0", s1, InputBurst((Edge("req", True),)), OutputBurst((Edge("x_req", True),))
+        )
+        machine.add_transition(
+            s1, s2, InputBurst(()), OutputBurst((Edge("done", True),))
+        )
+        removed = machine.fold_trivial_states()
+        assert removed == 1
+        assert machine.state_count == 2
+        merged = machine.transitions()[0]
+        assert {e.signal for e in merged.output_burst.edges} == {"x_req", "done"}
+
+    def test_fold_blocked_by_shared_wire(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        s2 = machine.fresh_state()
+        machine.add_transition(
+            "s0", s1, InputBurst((Edge("req", True),)), OutputBurst((Edge("x_req", True),))
+        )
+        machine.add_transition(
+            s1, s2, InputBurst(()), OutputBurst((Edge("x_req", False),))
+        )
+        assert machine.fold_trivial_states() == 0  # x_req+ and x_req- must not merge
+
+    def test_fold_carries_ddc(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        s2 = machine.fresh_state()
+        machine.add_transition(
+            "s0", s1, InputBurst((Edge("req", True),)), OutputBurst(())
+        )
+        machine.add_transition(
+            s1, s2, InputBurst((Edge("done", True, ddc=True),)), OutputBurst(())
+        )
+        # hmm: "done" is an output here; use a dedicated input for ddc
+        machine.declare_signal(Signal("extra", SignalKind.GLOBAL_READY, is_input=True))
+        t = machine.transitions_from(s1)[0]
+        t.input_burst = InputBurst((Edge("extra", True, ddc=True),))
+        machine.fold_trivial_states()
+        merged = machine.transitions()[0]
+        assert any(e.ddc and e.signal == "extra" for e in merged.input_burst.edges)
+
+    def test_prune_unreachable(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        orphan = machine.fresh_state()
+        machine.add_transition("s0", s1, InputBurst((Edge("req", True),)), OutputBurst(()))
+        machine.add_transition(orphan, s1, InputBurst((Edge("req", False),)), OutputBurst(()))
+        removed = machine.prune_unreachable()
+        assert removed == 1
+        assert orphan not in machine.states()
+
+
+class TestSignalRewrites:
+    def test_rename_signal(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        machine.add_transition(
+            "s0", s1, InputBurst((Edge("req", True),)), OutputBurst((Edge("x_req", True),))
+        )
+        merged = Signal("shared", SignalKind.LOCAL_REQ, is_input=False)
+        machine.rename_signal("x_req", merged)
+        assert "x_req" not in {s.name for s in machine.signals()}
+        assert machine.transitions()[0].output_burst.edges[0].signal == "shared"
+
+    def test_drop_used_signal_rejected(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        machine.add_transition(
+            "s0", s1, InputBurst((Edge("req", True),)), OutputBurst(())
+        )
+        with pytest.raises(BurstModeError):
+            machine.drop_signal("req")
+
+    def test_copy_is_independent(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        machine.add_transition("s0", s1, InputBurst((Edge("req", True),)), OutputBurst(()))
+        clone = machine.copy()
+        clone.transitions()[0].dst = "s0"
+        assert machine.transitions()[0].dst == s1

@@ -1,0 +1,125 @@
+"""Machine well-formedness checks."""
+
+import pytest
+
+from repro.afsm import BurstModeMachine, Edge, InputBurst, OutputBurst, Signal, SignalKind
+from repro.afsm.validate import check_machine, collect_problems, signal_levels
+from repro.errors import BurstModeError
+
+
+def _machine():
+    machine = BurstModeMachine("test")
+    machine.declare_signal(Signal("a", SignalKind.GLOBAL_READY, is_input=True))
+    machine.declare_signal(Signal("b", SignalKind.GLOBAL_READY, is_input=True))
+    machine.declare_signal(Signal("z", SignalKind.GLOBAL_READY, is_input=False))
+    return machine
+
+
+class TestPolarity:
+    def test_clean_rtz_cycle(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        machine.add_transition("s0", s1, InputBurst((Edge("a", True),)), OutputBurst((Edge("z", True),)))
+        machine.add_transition(s1, "s0", InputBurst((Edge("a", False),)), OutputBurst((Edge("z", False),)))
+        check_machine(machine)
+        levels = signal_levels(machine)
+        assert levels["s0"]["a"] == 0
+        assert levels[s1]["a"] == 1
+
+    def test_double_rise_detected(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        s2 = machine.fresh_state()
+        machine.add_transition("s0", s1, InputBurst((Edge("a", True),)), OutputBurst(()))
+        machine.add_transition(s1, s2, InputBurst((Edge("a", True),)), OutputBurst(()))
+        problems = collect_problems(machine)
+        assert any("fires from level" in p for p in problems)
+
+    def test_output_double_drive_detected(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        s2 = machine.fresh_state()
+        machine.add_transition("s0", s1, InputBurst((Edge("a", True),)), OutputBurst((Edge("z", True),)))
+        machine.add_transition(s1, s2, InputBurst((Edge("b", True),)), OutputBurst((Edge("z", True),)))
+        problems = collect_problems(machine)
+        assert any("driven from level" in p for p in problems)
+
+    def test_ddc_weakens_level(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        s2 = machine.fresh_state()
+        machine.add_transition("s0", s1, InputBurst((Edge("a", True, ddc=True),)), OutputBurst(()))
+        # after a ddc the level is unknown: a compulsory rise is allowed
+        machine.add_transition(s1, s2, InputBurst((Edge("a", True),)), OutputBurst(()))
+        check_machine(machine)
+
+    def test_initial_level_respected(self):
+        machine = BurstModeMachine("init")
+        machine.declare_signal(
+            Signal("w", SignalKind.GLOBAL_READY, is_input=False, initial_level=1)
+        )
+        machine.declare_signal(Signal("go", SignalKind.GLOBAL_READY, is_input=True))
+        s1 = machine.fresh_state()
+        # falling first is fine for a wire that powers up high
+        machine.add_transition("s0", s1, InputBurst((Edge("go", True),)), OutputBurst((Edge("w", False),)))
+        check_machine(machine)
+
+
+class TestDiscipline:
+    def test_output_in_input_burst(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        machine.add_transition("s0", s1, InputBurst((Edge("z", True),)), OutputBurst(()))
+        problems = collect_problems(machine)
+        assert any("input burst" in p for p in problems)
+
+    def test_input_driven(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        machine.add_transition("s0", s1, InputBurst((Edge("a", True),)), OutputBurst((Edge("b", True),)))
+        problems = collect_problems(machine)
+        assert any("driven in output burst" in p for p in problems)
+
+    def test_subset_bursts_not_distinguishable(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        s2 = machine.fresh_state()
+        machine.add_transition("s0", s1, InputBurst((Edge("a", True),)), OutputBurst(()))
+        machine.add_transition(
+            "s0", s2, InputBurst((Edge("a", True), Edge("b", True))), OutputBurst(())
+        )
+        problems = collect_problems(machine)
+        assert any("not distinguishable" in p for p in problems)
+
+    def test_conditionals_distinguish(self):
+        machine = _machine()
+        machine.declare_signal(Signal("cond_D", SignalKind.CONDITIONAL, is_input=True, action=("cond", "D")))
+        from repro.afsm.burst import Cond
+
+        s1 = machine.fresh_state()
+        s2 = machine.fresh_state()
+        machine.add_transition("s0", s1, InputBurst((Edge("a", True),), (Cond("cond_D", True),)), OutputBurst(()))
+        machine.add_transition("s0", s2, InputBurst((Edge("a", True),), (Cond("cond_D", False),)), OutputBurst(()))
+        check_machine(machine)
+
+    def test_unreachable_state_flagged(self):
+        machine = _machine()
+        machine.add_state("island")
+        problems = collect_problems(machine)
+        assert any("unreachable" in p for p in problems)
+
+
+class TestExtractedMachines:
+    def test_all_diffeq_levels_clean(self, diffeq):
+        from repro.afsm import extract_controllers
+        from repro.channels import derive_channels
+        from repro.local_transforms import optimize_local
+        from repro.transforms import optimize_global
+
+        unopt = extract_controllers(diffeq, derive_channels(diffeq))
+        optimized = optimize_global(diffeq)
+        gt = extract_controllers(optimized.cdfg, optimized.plan)
+        lt = optimize_local(gt).design
+        for design in (unopt, gt, lt):
+            for controller in design.controllers.values():
+                check_machine(controller.machine)

@@ -1,0 +1,63 @@
+"""Block-tree reconstruction."""
+
+from repro.cdfg import CdfgBuilder, block_tree
+from repro.cdfg.blocks import enclosing_loops, innermost_loop
+
+
+def _nested():
+    builder = CdfgBuilder("t")
+    builder.op("P := A + B", fu="ALU")
+    with builder.loop("C", fu="ALU") as outer_root:
+        builder.op("X := X + A", fu="ALU")
+        with builder.if_block("D", fu="ALU") as branch:
+            builder.op("Y := Y + A", fu="ALU")
+            with branch.otherwise():
+                builder.op("Y := Y - A", fu="ALU")
+        builder.op("C := X < A", fu="ALU")
+    return builder.build(), outer_root
+
+
+class TestBlockTree:
+    def test_top_level_members(self, diffeq):
+        tree = block_tree(diffeq)
+        assert tree.is_top
+        assert "B := dx2 + dx" in tree.members
+        assert len(tree.children) == 1
+
+    def test_loop_block(self, diffeq):
+        tree = block_tree(diffeq)
+        loop = tree.children[0]
+        assert loop.is_loop
+        assert loop.root == "LOOP"
+        assert loop.close == "ENDLOOP"
+        assert "A := Y + M1" in loop.members
+
+    def test_nested_structure(self):
+        cdfg, outer_root = _nested()
+        tree = block_tree(cdfg)
+        loop = tree.children[0]
+        assert loop.root == outer_root
+        assert len(loop.children) == 1
+        if_block = loop.children[0]
+        assert if_block.root == "IF"
+        assert if_block.close == "ENDIF"
+        assert if_block.parent is loop
+
+    def test_all_members_recursive(self):
+        cdfg, __ = _nested()
+        tree = block_tree(cdfg)
+        loop = tree.children[0]
+        names = loop.all_members()
+        assert "Y := Y + A" in names
+        assert "IF" in names
+
+
+class TestLoopQueries:
+    def test_innermost_loop(self, diffeq):
+        assert innermost_loop(diffeq, "A := Y + M1") == "LOOP"
+        assert innermost_loop(diffeq, "B := dx2 + dx") is None
+
+    def test_enclosing_loops_nested(self):
+        cdfg, outer_root = _nested()
+        assert enclosing_loops(cdfg, "Y := Y + A") == [outer_root]
+        assert enclosing_loops(cdfg, "X := X + A") == [outer_root]

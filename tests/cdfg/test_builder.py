@@ -1,0 +1,177 @@
+"""CdfgBuilder arc-derivation rules."""
+
+import pytest
+
+from repro.cdfg import ArcRole, CdfgBuilder, NodeKind, check_well_formed
+from repro.errors import BlockStructureError
+
+
+class TestStraightLine:
+    def test_data_dependency(self):
+        builder = CdfgBuilder("t")
+        builder.op("A := B + C", fu="ALU")
+        builder.op("D := A + B", fu="ALU")
+        cdfg = builder.build()
+        arc = cdfg.arc("A := B + C", "D := A + B")
+        assert arc.has_role(ArcRole.DATA)
+        assert "A" in arc.registers
+
+    def test_register_allocation_anti_dependency(self):
+        builder = CdfgBuilder("t")
+        builder.op("X := A + B", fu="ALU1")
+        builder.op("Y := A + X", fu="ALU2")  # reads old A... and new X
+        builder.op("A := B + B", fu="ALU1")  # overwrites A
+        cdfg = builder.build()
+        arc = cdfg.arc("Y := A + X", "A := B + B")
+        assert arc.has_role(ArcRole.REGISTER)
+        assert "A" in arc.registers
+        # the first statement also read the old A
+        assert cdfg.arc("X := A + B", "A := B + B").has_role(ArcRole.REGISTER)
+
+    def test_scheduling_chain_per_unit(self):
+        builder = CdfgBuilder("t")
+        builder.op("A := P + Q", fu="ALU")
+        builder.op("B := P * Q", fu="MUL")
+        builder.op("C := P - Q", fu="ALU")
+        cdfg = builder.build()
+        assert cdfg.arc("A := P + Q", "C := P - Q").has_role(ArcRole.SCHEDULING)
+        assert not cdfg.has_arc("A := P + Q", "B := P * Q")
+
+    def test_start_connects_only_sources(self):
+        builder = CdfgBuilder("t")
+        builder.op("A := B + C", fu="ALU")
+        builder.op("D := A + B", fu="ALU")
+        cdfg = builder.build()
+        assert cdfg.has_arc("START", "A := B + C")
+        assert not cdfg.has_arc("START", "D := A + B")
+
+    def test_sinks_connect_to_end(self):
+        builder = CdfgBuilder("t")
+        builder.op("A := B + C", fu="ALU")
+        builder.op("D := B + C", fu="MUL")
+        cdfg = builder.build()
+        assert cdfg.has_arc("A := B + C", "END")
+        assert cdfg.has_arc("D := B + C", "END")
+
+    def test_duplicate_statement_names_disambiguated(self):
+        builder = CdfgBuilder("t")
+        first = builder.op("A := A + B", fu="ALU")
+        second = builder.op("A := A + B", fu="ALU")
+        cdfg = builder.build()
+        assert first != second
+        assert cdfg.has_node(second)
+        # second instance reads the first one's result
+        assert cdfg.arc(first, second).has_role(ArcRole.DATA)
+
+    def test_empty_program(self):
+        cdfg = CdfgBuilder("t").build()
+        assert cdfg.has_arc("START", "END")
+        check_well_formed(cdfg)
+
+
+class TestLoopConstruction:
+    def test_loop_nodes_created(self):
+        builder = CdfgBuilder("t")
+        with builder.loop("C", fu="ALU") as root:
+            builder.op("X := X + D", fu="ALU")
+            builder.op("C := X < L", fu="ALU")
+        cdfg = builder.build(initial={"X": 0, "C": 1})
+        assert cdfg.node(root).kind is NodeKind.LOOP
+        assert cdfg.has_arc("ENDLOOP", root)
+        check_well_formed(cdfg)
+
+    def test_loop_members_blocked(self):
+        builder = CdfgBuilder("t")
+        with builder.loop("C", fu="ALU") as root:
+            builder.op("X := X + D", fu="ALU")
+            builder.op("C := X < L", fu="ALU")
+        cdfg = builder.build()
+        assert cdfg.block_of("X := X + D") == root
+        assert cdfg.block_of(root) is None
+
+    def test_data_into_loop_routes_to_root(self):
+        builder = CdfgBuilder("t")
+        builder.op("K := P + Q", fu="ALU")
+        with builder.loop("C", fu="ALU") as root:
+            builder.op("X := X + K", fu="ALU")
+            builder.op("C := X < L", fu="ALU")
+        cdfg = builder.build()
+        arc = cdfg.arc("K := P + Q", root)
+        assert arc.has_role(ArcRole.DATA)
+        assert "K" in arc.registers
+        assert not cdfg.has_arc("K := P + Q", "X := X + K")
+
+    def test_data_out_of_loop_routes_from_root(self):
+        builder = CdfgBuilder("t")
+        with builder.loop("C", fu="ALU") as root:
+            builder.op("X := X + D", fu="ALU")
+            builder.op("C := X < L", fu="ALU")
+        builder.op("R := X + X", fu="ALU")
+        cdfg = builder.build()
+        arc = cdfg.arc(root, "R := X + X")
+        assert arc.has_role(ArcRole.DATA)
+
+    def test_mismatched_nesting_detected(self):
+        builder = CdfgBuilder("t")
+        context = builder.loop("C", fu="ALU")
+        context.__enter__()
+        builder._open.append([])  # simulate a stray block
+        with pytest.raises(BlockStructureError):
+            context.__exit__(None, None, None)
+
+    def test_build_with_open_block_rejected(self):
+        builder = CdfgBuilder("t")
+        context = builder.loop("C", fu="ALU")
+        context.__enter__()
+        with pytest.raises(BlockStructureError):
+            builder.build()
+
+
+class TestIfConstruction:
+    def _gcd_like(self):
+        builder = CdfgBuilder("t")
+        with builder.if_block("D", fu="SUB") as branch:
+            builder.op("A := A - B", fu="SUB")
+            with branch.otherwise():
+                builder.op("B := B - A", fu="SUB")
+        return builder.build(initial={"A": 4, "B": 2, "D": 1})
+
+    def test_branches_annotated(self):
+        cdfg = self._gcd_like()
+        assert cdfg.branch_of("A := A - B") == "then"
+        assert cdfg.branch_of("B := B - A") == "else"
+
+    def test_decision_arc_exists(self):
+        cdfg = self._gcd_like()
+        assert cdfg.has_arc("IF", "ENDIF")
+
+    def test_branch_entry_and_exit_arcs(self):
+        cdfg = self._gcd_like()
+        assert cdfg.has_arc("IF", "A := A - B")
+        assert cdfg.has_arc("IF", "B := B - A")
+        assert cdfg.has_arc("A := A - B", "ENDIF")
+        assert cdfg.has_arc("B := B - A", "ENDIF")
+
+    def test_well_formed(self):
+        check_well_formed(self._gcd_like())
+
+    def test_write_after_if_waits_for_endif(self):
+        builder = CdfgBuilder("t")
+        with builder.if_block("D", fu="ALU") as branch:
+            builder.op("A := A - B", fu="ALU")
+            with branch.otherwise():
+                builder.op("B := B - A", fu="ALU")
+        builder.op("R := A + B", fu="ALU")
+        cdfg = builder.build()
+        arc = cdfg.arc("ENDIF", "R := A + B")
+        assert arc.has_role(ArcRole.DATA) or arc.has_role(ArcRole.SCHEDULING)
+
+
+class TestInputs:
+    def test_inputs_recorded(self):
+        builder = CdfgBuilder("t")
+        builder.input("k", 2.5)
+        builder.op("A := B + k", fu="ALU")
+        cdfg = builder.build(initial={"B": 1.0})
+        assert cdfg.inputs["k"] == 2.5
+        assert cdfg.initial_registers["B"] == 1.0

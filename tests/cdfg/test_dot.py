@@ -1,0 +1,32 @@
+"""DOT export sanity."""
+
+from repro.cdfg.dot import to_dot, write_dot
+
+
+class TestDot:
+    def test_contains_all_nodes(self, diffeq):
+        text = to_dot(diffeq)
+        for node in diffeq.nodes():
+            assert node.name in text
+
+    def test_clusters_per_unit(self, diffeq):
+        text = to_dot(diffeq)
+        for fu in diffeq.functional_units():
+            assert f"label=\"{fu}\"" in text
+
+    def test_arc_styles(self, diffeq_optimized):
+        text = to_dot(diffeq_optimized.cdfg)
+        assert "style=dashed" in text  # data/register arcs
+        assert "style=dotted" in text  # scheduling arcs
+        assert "color=red" in text  # GT1 backward arcs
+
+    def test_write_dot(self, diffeq, tmp_path):
+        path = tmp_path / "diffeq.dot"
+        write_dot(diffeq, str(path), title="Figure 1")
+        content = path.read_text()
+        assert content.startswith("digraph")
+        assert "Figure 1" in content
+
+    def test_quoting(self, diffeq):
+        text = to_dot(diffeq)
+        assert '"A := Y + M1"' in text

@@ -1,0 +1,82 @@
+"""FIR generator: construction, semantics and scaling."""
+
+import pytest
+
+from repro.cdfg import check_well_formed
+from repro.sim import simulate_tokens
+from repro.workloads import build_fir_cdfg, fir_reference
+from repro.workloads.fir import default_coefficients
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("taps", [2, 3, 4, 8])
+    def test_well_formed(self, taps):
+        check_well_formed(build_fir_cdfg(taps=taps))
+
+    def test_node_count_scales_linearly(self):
+        small = build_fir_cdfg(taps=3)
+        large = build_fir_cdfg(taps=9)
+        # per tap: one product, ~one accumulation, ~one shift
+        assert len(large) - len(small) == 3 * 6
+
+    def test_validation_of_parameters(self):
+        with pytest.raises(ValueError):
+            build_fir_cdfg(taps=1)
+        with pytest.raises(ValueError):
+            build_fir_cdfg(taps=4, samples=0)
+        with pytest.raises(ValueError):
+            build_fir_cdfg(taps=4, coefficients=[1.0])
+
+    def test_default_coefficients_symmetric(self):
+        coefficients = default_coefficients(5)
+        assert coefficients == coefficients[::-1]
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("taps,samples", [(2, 3), (4, 6), (5, 4)])
+    def test_token_sim_matches_reference(self, taps, samples):
+        cdfg = build_fir_cdfg(taps=taps, samples=samples)
+        expected = fir_reference(taps=taps, samples=samples)
+        for seed in (None, 0, 7):
+            result = simulate_tokens(cdfg, seed=seed)
+            for register, value in expected.items():
+                assert result.registers[register] == value, (seed, register)
+
+    def test_impulse_response_is_coefficients(self):
+        """With a unit impulse (decay 0), y_n walks the coefficients."""
+        coefficients = [0.5, 0.25, 0.125]
+        final = fir_reference(
+            taps=3, samples=3, coefficients=coefficients, x0=1.0, decay=0.0
+        )
+        # after 3 samples the impulse sits at the last tap
+        assert final["Y"] == pytest.approx(coefficients[2])
+
+
+class TestFullFlow:
+    @pytest.mark.parametrize("taps", [3, 5])
+    def test_synthesized_fir_computes_correctly(self, taps):
+        from repro import synthesize
+        from repro.sim.system import simulate_system
+
+        cdfg = build_fir_cdfg(taps=taps, samples=4)
+        design = synthesize(cdfg)
+        expected = fir_reference(taps=taps, samples=4)
+        result = simulate_system(design, seed=1)
+        for register, value in expected.items():
+            assert result.registers[register] == value, register
+        assert not result.hazards
+
+    def test_channels_grow_slower_than_constraints(self):
+        """GT5 cannot keep the FIR wire count flat (each accumulation's
+        loop-carried done needs its own pre-enabled wire), but channels
+        must grow far slower than the constraint-arc population."""
+        from repro.transforms import optimize_global
+
+        small = optimize_global(build_fir_cdfg(taps=3))
+        large = optimize_global(build_fir_cdfg(taps=9))
+        small_channels = small.plan.count(include_env=False)
+        large_channels = large.plan.count(include_env=False)
+        assert large_channels < len(large.cdfg.inter_fu_arcs())
+        arc_growth = len(large.cdfg.inter_fu_arcs()) - len(small.cdfg.inter_fu_arcs())
+        channel_growth = large_channels - small_channels
+        assert channel_growth < 0.8 * arc_growth

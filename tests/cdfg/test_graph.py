@@ -1,0 +1,157 @@
+"""Cdfg container behaviour."""
+
+import pytest
+
+from repro.cdfg import Arc, ArcRole, Cdfg, Node, NodeKind
+from repro.cdfg.arc import control_tag, data_tag, register_tag, scheduling_tag
+from repro.errors import CdfgError
+from repro.rtl import parse_statement
+
+
+def _op(name, fu="ALU"):
+    return Node(name, NodeKind.OPERATION, fu=fu, statements=(parse_statement(name),))
+
+
+@pytest.fixture
+def small():
+    cdfg = Cdfg("small")
+    cdfg.add_node(Node("START", NodeKind.START))
+    cdfg.add_node(_op("A := B + C"))
+    cdfg.add_node(_op("D := A + C"))
+    cdfg.add_node(Node("END", NodeKind.END))
+    cdfg.add_arc(Arc("START", "A := B + C", frozenset({control_tag()})))
+    cdfg.add_arc(Arc("A := B + C", "D := A + C", frozenset({data_tag("A")})))
+    cdfg.add_arc(Arc("D := A + C", "END", frozenset({control_tag()})))
+    return cdfg
+
+
+class TestNodes:
+    def test_duplicate_node_rejected(self, small):
+        with pytest.raises(CdfgError):
+            small.add_node(_op("A := B + C"))
+
+    def test_unknown_node_lookup(self, small):
+        with pytest.raises(CdfgError):
+            small.node("missing")
+
+    def test_len_and_contains(self, small):
+        assert len(small) == 4
+        assert "START" in small
+        assert "missing" not in small
+
+    def test_start_end_properties(self, small):
+        assert small.start.kind is NodeKind.START
+        assert small.end.kind is NodeKind.END
+
+    def test_fu_of_env(self, small):
+        assert small.fu_of("START") == "ENV"
+        assert small.fu_of("A := B + C") == "ALU"
+
+
+class TestArcs:
+    def test_parallel_arcs_merge_tags(self, small):
+        small.add_arc(Arc("A := B + C", "D := A + C", frozenset({register_tag("D")})))
+        arc = small.arc("A := B + C", "D := A + C")
+        assert arc.has_role(ArcRole.DATA)
+        assert arc.has_role(ArcRole.REGISTER)
+        assert arc.registers == frozenset({"A", "D"})
+
+    def test_merge_keeps_forward_when_mixed(self, small):
+        small.add_arc(
+            Arc("A := B + C", "D := A + C", frozenset({register_tag("D")}), backward=True)
+        )
+        assert not small.arc("A := B + C", "D := A + C").backward
+
+    def test_arc_endpoints_must_exist(self, small):
+        with pytest.raises(CdfgError):
+            small.add_arc(Arc("A := B + C", "nope", frozenset({control_tag()})))
+
+    def test_remove_arc(self, small):
+        small.remove_arc("START", "A := B + C")
+        assert not small.has_arc("START", "A := B + C")
+        with pytest.raises(CdfgError):
+            small.remove_arc("START", "A := B + C")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Arc("x", "x", frozenset({control_tag()}))
+
+    def test_empty_tags_rejected(self):
+        with pytest.raises(ValueError):
+            Arc("x", "y", frozenset())
+
+
+class TestQueries:
+    def test_successors_predecessors(self, small):
+        assert small.successors("A := B + C") == ["D := A + C"]
+        assert small.predecessors("D := A + C") == ["A := B + C"]
+
+    def test_reachability(self, small):
+        assert small.implies("START", "END")
+        assert not small.implies("END", "START")
+
+    def test_reachability_with_exclusion(self, small):
+        key = ("A := B + C", "D := A + C")
+        assert not small.implies("A := B + C", "D := A + C", exclude_arc=key)
+
+    def test_topological_order(self, small):
+        order = small.topological_order()
+        assert order.index("START") < order.index("A := B + C") < order.index("END")
+
+    def test_cycle_detected(self, small):
+        small.add_arc(Arc("D := A + C", "A := B + C", frozenset({control_tag()})))
+        with pytest.raises(CdfgError):
+            small.topological_order()
+
+    def test_backward_arcs_excluded_from_forward_dag(self, small):
+        small.add_arc(
+            Arc("D := A + C", "A := B + C", frozenset({control_tag()}), backward=True)
+        )
+        small.topological_order()  # no cycle: backward arc ignored
+
+
+class TestScheduleBookkeeping:
+    def test_fu_schedule_order(self, small):
+        assert small.fu_schedule("ALU") == ["A := B + C", "D := A + C"]
+
+    def test_schedule_neighbors(self, small):
+        assert small.schedule_neighbors("A := B + C") == (None, "D := A + C")
+        assert small.schedule_neighbors("D := A + C") == ("A := B + C", None)
+
+    def test_remove_node_updates_schedule(self, small):
+        small.remove_node("A := B + C")
+        assert small.fu_schedule("ALU") == ["D := A + C"]
+        assert not small.has_arc("START", "A := B + C")
+
+
+class TestReplaceNode:
+    def test_replace_rewires_arcs(self, small):
+        merged = Node(
+            "D := A + C; E := A",
+            NodeKind.OPERATION,
+            fu="ALU",
+            statements=(parse_statement("D := A + C"), parse_statement("E := A")),
+        )
+        small.replace_node("D := A + C", merged)
+        assert small.has_arc("A := B + C", "D := A + C; E := A")
+        assert small.has_arc("D := A + C; E := A", "END")
+        assert small.fu_schedule("ALU")[1] == "D := A + C; E := A"
+
+    def test_replace_requires_same_fu(self, small):
+        other = _op("D := A + C", fu="MUL")
+        with pytest.raises(CdfgError):
+            small.replace_node("A := B + C", other)
+
+
+class TestCopy:
+    def test_copy_is_independent(self, small):
+        clone = small.copy()
+        clone.remove_arc("START", "A := B + C")
+        assert small.has_arc("START", "A := B + C")
+        clone.inputs["k"] = 1.0
+        assert "k" not in small.inputs
+
+    def test_copy_preserves_counts(self, small):
+        clone = small.copy()
+        assert len(clone) == len(small)
+        assert clone.arc_count() == small.arc_count()

@@ -1,0 +1,52 @@
+"""NetworkX export."""
+
+import networkx as nx
+
+from repro.cdfg import NodeKind
+
+
+class TestToNetworkx:
+    def test_structure_preserved(self, diffeq):
+        graph = diffeq.to_networkx()
+        assert graph.number_of_nodes() == len(diffeq)
+        assert graph.number_of_edges() == diffeq.arc_count()
+
+    def test_attributes(self, diffeq):
+        graph = diffeq.to_networkx()
+        assert graph.nodes["LOOP"]["kind"] == "loop"
+        assert graph.nodes["A := Y + M1"]["fu"] == "ALU1"
+        edge = graph.edges["M1 := U * X1", "A := Y + M1"]
+        assert "data" in edge["roles"]
+        assert edge["registers"] == ["M1"]
+
+    def test_loop_cycle_visible(self, diffeq):
+        graph = diffeq.to_networkx()
+        cycles = list(nx.simple_cycles(graph))
+        assert cycles  # the LOOP..ENDLOOP iterate structure
+
+    def test_forward_subgraph_is_dag(self, diffeq):
+        graph = diffeq.to_networkx()
+        forward = nx.DiGraph(
+            (u, v)
+            for u, v, data in graph.edges(data=True)
+            if not data["backward"]
+            and not (
+                graph.nodes[u]["kind"] == "endloop" and graph.nodes[v]["kind"] == "loop"
+            )
+        )
+        assert nx.is_directed_acyclic_graph(forward)
+
+    def test_longest_path_ends_at_end(self, diffeq):
+        graph = diffeq.to_networkx()
+        forward = nx.DiGraph(
+            (u, v)
+            for u, v, data in graph.edges(data=True)
+            if not data["backward"]
+            and not (
+                graph.nodes[u]["kind"] == "endloop" and graph.nodes[v]["kind"] == "loop"
+            )
+        )
+        path = nx.dag_longest_path(forward)
+        assert path[0] == "START"
+        # the deepest chain threads the whole loop body to its close
+        assert path[-1] in ("END", "ENDLOOP")

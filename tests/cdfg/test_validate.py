@@ -1,0 +1,110 @@
+"""Well-formedness checker coverage."""
+
+import pytest
+
+from repro.cdfg import Arc, Cdfg, CdfgBuilder, Node, NodeKind, check_well_formed
+from repro.cdfg.arc import control_tag, scheduling_tag
+from repro.cdfg.validate import collect_problems
+from repro.errors import ValidationError
+from repro.rtl import parse_statement
+
+
+def _op(name, fu="ALU"):
+    return Node(name, NodeKind.OPERATION, fu=fu, statements=(parse_statement(name),))
+
+
+class TestBasicInvariants:
+    def test_missing_start(self):
+        cdfg = Cdfg("t")
+        cdfg.add_node(Node("END", NodeKind.END))
+        problems = collect_problems(cdfg)
+        assert any("START" in p for p in problems)
+
+    def test_two_ends(self):
+        cdfg = Cdfg("t")
+        cdfg.add_node(Node("START", NodeKind.START))
+        cdfg.add_node(Node("END", NodeKind.END))
+        cdfg.add_node(Node("END2", NodeKind.END))
+        problems = collect_problems(cdfg)
+        assert any("END" in p for p in problems)
+
+    def test_unreachable_node_flagged(self):
+        cdfg = Cdfg("t")
+        cdfg.add_node(Node("START", NodeKind.START))
+        cdfg.add_node(Node("END", NodeKind.END))
+        cdfg.add_node(_op("A := B + C"))
+        cdfg.add_arc(Arc("START", "END", frozenset({control_tag()})))
+        problems = collect_problems(cdfg)
+        assert any("unreachable" in p for p in problems)
+
+    def test_forward_cycle_flagged(self):
+        cdfg = Cdfg("t")
+        cdfg.add_node(Node("START", NodeKind.START))
+        cdfg.add_node(Node("END", NodeKind.END))
+        cdfg.add_node(_op("A := B + C"))
+        cdfg.add_node(_op("B := A + C"))
+        cdfg.add_arc(Arc("START", "A := B + C", frozenset({control_tag()})))
+        cdfg.add_arc(Arc("A := B + C", "B := A + C", frozenset({control_tag()})))
+        cdfg.add_arc(Arc("B := A + C", "A := B + C", frozenset({control_tag()})))
+        cdfg.add_arc(Arc("B := A + C", "END", frozenset({control_tag()})))
+        problems = collect_problems(cdfg)
+        assert any("cycle" in p for p in problems)
+
+    def test_scheduling_arc_across_units_flagged(self):
+        cdfg = Cdfg("t")
+        cdfg.add_node(Node("START", NodeKind.START))
+        cdfg.add_node(Node("END", NodeKind.END))
+        cdfg.add_node(_op("A := B + C", fu="ALU"))
+        cdfg.add_node(_op("D := B * C", fu="MUL"))
+        cdfg.add_arc(Arc("START", "A := B + C", frozenset({control_tag()})))
+        cdfg.add_arc(Arc("A := B + C", "D := B * C", frozenset({scheduling_tag()})))
+        cdfg.add_arc(Arc("D := B * C", "END", frozenset({control_tag()})))
+        problems = collect_problems(cdfg)
+        assert any("scheduling arc" in p for p in problems)
+
+    def test_backward_arc_outside_loop_flagged(self):
+        cdfg = Cdfg("t")
+        cdfg.add_node(Node("START", NodeKind.START))
+        cdfg.add_node(Node("END", NodeKind.END))
+        cdfg.add_node(_op("A := B + C"))
+        cdfg.add_node(_op("D := A + C"))
+        cdfg.add_arc(Arc("START", "A := B + C", frozenset({control_tag()})))
+        cdfg.add_arc(Arc("A := B + C", "D := A + C", frozenset({control_tag()})))
+        cdfg.add_arc(Arc("D := A + C", "END", frozenset({control_tag()})))
+        cdfg.add_arc(
+            Arc("D := A + C", "A := B + C", frozenset({control_tag()}), backward=True)
+        )
+        problems = collect_problems(cdfg)
+        assert any("backward" in p for p in problems)
+
+
+class TestWorkloadsAreWellFormed:
+    def test_diffeq(self, diffeq):
+        check_well_formed(diffeq)
+
+    def test_gcd(self, gcd):
+        check_well_formed(gcd)
+
+    def test_ewf(self, ewf):
+        check_well_formed(ewf)
+
+    def test_optimized_variants(self, diffeq_optimized, gcd_optimized, ewf_optimized):
+        check_well_formed(diffeq_optimized.cdfg)
+        check_well_formed(gcd_optimized.cdfg)
+        check_well_formed(ewf_optimized.cdfg)
+
+
+class TestCheckRaises:
+    def test_raise_on_problem(self):
+        cdfg = Cdfg("t")
+        with pytest.raises(ValidationError):
+            check_well_formed(cdfg)
+
+    def test_loop_without_iterate_arc_flagged(self):
+        builder = CdfgBuilder("t")
+        with builder.loop("C", fu="ALU"):
+            builder.op("C := C - D", fu="ALU")
+        cdfg = builder.build()
+        cdfg.remove_arc("ENDLOOP", "LOOP")
+        problems = collect_problems(cdfg)
+        assert any("iterate" in p for p in problems)

@@ -1,0 +1,51 @@
+"""Workload construction sanity (beyond the DIFFEQ reconstruction)."""
+
+import math
+
+import pytest
+
+from repro.cdfg import check_well_formed
+from repro.workloads import (
+    build_ewf_cdfg,
+    build_gcd_cdfg,
+    ewf_reference,
+    gcd_reference,
+)
+
+
+class TestGcd:
+    def test_well_formed(self):
+        check_well_formed(build_gcd_cdfg())
+
+    @pytest.mark.parametrize("pair", [(84, 36), (36, 84), (7, 13), (100, 100)])
+    def test_reference_model(self, pair):
+        expected = gcd_reference(*pair)
+        assert expected["A"] == expected["B"] == math.gcd(*pair)
+
+    def test_branch_structure(self):
+        cdfg = build_gcd_cdfg()
+        assert cdfg.branch_of("A := A - B") == "then"
+        assert cdfg.branch_of("B := B - A") == "else"
+
+    def test_equal_operands_zero_iterations(self):
+        expected = gcd_reference(5, 5)
+        assert expected["C"] == 0.0
+
+
+class TestEwf:
+    def test_well_formed(self):
+        check_well_formed(build_ewf_cdfg())
+
+    def test_reference_converges(self):
+        result = ewf_reference(n=50)
+        # with decay < 1 and gains < 1 the filter state is bounded
+        assert abs(result["Y"]) < 10
+        assert result["I"] == 50
+
+    def test_zero_steps(self):
+        cdfg = build_ewf_cdfg(n=0)
+        assert cdfg.initial_registers["C"] == 0.0
+
+    def test_four_units(self):
+        cdfg = build_ewf_cdfg()
+        assert len(cdfg.functional_units()) == 4

@@ -1,0 +1,68 @@
+"""Channel and channel-plan containers."""
+
+import pytest
+
+from repro.channels import Channel, ChannelPlan, derive_channels
+from repro.errors import CdfgError
+
+
+def _channel(name="ch0", src="A", dsts=("B",), arcs=()):
+    return Channel(name=name, src_fu=src, dst_fus=frozenset(dsts), arcs=list(arcs))
+
+
+class TestChannel:
+    def test_multiway_flag(self):
+        assert not _channel(dsts=("B",)).is_multiway
+        assert _channel(dsts=("B", "C")).is_multiway
+
+    def test_env_flag(self):
+        assert _channel(src="ENV").is_env
+        assert _channel(dsts=("ENV",)).is_env
+        assert not _channel().is_env
+
+    def test_str_mentions_receivers(self):
+        text = str(_channel(dsts=("B", "C")))
+        assert "B+C" in text and "multi-way" in text
+
+
+class TestChannelPlan:
+    def test_double_assignment_rejected(self):
+        plan = ChannelPlan()
+        plan.add(_channel(arcs=[("x", "y")]))
+        with pytest.raises(CdfgError):
+            plan.add(_channel(name="ch1", arcs=[("x", "y")]))
+
+    def test_lookup(self):
+        plan = ChannelPlan()
+        channel = plan.add(_channel(arcs=[("x", "y")]))
+        assert plan.channel_of(("x", "y")) is channel
+        with pytest.raises(CdfgError):
+            plan.channel_of(("a", "b"))
+        with pytest.raises(CdfgError):
+            plan.by_name("missing")
+
+    def test_counts(self):
+        plan = ChannelPlan()
+        plan.add(_channel(name="c1", arcs=[("a", "b")]))
+        plan.add(_channel(name="c2", src="ENV", arcs=[("s", "t")]))
+        plan.add(_channel(name="c3", dsts=("B", "C"), arcs=[("u", "v")]))
+        assert plan.count() == 3
+        assert plan.count(include_env=False) == 2
+        assert plan.multiway_count() == 1
+        assert len(plan.controller_channels()) == 2
+
+
+class TestDerive:
+    def test_one_channel_per_inter_fu_arc(self, diffeq):
+        plan = derive_channels(diffeq)
+        assert plan.count() == len(diffeq.inter_fu_arcs())
+
+    def test_intra_fu_arcs_excluded(self, diffeq):
+        plan = derive_channels(diffeq)
+        for channel in plan.channels:
+            for src, dst in channel.arcs:
+                assert diffeq.fu_of(src) != diffeq.fu_of(dst)
+
+    def test_summary_readable(self, diffeq):
+        text = derive_channels(diffeq).summary()
+        assert "17 channels" in text

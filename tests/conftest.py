@@ -1,0 +1,40 @@
+"""Shared fixtures: the three workloads at each optimization level."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transforms import optimize_global
+from repro.workloads import build_diffeq_cdfg, build_ewf_cdfg, build_gcd_cdfg
+
+
+@pytest.fixture(scope="session")
+def diffeq():
+    return build_diffeq_cdfg()
+
+
+@pytest.fixture(scope="session")
+def gcd():
+    return build_gcd_cdfg()
+
+
+@pytest.fixture(scope="session")
+def ewf():
+    return build_ewf_cdfg()
+
+
+@pytest.fixture(scope="session")
+def diffeq_optimized(diffeq):
+    """DIFFEQ after the full GT1..GT5 script (graph is never mutated by
+    consumers: treat as read-only)."""
+    return optimize_global(diffeq)
+
+
+@pytest.fixture(scope="session")
+def gcd_optimized(gcd):
+    return optimize_global(gcd)
+
+
+@pytest.fixture(scope="session")
+def ewf_optimized(ewf):
+    return optimize_global(ewf)

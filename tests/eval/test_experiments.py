@@ -1,0 +1,115 @@
+"""Experiment drivers reproduce the paper's artifacts."""
+
+import pytest
+
+from repro.eval import (
+    PAPER_FIG12,
+    PAPER_FIG13,
+    YUN_FIG12,
+    YUN_FIG13,
+    run_fig5,
+    run_fig12,
+    run_fig13,
+    run_performance,
+    run_trajectory,
+)
+from repro.workloads.diffeq import DIFFEQ_FUS
+
+
+@pytest.fixture(scope="module")
+def fig12(diffeq):
+    return run_fig12(diffeq)
+
+
+class TestFig5:
+    def test_exact_channel_reproduction(self, diffeq):
+        result = run_fig5(diffeq)
+        assert (result.before_controller_channels, result.after_controller_channels) == (10, 5)
+
+    def test_multiway_channels_present(self, diffeq):
+        result = run_fig5(diffeq)
+        assert result.after_multiway >= 2
+        assert any("multi-way" in line for line in result.channels)
+
+    def test_table_renders(self, diffeq):
+        text = run_fig5(diffeq).table()
+        assert "Figure 5" in text and "10" in text and "5" in text
+
+
+class TestFig12:
+    def test_channel_column(self, fig12):
+        assert fig12.channels["unoptimized"] == 17
+        assert fig12.channels["optimized-GT"] == 5
+        assert fig12.channels["optimized-GT-and-LT"] == 5
+
+    def test_monotone_reduction_per_controller(self, fig12):
+        for fu in DIFFEQ_FUS:
+            unopt = fig12.counts["unoptimized"].machines[fu][0]
+            final = fig12.counts["optimized-GT-and-LT"].machines[fu][0]
+            assert final < unopt, fu
+
+    def test_totals_shrink_like_paper(self, fig12):
+        """Paper totals: 104 -> 62 -> 28 states. We check the same
+        two-step monotone shape with at least 40% total reduction."""
+        totals = [fig12.counts[level].total_states for level in
+                  ("unoptimized", "optimized-GT", "optimized-GT-and-LT")]
+        assert totals[2] < totals[1] < totals[0]
+        assert totals[2] < 0.6 * totals[0]
+
+    def test_table_includes_yun_row(self, fig12):
+        assert "YUN (manual)" in fig12.table()
+
+
+class TestFig13:
+    def test_magnitude(self, diffeq):
+        result = run_fig13(diffeq)
+        products, literals = result.totals()
+        paper_products = sum(v[0] for v in PAPER_FIG13.values())
+        paper_literals = sum(v[1] for v in PAPER_FIG13.values())
+        assert products <= 4 * paper_products
+        assert literals <= 4 * paper_literals
+
+    def test_ordering_matches_paper(self, diffeq):
+        """ALU2 largest, MUL2 smallest in every column of Figure 13."""
+        result = run_fig13(diffeq)
+        literals = {fu: result.summaries[fu].literals for fu in DIFFEQ_FUS}
+        assert min(literals, key=literals.get) == "MUL2"
+
+
+class TestTrajectory:
+    def test_ends_at_five_channels(self, diffeq):
+        result = run_trajectory(diffeq)
+        assert result.steps[-1][2] == 5
+
+    def test_monotone_channels(self, diffeq):
+        result = run_trajectory(diffeq)
+        channels = [c for __, __, c in result.steps]
+        assert channels == sorted(channels, reverse=True)
+
+
+class TestPerformance:
+    def test_lt_design_fastest(self, diffeq):
+        result = run_performance(diffeq)
+        assert (
+            result.system_times["optimized-GT-and-LT"]
+            < result.system_times["unoptimized"]
+        )
+
+    def test_token_times_present(self, diffeq):
+        result = run_performance(diffeq)
+        assert result.token_times["optimized-GT"] <= result.token_times["unoptimized"]
+
+
+class TestReferenceNumbers:
+    def test_yun_totals(self):
+        assert sum(v[0] for v in YUN_FIG13.values()) == 93
+        assert sum(v[1] for v in YUN_FIG13.values()) == 307
+
+    def test_paper_totals(self):
+        assert sum(v[0] for v in PAPER_FIG13.values()) == 73
+        assert sum(v[1] for v in PAPER_FIG13.values()) == 244
+
+    def test_fig12_units(self):
+        assert set(YUN_FIG12) == set(DIFFEQ_FUS)
+        for level in PAPER_FIG12.values():
+            assert set(level) == set(DIFFEQ_FUS)

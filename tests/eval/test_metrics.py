@@ -1,0 +1,21 @@
+"""Design counting helpers."""
+
+from repro.afsm import extract_controllers
+from repro.channels import derive_channels
+from repro.eval.metrics import channel_counts, count_design
+from repro.workloads.diffeq import DIFFEQ_FUS
+
+
+class TestCounts:
+    def test_count_design(self, diffeq):
+        design = extract_controllers(diffeq, derive_channels(diffeq))
+        counts = count_design(design)
+        assert counts.channels_total == 17
+        assert counts.channels_controller == 15
+        assert set(counts.machines) == set(DIFFEQ_FUS)
+        assert counts.total_states == sum(s for s, __ in counts.machines.values())
+        assert counts.total_transitions == sum(t for __, t in counts.machines.values())
+
+    def test_channel_counts_helper(self, diffeq):
+        total, controller, multiway = channel_counts(diffeq)
+        assert (total, controller, multiway) == (17, 15, 0)

@@ -1,0 +1,52 @@
+"""Makespan statistics."""
+
+import pytest
+
+from repro import synthesize
+from repro.eval.stats import MakespanStats, measure_makespan, speedup
+from repro.workloads import build_gcd_cdfg, gcd_reference
+
+
+class TestMakespanStats:
+    def test_summary_quantities(self):
+        stats = MakespanStats([10.0, 12.0, 11.0, 13.0])
+        assert stats.count == 4
+        assert stats.minimum == 10.0
+        assert stats.maximum == 13.0
+        assert 11.0 < stats.mean < 12.0
+        low, high = stats.confidence_interval()
+        assert low < stats.mean < high
+
+    def test_single_sample(self):
+        stats = MakespanStats([5.0])
+        assert stats.std == 0.0
+        assert stats.confidence_interval() == (5.0, 5.0)
+
+    def test_str(self):
+        assert "95% CI" in str(MakespanStats([1.0, 2.0]))
+
+
+class TestMeasure:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return synthesize(build_gcd_cdfg())
+
+    def test_samples_per_seed(self, design):
+        stats = measure_makespan(design, seeds=range(6))
+        assert stats.count == 6
+        assert stats.minimum > 0
+
+    def test_verifies_registers(self, design):
+        stats = measure_makespan(
+            design, seeds=range(3), expected_registers=gcd_reference()
+        )
+        assert stats.count == 3
+
+    def test_wrong_reference_raises(self, design):
+        with pytest.raises(AssertionError):
+            measure_makespan(design, seeds=range(2), expected_registers={"A": -1.0})
+
+    def test_speedup(self):
+        baseline = MakespanStats([100.0, 102.0])
+        optimized = MakespanStats([50.0, 52.0])
+        assert 1.9 < speedup(baseline, optimized) < 2.1

@@ -1,0 +1,22 @@
+"""Table rendering."""
+
+from repro.eval.tables import render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(("name", "value"), [("a", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        # columns aligned: 'value' column starts at the same offset
+        offset = lines[0].index("value")
+        assert lines[2][offset:].strip() == "1"
+
+    def test_handles_wide_cells(self):
+        text = render_table(("x",), [("very-wide-cell-content",)])
+        assert "very-wide-cell-content" in text
+
+    def test_numbers_coerced(self):
+        text = render_table(("a", "b"), [(1.5, None)])
+        assert "1.5" in text and "None" in text

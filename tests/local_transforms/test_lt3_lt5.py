@@ -1,0 +1,85 @@
+"""LT3 mux preselection and LT5 signal sharing."""
+
+import pytest
+
+from repro.afsm import extract_controllers
+from repro.afsm.signals import SignalKind
+from repro.local_transforms import (
+    MoveDown,
+    MoveUp,
+    MuxPreselection,
+    RemoveAcknowledgments,
+    SignalSharing,
+)
+from repro.transforms import optimize_global
+from repro.workloads import build_diffeq_cdfg
+
+
+def _machine(fu):
+    cdfg = build_diffeq_cdfg()
+    optimized = optimize_global(cdfg)
+    design = extract_controllers(optimized.cdfg, optimized.plan)
+    machine = design.controllers[fu].machine.copy()
+    RemoveAcknowledgments().apply(machine)
+    MoveDown().apply(machine)
+    MoveUp().apply(machine)
+    return machine
+
+
+class TestMuxPreselection:
+    def test_preselection_applies_on_alu1(self):
+        machine = _machine("ALU1")
+        report = MuxPreselection().apply(machine)
+        assert report.applied
+        # a moved mux selection appears in some earlier fragment's burst
+        assert any("pre-selected" in note for note in report.details)
+
+    def test_all_predecessor_paths_updated(self):
+        """When prologue and steady tails join the same successor, the
+        preselected edge must ride on BOTH tails (polarity safety)."""
+        from repro.afsm.validate import check_machine
+
+        machine = _machine("MUL1")  # has a first-iteration prologue
+        MuxPreselection().apply(machine)
+        check_machine(machine)
+
+    def test_written_register_mux_not_preselected(self):
+        machine = _machine("ALU2")
+        MuxPreselection().apply(machine)
+        from repro.afsm.validate import check_machine
+
+        check_machine(machine)
+
+
+class TestSignalSharing:
+    def test_select_and_latch_share(self):
+        machine = _machine("MUL2")
+        before_outputs = len(machine.outputs())
+        report = SignalSharing().apply(machine)
+        assert report.applied
+        assert len(machine.outputs()) < before_outputs
+        assert any("&" in name for name in report.merged_signals)
+
+    def test_merged_wire_keeps_all_actions(self):
+        machine = _machine("MUL2")
+        SignalSharing().apply(machine)
+        for signal in machine.outputs():
+            if "&" in signal.name:
+                assert signal.action is not None and signal.action[0] == "multi"
+                assert len(signal.action[1]) >= 2
+
+    def test_live_ack_pairs_not_shared(self):
+        machine = _machine("ALU1")
+        SignalSharing().apply(machine)
+        # go wires still have live acks: they may never merge
+        names = {s.name for s in machine.outputs()}
+        assert "go_add_req" in names
+        assert "go_sub_req" in names
+
+    def test_sharing_preserves_validity(self):
+        from repro.afsm.validate import check_machine
+
+        for fu in ("ALU1", "ALU2", "MUL1", "MUL2"):
+            machine = _machine(fu)
+            SignalSharing().apply(machine)
+            check_machine(machine)

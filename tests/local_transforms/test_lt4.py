@@ -1,0 +1,69 @@
+"""LT4: acknowledgment removal."""
+
+import pytest
+
+from repro.afsm import extract_controllers
+from repro.afsm.signals import SignalKind
+from repro.local_transforms import RemoveAcknowledgments
+from repro.transforms import optimize_global
+from repro.workloads import build_diffeq_cdfg
+
+
+@pytest.fixture
+def alu1():
+    cdfg = build_diffeq_cdfg()
+    optimized = optimize_global(cdfg)
+    design = extract_controllers(optimized.cdfg, optimized.plan)
+    return design.controllers["ALU1"].machine.copy()
+
+
+@pytest.fixture
+def alu2():
+    cdfg = build_diffeq_cdfg()
+    optimized = optimize_global(cdfg)
+    design = extract_controllers(optimized.cdfg, optimized.plan)
+    return design.controllers["ALU2"].machine.copy()
+
+
+class TestRemoval:
+    def test_mux_and_latch_acks_removed(self, alu1):
+        report = RemoveAcknowledgments().apply(alu1)
+        assert report.applied
+        names = {s.name for s in alu1.signals()}
+        assert "mux0_Y_ack" not in names
+        assert "reg_A_sel_ALU1_ack" not in names
+        assert "reg_A_latch_ack" not in names
+
+    def test_fu_completion_kept(self, alu1):
+        """The operation's completion is essential (data-dependent
+        delay): its ack survives."""
+        RemoveAcknowledgments().apply(alu1)
+        names = {s.name for s in alu1.signals()}
+        assert "go_add_ack" in names
+        assert "go_sub_ack" in names
+
+    def test_states_fold_away(self, alu1):
+        before = alu1.state_count
+        report = RemoveAcknowledgments().apply(alu1)
+        assert report.folded_states > 0
+        assert alu1.state_count < before
+
+    def test_condition_register_latch_ack_kept(self, alu2):
+        """The LOOP samples C directly: C's latch completion is
+        essential and must survive LT4 (the paper removes only
+        *non-essential* acknowledgments)."""
+        report = RemoveAcknowledgments().apply(alu2)
+        names = {s.name for s in alu2.signals()}
+        assert "reg_C_latch_ack" in names
+        assert any("essential" in note for note in report.details)
+
+    def test_custom_keep_set(self, alu1):
+        report = RemoveAcknowledgments(removable_kinds=frozenset({"src_mux"})).apply(alu1)
+        names = {s.name for s in alu1.signals()}
+        assert "mux0_Y_ack" not in names
+        assert "reg_A_latch_ack" in names  # latch not in removable set
+
+    def test_idempotent(self, alu1):
+        RemoveAcknowledgments().apply(alu1)
+        second = RemoveAcknowledgments().apply(alu1)
+        assert not second.applied

@@ -1,0 +1,63 @@
+"""Local transform scripts over whole designs."""
+
+import pytest
+
+from repro.afsm import extract_controllers
+from repro.local_transforms import optimize_local
+from repro.local_transforms.scripts import STANDARD_LOCAL_SEQUENCE, build_local_sequence
+from repro.sim.system import simulate_system
+from repro.transforms import optimize_global
+from repro.workloads import build_diffeq_cdfg, diffeq_reference
+
+
+@pytest.fixture(scope="module")
+def gt_design():
+    cdfg = build_diffeq_cdfg()
+    optimized = optimize_global(cdfg)
+    return extract_controllers(optimized.cdfg, optimized.plan)
+
+
+class TestScript:
+    def test_sequence_order(self):
+        transforms = build_local_sequence()
+        assert [t.name for t in transforms] == list(STANDARD_LOCAL_SEQUENCE)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            build_local_sequence(("LT9",))
+
+    def test_original_design_untouched(self, gt_design):
+        before = {
+            fu: controller.state_count
+            for fu, controller in gt_design.controllers.items()
+        }
+        optimize_local(gt_design)
+        after = {
+            fu: controller.state_count
+            for fu, controller in gt_design.controllers.items()
+        }
+        assert before == after
+
+    def test_reports_per_machine_per_transform(self, gt_design):
+        result = optimize_local(gt_design)
+        assert len(result.reports) == len(STANDARD_LOCAL_SEQUENCE) * len(gt_design.controllers)
+        assert len(result.reports_for("ALU1")) == len(STANDARD_LOCAL_SEQUENCE)
+
+    def test_every_controller_shrinks(self, gt_design):
+        result = optimize_local(gt_design)
+        for fu, controller in gt_design.controllers.items():
+            optimized = result.design.controllers[fu]
+            assert optimized.state_count < controller.state_count, fu
+
+    def test_correctness_after_script(self, gt_design):
+        result = optimize_local(gt_design)
+        sim = simulate_system(result.design, seed=6)
+        for register, value in diffeq_reference().items():
+            assert sim.registers[register] == value
+
+    def test_figure12_lt_row_shape(self, gt_design):
+        """Figure 12: the LT row roughly halves the GT controllers."""
+        result = optimize_local(gt_design)
+        gt_total = sum(c.state_count for c in gt_design.controllers.values())
+        lt_total = sum(c.state_count for c in result.design.controllers.values())
+        assert lt_total < 0.75 * gt_total

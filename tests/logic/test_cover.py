@@ -1,0 +1,49 @@
+"""Cover operations."""
+
+from repro.logic import Cover, Cube
+
+
+class TestContainment:
+    def test_single_cube(self):
+        cover = Cover([Cube.from_string("1--")])
+        assert cover.contains_cube(Cube.from_string("10-"))
+        assert not cover.contains_cube(Cube.from_string("0--"))
+
+    def test_union_containment(self):
+        """A cube split across members (no single member contains it)."""
+        cover = Cover([Cube.from_string("1-"), Cube.from_string("01")])
+        assert cover.contains_cube(Cube.from_string("-1"))
+        assert not cover.contains_cube(Cube.from_string("--"))
+
+    def test_point_membership(self):
+        cover = Cover([Cube.from_string("1-0")])
+        assert cover.contains_point((1, 0, 0))
+        assert not cover.contains_point((0, 0, 0))
+
+    def test_empty_cover(self):
+        cover = Cover()
+        assert not cover.contains_cube(Cube.from_string("1"))
+        assert str(cover) == "0"
+
+
+class TestMaintenance:
+    def test_drop_contained(self):
+        cover = Cover(
+            [Cube.from_string("1--"), Cube.from_string("10-"), Cube.from_string("0--")]
+        )
+        slim = cover.drop_contained()
+        assert len(slim) == 2
+        assert Cube.from_string("10-") not in slim.cubes
+
+    def test_drop_contained_dedups(self):
+        cover = Cover([Cube.from_string("1-"), Cube.from_string("1-")])
+        assert len(cover.drop_contained()) == 1
+
+    def test_literal_count(self):
+        cover = Cover([Cube.from_string("1-0"), Cube.from_string("111")])
+        assert cover.literal_count() == 5
+
+    def test_intersects_cube(self):
+        cover = Cover([Cube.from_string("11-")])
+        assert cover.intersects_cube(Cube.from_string("1--"))
+        assert not cover.intersects_cube(Cube.from_string("0--"))

@@ -1,0 +1,91 @@
+"""Cube algebra."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic import Cube, DASH
+
+
+class TestConstruction:
+    def test_from_string_roundtrip(self):
+        cube = Cube.from_string("10-1")
+        assert str(cube) == "10-1"
+        assert cube[2] == DASH
+
+    def test_bad_values(self):
+        with pytest.raises(LogicError):
+            Cube((0, 3))
+        with pytest.raises(LogicError):
+            Cube.from_string("10x")
+
+    def test_immutable(self):
+        cube = Cube.from_string("01")
+        with pytest.raises(AttributeError):
+            cube.values = (1, 1)
+
+    def test_full(self):
+        assert str(Cube.full(3)) == "---"
+
+
+class TestRelations:
+    def test_intersects(self):
+        assert Cube.from_string("1-0").intersects(Cube.from_string("-10"))
+        assert not Cube.from_string("1-0").intersects(Cube.from_string("0--"))
+
+    def test_intersection(self):
+        result = Cube.from_string("1--").intersection(Cube.from_string("-0-"))
+        assert str(result) == "10-"
+        assert Cube.from_string("1--").intersection(Cube.from_string("0--")) is None
+
+    def test_contains(self):
+        assert Cube.from_string("1--").contains(Cube.from_string("101"))
+        assert not Cube.from_string("101").contains(Cube.from_string("1--"))
+        assert Cube.from_string("1--").contains(Cube.from_string("1--"))
+
+    def test_contains_point(self):
+        assert Cube.from_string("1-0").contains_point((1, 1, 0))
+        assert not Cube.from_string("1-0").contains_point((0, 1, 0))
+
+    def test_supercube(self):
+        result = Cube.from_string("101").supercube(Cube.from_string("111"))
+        assert str(result) == "1-1"
+
+    def test_distance(self):
+        assert Cube.from_string("101").distance(Cube.from_string("100")) == 1
+        assert Cube.from_string("1--").distance(Cube.from_string("0--")) == 1
+        assert Cube.from_string("1--").distance(Cube.from_string("-0-")) == 0
+
+    def test_width_mismatch(self):
+        with pytest.raises(LogicError):
+            Cube.from_string("10").intersects(Cube.from_string("100"))
+
+
+class TestSharp:
+    def test_disjoint_unchanged(self):
+        cube = Cube.from_string("1--")
+        assert cube.sharp(Cube.from_string("0--")) == [cube]
+
+    def test_contained_vanishes(self):
+        assert Cube.from_string("101").sharp(Cube.from_string("1--")) == []
+
+    def test_partition_is_disjoint_and_complete(self):
+        cube = Cube.from_string("----")
+        hole = Cube.from_string("10-1")
+        pieces = cube.sharp(hole)
+        hole_points = set(hole.minterms())
+        piece_points = [set(p.minterms()) for p in pieces]
+        # pieces are pairwise disjoint
+        for i, left in enumerate(piece_points):
+            for right in piece_points[i + 1 :]:
+                assert not (left & right)
+        # pieces plus hole reconstruct the cube
+        union = set().union(*piece_points) if piece_points else set()
+        assert union | hole_points == set(cube.minterms())
+        assert not (union & hole_points)
+
+    def test_minterm_count(self):
+        assert Cube.from_string("1--0").minterm_count() == 4
+        assert len(list(Cube.from_string("1--0").minterms())) == 4
+
+    def test_literal_count(self):
+        assert Cube.from_string("1--0").literal_count == 2

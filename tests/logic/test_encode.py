@@ -1,0 +1,52 @@
+"""State encoding."""
+
+from repro.afsm import BurstModeMachine, Edge, InputBurst, OutputBurst, Signal, SignalKind
+from repro.logic.encode import _gray, encode_states
+
+
+def _chain(length):
+    machine = BurstModeMachine("chain")
+    machine.declare_signal(Signal("a", SignalKind.GLOBAL_READY, is_input=True))
+    previous = machine.initial_state
+    rising = True
+    for __ in range(length):
+        state = machine.fresh_state()
+        machine.add_transition(previous, state, InputBurst((Edge("a", rising),)), OutputBurst(()))
+        previous = state
+        rising = not rising
+    return machine
+
+
+class TestGray:
+    def test_adjacent_codes_differ_by_one_bit(self):
+        for i in range(31):
+            assert bin(_gray(i) ^ _gray(i + 1)).count("1") == 1
+
+
+class TestEncodeStates:
+    def test_all_states_coded_uniquely(self):
+        machine = _chain(9)
+        codes, bits = encode_states(machine)
+        assert len(codes) == 10
+        assert len(set(codes.values())) == 10
+        assert bits == 4
+
+    def test_initial_state_all_zero(self):
+        machine = _chain(5)
+        codes, __ = encode_states(machine)
+        assert all(bit == 0 for bit in codes[machine.initial_state])
+
+    def test_chain_neighbors_one_bit_apart(self):
+        """The DFS walk follows the chain, so Gray codes give single-bit
+        state transitions along it."""
+        machine = _chain(7)
+        codes, __ = encode_states(machine)
+        for transition in machine.transitions():
+            src, dst = codes[transition.src], codes[transition.dst]
+            assert sum(a != b for a, b in zip(src, dst)) == 1
+
+    def test_single_state_machine(self):
+        machine = BurstModeMachine("lonely")
+        codes, bits = encode_states(machine)
+        assert bits == 1
+        assert codes == {"s0": (0,)}

@@ -1,0 +1,88 @@
+"""Minimizer behaviour with and without hazard constraints."""
+
+from repro.logic import Cover, Cube
+from repro.logic.espresso import expand_cube, irredundant, minimize, repair_privileged
+from repro.logic.hazards import PrivilegedCube, RequiredCube
+
+
+class TestExpand:
+    def test_expands_into_dont_care_space(self):
+        off = Cover([Cube.from_string("00")])
+        grown = expand_cube(Cube.from_string("11"), off, [])
+        # 11 can grow to 1- or -1 (both avoid 00); either is maximal
+        assert grown.literal_count == 1
+        assert not off.intersects_cube(grown)
+
+    def test_blocked_by_off_set(self):
+        off = Cover([Cube.from_string("10"), Cube.from_string("01")])
+        grown = expand_cube(Cube.from_string("11"), off, [])
+        assert grown == Cube.from_string("11")
+
+    def test_respects_privileged(self):
+        # transition cube --, start point 0-: products intersecting it
+        # must contain 0-
+        priv = PrivilegedCube(Cube.from_string("--"), Cube.from_string("0-"))
+        off = Cover([])
+        grown = expand_cube(Cube.from_string("11"), off, [priv])
+        # growing 11 to -1 or 1- would intersect -- without containing 0-
+        # (unless it grows all the way to --, which contains 0-)
+        assert grown == Cube.from_string("--") or grown == Cube.from_string("11")
+        if grown == Cube.from_string("--"):
+            assert grown.contains(priv.start)
+
+
+class TestRepair:
+    def test_repair_grows_to_start(self):
+        priv = PrivilegedCube(Cube.from_string("1--"), Cube.from_string("11-"))
+        cube = Cube.from_string("101")
+        fixed = repair_privileged(cube, Cover([]), [priv])
+        assert fixed.contains(priv.start)
+
+    def test_repair_blocked_by_off(self):
+        priv = PrivilegedCube(Cube.from_string("1--"), Cube.from_string("11-"))
+        off = Cover([Cube.from_string("110")])
+        cube = Cube.from_string("101")
+        fixed = repair_privileged(cube, off, [priv])
+        assert fixed == cube  # growth would touch OFF
+
+
+class TestIrredundant:
+    def test_removes_redundant_product(self):
+        on = [Cube.from_string("11"), Cube.from_string("10")]
+        cover = Cover([Cube.from_string("1-"), Cube.from_string("11")])
+        slim = irredundant(cover, on, [])
+        assert len(slim) == 1
+        assert Cube.from_string("1-") in slim.cubes
+
+    def test_keeps_required_container(self):
+        required = [RequiredCube(Cube.from_string("11"))]
+        on = [Cube.from_string("11")]
+        cover = Cover([Cube.from_string("11"), Cube.from_string("1-")])
+        slim = irredundant(cover, on, required)
+        assert any(product.contains(required[0].cube) for product in slim)
+
+
+class TestMinimize:
+    def test_simple_function(self):
+        # f = x OR y over 2 vars: ON = {10, 01, 11}, OFF = {00}
+        on = [Cube.from_string("10"), Cube.from_string("01"), Cube.from_string("11")]
+        off = Cover([Cube.from_string("00")])
+        cover = minimize(on, off)
+        assert len(cover) == 2
+        assert cover.literal_count() == 2  # x + y
+
+    def test_required_cube_single_product(self):
+        # required cube 1-- must live inside one product
+        on = [Cube.from_string("1--")]
+        off = Cover([Cube.from_string("0-0")])
+        required = [RequiredCube(Cube.from_string("1--"))]
+        cover = minimize(on, off, required=required)
+        assert any(p.contains(Cube.from_string("1--")) for p in cover)
+
+    def test_cover_never_touches_off(self):
+        on = [Cube.from_string("110"), Cube.from_string("011")]
+        off = Cover([Cube.from_string("000"), Cube.from_string("101")])
+        cover = minimize(on, off)
+        for product in cover:
+            for off_cube in off:
+                assert not product.intersects(off_cube)

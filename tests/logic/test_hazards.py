@@ -1,0 +1,61 @@
+"""Hazard-freedom predicates."""
+
+import pytest
+
+from repro.errors import HazardError
+from repro.logic import Cover, Cube
+from repro.logic.hazards import (
+    PrivilegedCube,
+    RequiredCube,
+    assert_hazard_free,
+    check_hazard_free,
+)
+
+
+class TestRequired:
+    def test_satisfied_by_single_product(self):
+        req = RequiredCube(Cube.from_string("1-0"))
+        assert req.satisfied_by(Cover([Cube.from_string("1--")]))
+
+    def test_split_coverage_insufficient(self):
+        """Union coverage is NOT enough: the cube must sit inside one
+        product or the OR gate may glitch mid-burst."""
+        req = RequiredCube(Cube.from_string("1--"))
+        split = Cover([Cube.from_string("1-0"), Cube.from_string("1-1")])
+        assert not req.satisfied_by(split)
+        problems = check_hazard_free(split, [req], [], Cover([]))
+        assert any("required cube" in p for p in problems)
+
+
+class TestPrivileged:
+    def test_illegal_intersection(self):
+        priv = PrivilegedCube(Cube.from_string("1--"), Cube.from_string("10-"))
+        assert priv.illegally_intersected_by(Cube.from_string("11-"))
+        assert not priv.illegally_intersected_by(Cube.from_string("10-"))
+        assert not priv.illegally_intersected_by(Cube.from_string("0--"))
+
+    def test_containing_start_is_legal(self):
+        priv = PrivilegedCube(Cube.from_string("1--"), Cube.from_string("10-"))
+        assert not priv.illegally_intersected_by(Cube.from_string("1--"))
+
+
+class TestChecker:
+    def test_off_set_violation(self):
+        cover = Cover([Cube.from_string("1-")])
+        problems = check_hazard_free(cover, [], [], Cover([Cube.from_string("11")]))
+        assert any("OFF-set" in p for p in problems)
+
+    def test_assert_raises(self):
+        with pytest.raises(HazardError):
+            assert_hazard_free(
+                Cover([Cube.from_string("1-")]), [], [], Cover([Cube.from_string("11")])
+            )
+
+    def test_clean_cover_passes(self):
+        cover = Cover([Cube.from_string("1-")])
+        assert check_hazard_free(
+            cover,
+            [RequiredCube(Cube.from_string("11"))],
+            [PrivilegedCube(Cube.from_string("1-"), Cube.from_string("10"))],
+            Cover([Cube.from_string("0-")]),
+        ) == []

@@ -1,0 +1,79 @@
+"""Property-based tests for the cube algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import Cover, Cube, DASH
+
+WIDTH = 5
+
+values = st.sampled_from([0, 1, DASH])
+cubes = st.builds(Cube, st.tuples(*([values] * WIDTH)))
+points = st.tuples(*([st.sampled_from([0, 1])] * WIDTH))
+
+
+class TestRelationLaws:
+    @given(cubes, cubes)
+    def test_intersects_symmetric(self, left, right):
+        assert left.intersects(right) == right.intersects(left)
+
+    @given(cubes, cubes)
+    def test_intersection_contained_in_both(self, left, right):
+        shared = left.intersection(right)
+        if shared is not None:
+            assert left.contains(shared)
+            assert right.contains(shared)
+
+    @given(cubes, cubes)
+    def test_supercube_contains_both(self, left, right):
+        union = left.supercube(right)
+        assert union.contains(left)
+        assert union.contains(right)
+
+    @given(cubes, cubes, points)
+    def test_containment_pointwise(self, left, right, point):
+        if left.contains(right) and right.contains_point(point):
+            assert left.contains_point(point)
+
+    @given(cubes, points)
+    def test_minterm_membership_consistent(self, cube, point):
+        assert cube.contains_point(point) == (point in set(cube.minterms()))
+
+
+class TestSharpLaws:
+    @given(cubes, cubes)
+    def test_sharp_is_set_difference(self, left, right):
+        pieces = left.sharp(right)
+        left_points = set(left.minterms())
+        right_points = set(right.minterms())
+        piece_points = set()
+        for piece in pieces:
+            piece_points |= set(piece.minterms())
+        assert piece_points == left_points - right_points
+
+    @given(cubes, cubes)
+    def test_sharp_pieces_disjoint(self, left, right):
+        pieces = left.sharp(right)
+        seen = set()
+        for piece in pieces:
+            piece_points = set(piece.minterms())
+            assert not (piece_points & seen)
+            seen |= piece_points
+
+
+class TestCoverLaws:
+    @given(st.lists(cubes, max_size=4), cubes)
+    def test_contains_cube_matches_pointwise(self, members, candidate):
+        cover = Cover(members)
+        expected = all(
+            cover.contains_point(point) for point in candidate.minterms()
+        )
+        assert cover.contains_cube(candidate) == expected
+
+    @given(st.lists(cubes, max_size=5))
+    def test_drop_contained_preserves_semantics(self, members):
+        cover = Cover(members)
+        slim = cover.drop_contained()
+        for point_source in members:
+            for point in point_source.minterms():
+                assert slim.contains_point(point)

@@ -1,0 +1,57 @@
+"""Property tests over the local-transform pipeline.
+
+Random subsets of LT1..LT5 applied in random (canonicalized) order to
+every controller must keep the machines valid and the system correct.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.afsm import extract_controllers
+from repro.afsm.validate import check_machine
+from repro.local_transforms import optimize_local
+from repro.local_transforms.scripts import STANDARD_LOCAL_SEQUENCE
+from repro.sim.system import simulate_system
+from repro.transforms import optimize_global
+from repro.workloads import build_diffeq_cdfg, diffeq_reference
+
+_GT_DESIGN = None
+
+
+def _design():
+    global _GT_DESIGN
+    if _GT_DESIGN is None:
+        cdfg = build_diffeq_cdfg()
+        optimized = optimize_global(cdfg)
+        _GT_DESIGN = extract_controllers(optimized.cdfg, optimized.plan)
+    return _GT_DESIGN
+
+
+@settings(max_examples=16, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    subset=st.sets(st.sampled_from(STANDARD_LOCAL_SEQUENCE)),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_any_lt_subset_keeps_design_correct(subset, seed):
+    design = _design()
+    result = optimize_local(design, enabled=tuple(subset))
+    for controller in result.design.controllers.values():
+        check_machine(controller.machine)
+    sim = simulate_system(result.design, seed=seed)
+    expected = diffeq_reference()
+    for register, value in expected.items():
+        assert sim.registers[register] == value
+    assert not sim.hazards
+    assert not sim.violations
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(subset=st.sets(st.sampled_from(STANDARD_LOCAL_SEQUENCE), min_size=1))
+def test_lt_subsets_never_grow_machines(subset):
+    design = _design()
+    result = optimize_local(design, enabled=tuple(subset))
+    for fu, controller in design.controllers.items():
+        optimized = result.design.controllers[fu]
+        assert optimized.state_count <= controller.state_count
+        assert optimized.transition_count <= controller.transition_count

@@ -1,0 +1,67 @@
+"""Property tests over workload parameters: full pipeline correctness.
+
+Randomized problem parameters are pushed through the entire flow
+(builder -> GT script -> extraction -> LT script -> system sim) and the
+final register files are compared with the golden models.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.afsm import extract_controllers
+from repro.local_transforms import optimize_local
+from repro.sim import simulate_tokens
+from repro.sim.system import simulate_system
+from repro.transforms import optimize_global
+from repro.workloads import (
+    build_diffeq_cdfg,
+    build_gcd_cdfg,
+    diffeq_reference,
+    gcd_reference,
+)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    dx=st.sampled_from([0.0625, 0.125, 0.25, 0.5]),
+    a=st.sampled_from([0.5, 1.0, 1.5]),
+    y0=st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+    u0=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+)
+def test_diffeq_full_pipeline_any_parameters(dx, a, y0, u0):
+    cdfg = build_diffeq_cdfg({"dx": dx, "a": a, "y0": y0, "u0": u0})
+    expected = diffeq_reference(dx=dx, a=a, y0=y0, u0=u0)
+
+    token = simulate_tokens(cdfg, seed=0)
+    for register, value in expected.items():
+        assert token.registers[register] == value
+
+    optimized = optimize_global(cdfg)
+    design = optimize_local(
+        extract_controllers(optimized.cdfg, optimized.plan)
+    ).design
+    system = simulate_system(design, seed=0)
+    for register, value in expected.items():
+        assert system.registers[register] == value
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    a0=st.integers(min_value=1, max_value=300),
+    b0=st.integers(min_value=1, max_value=300),
+)
+def test_gcd_full_pipeline_any_operands(a0, b0):
+    cdfg = build_gcd_cdfg(a0, b0)
+    expected = gcd_reference(a0, b0)
+
+    optimized = optimize_global(cdfg)
+    design = optimize_local(
+        extract_controllers(optimized.cdfg, optimized.plan)
+    ).design
+    system = simulate_system(design, seed=1)
+    for register, value in expected.items():
+        assert system.registers[register] == value
+    import math
+
+    assert system.registers["A"] == math.gcd(a0, b0)

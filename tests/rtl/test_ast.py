@@ -1,0 +1,53 @@
+"""AST invariants."""
+
+import pytest
+
+from repro.rtl.ast import BinaryExpr, Operand, RtlStatement, expr_reads
+
+
+class TestOperand:
+    def test_requires_exactly_one_of_register_or_literal(self):
+        with pytest.raises(ValueError):
+            Operand()
+        with pytest.raises(ValueError):
+            Operand(register="A", literal=1)
+
+    def test_rejects_non_numeric_literal(self):
+        with pytest.raises(ValueError):
+            Operand(literal="seven")
+
+    def test_str(self):
+        assert str(Operand(register="A")) == "A"
+        assert str(Operand(literal=3)) == "3"
+
+
+class TestBinaryExpr:
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            BinaryExpr("%", Operand(register="A"), Operand(register="B"))
+
+    def test_reads_ignores_literals(self):
+        expr = BinaryExpr("+", Operand(register="A"), Operand(literal=1))
+        assert expr_reads(expr) == frozenset({"A"})
+
+    def test_reads_same_register_twice(self):
+        expr = BinaryExpr("*", Operand(register="A"), Operand(register="A"))
+        assert expr_reads(expr) == frozenset({"A"})
+
+
+class TestRtlStatement:
+    def test_copy_flag(self):
+        copy = RtlStatement("B", Operand(register="A"))
+        assert copy.is_copy and copy.operator is None
+        op = RtlStatement("B", BinaryExpr("+", Operand(register="A"), Operand(register="C")))
+        assert not op.is_copy and op.operator == "+"
+
+    def test_reads_writes(self):
+        op = RtlStatement("B", BinaryExpr("+", Operand(register="A"), Operand(register="C")))
+        assert op.reads == frozenset({"A", "C"})
+        assert op.writes == "B"
+
+    def test_self_referential_statement(self):
+        op = RtlStatement("X", BinaryExpr("+", Operand(register="X"), Operand(register="dx")))
+        assert "X" in op.reads
+        assert op.writes == "X"

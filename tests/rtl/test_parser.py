@@ -1,0 +1,90 @@
+"""Parser tests for the RTL statement micro-language."""
+
+import pytest
+
+from repro.errors import RtlSyntaxError
+from repro.rtl import BinaryExpr, Operand, parse_statement
+
+
+class TestParseBinary:
+    def test_addition(self):
+        statement = parse_statement("A := Y + M1")
+        assert statement.dest == "A"
+        assert isinstance(statement.expr, BinaryExpr)
+        assert statement.expr.op == "+"
+        assert statement.expr.left.register == "Y"
+        assert statement.expr.right.register == "M1"
+
+    @pytest.mark.parametrize("op", ["+", "-", "*", "/", "<", "<=", ">", ">=", "==", "!="])
+    def test_every_operator(self, op):
+        statement = parse_statement(f"R := A {op} B")
+        assert statement.operator == op
+
+    def test_numeric_literal_operand(self):
+        statement = parse_statement("X := X + 1")
+        assert statement.expr.right.literal == 1
+        assert not statement.expr.right.is_register
+
+    def test_float_literal(self):
+        statement = parse_statement("X := X * 0.5")
+        assert statement.expr.right.literal == 0.5
+
+    def test_identifier_with_digits(self):
+        statement = parse_statement("M1 := U * X1")
+        assert statement.dest == "M1"
+        assert statement.reads == frozenset({"U", "X1"})
+
+    def test_whitespace_insensitive(self):
+        compact = parse_statement("A:=Y+M1")
+        spaced = parse_statement("A  :=  Y  +  M1")
+        assert compact == spaced
+
+
+class TestParseCopy:
+    def test_register_copy(self):
+        statement = parse_statement("X1 := X")
+        assert statement.is_copy
+        assert statement.reads == frozenset({"X"})
+        assert statement.writes == "X1"
+        assert statement.operator is None
+
+    def test_literal_copy(self):
+        statement = parse_statement("I := 0")
+        assert statement.is_copy
+        assert statement.reads == frozenset()
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "A",
+            "A :=",
+            ":= B",
+            "A := B +",
+            "A := B + C + D",
+            "A := + B",
+            "1 := B",
+            "A = B",
+            "A := B $ C",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(RtlSyntaxError):
+            parse_statement(bad)
+
+    def test_error_carries_text(self):
+        with pytest.raises(RtlSyntaxError) as info:
+            parse_statement("A := B %% C")
+        assert "A := B %% C" in str(info.value)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        ["A := Y + M1", "X1 := X", "C := X < a", "B := dx2 + dx", "M1 := U * X1"],
+    )
+    def test_str_reparses(self, text):
+        statement = parse_statement(text)
+        assert parse_statement(str(statement)) == statement

@@ -1,0 +1,58 @@
+"""Evaluation semantics of RTL statements."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.rtl import execute_statement, evaluate_expr, parse_statement
+from repro.rtl.semantics import _apply
+
+
+class TestEvaluate:
+    def test_arithmetic(self):
+        registers = {"Y": 2.0, "M1": 3.0}
+        statement = parse_statement("A := Y + M1")
+        assert evaluate_expr(statement.expr, registers) == 5.0
+
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("+", 2, 3, 5),
+            ("-", 2, 3, -1),
+            ("*", 2, 3, 6),
+            ("/", 6, 3, 2),
+            ("<", 2, 3, 1),
+            ("<", 3, 2, 0),
+            ("<=", 3, 3, 1),
+            (">", 3, 2, 1),
+            (">=", 2, 3, 0),
+            ("==", 2, 2, 1),
+            ("!=", 2, 2, 0),
+        ],
+    )
+    def test_operators(self, op, left, right, expected):
+        assert _apply(op, left, right) == expected
+
+    def test_comparison_returns_int(self):
+        assert _apply("<", 1.5, 2.5) == 1
+        assert isinstance(_apply("<", 1.5, 2.5), int)
+
+    def test_uninitialized_register_raises(self):
+        with pytest.raises(SimulationError):
+            evaluate_expr(parse_statement("A := B + C").expr, {"B": 1.0})
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(SimulationError):
+            evaluate_expr(parse_statement("A := B / C").expr, {"B": 1.0, "C": 0.0})
+
+
+class TestExecute:
+    def test_writes_destination(self):
+        registers = {"X": 1.0, "dx": 0.5}
+        value = execute_statement(parse_statement("X := X + dx"), registers)
+        assert value == 1.5
+        assert registers["X"] == 1.5
+
+    def test_copy(self):
+        registers = {"X": 7.0}
+        execute_statement(parse_statement("X1 := X"), registers)
+        assert registers["X1"] == 7.0

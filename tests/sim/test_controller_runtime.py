@@ -1,0 +1,110 @@
+"""Controller interpreter edge cases."""
+
+import pytest
+
+from repro.afsm import BurstModeMachine, Cond, Edge, InputBurst, OutputBurst, Signal, SignalKind
+from repro.errors import SimulationError
+from repro.sim.controller import ControllerRuntime, GlobalWire
+from repro.sim.datapath import Datapath
+from repro.sim.kernel import EventKernel
+
+
+def _runtime(machine, registers=None):
+    kernel = EventKernel()
+    datapath = Datapath(kernel, initial_registers=registers or {}, inputs={})
+    wires = {
+        signal.name: GlobalWire(signal.name, ["FU"])
+        for signal in machine.signals()
+        if signal.kind is SignalKind.GLOBAL_READY
+    }
+    runtime = ControllerRuntime(
+        fu="FU", machine=machine, kernel=kernel, datapath=datapath, wires=wires
+    )
+    return kernel, runtime, wires
+
+
+class TestFiring:
+    def test_fires_on_queued_event(self):
+        machine = BurstModeMachine("m")
+        machine.declare_signal(Signal("w", SignalKind.GLOBAL_READY, is_input=True))
+        s1 = machine.fresh_state()
+        machine.add_transition("s0", s1, InputBurst((Edge("w", True),)), OutputBurst(()))
+        kernel, runtime, wires = _runtime(machine)
+        wires["w"].emit(0.0, rising=True)
+        runtime.poke()
+        kernel.run()
+        assert runtime.state == s1
+        assert runtime.transitions_taken == 1
+
+    def test_direction_blocks(self):
+        machine = BurstModeMachine("m")
+        machine.declare_signal(Signal("w", SignalKind.GLOBAL_READY, is_input=True))
+        s1 = machine.fresh_state()
+        machine.add_transition("s0", s1, InputBurst((Edge("w", False),)), OutputBurst(()))
+        kernel, runtime, wires = _runtime(machine)
+        wires["w"].emit(0.0, rising=True)  # wrong direction
+        runtime.poke()
+        kernel.run()
+        assert runtime.state == "s0"
+
+    def test_conditional_sampling(self):
+        machine = BurstModeMachine("m")
+        machine.declare_signal(
+            Signal("cond_C", SignalKind.CONDITIONAL, is_input=True, action=("cond", "C"))
+        )
+        taken = machine.fresh_state()
+        skipped = machine.fresh_state()
+        machine.add_transition("s0", taken, InputBurst((), (Cond("cond_C", True),)), OutputBurst(()))
+        machine.add_transition("s0", skipped, InputBurst((), (Cond("cond_C", False),)), OutputBurst(()))
+        kernel, runtime, __ = _runtime(machine, registers={"C": 1.0})
+        runtime.poke()
+        kernel.run()
+        assert runtime.state == taken
+
+    def test_nondeterminism_detected(self):
+        machine = BurstModeMachine("m")
+        machine.declare_signal(Signal("w", SignalKind.GLOBAL_READY, is_input=True))
+        a = machine.fresh_state()
+        b = machine.fresh_state()
+        machine.add_transition("s0", a, InputBurst((Edge("w", True),)), OutputBurst(()))
+        machine.add_transition("s0", b, InputBurst((Edge("w", True),)), OutputBurst(()))
+        kernel, runtime, wires = _runtime(machine)
+        wires["w"].emit(0.0, rising=True)
+        runtime.poke()
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_local_request_drives_datapath(self):
+        machine = BurstModeMachine("m")
+        machine.declare_signal(Signal("go", SignalKind.GLOBAL_READY, is_input=True))
+        machine.declare_signal(
+            Signal(
+                "reg_R_sel_X_req",
+                SignalKind.LOCAL_REQ,
+                is_input=False,
+                partner="reg_R_sel_X_ack",
+                action=("reg_mux", "R", ("reg", "X")),
+            )
+        )
+        machine.declare_signal(
+            Signal(
+                "reg_R_sel_X_ack",
+                SignalKind.LOCAL_ACK,
+                is_input=True,
+                partner="reg_R_sel_X_req",
+            )
+        )
+        s1 = machine.fresh_state()
+        s2 = machine.fresh_state()
+        machine.add_transition(
+            "s0", s1, InputBurst((Edge("go", True),)), OutputBurst((Edge("reg_R_sel_X_req", True),))
+        )
+        machine.add_transition(
+            s1, s2, InputBurst((Edge("reg_R_sel_X_ack", True),)), OutputBurst(())
+        )
+        kernel, runtime, wires = _runtime(machine, registers={"X": 9.0})
+        wires["go"].emit(0.0, rising=True)
+        runtime.poke()
+        kernel.run()
+        assert runtime.state == s2
+        assert runtime.datapath.reg_muxes["R"] == ("reg", "X")

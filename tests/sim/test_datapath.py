@@ -1,0 +1,126 @@
+"""Datapath model unit tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.datapath import Datapath
+from repro.sim.kernel import EventKernel
+
+
+@pytest.fixture
+def datapath():
+    kernel = EventKernel()
+    dp = Datapath(kernel, initial_registers={"A": 3.0, "B": 4.0}, inputs={"k": 2.0})
+    return kernel, dp
+
+
+def _run(kernel):
+    return kernel.run()
+
+
+class TestSourceMux:
+    def test_select_then_compute(self, datapath):
+        kernel, dp = datapath
+        done = []
+        dp.request(("src_mux", "ALU", 0, ("reg", "A")), lambda: done.append("m0"))
+        dp.request(("src_mux", "ALU", 1, ("reg", "B")), lambda: done.append("m1"))
+        _run(kernel)
+        dp.request(("fu_go", "ALU", "+"), lambda: done.append("go"))
+        _run(kernel)
+        assert dp.fu_outputs["ALU"] == 7.0
+        assert done == ["m0", "m1", "go"]
+
+    def test_constant_operand(self, datapath):
+        kernel, dp = datapath
+        dp.request(("src_mux", "ALU", 0, ("reg", "A")), lambda: None)
+        dp.request(("src_mux", "ALU", 1, ("const", 10.0)), lambda: None)
+        _run(kernel)
+        dp.request(("fu_go", "ALU", "*"), lambda: None)
+        _run(kernel)
+        assert dp.fu_outputs["ALU"] == 30.0
+
+
+class TestRegisterWrite:
+    def test_latch_from_fu(self, datapath):
+        kernel, dp = datapath
+        dp.request(("src_mux", "ALU", 0, ("reg", "A")), lambda: None)
+        dp.request(("src_mux", "ALU", 1, ("reg", "B")), lambda: None)
+        _run(kernel)
+        dp.request(("fu_go", "ALU", "-"), lambda: None)
+        _run(kernel)
+        dp.request(("reg_mux", "R", ("fu", "ALU")), lambda: None)
+        _run(kernel)
+        dp.request(("latch", "R"), lambda: None)
+        _run(kernel)
+        assert dp.registers["R"] == -1.0
+
+    def test_copy_route(self, datapath):
+        kernel, dp = datapath
+        dp.request(("reg_mux", "R", ("reg", "A")), lambda: None)
+        _run(kernel)
+        dp.request(("latch", "R"), lambda: None)
+        _run(kernel)
+        assert dp.registers["R"] == 3.0
+
+    def test_latch_without_mux_selection(self, datapath):
+        kernel, dp = datapath
+        dp.request(("latch", "R"), lambda: None)
+        with pytest.raises(SimulationError):
+            _run(kernel)
+
+    def test_write_to_input_rejected(self, datapath):
+        kernel, dp = datapath
+        with pytest.raises(SimulationError):
+            dp.request(("latch", "k"), lambda: None)
+
+
+class TestHazardDetection:
+    def test_mux_settling_during_capture_flagged(self, datapath):
+        kernel, dp = datapath
+        dp.request(("reg_mux", "R", ("reg", "A")), lambda: None)
+        _run(kernel)
+        # re-steer the mux while the latch is already capturing: the
+        # mux settle window (issued at t+0.3) overlaps the capture end
+        dp.request(("latch", "R"), lambda: None)
+        kernel.schedule(
+            0.3, lambda: dp.request(("reg_mux", "R", ("reg", "B")), lambda: None)
+        )
+        _run(kernel)
+        assert dp.hazards  # mux was still settling when R captured
+
+    def test_clean_sequence_no_hazard(self, datapath):
+        kernel, dp = datapath
+        dp.request(("reg_mux", "R", ("reg", "A")), lambda: None)
+        _run(kernel)
+        dp.request(("latch", "R"), lambda: None)
+        _run(kernel)
+        assert dp.hazards == []
+
+
+class TestMultiAction:
+    def test_fork_completes_after_slowest(self, datapath):
+        kernel, dp = datapath
+        done = []
+        action = ("multi", (("reg_mux", "R", ("reg", "A")), ("latch", "R")))
+        dp.request(action, lambda: done.append("ok"))
+        _run(kernel)
+        assert done == ["ok"]
+        assert dp.registers["R"] == 3.0
+
+    def test_release(self, datapath):
+        kernel, dp = datapath
+        done = []
+        dp.release(("latch", "R"), lambda: done.append("released"))
+        _run(kernel)
+        assert done == ["released"]
+
+
+class TestConditions:
+    def test_condition_level(self, datapath):
+        __, dp = datapath
+        dp.registers["C"] = 0.0
+        assert dp.condition_level("C") is False
+        dp.registers["C"] = 1.0
+        assert dp.condition_level("C") is True
+        with pytest.raises(SimulationError):
+            dp.condition_level("missing")

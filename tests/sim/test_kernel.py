@@ -1,0 +1,60 @@
+"""Event kernel determinism and limits."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventKernel
+
+
+class TestKernel:
+    def test_time_ordering(self):
+        kernel = EventKernel()
+        log = []
+        kernel.schedule(3.0, lambda: log.append("late"))
+        kernel.schedule(1.0, lambda: log.append("early"))
+        kernel.schedule(2.0, lambda: log.append("middle"))
+        kernel.run()
+        assert log == ["early", "middle", "late"]
+
+    def test_ties_broken_by_insertion(self):
+        kernel = EventKernel()
+        log = []
+        for i in range(5):
+            kernel.schedule(1.0, lambda i=i: log.append(i))
+        kernel.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_nested_scheduling(self):
+        kernel = EventKernel()
+        log = []
+
+        def outer():
+            log.append("outer")
+            kernel.schedule(0.5, lambda: log.append("inner"))
+
+        kernel.schedule(1.0, outer)
+        end = kernel.run()
+        assert log == ["outer", "inner"]
+        assert end == 1.5
+
+    def test_negative_delay_rejected(self):
+        kernel = EventKernel()
+        with pytest.raises(SimulationError):
+            kernel.schedule(-1.0, lambda: None)
+
+    def test_event_limit(self):
+        kernel = EventKernel()
+
+        def forever():
+            kernel.schedule(1.0, forever)
+
+        kernel.schedule(1.0, forever)
+        with pytest.raises(SimulationError):
+            kernel.run(max_events=100)
+
+    def test_now_advances(self):
+        kernel = EventKernel()
+        seen = []
+        kernel.schedule(2.5, lambda: seen.append(kernel.now))
+        kernel.run()
+        assert seen == [2.5]

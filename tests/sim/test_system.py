@@ -1,0 +1,127 @@
+"""AFSM-level system simulation."""
+
+import pytest
+
+from repro.afsm import extract_controllers
+from repro.channels import derive_channels
+from repro.local_transforms import optimize_local
+from repro.sim.controller import GlobalWire
+from repro.sim.system import ControllerSystem, simulate_system
+from repro.timing import DelayModel
+from repro.transforms import optimize_global
+from repro.workloads import (
+    build_diffeq_cdfg,
+    build_ewf_cdfg,
+    build_gcd_cdfg,
+    diffeq_reference,
+    ewf_reference,
+    gcd_reference,
+)
+from repro.errors import ChannelSafetyError, SimulationError
+
+
+def _levels(cdfg):
+    unopt = extract_controllers(cdfg, derive_channels(cdfg))
+    optimized = optimize_global(cdfg)
+    gt = extract_controllers(optimized.cdfg, optimized.plan)
+    lt = optimize_local(gt).design
+    return {"unopt": unopt, "gt": gt, "gt+lt": lt}
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("level", ["unopt", "gt", "gt+lt"])
+    def test_diffeq(self, level):
+        designs = _levels(build_diffeq_cdfg())
+        result = simulate_system(designs[level], seed=13)
+        for register, value in diffeq_reference().items():
+            assert result.registers[register] == value
+        assert not result.hazards
+        assert not result.violations
+
+    def test_gcd_with_conditionals(self):
+        designs = _levels(build_gcd_cdfg(270, 192))
+        for level, design in designs.items():
+            result = simulate_system(design, seed=2)
+            assert result.registers["A"] == 6, level
+
+    def test_ewf(self):
+        designs = _levels(build_ewf_cdfg(n=5))
+        expected = ewf_reference(n=5)
+        for level, design in designs.items():
+            result = simulate_system(design, seed=5)
+            for register, value in expected.items():
+                assert result.registers[register] == value, (level, register)
+
+    def test_local_transforms_speed_up(self):
+        designs = _levels(build_diffeq_cdfg())
+        slow = simulate_system(designs["gt"], seed=3).end_time
+        fast = simulate_system(designs["gt+lt"], seed=3).end_time
+        assert fast < slow
+
+    def test_deterministic_without_seed_variation(self):
+        designs = _levels(build_diffeq_cdfg())
+        first = simulate_system(designs["gt"], seed=17)
+        second = simulate_system(designs["gt"], seed=17)
+        assert first.end_time == second.end_time
+        assert first.registers == second.registers
+
+    def test_transition_counts_reported(self):
+        designs = _levels(build_diffeq_cdfg())
+        result = simulate_system(designs["gt"], seed=1)
+        assert set(result.transitions_taken) == {"ALU1", "ALU2", "MUL1", "MUL2"}
+        assert all(count > 0 for count in result.transitions_taken.values())
+
+    def test_wire_event_counts(self):
+        designs = _levels(build_diffeq_cdfg())
+        result = simulate_system(designs["gt"], seed=1)
+        assert sum(result.wire_events.values()) > 0
+
+
+class TestGlobalWire:
+    def test_direction_aware_queues(self):
+        wire = GlobalWire("w", ["X"])
+        wire.emit(0.0, rising=False)
+        assert not wire.available("X", rising=True)
+        assert wire.available("X", rising=False)
+        wire.emit(0.0, rising=True)
+        wire.consume("X", rising=True)
+        assert wire.available("X", rising=False)
+
+    def test_double_same_direction_violation(self):
+        wire = GlobalWire("w", ["X"])
+        wire.emit(0.0, rising=True)
+        with pytest.raises(ChannelSafetyError):
+            wire.emit(1.0, rising=True)
+
+    def test_non_strict_records(self):
+        wire = GlobalWire("w", ["X"], strict=False)
+        wire.emit(0.0, rising=True)
+        wire.emit(1.0, rising=True)
+        assert wire.violations
+
+    def test_ddc_debt_absorbs_future_event(self):
+        wire = GlobalWire("w", ["X"])
+        wire.consume_ddc("X", rising=False)  # fires before the event
+        wire.emit(0.0, rising=False)  # absorbed silently
+        assert not wire.available("X", rising=False)
+
+    def test_consume_missing_raises(self):
+        wire = GlobalWire("w", ["X"])
+        with pytest.raises(SimulationError):
+            wire.consume("X", rising=True)
+
+
+class TestRobustness:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_gt_lt_many_seeds(self, seed):
+        designs = _levels(build_diffeq_cdfg())
+        result = simulate_system(designs["gt+lt"], seed=seed)
+        for register, value in diffeq_reference().items():
+            assert result.registers[register] == value
+
+    def test_slow_multipliers(self):
+        designs = _levels(build_diffeq_cdfg())
+        slow = DelayModel().with_override("MUL1", "*", (20.0, 30.0))
+        result = simulate_system(designs["gt+lt"], delays=slow, seed=1)
+        for register, value in diffeq_reference().items():
+            assert result.registers[register] == value

@@ -1,0 +1,119 @@
+"""CDFG token simulation semantics."""
+
+import pytest
+
+from repro.cdfg import Arc, CdfgBuilder
+from repro.cdfg.arc import control_tag
+from repro.errors import ChannelSafetyError, SimulationError
+from repro.sim import simulate_tokens
+from repro.sim.token_sim import TokenSimulator
+from repro.workloads import (
+    build_diffeq_cdfg,
+    build_ewf_cdfg,
+    build_gcd_cdfg,
+    diffeq_reference,
+    ewf_reference,
+    gcd_reference,
+)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("seed", [None, 0, 1, 2])
+    def test_diffeq_matches_reference(self, diffeq, seed):
+        result = simulate_tokens(diffeq, seed=seed)
+        for register, value in diffeq_reference().items():
+            assert result.registers[register] == value
+
+    def test_loop_iteration_count(self, diffeq):
+        result = simulate_tokens(diffeq)
+        assert result.loop_iterations["LOOP"] == 8  # (1.0 - 0.0) / 0.125
+
+    def test_parameterized_diffeq(self):
+        cdfg = build_diffeq_cdfg({"dx": 0.5, "a": 2.0, "y0": 3.0})
+        result = simulate_tokens(cdfg)
+        expected = diffeq_reference(dx=0.5, a=2.0, y0=3.0)
+        for register, value in expected.items():
+            assert result.registers[register] == value
+
+    def test_gcd_branches_both_taken(self, gcd):
+        result = simulate_tokens(gcd)
+        assert result.registers["A"] == gcd_reference()["A"]
+        # both branch bodies fired at least once for 84, 36
+        assert result.firing_count("A := A - B") >= 1
+        assert result.firing_count("B := B - A") >= 1
+
+    def test_zero_iteration_loop(self):
+        cdfg = build_diffeq_cdfg({"x0": 5.0, "a": 1.0})  # C starts false
+        result = simulate_tokens(cdfg)
+        assert result.loop_iterations.get("LOOP", 0) == 0
+        assert result.registers["X"] == 5.0
+
+    def test_every_node_fires_once_per_iteration(self, ewf):
+        result = simulate_tokens(ewf)
+        iterations = result.loop_iterations["LOOP"]
+        assert result.firing_count("Y := T1 + T2") == iterations
+
+
+class TestChannelSafety:
+    def test_clean_designs_have_no_violations(self, diffeq, gcd, ewf):
+        for cdfg in (diffeq, gcd, ewf):
+            result = simulate_tokens(cdfg, seed=1)
+            assert result.violations == []
+
+    def test_unsafe_graph_detected(self):
+        """Removing GT1-D style protection and over-fanning a wire is
+        caught: two tokens on one arc raise ChannelSafetyError."""
+        builder = CdfgBuilder("unsafe")
+        with builder.loop("C", fu="FAST"):
+            builder.op("T := T + K", fu="FAST")
+            builder.op("C := T < L", fu="FAST")
+            builder.op("S := S * K", fu="SLOW")
+        cdfg = builder.build(initial={"T": 0, "C": 1, "S": 1, "K": 2, "L": 50})
+        # drop the ENDLOOP synchronization of the slow unit entirely:
+        # the fast unit now laps it, double-pumping LOOP -> S := S * K
+        cdfg.remove_arc("S := S * K", "ENDLOOP")
+        with pytest.raises(ChannelSafetyError):
+            simulate_tokens(
+                cdfg,
+                seed=0,
+                delay_model=__import__("repro.timing", fromlist=["DelayModel"]).DelayModel().with_override(
+                    "SLOW", "*", (60.0, 70.0)
+                ),
+            )
+
+    def test_non_strict_collects_violations(self):
+        builder = CdfgBuilder("unsafe")
+        with builder.loop("C", fu="FAST"):
+            builder.op("T := T + K", fu="FAST")
+            builder.op("C := T < L", fu="FAST")
+            builder.op("S := S * K", fu="SLOW")
+        cdfg = builder.build(initial={"T": 0, "C": 1, "S": 1, "K": 2, "L": 50})
+        cdfg.remove_arc("S := S * K", "ENDLOOP")
+        from repro.timing import DelayModel
+
+        slow = DelayModel().with_override("SLOW", "*", (60.0, 70.0))
+        result = simulate_tokens(cdfg, seed=0, strict=False, delay_model=slow)
+        assert result.violations
+
+
+class TestErrorHandling:
+    def test_deadlock_reported(self, diffeq):
+        broken = diffeq.copy()
+        # strand the ALU1 controller: A := Y + M1 waits forever
+        broken.add_arc(Arc("END", "A := Y + M1", frozenset({control_tag()})))
+        with pytest.raises(SimulationError) as info:
+            simulate_tokens(broken)
+        assert "deadlock" in str(info.value)
+
+    def test_write_to_input_rejected(self):
+        builder = CdfgBuilder("bad")
+        builder.input("k", 1.0)
+        builder.op("k := A + B", fu="ALU")
+        cdfg = builder.build(initial={"A": 1, "B": 2})
+        with pytest.raises(SimulationError):
+            simulate_tokens(cdfg)
+
+    def test_firing_records(self, diffeq):
+        result = simulate_tokens(diffeq)
+        for firing in result.firings:
+            assert firing.end >= firing.start >= 0.0

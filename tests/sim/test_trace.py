@@ -1,0 +1,59 @@
+"""VCD waveform export."""
+
+import io
+
+import pytest
+
+from repro import synthesize
+from repro.sim.system import ControllerSystem
+from repro.sim.trace import VcdTracer, trace_to_vcd
+from repro.workloads import build_gcd_cdfg, gcd_reference
+
+
+@pytest.fixture(scope="module")
+def design():
+    return synthesize(build_gcd_cdfg())
+
+
+class TestVcd:
+    def test_trace_does_not_perturb_results(self, design):
+        from repro.sim.system import simulate_system
+
+        plain = simulate_system(design, seed=4)
+        tracer = VcdTracer(ControllerSystem(design, seed=4))
+        traced = tracer.run()
+        assert traced.registers == plain.registers
+        assert traced.end_time == plain.end_time
+
+    def test_changes_recorded(self, design):
+        tracer = VcdTracer(ControllerSystem(design, seed=4))
+        tracer.run()
+        assert len(tracer.changes) > 50
+        scopes = {scope for scope, __ in tracer._identifiers}
+        assert scopes == {"wires", "registers", "states"}
+
+    def test_vcd_format(self, design):
+        tracer = VcdTracer(ControllerSystem(design, seed=4))
+        tracer.run()
+        buffer = io.StringIO()
+        tracer.write(buffer)
+        text = buffer.getvalue()
+        assert text.startswith("$date")
+        assert "$timescale 1ns $end" in text
+        assert "$enddefinitions $end" in text
+        assert "$var wire 1 " in text
+        # timestamps are monotone
+        stamps = [int(line[1:]) for line in text.splitlines() if line.startswith("#")]
+        assert stamps == sorted(stamps)
+
+    def test_trace_to_vcd_file(self, design, tmp_path):
+        path = tmp_path / "gcd.vcd"
+        result = trace_to_vcd(ControllerSystem(design, seed=4), str(path))
+        assert result.registers["A"] == gcd_reference()["A"]
+        assert path.stat().st_size > 500
+
+    def test_register_values_in_dump(self, design, tmp_path):
+        path = tmp_path / "gcd.vcd"
+        trace_to_vcd(ControllerSystem(design, seed=4), str(path))
+        text = path.read_text()
+        assert "r12.0" in text  # the final gcd value was latched

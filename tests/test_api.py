@@ -1,0 +1,35 @@
+"""Top-level public API."""
+
+import repro
+from repro import synthesize
+from repro.workloads import build_gcd_cdfg, gcd_reference
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_synthesize_default_scripts(self):
+        design = synthesize(build_gcd_cdfg())
+        assert set(design.controllers) == {"SUB", "CMP"}
+        from repro.sim.system import simulate_system
+
+        result = simulate_system(design, seed=0)
+        assert result.registers["A"] == gcd_reference()["A"]
+
+    def test_synthesize_custom_subsets(self):
+        design = synthesize(
+            build_gcd_cdfg(),
+            global_transforms=("GT1", "GT2"),
+            local_transforms=(),
+        )
+        from repro.sim.system import simulate_system
+
+        result = simulate_system(design, seed=0)
+        assert result.registers["A"] == gcd_reference()["A"]
+
+    def test_cdfg_reexport(self):
+        from repro import Cdfg
+        from repro.cdfg.graph import Cdfg as Inner
+
+        assert Cdfg is Inner

@@ -1,0 +1,52 @@
+"""CLI commands."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_synthesize(self, capsys):
+        assert main(["synthesize", "gcd", "--level", "gt"]) == 0
+        out = capsys.readouterr().out
+        assert "controllers" in out
+
+    def test_synthesize_verbose(self, capsys):
+        assert main(["synthesize", "gcd", "--level", "gt+lt", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "machine" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "gcd", "--level", "gt+lt"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "12.0" in out  # gcd(84, 36)
+
+    @pytest.mark.parametrize("level", ["unoptimized", "gt", "gt+lt"])
+    def test_simulate_all_levels(self, level, capsys):
+        assert main(["simulate", "ewf", "--level", level]) == 0
+
+    def test_dot_stdout(self, capsys):
+        assert main(["dot", "diffeq"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_dot_optimized_to_file(self, tmp_path, capsys):
+        target = tmp_path / "out.dot"
+        assert main(["dot", "diffeq", "--optimized", "-o", str(target)]) == 0
+        assert target.read_text().startswith("digraph")
+
+    def test_vcd(self, tmp_path, capsys):
+        target = tmp_path / "trace.vcd"
+        assert main(["vcd", "gcd", "-o", str(target)]) == 0
+        content = target.read_text()
+        assert "$enddefinitions" in content
+        assert "#0" in content
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "nonexistent"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

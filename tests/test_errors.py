@@ -1,0 +1,52 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            errors.RtlSyntaxError("x", "reason"),
+            errors.CdfgError("x"),
+            errors.BlockStructureError("x"),
+            errors.ValidationError("x"),
+            errors.TransformError("GT1", "reason"),
+            errors.TimingError("x"),
+            errors.ExtractionError("x"),
+            errors.BurstModeError("x"),
+            errors.LogicError("x"),
+            errors.HazardError("x"),
+            errors.SimulationError("x"),
+            errors.ChannelSafetyError("x"),
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception):
+        assert isinstance(exception, errors.ReproError)
+
+    def test_specializations(self):
+        assert issubclass(errors.BlockStructureError, errors.CdfgError)
+        assert issubclass(errors.ValidationError, errors.CdfgError)
+        assert issubclass(errors.HazardError, errors.LogicError)
+        assert issubclass(errors.ChannelSafetyError, errors.SimulationError)
+
+    def test_rtl_error_message(self):
+        error = errors.RtlSyntaxError("A + B", "no assignment")
+        assert "A + B" in str(error)
+        assert error.text == "A + B"
+        assert error.reason == "no assignment"
+
+    def test_transform_error_message(self):
+        error = errors.TransformError("GT3", "no witness")
+        assert str(error) == "GT3: no witness"
+
+
+class TestCatchability:
+    def test_single_except_clause_suffices(self):
+        """Library failures are catchable with one except ReproError."""
+        from repro.rtl import parse_statement
+
+        with pytest.raises(errors.ReproError):
+            parse_statement("not a statement !!!")

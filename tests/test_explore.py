@@ -1,0 +1,71 @@
+"""Design-space exploration module."""
+
+import pytest
+
+from repro.explore import DesignPoint, evaluate_point, explore_design_space
+from repro.workloads import build_diffeq_cdfg, diffeq_reference
+
+
+@pytest.fixture(scope="module")
+def sweep(diffeq):
+    # a focused sweep to keep test time bounded
+    return explore_design_space(
+        diffeq,
+        global_subsets=[(), ("GT1", "GT2"), ("GT1", "GT2", "GT3", "GT4", "GT5")],
+        local_subsets=[(), ("LT4", "LT2", "LT1", "LT5")],
+        reference=diffeq_reference(),
+    )
+
+
+class TestEvaluatePoint:
+    def test_full_script_point(self, diffeq):
+        point = evaluate_point(
+            diffeq,
+            ("GT1", "GT2", "GT3", "GT4", "GT5"),
+            ("LT4", "LT2", "LT1", "LT3", "LT5"),
+            reference=diffeq_reference(),
+        )
+        assert point.channels == 5
+        assert point.makespan > 0
+
+    def test_reference_mismatch_raises(self, diffeq):
+        with pytest.raises(AssertionError):
+            evaluate_point(diffeq, (), (), reference={"X": -123.0})
+
+
+class TestSweep:
+    def test_all_points_evaluated(self, sweep):
+        assert len(sweep.points) == 6
+
+    def test_pareto_frontier_nonempty(self, sweep):
+        frontier = sweep.pareto_points()
+        assert frontier
+        for point in frontier:
+            assert not any(other.dominates(point) for other in sweep.points)
+
+    def test_full_script_on_channel_frontier(self, sweep):
+        best = sweep.best("channels")
+        assert best.channels == 5
+
+    def test_best_makespan_has_local_transforms(self, sweep):
+        best = sweep.best("makespan")
+        assert best.local_transforms  # LTs always help latency here
+
+    def test_unknown_objective(self, sweep):
+        with pytest.raises(ValueError):
+            sweep.best("beauty")
+
+
+class TestDominance:
+    def test_dominates(self):
+        a = DesignPoint((), (), 5, 50, 55, 100.0)
+        b = DesignPoint((), (), 6, 60, 66, 120.0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(a)
+
+    def test_incomparable(self):
+        a = DesignPoint((), (), 5, 80, 88, 100.0)
+        b = DesignPoint((), (), 6, 50, 55, 100.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)

@@ -1,0 +1,78 @@
+"""Delay model behaviour."""
+
+import random
+
+import pytest
+
+from repro.cdfg import Node, NodeKind
+from repro.errors import TimingError
+from repro.rtl import parse_statement
+from repro.timing import DelayModel
+
+
+def _node(text, fu="ALU"):
+    return Node(text, NodeKind.OPERATION, fu=fu, statements=(parse_statement(text),))
+
+
+class TestIntervals:
+    def test_multiply_slower_than_add(self):
+        model = DelayModel()
+        add = model.interval_for(_node("A := B + C"))
+        mul = model.interval_for(_node("A := B * C"))
+        assert mul[0] > add[1]
+
+    def test_copy_uses_copy_delay(self):
+        model = DelayModel()
+        assert model.interval_for(_node("A := B")) == model.copy_delay
+
+    def test_structural_delay(self):
+        model = DelayModel()
+        loop = Node("LOOP", NodeKind.LOOP, fu="ALU", condition="C")
+        assert model.interval_for(loop) == model.structural_delay
+
+    def test_merged_node_takes_max(self):
+        model = DelayModel()
+        merged = Node(
+            "Y := Y + M2; X1 := X",
+            NodeKind.OPERATION,
+            fu="ALU",
+            statements=(parse_statement("Y := Y + M2"), parse_statement("X1 := X")),
+        )
+        add = model.interval_for(_node("Y := Y + M2"))
+        assert model.interval_for(merged) == add  # add dominates the copy
+
+    def test_override_specific_beats_unit_wide(self):
+        model = DelayModel().with_override("ALU", None, (10.0, 11.0))
+        model = model.with_override("ALU", "+", (1.0, 2.0))
+        assert model.interval_for(_node("A := B + C")) == (1.0, 2.0)
+        assert model.interval_for(_node("A := B * C")) == (10.0, 11.0)
+
+    def test_unknown_operator_raises(self):
+        model = DelayModel(operator_delays={})
+        with pytest.raises(TimingError):
+            model.interval_for(_node("A := B + C"))
+
+
+class TestSampling:
+    def test_nominal_is_midpoint(self):
+        model = DelayModel().with_override("ALU", "+", (2.0, 4.0))
+        assert model.nominal(_node("A := B + C")) == 3.0
+
+    def test_sample_within_bounds(self):
+        model = DelayModel()
+        node = _node("A := B * C")
+        low, high = model.interval_for(node)
+        rng = random.Random(0)
+        for __ in range(100):
+            assert low <= model.sample(node, rng) <= high
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(TimingError):
+            DelayModel().with_override("ALU", "+", (3.0, 1.0))
+        with pytest.raises(TimingError):
+            DelayModel().with_override("ALU", "+", (-1.0, 1.0))
+
+    def test_operator_interval_public_api(self):
+        model = DelayModel()
+        assert model.operator_interval("ALU", None) == model.copy_delay
+        assert model.operator_interval("ALU", "*") == model.operator_delays["*"]

@@ -1,0 +1,125 @@
+"""GT1 loop parallelism: the paper's exact DIFFEQ behaviour."""
+
+import pytest
+
+from repro.cdfg import ArcRole
+from repro.sim import simulate_tokens
+from repro.transforms import LoopParallelism
+from repro.workloads import build_diffeq_cdfg, build_ewf_cdfg, diffeq_reference
+from repro.workloads.diffeq import (
+    N_A,
+    N_C,
+    N_ENDLOOP,
+    N_M1A,
+    N_M1B,
+    N_M2,
+    N_U,
+    N_X,
+)
+
+
+@pytest.fixture
+def after_gt1():
+    cdfg = build_diffeq_cdfg()
+    report = LoopParallelism().apply(cdfg)
+    return cdfg, report
+
+
+class TestStepA:
+    def test_removes_arcs_1_2_3(self, after_gt1):
+        cdfg, __ = after_gt1
+        assert not cdfg.has_arc(N_U, N_ENDLOOP)
+        assert not cdfg.has_arc(N_M1B, N_ENDLOOP)
+        assert not cdfg.has_arc(N_M2, N_ENDLOOP)
+
+    def test_keeps_fu_scheduling_arc_4(self, after_gt1):
+        cdfg, __ = after_gt1
+        assert cdfg.arc(N_C, N_ENDLOOP).has_role(ArcRole.SCHEDULING)
+
+    def test_report_lists_three_removals(self, after_gt1):
+        __, report = after_gt1
+        removed = [d for d in report.details if d.startswith("A:")]
+        assert len(removed) == 3
+
+
+class TestStepB:
+    def test_adds_exactly_backward_arcs_8_and_9(self, after_gt1):
+        """The paper: 'In the example, step B adds the two backward
+        arcs 8 and 9' -- from U := U - M1 to the first uses of U."""
+        cdfg, report = after_gt1
+        backward = [arc for arc in cdfg.arcs() if arc.backward]
+        assert {(a.src, a.dst) for a in backward} == {(N_U, N_M1A), (N_U, N_M2)}
+
+    def test_backward_arcs_flagged(self, after_gt1):
+        cdfg, __ = after_gt1
+        assert cdfg.arc(N_U, N_M1A).backward
+        assert cdfg.arc(N_U, N_M2).backward
+
+    def test_implied_candidates_pruned(self, after_gt1):
+        __, report = after_gt1
+        pruned = [d for d in report.details if "pruned" in d]
+        assert pruned  # X/Y/M1/M2/X1 candidates are all implied
+
+
+class TestStepsCAndD:
+    def test_step_c_adds_nothing(self, after_gt1):
+        """'In the DIFFEQ example, step C does not need to add any
+        constraint.'"""
+        __, report = after_gt1
+        assert any("C: (C := X < a, ENDLOOP) dominated" in d for d in report.details)
+        assert not any(d.startswith("C: added") for d in report.details)
+
+    def test_step_d_adds_nothing(self, after_gt1):
+        """'step D does, like step C, not add any constraints' -- every
+        FU's first body node already reaches ENDLOOP."""
+        __, report = after_gt1
+        assert not any(d.startswith("D: added") for d in report.details)
+
+    def test_first_fu_nodes_reach_endloop(self, after_gt1):
+        cdfg, __ = after_gt1
+        for first in (N_A, N_M1A, N_M2, N_X):
+            assert cdfg.implies(first, N_ENDLOOP)
+
+
+class TestSemanticsAndOverlap:
+    def test_results_unchanged(self, after_gt1):
+        cdfg, __ = after_gt1
+        expected = diffeq_reference()
+        for seed in range(8):
+            result = simulate_tokens(cdfg, seed=seed)
+            for register, value in expected.items():
+                assert result.registers[register] == value, (seed, register)
+
+    def test_iterations_overlap(self):
+        """GT1's purpose: successive iterations overlap in time."""
+        baseline = simulate_tokens(build_diffeq_cdfg())
+        cdfg = build_diffeq_cdfg()
+        LoopParallelism().apply(cdfg)
+        optimized = simulate_tokens(cdfg)
+        assert optimized.end_time < baseline.end_time
+
+    def test_channel_safety_maintained(self, after_gt1):
+        """Step D guarantees at most one outstanding transition per
+        wire even with overlapped iterations."""
+        cdfg, __ = after_gt1
+        result = simulate_tokens(cdfg, seed=3)
+        assert result.violations == []
+
+    def test_ewf_overlap_is_large(self):
+        """EWF has no long loop-carried chain: overlap must pay off."""
+        baseline = simulate_tokens(build_ewf_cdfg())
+        cdfg = build_ewf_cdfg()
+        LoopParallelism().apply(cdfg)
+        optimized = simulate_tokens(cdfg)
+        assert optimized.end_time < baseline.end_time
+
+
+class TestNoLoopGraphs:
+    def test_no_op_without_loops(self):
+        from repro.cdfg import CdfgBuilder
+
+        builder = CdfgBuilder("flat")
+        builder.op("A := B + C", fu="ALU")
+        cdfg = builder.build()
+        report = LoopParallelism().apply(cdfg)
+        assert not report.applied

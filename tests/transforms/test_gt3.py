@@ -1,0 +1,85 @@
+"""GT3 relative-timing optimization."""
+
+import pytest
+
+from repro.sim import simulate_tokens
+from repro.timing import DelayModel
+from repro.timing.analysis import relative_arc_dominates
+from repro.transforms import (
+    LoopParallelism,
+    RelativeTimingOptimization,
+    RemoveDominatedConstraints,
+)
+from repro.workloads import build_diffeq_cdfg, diffeq_reference
+from repro.workloads.diffeq import N_M1B, N_M2, N_U
+
+
+@pytest.fixture
+def after_gt1_gt2():
+    cdfg = build_diffeq_cdfg()
+    LoopParallelism().apply(cdfg)
+    RemoveDominatedConstraints().apply(cdfg)
+    return cdfg
+
+
+class TestPaperExample:
+    def test_arc10_removed_with_arc11_witness(self, after_gt1_gt2):
+        """'the latter constraint arc (11) is slower ... Hence, the
+        former arc (10) is deleted.'"""
+        report = RelativeTimingOptimization().apply(after_gt1_gt2)
+        assert report.applied
+        assert not after_gt1_gt2.has_arc(N_M2, N_U)  # arc 10 gone
+        assert after_gt1_gt2.has_arc(N_M1B, N_U)  # arc 11 kept
+        assert any("witness: M1 := A * B" in d for d in report.details)
+
+    def test_proof_direct(self, after_gt1_gt2):
+        candidate = after_gt1_gt2.arc(N_M2, N_U)
+        witness = after_gt1_gt2.arc(N_M1B, N_U)
+        assert relative_arc_dominates(after_gt1_gt2, candidate, witness)
+        # and never the other way around: one multiply cannot dominate
+        # a multiply-add-multiply chain
+        assert not relative_arc_dominates(after_gt1_gt2, witness, candidate)
+
+
+class TestDelaySensitivity:
+    def test_not_removed_when_multiplies_are_fast(self, after_gt1_gt2):
+        """With a 1-cycle multiplier and a slow ALU the three-operation
+        chain no longer provably dominates: arc 10 must survive."""
+        delays = DelayModel()
+        delays = delays.with_override("MUL1", "*", (1.0, 1.0))
+        delays = delays.with_override("MUL2", "*", (30.0, 40.0))
+        RelativeTimingOptimization(delays=delays).apply(after_gt1_gt2)
+        assert after_gt1_gt2.has_arc(N_M2, N_U)
+
+    def test_wide_intervals_block_removal(self, after_gt1_gt2):
+        delays = DelayModel()
+        for fu in ("MUL1", "MUL2"):
+            delays = delays.with_override(fu, "*", (1.0, 100.0))
+        RelativeTimingOptimization(delays=delays).apply(after_gt1_gt2)
+        assert after_gt1_gt2.has_arc(N_M2, N_U)
+
+
+class TestSafety:
+    def test_semantics_preserved_within_delay_bounds(self, after_gt1_gt2):
+        RelativeTimingOptimization().apply(after_gt1_gt2)
+        expected = diffeq_reference()
+        for seed in range(10):
+            result = simulate_tokens(after_gt1_gt2, seed=seed)
+            for register, value in expected.items():
+                assert result.registers[register] == value, (seed, register)
+
+    def test_never_leaves_destination_unconstrained(self, after_gt1_gt2):
+        RelativeTimingOptimization().apply(after_gt1_gt2)
+        for node in after_gt1_gt2.operation_nodes():
+            incoming = [
+                arc
+                for arc in after_gt1_gt2.arcs_to(node.name)
+                if not arc.backward and not after_gt1_gt2.is_iterate_arc(arc)
+            ]
+            backward = [arc for arc in after_gt1_gt2.arcs_to(node.name) if arc.backward]
+            assert incoming or backward, node.name
+
+    def test_idempotent_after_fixpoint(self, after_gt1_gt2):
+        RelativeTimingOptimization().apply(after_gt1_gt2)
+        second = RelativeTimingOptimization().apply(after_gt1_gt2)
+        assert not second.applied

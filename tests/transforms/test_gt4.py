@@ -1,0 +1,104 @@
+"""GT4 assignment-node merging."""
+
+import pytest
+
+from repro.cdfg import CdfgBuilder
+from repro.sim import simulate_tokens
+from repro.transforms import (
+    LoopParallelism,
+    MergeAssignmentNodes,
+    RemoveDominatedConstraints,
+)
+from repro.workloads import build_diffeq_cdfg, diffeq_reference
+from repro.workloads.diffeq import N_X1, N_Y
+
+
+@pytest.fixture
+def prepared():
+    cdfg = build_diffeq_cdfg()
+    LoopParallelism().apply(cdfg)
+    RemoveDominatedConstraints().apply(cdfg)
+    return cdfg
+
+
+class TestPaperExample:
+    def test_merges_y_update_with_x1_copy(self, prepared):
+        """'the two nodes are merged into one node Y := Y + M2; X1 := X'"""
+        report = MergeAssignmentNodes().apply(prepared)
+        assert report.applied
+        merged = f"{N_Y}; {N_X1}"
+        assert prepared.has_node(merged)
+        assert not prepared.has_node(N_X1)
+
+    def test_merged_node_carries_both_statements(self, prepared):
+        MergeAssignmentNodes().apply(prepared)
+        node = prepared.node(f"{N_Y}; {N_X1}")
+        assert [str(s) for s in node.statements] == ["Y := Y + M2", "X1 := X"]
+        assert node.uses_functional_unit  # the Y update needs the ALU
+
+    def test_schedule_shrinks(self, prepared):
+        before = len(prepared.fu_schedule("ALU2"))
+        MergeAssignmentNodes().apply(prepared)
+        assert len(prepared.fu_schedule("ALU2")) == before - 1
+
+    def test_semantics_preserved(self, prepared):
+        MergeAssignmentNodes().apply(prepared)
+        expected = diffeq_reference()
+        for seed in range(8):
+            result = simulate_tokens(prepared, seed=seed)
+            for register, value in expected.items():
+                assert result.registers[register] == value, (seed, register)
+
+
+class TestMergeConditions:
+    def test_no_merge_when_copy_reads_partner_result(self):
+        builder = CdfgBuilder("t")
+        builder.op("A := P + Q", fu="ALU")
+        builder.op("B := A", fu="ALU")  # depends on A: not parallelizable
+        cdfg = builder.build()
+        report = MergeAssignmentNodes().apply(cdfg)
+        assert not report.applied
+
+    def test_no_merge_when_partner_reads_copy_result(self):
+        builder = CdfgBuilder("t")
+        builder.op("B := P", fu="ALU")
+        builder.op("A := B + Q", fu="ALU")
+        cdfg = builder.build()
+        report = MergeAssignmentNodes().apply(cdfg)
+        assert not report.applied
+
+    def test_independent_copy_merges_with_successor(self):
+        builder = CdfgBuilder("t")
+        builder.op("B := P", fu="ALU")  # copy first in schedule
+        builder.op("A := P + Q", fu="ALU")
+        cdfg = builder.build()
+        report = MergeAssignmentNodes().apply(cdfg)
+        assert report.applied
+        assert cdfg.has_node("B := P; A := P + Q")
+
+    def test_copy_chain_merges_repeatedly(self):
+        builder = CdfgBuilder("t")
+        builder.op("A := P + Q", fu="ALU")
+        builder.op("B := P", fu="ALU")
+        builder.op("C := Q", fu="ALU")
+        cdfg = builder.build()
+        report = MergeAssignmentNodes().apply(cdfg)
+        assert len(report.merged_nodes) == 2
+        assert len(cdfg.fu_schedule("ALU")) == 1
+
+    def test_lone_copy_not_merged_across_units(self):
+        builder = CdfgBuilder("t")
+        builder.op("A := P + Q", fu="ALU")
+        builder.op("B := P", fu="COPIER")
+        cdfg = builder.build()
+        report = MergeAssignmentNodes().apply(cdfg)
+        assert not report.applied
+
+    def test_no_merge_across_blocks(self):
+        builder = CdfgBuilder("t")
+        builder.op("B := P", fu="ALU")
+        with builder.loop("C", fu="ALU"):
+            builder.op("C := C - P", fu="ALU")
+        cdfg = builder.build(initial={"C": 3, "P": 1})
+        report = MergeAssignmentNodes().apply(cdfg)
+        assert not report.applied

@@ -1,0 +1,147 @@
+"""GT5 channel elimination: the Figure 5 reduction (10 -> 5)."""
+
+import pytest
+
+from repro.channels import derive_channels
+from repro.sim import simulate_tokens
+from repro.transforms import optimize_global
+from repro.transforms.gt5_channel_elimination import ChannelElimination
+from repro.transforms.scripts import optimize_global as run_script
+from repro.workloads import build_diffeq_cdfg, diffeq_reference
+
+
+class TestFigure5:
+    def test_ten_controller_channels_before_gt5(self, diffeq):
+        """Figure 5 left side: ten controller-controller channels after
+        GT1-GT4."""
+        result = optimize_global(diffeq, enabled=("GT1", "GT2", "GT3", "GT4"))
+        plan = derive_channels(result.cdfg)
+        assert plan.count(include_env=False) == 10
+
+    def test_five_channels_after_gt5(self, diffeq_optimized):
+        """Figure 5 right side / Figure 12: five channels, including
+        multi-way channels."""
+        plan = diffeq_optimized.plan
+        assert plan.count(include_env=False) == 5
+
+    def test_multiway_channels_exist(self, diffeq_optimized):
+        assert diffeq_optimized.plan.multiway_count() >= 2
+
+    def test_loop_broadcast_channel(self, diffeq_optimized):
+        """The ALU2 controller (LOOP) broadcasts to both multipliers on
+        one multi-way channel."""
+        plan = diffeq_optimized.plan
+        alu2_channels = [
+            c for c in plan.controller_channels() if c.src_fu == "ALU2"
+        ]
+        assert len(alu2_channels) == 1
+        assert alu2_channels[0].dst_fus == frozenset({"MUL1", "MUL2"})
+
+
+class TestPlanConsistency:
+    def test_every_cc_arc_assigned_exactly_once(self, diffeq_optimized):
+        plan = diffeq_optimized.plan
+        cdfg = diffeq_optimized.cdfg
+        cc_arcs = {
+            arc.key
+            for arc in cdfg.inter_fu_arcs()
+        }
+        assert set(plan.arc_to_channel) == cc_arcs
+
+    def test_channel_arcs_match_declared_fus(self, diffeq_optimized):
+        plan = diffeq_optimized.plan
+        cdfg = diffeq_optimized.cdfg
+        for channel in plan.channels:
+            for src, dst in channel.arcs:
+                assert cdfg.fu_of(src) == channel.src_fu
+                assert cdfg.fu_of(dst) in channel.dst_fus
+
+    def test_multiway_channels_cover_all_receivers(self, diffeq_optimized):
+        """Symmetrization invariant: every event (source node) of a
+        multi-way channel has an arc to every receiver FU."""
+        plan = diffeq_optimized.plan
+        cdfg = diffeq_optimized.cdfg
+        for channel in plan.controller_channels():
+            by_source = {}
+            for src, dst in channel.arcs:
+                by_source.setdefault(src, set()).add(cdfg.fu_of(dst))
+            for source, receivers in by_source.items():
+                assert receivers == set(channel.dst_fus), (channel.name, source)
+
+
+class TestSafeAdditions:
+    def test_added_arcs_are_implied(self, diffeq):
+        """GT5.3 additions must be zero-cost: already implied by the
+        remaining constraints (checked by re-running GT2-style
+        implication with the arc removed)."""
+        result = optimize_global(diffeq)
+        cdfg = result.cdfg
+        gt5 = result.report("GT5")
+        for description in gt5.added_arcs:
+            src, __, rest = description.partition(" -> ")
+            # recorded as str(Arc): "src -> dst [tags]..."
+            dst = rest.split(" [")[0]
+            if not cdfg.has_arc(src, dst):
+                continue  # arc text for 5.2 chains
+            arc = cdfg.arc(src, dst)
+            if arc.backward:
+                continue  # cross-iteration implication checked in GT5 itself
+            assert cdfg.implies(src, dst, exclude_arc=arc.key), description
+
+    def test_semantics_with_gt5(self, diffeq_optimized):
+        expected = diffeq_reference()
+        for seed in range(8):
+            result = simulate_tokens(diffeq_optimized.cdfg, seed=seed)
+            for register, value in expected.items():
+                assert result.registers[register] == value, (seed, register)
+
+
+class TestKnobs:
+    def test_disable_symmetrization(self, diffeq):
+        gt5 = ChannelElimination(enable_symmetrization=False)
+        result = optimize_global(diffeq, enabled=("GT1", "GT2", "GT3", "GT4"))
+        report = gt5.apply(result.cdfg)
+        plan = report.artifacts["channel_plan"]
+        # without safe additions the B-group cannot join the A-group
+        assert plan.count(include_env=False) >= 5
+
+    def test_multiplexed_channels_never_concurrent_empirically(self, diffeq_optimized):
+        """Empirical cross-check of the structural proof: during
+        simulation, no two arcs of one channel ever hold tokens at the
+        same instant (single-transition wires)."""
+        from repro.sim.token_sim import TokenSimulator
+
+        cdfg = diffeq_optimized.cdfg
+        plan = diffeq_optimized.plan
+        sim = TokenSimulator(cdfg, seed=11)
+        arc_to_channel = plan.arc_to_channel
+
+        live = {}
+        original_emit = sim._emit
+        original_consume = sim._consume
+
+        def emit(arc):
+            channel = arc_to_channel.get(arc.key)
+            if channel is not None:
+                pending = live.setdefault(channel, set())
+                # one transition may fan out to all receivers of a
+                # multi-way channel (same source node); events from
+                # *different* sources must never be pending together
+                sources = {src for src, __ in pending}
+                assert sources <= {arc.key[0]}, (
+                    f"channel {channel} concurrently active: {pending} and {arc.key}"
+                )
+                pending.add(arc.key)
+            original_emit(arc)
+
+        def consume(arcs):
+            for arc in arcs:
+                channel = arc_to_channel.get(arc.key)
+                if channel is not None and channel in live:
+                    live[channel].discard(arc.key)
+            original_consume(arcs)
+
+        sim._emit = emit
+        sim._consume = consume
+        result = sim.run()
+        assert result.violations == []

@@ -1,0 +1,134 @@
+"""GT5.2 concurrency reduction, exercised on a crafted workload.
+
+DIFFEQ never needs GT5.2 (its lone-pair arcs disappear by other
+means), so this suite builds a three-unit pipeline where the direct
+FU_A -> FU_C wire can only be eliminated by rerouting the constraint
+through a hub on FU_B — the transform of the paper's Figure 8.
+
+GT3 is deliberately left out of the script here: with the default
+delay model the same lone arc is provably never-last and GT3 simply
+deletes it, which demonstrates an interesting interplay — in scripts
+that include GT3, concurrency reduction only triggers on arcs whose
+timing cannot be proven (checked by the last test).
+"""
+
+import pytest
+
+from repro.cdfg import CdfgBuilder
+from repro.sim import simulate_tokens
+from repro.sim.system import simulate_system
+from repro.transforms import optimize_global
+from repro.transforms.gt5_channel_elimination import ChannelElimination
+
+
+def _pipeline():
+    """FU_A feeds FU_B and FU_C; FU_C also needs FU_B's independent
+    product.  The A->C data arc is the lone wire between that pair."""
+    builder = CdfgBuilder("pipeline3")
+    builder.input("k", 1.0)
+    builder.input("m", 0.5)
+    builder.input("limit", 4.0)
+    builder.input("one", 1.0)
+    with builder.loop("C", fu="CNT"):
+        builder.op("P := P + k", fu="FU_A")
+        builder.op("Q := Q * m", fu="FU_B")
+        builder.op("T := P * Q", fu="FU_B")
+        builder.op("R := P + Q", fu="FU_C")
+        builder.op("I := I + one", fu="CNT")
+        builder.op("C := I < limit", fu="CNT")
+    return builder.build(
+        initial={"P": 0.0, "Q": 8.0, "T": 0.0, "R": 0.0, "I": 0.0, "C": 1.0}
+    )
+
+
+def _reference():
+    p, q, t, r = 0.0, 8.0, 0.0, 0.0
+    i = 0.0
+    while i < 4.0:
+        p = p + 1.0
+        q = q * 0.5
+        t = p * q
+        r = p + q
+        i = i + 1.0
+    return {"P": p, "Q": q, "T": t, "R": r, "I": i}
+
+
+class TestConcurrencyReduction:
+    def test_direct_pair_wire_eliminated(self):
+        cdfg = _pipeline()
+        result = optimize_global(cdfg, enabled=("GT1", "GT2", "GT4", "GT5"))
+        gt5 = result.report("GT5")
+        assert any("5.2: rerouted" in note for note in gt5.details), gt5.details
+        pairs = {
+            (result.cdfg.fu_of(src), result.cdfg.fu_of(dst))
+            for channel in result.plan.controller_channels()
+            for src, dst in channel.arcs
+        }
+        assert ("FU_A", "FU_C") not in pairs
+
+    def test_rerouted_constraint_still_enforced(self):
+        cdfg = _pipeline()
+        result = optimize_global(cdfg, enabled=("GT1", "GT2", "GT4", "GT5"))
+        # P's producer must still precede R := P + Q
+        assert result.cdfg.implies("P := P + k", "R := P + Q")
+
+    def test_semantics_preserved(self):
+        cdfg = _pipeline()
+        result = optimize_global(cdfg, enabled=("GT1", "GT2", "GT4", "GT5"))
+        expected = _reference()
+        for seed in range(6):
+            sim = simulate_tokens(result.cdfg, seed=seed)
+            for register, value in expected.items():
+                assert sim.registers[register] == value, (seed, register)
+
+    def test_full_pipeline_to_controllers(self):
+        from repro.afsm import extract_controllers
+        from repro.local_transforms import optimize_local
+
+        cdfg = _pipeline()
+        result = optimize_global(cdfg, enabled=("GT1", "GT2", "GT4", "GT5"))
+        design = optimize_local(
+            extract_controllers(result.cdfg, result.plan)
+        ).design
+        sim = simulate_system(design, seed=3)
+        for register, value in _reference().items():
+            assert sim.registers[register] == value
+
+    def test_disabled_keeps_direct_wire(self):
+        cdfg = _pipeline()
+        from repro.transforms import (
+            LoopParallelism,
+            MergeAssignmentNodes,
+            RemoveDominatedConstraints,
+        )
+
+        working = cdfg.copy()
+        for transform in (
+            LoopParallelism(),
+            RemoveDominatedConstraints(),
+            MergeAssignmentNodes(),
+        ):
+            transform.apply(working)
+        report = ChannelElimination(enable_concurrency_reduction=False).apply(working)
+        plan = report.artifacts["channel_plan"]
+        pairs = {
+            (working.fu_of(src), working.fu_of(dst))
+            for channel in plan.controller_channels()
+            for src, dst in channel.arcs
+        }
+        assert ("FU_A", "FU_C") in pairs
+
+    def test_gt3_subsumes_the_reroute_under_provable_timing(self):
+        '''With GT3 enabled and the default delays, the lone arc is
+        provably never-last and is deleted outright: GT5.2 has nothing
+        left to do and the pair wire is gone anyway.'''
+        cdfg = _pipeline()
+        result = optimize_global(cdfg)
+        gt5 = result.report("GT5")
+        assert not any("5.2: rerouted" in note for note in gt5.details)
+        pairs = {
+            (result.cdfg.fu_of(src), result.cdfg.fu_of(dst))
+            for channel in result.plan.controller_channels()
+            for src, dst in channel.arcs
+        }
+        assert ("FU_A", "FU_C") not in pairs

@@ -1,0 +1,82 @@
+"""GT5 internals: concurrency proofs and safe additions."""
+
+import pytest
+
+from repro.transforms import (
+    LoopParallelism,
+    MergeAssignmentNodes,
+    RelativeTimingOptimization,
+    RemoveDominatedConstraints,
+)
+from repro.transforms.gt5_channel_elimination import ChannelElimination
+from repro.transforms.unfold import UnfoldedReach
+from repro.workloads import build_diffeq_cdfg
+from repro.workloads.diffeq import N_A, N_B, N_LOOP, N_M1A, N_M1B, N_M2, N_U
+
+
+@pytest.fixture
+def prepared():
+    cdfg = build_diffeq_cdfg()
+    for transform in (
+        LoopParallelism(),
+        RemoveDominatedConstraints(),
+        RelativeTimingOptimization(),
+        MergeAssignmentNodes(),
+    ):
+        transform.apply(cdfg)
+    return cdfg
+
+
+class TestNeverConcurrent:
+    def test_sequential_events_share_wire(self, prepared):
+        """d1 (M1A -> A) and d3 (M1B -> U) alternate: multiplexable."""
+        gt5 = ChannelElimination()
+        reach = UnfoldedReach(prepared, unfold=4)
+        assert gt5._never_concurrent(prepared, reach, (N_M1A, N_A), (N_M1B, N_U))
+
+    def test_one_shot_vs_cycle(self, prepared):
+        """B's entry event precedes every iteration event."""
+        gt5 = ChannelElimination()
+        reach = UnfoldedReach(prepared, unfold=4)
+        merged = "Y := Y + M2; X1 := X"
+        assert gt5._never_concurrent(prepared, reach, (N_B, N_LOOP), (N_A, merged))
+
+    def test_simultaneous_events_rejected(self, prepared):
+        """Two arcs fired by the same done event are pending together:
+        a (single-receiver-style) multiplexing of them is rejected —
+        only the multi-way mechanism may combine them."""
+        gt5 = ChannelElimination()
+        reach = UnfoldedReach(prepared, unfold=4)
+        assert not gt5._never_concurrent(
+            prepared, reach, (N_LOOP, N_M1A), (N_LOOP, N_M2)
+        )
+
+
+class TestSafeAdditions:
+    def test_added_arcs_limited_per_merge(self, prepared):
+        gt5 = ChannelElimination(max_added_arcs_per_merge=0)
+        report = gt5.apply(prepared.copy())
+        assert not any("5.3: safe addition" in note for note in report.details)
+
+    def test_symmetrization_disabled(self, prepared):
+        gt5 = ChannelElimination(enable_symmetrization=False)
+        report = gt5.apply(prepared.copy())
+        plan = report.artifacts["channel_plan"]
+        # B's one-shot group cannot join the A-group: one extra channel
+        assert plan.count(include_env=False) >= 6
+
+
+class TestPlanInvariants:
+    def test_single_sender_per_channel(self, prepared):
+        report = ChannelElimination().apply(prepared)
+        plan = report.artifacts["channel_plan"]
+        for channel in plan.channels:
+            senders = {prepared.fu_of(src) for src, __ in channel.arcs}
+            assert senders == {channel.src_fu}
+
+    def test_env_channels_untouched(self, prepared):
+        report = ChannelElimination().apply(prepared)
+        plan = report.artifacts["channel_plan"]
+        env = [c for c in plan.channels if c.is_env]
+        assert len(env) == 2
+        assert all(len(c.arcs) == 1 for c in env)

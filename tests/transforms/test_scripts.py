@@ -1,0 +1,116 @@
+"""Transform scripts, pass manager and precedence preservation."""
+
+import pytest
+
+from repro.sim import simulate_tokens
+from repro.transforms import check_precedence_preserved, optimize_global
+from repro.transforms.scripts import STANDARD_SEQUENCE, build_sequence
+from repro.workloads import (
+    build_diffeq_cdfg,
+    build_ewf_cdfg,
+    build_gcd_cdfg,
+    diffeq_reference,
+    ewf_reference,
+    gcd_reference,
+)
+
+
+class TestScript:
+    def test_standard_sequence_order(self):
+        transforms = build_sequence()
+        assert [t.name for t in transforms] == list(STANDARD_SEQUENCE)
+
+    def test_subset_respects_canonical_order(self):
+        transforms = build_sequence(("GT4", "GT1"))
+        assert [t.name for t in transforms] == ["GT1", "GT4"]
+
+    def test_unknown_transform_rejected(self):
+        with pytest.raises(KeyError):
+            build_sequence(("GT9",))
+
+    def test_original_graph_untouched(self, diffeq):
+        before_arcs = diffeq.arc_count()
+        optimize_global(diffeq)
+        assert diffeq.arc_count() == before_arcs
+
+    def test_reports_for_each_transform(self, diffeq_optimized):
+        assert [r.name for r in diffeq_optimized.reports] == list(STANDARD_SEQUENCE)
+
+    def test_plan_available(self, diffeq_optimized):
+        assert diffeq_optimized.channel_plan is not None
+        assert diffeq_optimized.plan is diffeq_optimized.channel_plan
+
+    def test_plan_fallback_without_gt5(self, diffeq):
+        result = optimize_global(diffeq, enabled=("GT1", "GT2"))
+        assert result.channel_plan is None
+        assert result.plan.count() > 0  # derived one-wire-per-arc
+
+
+class TestEndToEndSemantics:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_diffeq(self, diffeq_optimized, seed):
+        expected = diffeq_reference()
+        result = simulate_tokens(diffeq_optimized.cdfg, seed=seed)
+        for register, value in expected.items():
+            assert result.registers[register] == value
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_gcd(self, gcd_optimized, seed):
+        expected = gcd_reference()
+        result = simulate_tokens(gcd_optimized.cdfg, seed=seed)
+        for register, value in expected.items():
+            assert result.registers[register] == value
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_ewf(self, ewf_optimized, seed):
+        expected = ewf_reference()
+        result = simulate_tokens(ewf_optimized.cdfg, seed=seed)
+        for register, value in expected.items():
+            assert result.registers[register] == value
+
+    def test_gcd_other_operand_order(self):
+        cdfg = build_gcd_cdfg(a0=30, b0=42)
+        result_unopt = simulate_tokens(cdfg, seed=0)
+        optimized = optimize_global(cdfg)
+        result_opt = simulate_tokens(optimized.cdfg, seed=0)
+        assert result_opt.registers["A"] == result_unopt.registers["A"] == 6
+
+    def test_diffeq_many_iterations(self):
+        cdfg = build_diffeq_cdfg({"dx": 0.03125, "a": 1.0})
+        optimized = optimize_global(cdfg)
+        expected = diffeq_reference(dx=0.03125, a=1.0)
+        result = simulate_tokens(optimized.cdfg, seed=1)
+        assert result.loop_iterations["LOOP"] == 32
+        for register, value in expected.items():
+            assert result.registers[register] == value
+
+
+class TestPrecedencePreservation:
+    def test_gt2_gt4_gt5_preserve_all_ordering(self, diffeq):
+        """GT2 (dominated), GT4 (merging) and GT5 (channels) must lose
+        no ordered pair of operations."""
+        result = optimize_global(diffeq, enabled=("GT2", "GT4", "GT5"))
+        missing = check_precedence_preserved(diffeq, result.cdfg, allow_missing=True)
+        assert missing == []
+
+    def test_gt3_relaxations_are_timing_justified_only(self, diffeq):
+        """GT3 may drop ordered pairs, but only ones its timing proof
+        covers: on DIFFEQ exactly the (M2, U) pair family."""
+        before = optimize_global(diffeq, enabled=("GT1", "GT2"))
+        after = optimize_global(diffeq, enabled=("GT1", "GT2", "GT3"))
+        missing = check_precedence_preserved(before.cdfg, after.cdfg, allow_missing=True)
+        assert missing  # GT3 did relax something
+        for src_id, dst_id in missing:
+            assert src_id.startswith("M2 := U * dx"), (src_id, dst_id)
+
+    def test_performance_monotone_improvement(self, diffeq):
+        """Each script prefix should never slow the design down."""
+        times = []
+        prefixes = [(), ("GT1",), ("GT1", "GT2"), ("GT1", "GT2", "GT3"),
+                    ("GT1", "GT2", "GT3", "GT4")]
+        for prefix in prefixes:
+            result = optimize_global(diffeq, enabled=prefix) if prefix else None
+            graph = result.cdfg if result else diffeq
+            times.append(simulate_tokens(graph).end_time)
+        for earlier, later in zip(times, times[1:]):
+            assert later <= earlier + 1e-9, times

@@ -1,0 +1,54 @@
+"""Cross-iteration reachability via loop unfolding."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.transforms import LoopParallelism
+from repro.transforms.unfold import UnfoldedReach
+from repro.workloads import build_diffeq_cdfg
+from repro.workloads.diffeq import N_A, N_B, N_C, N_M1A, N_U, N_X
+
+
+class TestCopies:
+    def test_out_of_loop_single_copy(self, diffeq):
+        reach = UnfoldedReach(diffeq, unfold=3)
+        assert reach.copies(N_B) == [(N_B, None)]
+
+    def test_in_loop_copies(self, diffeq):
+        reach = UnfoldedReach(diffeq, unfold=3)
+        assert reach.copies(N_A) == [(N_A, 0), (N_A, 1), (N_A, 2)]
+
+    def test_loop_node_iterated(self, diffeq):
+        reach = UnfoldedReach(diffeq, unfold=2)
+        assert len(reach.copies("LOOP")) == 2
+
+    def test_unfold_validation(self, diffeq):
+        with pytest.raises(TransformError):
+            UnfoldedReach(diffeq, unfold=0)
+
+
+class TestReachability:
+    def test_same_iteration_data_chain(self, diffeq):
+        reach = UnfoldedReach(diffeq)
+        assert reach.implies_same_iteration(N_M1A, N_U)
+        assert not reach.implies_same_iteration(N_U, N_M1A)
+
+    def test_entry_reaches_first_iteration(self, diffeq):
+        reach = UnfoldedReach(diffeq)
+        assert reach.path_exists((N_B, None), (N_A, 0))
+
+    def test_iterate_arc_crosses_iterations(self, diffeq):
+        reach = UnfoldedReach(diffeq, unfold=2)
+        assert reach.implies_next_iteration(N_C, N_X)
+
+    def test_backward_arcs_cross_iterations(self):
+        cdfg = build_diffeq_cdfg()
+        LoopParallelism().apply(cdfg)
+        reach = UnfoldedReach(cdfg, unfold=2)
+        # backward arc 8: U's done enables next iteration's first multiply
+        assert reach.implies_next_iteration(N_U, N_M1A)
+
+    def test_next_iteration_requires_loop_nodes(self, diffeq):
+        reach = UnfoldedReach(diffeq, unfold=2)
+        with pytest.raises(TransformError):
+            reach.implies_next_iteration(N_B, N_A)
