@@ -1,0 +1,63 @@
+"""Machine-readable benchmark results.
+
+:func:`record` appends one measurement to ``BENCH_scaling.json`` at the
+repository root so the performance trajectory is tracked across PRs:
+each entry carries the bench name, the wall time in seconds, and any
+key metrics the bench wants to preserve (speedups, point counts, ...).
+
+The file is a JSON object ``{"runs": [...]}``; entries are appended,
+never rewritten, so successive CI runs and local measurements
+accumulate into a history that diffing tools (and future PRs) can
+compare against.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import platform
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
+
+Metric = Union[int, float, str, bool, None]
+
+
+def _load(path: Path) -> Dict:
+    if path.exists():
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(data, dict) and isinstance(data.get("runs"), list):
+                return data
+        except (ValueError, OSError):
+            pass  # corrupt/unreadable history: start a fresh one
+    return {"runs": []}
+
+
+def record(
+    bench: str,
+    wall_time: float,
+    path: Optional[Path] = None,
+    **metrics: Metric,
+) -> Dict:
+    """Append one measurement; returns the entry written.
+
+    ``bench`` is a stable identifier (e.g. ``fir_synthesis/taps=48``),
+    ``wall_time`` is seconds, and ``metrics`` are any JSON-scalar
+    key/value pairs worth tracking across PRs.
+    """
+    path = path or RESULTS_PATH
+    data = _load(path)
+    entry = {
+        "bench": bench,
+        "wall_time": round(float(wall_time), 6),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "metrics": dict(metrics),
+    }
+    data["runs"].append(entry)
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    return entry

@@ -7,6 +7,7 @@ bench quantifies the claim on our bounded-delay datapath model.
 
 import pytest
 
+from _record import record
 from repro.eval import run_performance
 from repro.eval.experiments import synthesize_levels
 from repro.sim.system import simulate_system
@@ -19,6 +20,12 @@ def test_performance_levels(diffeq, benchmark):
     result = benchmark(lambda: run_performance(diffeq))
     print()
     print(result.table())
+    record(
+        "diffeq_performance_levels",
+        benchmark.stats.stats.mean,
+        **{f"makespan/{level}": round(value, 3)
+           for level, value in result.system_times.items()},
+    )
     # local transforms must make the controllers measurably faster
     assert (
         result.system_times["optimized-GT-and-LT"]

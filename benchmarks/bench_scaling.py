@@ -7,16 +7,25 @@ holds across problem sizes and that makespan grows linearly in the
 iteration count (the loop is throughput-bound).
 """
 
+import time
+
 import pytest
 
-from repro import synthesize
+from _record import record
+from repro import perf, synthesize
 from repro.afsm import extract_controllers
 from repro.channels import derive_channels
 from repro.eval.stats import measure_makespan, speedup
 from repro.eval.tables import render_table
-from repro.workloads import build_diffeq_cdfg, diffeq_reference
+from repro.workloads import build_diffeq_cdfg, build_fir_cdfg, diffeq_reference
 
 SEEDS = tuple(range(8))
+
+#: ``synthesize(build_fir_cdfg(48))`` wall time at the pre-caching seed
+#: (commit c995982), measured on the same container as the current
+#: numbers: best of two warm runs.  The recorded ``speedup_vs_seed``
+#: tracks the win of the analysis-caching layer across PRs.
+SEED_FIR48_WALL_TIME = 2.12
 
 
 def _designs(dx):
@@ -44,8 +53,47 @@ def test_scaling_sweep(benchmark):
     print(render_table(
         ("iterations", "unoptimized makespan", "GT+LT makespan", "speedup"), rows
     ))
+    record(
+        "diffeq_scaling_sweep",
+        benchmark.stats.stats.mean,
+        **{f"speedup_iter{iters}": factor
+           for (iters, *__), factor in zip(rows, factors)},
+    )
     # the optimized design wins at every size
     assert all(factor > 1.15 for factor in factors)
+
+
+@pytest.mark.parametrize("taps", [8, 24, 48])
+def test_fir_synthesis_wall_time(taps):
+    """Wall time of the full synthesis flow on the FIR stress test.
+
+    Records the cached wall time per size, and at the largest size also
+    the cache-disabled time — the ratio is the measured win of the
+    analysis-caching layer and is tracked across PRs in
+    ``BENCH_scaling.json``.
+    """
+    cdfg = build_fir_cdfg(taps)
+    start = time.perf_counter()
+    design = synthesize(cdfg)
+    elapsed = time.perf_counter() - start
+    metrics = {
+        "taps": taps,
+        "controllers": len(design.controllers),
+        "channels": design.plan.count(include_env=False),
+        "states": sum(c.state_count for c in design.controllers.values()),
+    }
+    if taps == 48:
+        with perf.caching_disabled():
+            start = time.perf_counter()
+            synthesize(build_fir_cdfg(taps))
+            uncached = time.perf_counter() - start
+        metrics["uncached_wall_time"] = round(uncached, 6)
+        metrics["cache_speedup"] = round(uncached / elapsed, 2)
+        metrics["seed_wall_time"] = SEED_FIR48_WALL_TIME
+        metrics["speedup_vs_seed"] = round(SEED_FIR48_WALL_TIME / elapsed, 2)
+    entry = record(f"fir_synthesis/taps={taps}", elapsed, **metrics)
+    print(f"\n{entry['bench']}: {elapsed:.3f}s  {metrics}")
+    assert design.controllers
 
 
 def test_linear_growth():

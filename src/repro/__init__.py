@@ -27,17 +27,30 @@ from repro.cdfg.graph import Cdfg
 
 
 def synthesize(
-    cdfg: "Cdfg",
+    cdfg,
     global_transforms: Optional[Sequence[str]] = None,
     local_transforms: Optional[Sequence[str]] = None,
 ):
     """One-call synthesis: CDFG -> optimized distributed controllers.
 
-    Applies the standard global script (or ``global_transforms``),
-    extracts one burst-mode controller per functional unit, and applies
-    the standard local script (or ``local_transforms``).  Returns a
+    ``cdfg`` is either a :class:`Cdfg` or the name of a registered
+    workload (``synthesize("diffeq")`` — see
+    :data:`repro.workloads.WORKLOADS`).  Applies the standard global
+    script (or ``global_transforms``), extracts one burst-mode
+    controller per functional unit, and applies the standard local
+    script (or ``local_transforms``).  Returns a
     :class:`repro.afsm.extract.DistributedDesign`.
     """
+    if isinstance(cdfg, str):
+        from repro.workloads import build_workload
+
+        cdfg = build_workload(cdfg)
+    elif not isinstance(cdfg, Cdfg):
+        raise TypeError(
+            "synthesize() expects a Cdfg or a workload name (str), "
+            f"got {type(cdfg).__name__}"
+        )
+
     from repro.afsm.extract import extract_controllers
     from repro.local_transforms import optimize_local
     from repro.local_transforms.scripts import STANDARD_LOCAL_SEQUENCE

@@ -69,9 +69,15 @@ class InputBurst:
         return not self.compulsory_edges and not self.conditions
 
     def signals(self) -> FrozenSet[str]:
-        return frozenset(edge.signal for edge in self.edges) | frozenset(
-            cond.signal for cond in self.conditions
-        )
+        # memoized: bursts are immutable and signals() sits on the
+        # machine-rewrite hot path (object.__setattr__ because frozen)
+        cached = self.__dict__.get("_signals")
+        if cached is None:
+            cached = frozenset(edge.signal for edge in self.edges) | frozenset(
+                cond.signal for cond in self.conditions
+            )
+            object.__setattr__(self, "_signals", cached)
+        return cached
 
     def with_edges(self, edges: Iterable[Edge]) -> "InputBurst":
         return InputBurst(tuple(edges), self.conditions)
@@ -101,7 +107,11 @@ class OutputBurst:
         return not self.edges
 
     def signals(self) -> FrozenSet[str]:
-        return frozenset(edge.signal for edge in self.edges)
+        cached = self.__dict__.get("_signals")
+        if cached is None:
+            cached = frozenset(edge.signal for edge in self.edges)
+            object.__setattr__(self, "_signals", cached)
+        return cached
 
     def with_edges(self, edges: Iterable[Edge]) -> "OutputBurst":
         return OutputBurst(tuple(edges))

@@ -282,9 +282,9 @@ def _plan_reset(
         arc = cdfg.arc(src, dst)
         (backward_consumers if arc.backward else forward_consumers).append(dst)
 
-    from repro.transforms.unfold import UnfoldedReach
+    from repro.transforms.unfold import cached_unfolded_reach
 
-    reach = UnfoldedReach(cdfg, unfold=2)
+    reach = cached_unfolded_reach(cdfg, unfold=2)
 
     def eligible(candidate: str) -> bool:
         # the reset must fire unconditionally (not inside an IF branch).

@@ -55,6 +55,10 @@ class BurstModeMachine:
         self._signals: Dict[str, Signal] = {}
         self._next_uid = 0
         self._next_state = 0
+        # per-state uid indices; uids ascend, so sorted(uids) is
+        # insertion order and the accessors stay deterministic
+        self._from_index: Dict[str, Set[int]] = {}
+        self._to_index: Dict[str, Set[int]] = {}
 
     # ------------------------------------------------------------------
     # signals
@@ -97,19 +101,21 @@ class BurstModeMachine:
         (used by LT5 signal sharing)."""
         self.declare_signal(new_signal)
         for transition in self._transitions.values():
-            transition.input_burst = InputBurst(
-                tuple(
-                    Edge(new_signal.name, e.rising, e.ddc) if e.signal == old else e
-                    for e in transition.input_burst.edges
-                ),
-                transition.input_burst.conditions,
-            )
-            transition.output_burst = OutputBurst(
-                tuple(
-                    Edge(new_signal.name, e.rising, e.ddc) if e.signal == old else e
-                    for e in transition.output_burst.edges
+            if old in transition.input_burst.signals():
+                transition.input_burst = InputBurst(
+                    tuple(
+                        Edge(new_signal.name, e.rising, e.ddc) if e.signal == old else e
+                        for e in transition.input_burst.edges
+                    ),
+                    transition.input_burst.conditions,
                 )
-            )
+            if old in transition.output_burst.signals():
+                transition.output_burst = OutputBurst(
+                    tuple(
+                        Edge(new_signal.name, e.rising, e.ddc) if e.signal == old else e
+                        for e in transition.output_burst.edges
+                    )
+                )
         self._signals.pop(old, None)
 
     # ------------------------------------------------------------------
@@ -146,21 +152,39 @@ class BurstModeMachine:
         )
         self._next_uid += 1
         self._transitions[transition.uid] = transition
+        self._from_index.setdefault(src, set()).add(transition.uid)
+        self._to_index.setdefault(dst, set()).add(transition.uid)
         return transition
 
     def remove_transition(self, uid: int) -> Transition:
         try:
-            return self._transitions.pop(uid)
+            transition = self._transitions.pop(uid)
         except KeyError:
             raise BurstModeError(f"no transition #{uid}") from None
+        self._from_index[transition.src].discard(uid)
+        self._to_index[transition.dst].discard(uid)
+        return transition
+
+    def retarget_transition(self, uid: int, dst: str) -> None:
+        """Point transition ``uid`` at a new destination state.
+
+        The destination index tracks ``dst``, so it must never be
+        assigned directly on the :class:`Transition`."""
+        transition = self.transition(uid)
+        if dst not in self._states:
+            raise BurstModeError(f"unknown state {dst!r}")
+        self._to_index[transition.dst].discard(uid)
+        transition.dst = dst
+        self._to_index.setdefault(dst, set()).add(uid)
 
     def remove_state(self, name: str) -> None:
         if name == self.initial_state:
             raise BurstModeError("cannot remove the initial state")
-        for transition in self._transitions.values():
-            if transition.src == name or transition.dst == name:
-                raise BurstModeError(f"state {name!r} still has transitions")
+        if self._from_index.get(name) or self._to_index.get(name):
+            raise BurstModeError(f"state {name!r} still has transitions")
         del self._states[name]
+        self._from_index.pop(name, None)
+        self._to_index.pop(name, None)
 
     def transition(self, uid: int) -> Transition:
         try:
@@ -172,10 +196,16 @@ class BurstModeMachine:
         return list(self._transitions.values())
 
     def transitions_from(self, state: str) -> List[Transition]:
-        return [t for t in self._transitions.values() if t.src == state]
+        uids = self._from_index.get(state)
+        if not uids:
+            return []
+        return [self._transitions[uid] for uid in sorted(uids)]
 
     def transitions_to(self, state: str) -> List[Transition]:
-        return [t for t in self._transitions.values() if t.dst == state]
+        uids = self._to_index.get(state)
+        if not uids:
+            return []
+        return [self._transitions[uid] for uid in sorted(uids)]
 
     def states(self) -> List[str]:
         return list(self._states.keys())
@@ -243,7 +273,7 @@ class BurstModeMachine:
                             entry.input_burst.edges + ddc_edges,
                             entry.input_burst.conditions,
                         )
-                    entry.dst = follow.dst
+                    self.retarget_transition(entry.uid, follow.dst)
                     entry.tags.setdefault("folded", "")
                     entry.tags["folded"] += f"+{follow.tags.get('micro', '?')}"
                 self.remove_transition(follow.uid)
@@ -292,6 +322,8 @@ class BurstModeMachine:
                 transition.output_burst,
                 dict(transition.tags),
             )
+            clone._from_index.setdefault(transition.src, set()).add(transition.uid)
+            clone._to_index.setdefault(transition.dst, set()).add(transition.uid)
         return clone
 
     # ------------------------------------------------------------------

@@ -31,6 +31,10 @@ class Cdfg:
 
     def __init__(self, name: str = "cdfg"):
         self.name = name
+        #: monotone mutation counter; every structural change bumps it,
+        #: which also drops the memoized analyses keyed on this graph
+        self._generation = 0
+        self._analysis_cache: Dict[object, object] = {}
         self._nodes: Dict[str, Node] = {}
         self._arcs: Dict[Tuple[str, str], Arc] = {}
         self._succ: Dict[str, Dict[str, Arc]] = {}
@@ -45,6 +49,40 @@ class Cdfg:
         self.inputs: Dict[str, float] = {}
         #: initial values of writable registers (simulation start state)
         self.initial_registers: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # analysis caching
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Number of structural mutations this graph has seen.
+
+        Analyses memoized against the graph (reachability closures,
+        anchored longest-path tables, ...) are stored in
+        :meth:`analysis_cache`, which is cleared whenever the
+        generation advances — a cached result is therefore always
+        consistent with the current structure.
+        """
+        return self._generation
+
+    def invalidate_analyses(self) -> None:
+        """Advance the generation and drop every memoized analysis.
+
+        Called automatically by all mutating methods; exposed for code
+        that changes graph semantics through a side channel.
+        """
+        self._generation += 1
+        if self._analysis_cache:
+            self._analysis_cache.clear()
+
+    def analysis_cache(self) -> Dict[object, object]:
+        """Per-graph memo table, cleared on every structural mutation.
+
+        Keys are chosen by the analyses themselves (tuples starting
+        with the analysis name).  Entries must depend only on graph
+        structure plus whatever the key encodes.
+        """
+        return self._analysis_cache
 
     # ------------------------------------------------------------------
     # nodes
@@ -64,6 +102,7 @@ class Cdfg:
             raise CdfgError(f"duplicate node {node.name!r}")
         if block is not None and block not in self._nodes:
             raise CdfgError(f"unknown block root {block!r} for node {node.name!r}")
+        self.invalidate_analyses()
         self._nodes[node.name] = node
         self._succ[node.name] = {}
         self._pred[node.name] = {}
@@ -124,6 +163,7 @@ class Cdfg:
 
     def set_block_of(self, name: str, block: Optional[str]) -> None:
         self.node(name)
+        self.invalidate_analyses()
         self._block_of[name] = block
 
     def branch_of(self, name: str) -> Optional[str]:
@@ -175,6 +215,7 @@ class Cdfg:
         existing = self._arcs.get(arc.key)
         if existing is not None:
             arc = existing.merged_with(arc)
+        self.invalidate_analyses()
         self._arcs[arc.key] = arc
         self._succ[arc.src][arc.dst] = arc
         self._pred[arc.dst][arc.src] = arc
@@ -185,6 +226,7 @@ class Cdfg:
             arc = self._arcs.pop((src, dst))
         except KeyError:
             raise CdfgError(f"no arc {src!r} -> {dst!r}") from None
+        self.invalidate_analyses()
         del self._succ[src][dst]
         del self._pred[dst][src]
         return arc
@@ -321,6 +363,7 @@ class Cdfg:
         for arc in outgoing:
             self.remove_arc(arc.src, arc.dst)
 
+        self.invalidate_analyses()
         del self._nodes[old_name]
         del self._succ[old_name]
         del self._pred[old_name]
@@ -362,6 +405,7 @@ class Cdfg:
             self.remove_arc(arc.src, arc.dst)
         for arc in list(self.arcs_from(name)):
             self.remove_arc(arc.src, arc.dst)
+        self.invalidate_analyses()
         del self._nodes[name]
         del self._succ[name]
         del self._pred[name]
@@ -384,6 +428,14 @@ class Cdfg:
         clone.inputs = dict(self.inputs)
         clone.initial_registers = dict(self.initial_registers)
         return clone
+
+    def __getstate__(self):
+        # memoized analyses are derived data and may be large (bitset
+        # closures); never ship them across pickle boundaries (e.g. to
+        # explore_design_space worker processes)
+        state = self.__dict__.copy()
+        state["_analysis_cache"] = {}
+        return state
 
     # ------------------------------------------------------------------
     # interop

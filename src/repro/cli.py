@@ -29,22 +29,11 @@ from repro.eval.experiments import (
     run_trajectory,
 )
 from repro.eval.tables import render_table
+from repro import perf
 from repro.local_transforms import optimize_local
 from repro.sim.system import ControllerSystem, simulate_system
 from repro.transforms import optimize_global
-from repro.workloads import (
-    build_diffeq_cdfg,
-    build_ewf_cdfg,
-    build_fir_cdfg,
-    build_gcd_cdfg,
-)
-
-WORKLOADS: Dict[str, Callable] = {
-    "diffeq": build_diffeq_cdfg,
-    "gcd": build_gcd_cdfg,
-    "ewf": build_ewf_cdfg,
-    "fir": build_fir_cdfg,
-}
+from repro.workloads import WORKLOADS
 
 LEVELS = ("unoptimized", "gt", "gt+lt")
 
@@ -68,12 +57,18 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
+    if args.timings:
+        perf.reset_timings()
     design = _build_design(args.workload, args.level)
     print(design.summary())
     if args.verbose:
         for controller in design.controllers.values():
             print()
             print(controller.machine.describe())
+    if args.timings:
+        print()
+        print("per-pass wall time:")
+        print(perf.format_timings())
     return 0
 
 
@@ -95,7 +90,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     from repro.explore import explore_design_space
 
     cdfg = WORKLOADS[args.workload]()
-    result = explore_design_space(cdfg)
+    result = explore_design_space(cdfg, workers=args.workers)
     frontier = result.pareto_points()
     rows = [
         (point.label, point.channels, point.total_states, f"{point.makespan:.1f}")
@@ -154,11 +149,22 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--seed", type=int, default=0)
         if name == "synthesize":
             command.add_argument("--verbose", action="store_true")
+            command.add_argument(
+                "--timings",
+                action="store_true",
+                help="print per-pass wall time after synthesis",
+            )
         if name == "vcd":
             command.add_argument("--output", "-o", default="trace.vcd")
 
     explore = sub.add_parser("explore", help="design-space exploration")
     explore.add_argument("workload", choices=sorted(WORKLOADS))
+    explore.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="evaluate points on a process pool (0 = one per CPU; default serial)",
+    )
 
     dot = sub.add_parser("dot", help="export a CDFG as Graphviz")
     dot.add_argument("workload", choices=sorted(WORKLOADS))

@@ -13,6 +13,8 @@ resulting design points, and extract the Pareto frontier.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -111,6 +113,24 @@ def evaluate_point(
     )
 
 
+def _evaluate_config(payload: Tuple) -> DesignPoint:
+    """Worker-side shim: unpack one configuration and evaluate it.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor`
+    can pickle it; also used by the serial path so both paths share
+    one code path per point.
+    """
+    cdfg, global_transforms, local_transforms, delays, seed, reference = payload
+    return evaluate_point(
+        cdfg,
+        global_transforms,
+        local_transforms,
+        delays=delays,
+        seed=seed,
+        reference=reference,
+    )
+
+
 def explore_design_space(
     cdfg: Cdfg,
     global_subsets: Optional[Sequence[Sequence[str]]] = None,
@@ -118,12 +138,18 @@ def explore_design_space(
     delays: Optional[DelayModel] = None,
     seed: int = 9,
     reference: Optional[Dict[str, float]] = None,
+    workers: Optional[int] = None,
 ) -> ExplorationResult:
     """Evaluate a grid of transform configurations.
 
     Defaults explore every prefix-closed subset of GT1..GT5 crossed
     with {no LTs, all LTs} — 64 points is already informative; pass
     explicit subset lists for a wider or narrower sweep.
+
+    Every point is independent, so the sweep parallelizes trivially:
+    ``workers`` > 1 fans the grid out over a process pool (``workers=0``
+    means one process per CPU).  The default (``None`` or 1) evaluates
+    serially; both paths produce identical points in identical order.
     """
     if global_subsets is None:
         global_subsets = [
@@ -134,17 +160,19 @@ def explore_design_space(
     if local_subsets is None:
         local_subsets = [(), tuple(STANDARD_LOCAL_SEQUENCE)]
 
+    payloads = [
+        (cdfg, tuple(global_transforms), tuple(local_transforms), delays, seed, reference)
+        for global_transforms in global_subsets
+        for local_transforms in local_subsets
+    ]
+
     result = ExplorationResult()
-    for global_transforms in global_subsets:
-        for local_transforms in local_subsets:
-            result.points.append(
-                evaluate_point(
-                    cdfg,
-                    global_transforms,
-                    local_transforms,
-                    delays=delays,
-                    seed=seed,
-                    reference=reference,
-                )
-            )
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    if workers is not None and workers > 1 and len(payloads) > 1:
+        max_workers = min(workers, len(payloads))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            result.points.extend(pool.map(_evaluate_config, payloads, chunksize=1))
+    else:
+        result.points.extend(map(_evaluate_config, payloads))
     return result

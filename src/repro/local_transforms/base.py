@@ -21,6 +21,8 @@ class LocalReport:
     merged_signals: List[str] = field(default_factory=list)
     folded_states: int = 0
     details: List[str] = field(default_factory=list)
+    #: wall time of the pass in seconds (filled by optimize_local)
+    duration: float = 0.0
 
     def note(self, message: str) -> None:
         self.details.append(message)

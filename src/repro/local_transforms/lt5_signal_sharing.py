@@ -17,19 +17,32 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.afsm.burst import OutputBurst
 from repro.afsm.machine import BurstModeMachine
 from repro.afsm.signals import Signal, SignalKind
 from repro.local_transforms.base import LocalReport, LocalTransform
 
 
-def _signature(machine: BurstModeMachine, signal_name: str) -> Tuple:
-    """Occurrence pattern of an output: (transition uid, direction)*."""
-    occurrences = []
+def _all_signatures(machine: BurstModeMachine) -> Dict[str, Tuple]:
+    """Occurrence pattern of every output in one sweep over the machine.
+
+    One pass over the transitions builds ``signal -> ((uid, rising)*)``
+    for all signals at once, instead of re-scanning every transition
+    per signal (the per-pair recomputation dominated LT5 on large
+    machines).
+    """
+    occurrences: Dict[str, List[Tuple[int, bool]]] = {}
     for transition in sorted(machine.transitions(), key=lambda t: t.uid):
         for edge in transition.output_burst.edges:
-            if edge.signal == signal_name:
-                occurrences.append((transition.uid, edge.rising))
-    return tuple(occurrences)
+            occurrences.setdefault(edge.signal, []).append(
+                (transition.uid, edge.rising)
+            )
+    return {name: tuple(pattern) for name, pattern in occurrences.items()}
+
+
+def _signature(machine: BurstModeMachine, signal_name: str) -> Tuple:
+    """Occurrence pattern of an output: (transition uid, direction)*."""
+    return _all_signatures(machine).get(signal_name, ())
 
 
 def _actions_of(signal: Signal) -> List[tuple]:
@@ -50,6 +63,7 @@ class SignalSharing(LocalTransform):
         changed = True
         while changed:
             changed = False
+            signatures = _all_signatures(machine)
             groups: Dict[Tuple, List[str]] = {}
             for signal in machine.outputs():
                 if signal.kind is not SignalKind.LOCAL_REQ:
@@ -60,10 +74,14 @@ class SignalSharing(LocalTransform):
                         continue  # live acknowledgment: wave shapes differ
                     except Exception:
                         pass
-                signature = _signature(machine, signal.name)
+                signature = signatures.get(signal.name, ())
                 if not signature:
                     continue
                 groups.setdefault(signature, []).append(signal.name)
+            # groups are disjoint and a merge only touches its own
+            # signals (uids and other signals' edges are unchanged), so
+            # every group can be merged in one sweep; the outer loop's
+            # final pass confirms nothing new became shareable
             for signature, names in sorted(groups.items()):
                 if len(names) < 2:
                     continue
@@ -81,14 +99,21 @@ class SignalSharing(LocalTransform):
                 first, rest = names[0], names[1:]
                 # renaming every member to the merged name collapses the
                 # duplicate edges in each burst
+                rest_set = frozenset(rest)
+                for transition in machine.transitions():
+                    if rest_set & transition.output_burst.signals():
+                        transition.output_burst = OutputBurst(
+                            tuple(
+                                edge
+                                for edge in transition.output_burst.edges
+                                if edge.signal not in rest_set
+                            )
+                        )
                 for name in rest:
-                    for transition in machine.transitions():
-                        transition.output_burst = transition.output_burst.without_signal(name)
                     machine.rename_signal(name, merged)
                 machine.rename_signal(first, merged)
                 report.merged_signals.append(merged_name)
                 report.note(f"shared wire {merged_name} replaces {names}")
                 changed = True
-                break  # signatures are stale after a merge: recompute
         report.applied = bool(report.merged_signals)
         return report

@@ -9,8 +9,11 @@ Machines are folded and re-validated after every step.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
+
+from repro import perf
 
 from repro.afsm.extract import Controller, DistributedDesign
 from repro.afsm.signals import SignalKind
@@ -65,9 +68,14 @@ def optimize_local(
     for fu, controller in design.controllers.items():
         machine = controller.machine.copy()
         for transform in transforms:
-            reports.append(transform.apply(machine))
+            start = time.perf_counter()
+            report = transform.apply(machine)
+            report.duration = time.perf_counter() - start
+            perf.record_duration(f"local/{transform.name}", report.duration)
+            reports.append(report)
             if checked:
-                check_machine(machine)
+                with perf.timed_section("local/check_machine"):
+                    check_machine(machine)
         machine.fold_trivial_states()
         machine.prune_unreachable()
         optimized.controllers[fu] = Controller(

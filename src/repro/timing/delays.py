@@ -63,14 +63,30 @@ class DelayModel:
         _check_interval("structural", self.structural_delay)
         for key, interval in self.overrides.items():
             _check_interval(str(key), interval)
+        #: node -> interval memo; sound because nodes are immutable and
+        #: the delay tables are treated as frozen after construction
+        #: (:meth:`with_override` builds a new model with a new cache)
+        self._interval_cache: Dict[Node, Interval] = {}
 
     # ------------------------------------------------------------------
     def interval_for(self, node: Node) -> Interval:
         """The ``[min, max]`` execution delay of a CDFG node.
 
         Merged nodes (GT4) take the max over their statements' delays:
-        the copies run in parallel with the FU operation.
+        the copies run in parallel with the FU operation.  Results are
+        memoized per node (nodes are frozen dataclasses); bypassed when
+        :func:`repro.perf.caching_enabled` is off.
         """
+        from repro import perf
+
+        if perf.caching_enabled():
+            cached = self._interval_cache.get(node)
+            if cached is None:
+                cached = self._interval_cache[node] = self._interval_for_uncached(node)
+            return cached
+        return self._interval_for_uncached(node)
+
+    def _interval_for_uncached(self, node: Node) -> Interval:
         if not node.is_operation:
             if node.fu is not None:
                 override = self.overrides.get((node.fu, None))
@@ -103,6 +119,21 @@ class DelayModel:
             return self.operator_delays[operator]
         except KeyError:
             raise TimingError(f"no delay defined for operator {operator!r}") from None
+
+    def cache_key(self) -> Tuple:
+        """A structural fingerprint of the delay tables.
+
+        Analyses memoized against a CDFG (e.g. the anchored
+        longest-path tables) include this in their cache keys so two
+        different-but-equal models share entries and different models
+        never collide.
+        """
+        return (
+            tuple(sorted(self.operator_delays.items())),
+            self.copy_delay,
+            self.structural_delay,
+            tuple(sorted(self.overrides.items(), key=repr)),
+        )
 
     # ------------------------------------------------------------------
     def nominal(self, node: Node) -> float:

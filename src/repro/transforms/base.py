@@ -9,7 +9,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.cdfg.graph import Cdfg
 from repro.cdfg.validate import check_well_formed
 from repro.errors import TransformError
-from repro.transforms.unfold import UnfoldedReach
+from repro.transforms.unfold import cached_unfolded_reach
 
 
 @dataclass
@@ -24,6 +24,8 @@ class TransformReport:
     details: List[str] = field(default_factory=list)
     #: transform-specific outputs (GT5 stores its ChannelPlan here)
     artifacts: Dict[str, object] = field(default_factory=dict)
+    #: wall time of the pass in seconds (filled by PassManager.run)
+    duration: float = 0.0
 
     def note(self, message: str) -> None:
         self.details.append(message)
@@ -36,6 +38,8 @@ class TransformReport:
             parts.append(f"+{len(self.added_arcs)} arcs")
         if self.merged_nodes:
             parts.append(f"{len(self.merged_nodes)} merges")
+        if self.duration:
+            parts.append(f"[{self.duration:.3f}s]")
         return " ".join(parts)
 
 
@@ -68,14 +72,27 @@ class PassManager:
     def run(
         self, cdfg: Cdfg, transforms: Sequence[Transform]
     ) -> Tuple[Cdfg, List[TransformReport]]:
-        """Apply ``transforms`` to a copy of ``cdfg``."""
+        """Apply ``transforms`` to a copy of ``cdfg``.
+
+        Each pass's wall time is recorded on its report and in the
+        process-global :mod:`repro.perf` registry under
+        ``global/<name>``.
+        """
+        import time
+
+        from repro import perf
+
         working = cdfg.copy()
         reports: List[TransformReport] = []
         for transform in transforms:
+            start = time.perf_counter()
             report = transform.apply(working)
+            report.duration = time.perf_counter() - start
+            perf.record_duration(f"global/{transform.name}", report.duration)
             reports.append(report)
             if self.checked:
-                check_well_formed(working)
+                with perf.timed_section("global/check_well_formed"):
+                    check_well_formed(working)
         return working, reports
 
 
@@ -86,7 +103,7 @@ def operation_order_pairs(cdfg: Cdfg, unfold: int = 2) -> Set[Tuple[str, str]]:
     ordering (backward arcs) is included.  Shared node names are paired
     with their unfolded iteration index.
     """
-    reach = UnfoldedReach(cdfg, unfold=unfold)
+    reach = cached_unfolded_reach(cdfg, unfold=unfold)
     pairs: Set[Tuple[str, str]] = set()
     operations = [node.name for node in cdfg.operation_nodes()]
     for src in operations:

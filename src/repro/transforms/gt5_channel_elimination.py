@@ -43,7 +43,7 @@ from repro.channels.model import ArcKey, Channel, ChannelPlan
 from repro.timing.analysis import arc_slack, compute_arrival_times
 from repro.timing.delays import DelayModel
 from repro.transforms.base import Transform, TransformReport
-from repro.transforms.unfold import Copy, UnfoldedReach, _is_iterated
+from repro.transforms.unfold import Copy, UnfoldedReach, cached_unfolded_reach
 
 
 class _Group:
@@ -277,7 +277,7 @@ class ChannelElimination(Transform):
         self, cdfg: Cdfg, group: _Group, missing: FrozenSet[str]
     ) -> Optional[List[Arc]]:
         """Implied arcs from the group's source to each missing FU."""
-        reach = UnfoldedReach(cdfg, unfold=2)
+        reach = cached_unfolded_reach(cdfg, unfold=2)
         additions: List[Arc] = []
         src = group.source
         for fu in sorted(missing):
@@ -304,8 +304,8 @@ class ChannelElimination(Transform):
                 return (dst, False)
             if (
                 self.allow_backward_additions
-                and _is_iterated(cdfg, src)
-                and _is_iterated(cdfg, dst)
+                and reach.is_iterated(src)
+                and reach.is_iterated(dst)
                 and reach.implies_next_iteration(src, dst)
             ):
                 return (dst, True)
@@ -335,7 +335,7 @@ class ChannelElimination(Transform):
     # GT5.1 multiplexing + plan construction
     # ------------------------------------------------------------------
     def _build_plan(self, cdfg: Cdfg, groups: List[_Group]) -> ChannelPlan:
-        reach = UnfoldedReach(cdfg, unfold=self.unfold)
+        reach = cached_unfolded_reach(cdfg, unfold=self.unfold)
         merged: List[List[_Group]] = []
         for group in groups:
             placed = False
@@ -395,12 +395,14 @@ class ChannelElimination(Transform):
                     return False
         return True
 
-    def _arc_instances(self, cdfg: Cdfg, key: ArcKey) -> List[Tuple[Copy, Copy]]:
+    def _arc_instances(
+        self, cdfg: Cdfg, reach: UnfoldedReach, key: ArcKey
+    ) -> List[Tuple[Copy, Copy]]:
         """(production, consumption) node copies for each firing of an arc."""
         src, dst = key
         arc = cdfg.arc(src, dst)
-        src_iter = _is_iterated(cdfg, src)
-        dst_iter = _is_iterated(cdfg, dst)
+        src_iter = reach.is_iterated(src)
+        dst_iter = reach.is_iterated(dst)
         if not src_iter and not dst_iter:
             return [((src, None), (dst, None))]
         if not src_iter:
@@ -417,8 +419,8 @@ class ChannelElimination(Transform):
         """Sound structural check that two arcs never hold simultaneous
         pending events: for every pair of instances, the consumption of
         one happens-before the production of the other."""
-        for left_prod, left_cons in self._arc_instances(cdfg, left):
-            for right_prod, right_cons in self._arc_instances(cdfg, right):
+        for left_prod, left_cons in self._arc_instances(cdfg, reach, left):
+            for right_prod, right_cons in self._arc_instances(cdfg, reach, right):
                 left_first = left_cons == right_prod or reach.path_exists(left_cons, right_prod)
                 right_first = right_cons == left_prod or reach.path_exists(right_cons, left_prod)
                 if not (left_first or right_first):

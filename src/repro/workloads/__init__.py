@@ -11,13 +11,49 @@
   that every synthesis level computes the same results.
 """
 
+from typing import Callable, Dict
+
+from repro.cdfg.graph import Cdfg
 from repro.workloads.diffeq import build_diffeq_cdfg, DIFFEQ_DEFAULTS
 from repro.workloads.gcd import build_gcd_cdfg
 from repro.workloads.ewf import build_ewf_cdfg
 from repro.workloads.fir import build_fir_cdfg, fir_reference
 from repro.workloads.reference import diffeq_reference, gcd_reference, ewf_reference
 
+#: Name -> builder registry; lets the API and CLI resolve workloads by
+#: name (``synthesize("diffeq")``).  Builders accept keyword arguments
+#: (e.g. ``build_workload("fir", taps=16)``).
+WORKLOADS: Dict[str, Callable[..., Cdfg]] = {
+    "diffeq": build_diffeq_cdfg,
+    "gcd": build_gcd_cdfg,
+    "ewf": build_ewf_cdfg,
+    "fir": build_fir_cdfg,
+}
+
+
+def workload_names() -> list:
+    """The registered workload names, sorted."""
+    return sorted(WORKLOADS)
+
+
+def build_workload(name: str, **kwargs) -> Cdfg:
+    """Build a registered workload by (case-insensitive) name.
+
+    Raises :class:`KeyError` naming the known workloads for anything
+    not registered.
+    """
+    builder = WORKLOADS.get(name.strip().lower())
+    if builder is None:
+        raise KeyError(
+            f"unknown workload {name!r}; known workloads: {', '.join(workload_names())}"
+        )
+    return builder(**kwargs)
+
+
 __all__ = [
+    "WORKLOADS",
+    "workload_names",
+    "build_workload",
     "build_diffeq_cdfg",
     "DIFFEQ_DEFAULTS",
     "build_gcd_cdfg",

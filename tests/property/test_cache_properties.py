@@ -1,0 +1,124 @@
+"""Cache-correctness properties.
+
+The analysis caches (memoized :class:`UnfoldedReach` instances with
+bitset reachability closures, :class:`DelayModel` interval memoization,
+anchored longest-path tables) must be pure accelerations: a cached run
+and a cache-disabled run over the same CDFG must produce *identical*
+designs.  These tests prove that on random structured programs, and
+check explicitly that graph mutation invalidates cached answers (the
+generation bump).
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro import perf
+from repro.afsm.extract import extract_controllers
+from repro.errors import ExtractionError
+from repro.transforms import optimize_global
+from repro.workloads import build_diffeq_cdfg
+
+from tests.property.test_transform_properties import _build, programs
+
+
+def _synthesis_fingerprint(cdfg):
+    """Everything the ISSUE's correctness bar cares about: transform
+    reports, the channel plan, and controller state/transition counts.
+
+    Some random programs hit configurations extraction does not
+    support; that must happen identically with and without caching, so
+    the raised error becomes part of the fingerprint.
+    """
+    try:
+        return _fingerprint_or_raise(cdfg)
+    except ExtractionError as error:
+        return ("extraction-unsupported", str(error))
+
+
+def _fingerprint_or_raise(cdfg):
+    optimized = optimize_global(cdfg)
+    reports = [
+        (r.name, r.applied, tuple(r.removed_arcs), tuple(r.added_arcs),
+         tuple(r.merged_nodes))
+        for r in optimized.reports
+    ]
+    plan = tuple(
+        (channel.name, channel.src_fu, tuple(sorted(channel.dst_fus)),
+         tuple(channel.arcs))
+        for channel in optimized.plan.channels
+    )
+    design = extract_controllers(optimized.cdfg, optimized.plan)
+    controllers = tuple(
+        (fu, controller.machine.state_count, controller.machine.transition_count)
+        for fu, controller in sorted(design.controllers.items())
+    )
+    return (reports, plan, controllers)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_cached_and_uncached_designs_identical(program):
+    cached = _synthesis_fingerprint(_build(program))
+    with perf.caching_disabled():
+        uncached = _synthesis_fingerprint(_build(program))
+    assert cached == uncached
+
+
+def test_mutation_invalidates_cached_reachability():
+    """A cached reachability answer must not survive a graph mutation."""
+    from repro.cdfg.arc import Arc, control_tag
+    from repro.transforms.unfold import cached_unfolded_reach
+
+    cdfg = build_diffeq_cdfg()
+    reach = cached_unfolded_reach(cdfg, unfold=2)
+    assert cached_unfolded_reach(cdfg, unfold=2) is reach  # memoized
+
+    # two operations on different units with no direct constraint
+    names = [node.name for node in cdfg.operation_nodes()]
+    src, dst = None, None
+    for a in names:
+        for b in names:
+            if a != b and not cdfg.has_arc(a, b) and not reach.implies_same_iteration(a, b):
+                src, dst = a, b
+                break
+        if src:
+            break
+    assert src and dst, "expected an unordered operation pair in DIFFEQ"
+
+    generation = cdfg.generation
+    cdfg.add_arc(Arc(src, dst, frozenset({control_tag()})))
+    assert cdfg.generation > generation
+    fresh = cached_unfolded_reach(cdfg, unfold=2)
+    assert fresh is not reach  # cache was dropped
+    assert fresh.implies_same_iteration(src, dst)  # and sees the new arc
+
+
+def test_generation_bumps_on_every_mutation_kind():
+    from repro.cdfg.arc import Arc, control_tag
+
+    cdfg = build_diffeq_cdfg()
+    ops = [node.name for node in cdfg.operation_nodes()]
+    start = cdfg.generation
+
+    arc = Arc(ops[0], ops[1], frozenset({control_tag()}))
+    cdfg.add_arc(arc)
+    after_add = cdfg.generation
+    assert after_add > start
+
+    cdfg.remove_arc(ops[0], ops[1])
+    assert cdfg.generation > after_add
+
+    # copies start with a fresh cache and their own counter
+    clone = cdfg.copy()
+    assert clone.generation == 0
+    assert clone.analysis_cache() == {}
+
+
+def test_cached_unfolded_reach_respects_disable_switch():
+    from repro.transforms.unfold import cached_unfolded_reach
+
+    cdfg = build_diffeq_cdfg()
+    cached = cached_unfolded_reach(cdfg, unfold=2)
+    with perf.caching_disabled():
+        bypassed = cached_unfolded_reach(cdfg, unfold=2)
+        assert bypassed is not cached
+    assert cached_unfolded_reach(cdfg, unfold=2) is cached

@@ -1,8 +1,16 @@
 """Top-level public API."""
 
+import pytest
+
 import repro
 from repro import synthesize
-from repro.workloads import build_gcd_cdfg, gcd_reference
+from repro.workloads import (
+    WORKLOADS,
+    build_gcd_cdfg,
+    build_workload,
+    gcd_reference,
+    workload_names,
+)
 
 
 class TestPublicApi:
@@ -33,3 +41,39 @@ class TestPublicApi:
         from repro.cdfg.graph import Cdfg as Inner
 
         assert Cdfg is Inner
+
+
+class TestWorkloadRegistry:
+    def test_names(self):
+        assert workload_names() == sorted(WORKLOADS)
+        assert {"diffeq", "gcd", "ewf", "fir"} <= set(workload_names())
+
+    def test_build_by_name_with_kwargs(self):
+        cdfg = build_workload("fir", taps=3)
+        assert cdfg.name == "fir3"
+
+    def test_build_unknown_name(self):
+        with pytest.raises(KeyError, match="known workloads.*diffeq"):
+            build_workload("bitcoin-miner")
+
+    def test_synthesize_accepts_workload_name(self):
+        design = synthesize("gcd")
+        assert set(design.controllers) == {"SUB", "CMP"}
+        from repro.sim.system import simulate_system
+
+        result = simulate_system(design, seed=0)
+        assert result.registers["A"] == gcd_reference()["A"]
+
+    def test_synthesize_name_is_case_insensitive(self):
+        design = synthesize("  GCD ")
+        assert set(design.controllers) == {"SUB", "CMP"}
+
+    def test_synthesize_unknown_name(self):
+        with pytest.raises(KeyError, match="known workloads"):
+            synthesize("nope")
+
+    def test_synthesize_rejects_non_cdfg(self):
+        with pytest.raises(TypeError, match="Cdfg or a workload name"):
+            synthesize(42)
+        with pytest.raises(TypeError, match="got list"):
+            synthesize([build_gcd_cdfg()])
