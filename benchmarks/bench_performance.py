@@ -12,6 +12,7 @@ from repro.eval import run_performance
 from repro.eval.experiments import synthesize_levels
 from repro.sim.system import simulate_system
 from repro.transforms import LoopParallelism
+from repro.sim.seeding import NOMINAL
 from repro.sim.token_sim import simulate_tokens
 from repro.workloads import build_diffeq_cdfg, build_ewf_cdfg
 
@@ -37,10 +38,10 @@ def test_gt1_overlap_speedup_token_level(benchmark):
     """GT1's loop overlap shortens the CDFG-level makespan."""
 
     def run():
-        baseline = simulate_tokens(build_diffeq_cdfg()).end_time
+        baseline = simulate_tokens(build_diffeq_cdfg(), seed=NOMINAL).end_time
         overlapped_cdfg = build_diffeq_cdfg()
         LoopParallelism().apply(overlapped_cdfg)
-        overlapped = simulate_tokens(overlapped_cdfg).end_time
+        overlapped = simulate_tokens(overlapped_cdfg, seed=NOMINAL).end_time
         return baseline, overlapped
 
     baseline, overlapped = benchmark(run)

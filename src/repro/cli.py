@@ -8,6 +8,7 @@ Commands
 ``simulate``    execute a synthesized design and report the register
                 file, makespan and event counts
 ``explore``     sweep transform subsets and print the Pareto frontier
+``verify``      conformance-fuzz the flow against the golden reference
 ``dot``         export the (optionally optimized) CDFG as Graphviz
 ``vcd``         dump a VCD waveform of a system simulation
 """
@@ -93,12 +94,51 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     result = explore_design_space(cdfg, workers=args.workers)
     frontier = result.pareto_points()
     rows = [
-        (point.label, point.channels, point.total_states, f"{point.makespan:.1f}")
+        (
+            point.label,
+            point.channels,
+            point.total_states,
+            f"{point.makespan:.1f}",
+            "yes" if point.conformant else "NO",
+        )
         for point in sorted(frontier, key=lambda p: p.objectives())
     ]
-    print(render_table(("configuration", "channels", "states", "makespan"), rows))
+    print(render_table(("configuration", "channels", "states", "makespan", "conformant"), rows))
     print(f"{len(frontier)} Pareto-optimal of {len(result.points)} explored points")
+    bad = [point for point in result.points if not point.conformant]
+    if bad:
+        print(f"{len(bad)} NON-CONFORMANT points:")
+        for point in bad:
+            print(f"  {point.label}: {point.conformance}")
+        return 1
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import fuzz_workload
+    from repro.workloads import workload_names
+
+    names = list(workload_names()) if args.workload == "all" else [args.workload]
+    reports = []
+    for name in names:
+        report = fuzz_workload(
+            name,
+            runs=args.runs,
+            seed=args.seed,
+            budget=args.budget,
+            shrink=not args.no_shrink,
+        )
+        reports.append(report)
+        print(report.summary())
+    if args.json:
+        import json
+
+        payload = [report.to_dict() for report in reports]
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload[0] if len(payload) == 1 else payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if all(report.conformant for report in reports) else 1
 
 
 def _cmd_dot(args: argparse.Namespace) -> int:
@@ -166,6 +206,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate points on a process pool (0 = one per CPU; default serial)",
     )
 
+    verify = sub.add_parser(
+        "verify",
+        help="differential conformance fuzzing of every transform level",
+    )
+    verify.add_argument("workload", choices=sorted(WORKLOADS) + ["all"])
+    verify.add_argument("--runs", type=int, default=20, help="cases per workload")
+    verify.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    verify.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="stop the campaign after this many seconds",
+    )
+    verify.add_argument("--json", default=None, help="write the VerifyReport(s) to this path")
+    verify.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failing cases as found, without minimization",
+    )
+
     dot = sub.add_parser("dot", help="export a CDFG as Graphviz")
     dot.add_argument("workload", choices=sorted(WORKLOADS))
     dot.add_argument("--optimized", action="store_true")
@@ -181,6 +241,7 @@ def main(argv: Optional[list] = None) -> int:
         "synthesize": _cmd_synthesize,
         "simulate": _cmd_simulate,
         "explore": _cmd_explore,
+        "verify": _cmd_verify,
         "dot": _cmd_dot,
         "vcd": _cmd_vcd,
     }

@@ -66,6 +66,15 @@ class SimulationError(ReproError):
     """The event-driven simulation detected a protocol violation."""
 
 
+class VerificationError(ReproError):
+    """Differential conformance checking found a divergence.
+
+    Raised by :mod:`repro.verify` when an execution level disagrees
+    with the golden reference, or when a metamorphic transform oracle
+    detects a violated per-pass invariant.
+    """
+
+
 class ChannelSafetyError(SimulationError):
     """Two transitions were outstanding on a single-wire channel.
 

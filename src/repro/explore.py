@@ -21,9 +21,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.afsm.extract import extract_controllers
 from repro.cdfg.graph import Cdfg
+from repro.errors import VerificationError
 from repro.local_transforms import optimize_local
 from repro.local_transforms.scripts import STANDARD_LOCAL_SEQUENCE
+from repro.sim.seeding import NOMINAL
 from repro.sim.system import simulate_system
+from repro.sim.token_sim import simulate_tokens
 from repro.timing.delays import DelayModel
 from repro.transforms import optimize_global
 from repro.transforms.scripts import STANDARD_SEQUENCE
@@ -39,6 +42,11 @@ class DesignPoint:
     total_states: int
     total_transitions: int
     makespan: float
+    #: conformance stamp: did this point reproduce the golden register
+    #: file with zero violations/hazards and clean per-pass oracles?
+    conformant: bool = True
+    #: "conformant", "failed: <reason>", or "unchecked"
+    conformance: str = "unchecked"
 
     @property
     def label(self) -> str:
@@ -87,14 +95,44 @@ def evaluate_point(
     delays: Optional[DelayModel] = None,
     seed: int = 9,
     reference: Optional[Dict[str, float]] = None,
+    golden: Optional[Dict[str, float]] = None,
 ) -> DesignPoint:
     """Synthesize and execute one configuration; optionally verify
-    against a golden register file."""
-    optimized = optimize_global(cdfg, enabled=tuple(global_transforms), delays=delays)
-    design = extract_controllers(optimized.cdfg, optimized.plan)
-    if local_transforms:
-        design = optimize_local(design, enabled=tuple(local_transforms)).design
-    result = simulate_system(design, delays=delays, seed=seed)
+    against a golden register file.
+
+    ``reference`` keeps its historical contract (raise on mismatch);
+    ``golden`` instead *stamps* the returned point: the per-pass
+    oracles of :mod:`repro.verify` run inside both scripts and the run
+    must reproduce ``golden`` with zero violations and hazards, or the
+    point comes back ``conformant=False`` with the reason recorded.
+    """
+    conformance = "unchecked"
+    oracle = local_oracle = None
+    if golden is not None:
+        from repro.verify.oracles import make_global_oracle, make_local_oracle
+
+        oracle = make_global_oracle(delays=delays, deep=False)
+        local_oracle = make_local_oracle()
+    try:
+        optimized = optimize_global(
+            cdfg, enabled=tuple(global_transforms), delays=delays, oracle=oracle
+        )
+        design = extract_controllers(optimized.cdfg, optimized.plan)
+        if local_transforms:
+            design = optimize_local(
+                design, enabled=tuple(local_transforms), oracle=local_oracle
+            ).design
+    except VerificationError as exc:
+        if golden is None:
+            raise
+        # synthesize again without the failing oracle so the point's
+        # metrics are still reported, stamped non-conformant
+        optimized = optimize_global(cdfg, enabled=tuple(global_transforms), delays=delays)
+        design = extract_controllers(optimized.cdfg, optimized.plan)
+        if local_transforms:
+            design = optimize_local(design, enabled=tuple(local_transforms)).design
+        conformance = f"failed: {exc}"
+    result = simulate_system(design, delays=delays, seed=seed, strict=(golden is None))
     if reference is not None:
         for register, value in reference.items():
             if result.registers.get(register) != value:
@@ -103,6 +141,20 @@ def evaluate_point(
                     f"computed {register}={result.registers.get(register)!r}, "
                     f"expected {value!r}"
                 )
+    if golden is not None and conformance == "unchecked":
+        conformance = "conformant"
+        if result.violations:
+            conformance = f"failed: {result.violations[0]}"
+        elif result.hazards:
+            conformance = f"failed: hazard {result.hazards[0]}"
+        else:
+            for register, value in golden.items():
+                got = result.registers.get(register)
+                if got != value:
+                    conformance = (
+                        f"failed: register {register} = {got!r}, golden says {value!r}"
+                    )
+                    break
     return DesignPoint(
         global_transforms=tuple(global_transforms),
         local_transforms=tuple(local_transforms),
@@ -110,6 +162,8 @@ def evaluate_point(
         total_states=sum(c.state_count for c in design.controllers.values()),
         total_transitions=sum(c.transition_count for c in design.controllers.values()),
         makespan=result.end_time,
+        conformant=conformance in ("conformant", "unchecked"),
+        conformance=conformance,
     )
 
 
@@ -120,7 +174,7 @@ def _evaluate_config(payload: Tuple) -> DesignPoint:
     can pickle it; also used by the serial path so both paths share
     one code path per point.
     """
-    cdfg, global_transforms, local_transforms, delays, seed, reference = payload
+    cdfg, global_transforms, local_transforms, delays, seed, reference, golden = payload
     return evaluate_point(
         cdfg,
         global_transforms,
@@ -128,6 +182,7 @@ def _evaluate_config(payload: Tuple) -> DesignPoint:
         delays=delays,
         seed=seed,
         reference=reference,
+        golden=golden,
     )
 
 
@@ -139,6 +194,7 @@ def explore_design_space(
     seed: int = 9,
     reference: Optional[Dict[str, float]] = None,
     workers: Optional[int] = None,
+    verify: bool = True,
 ) -> ExplorationResult:
     """Evaluate a grid of transform configurations.
 
@@ -150,7 +206,15 @@ def explore_design_space(
     ``workers`` > 1 fans the grid out over a process pool (``workers=0``
     means one process per CPU).  The default (``None`` or 1) evaluates
     serially; both paths produce identical points in identical order.
+
+    With ``verify`` (the default) every point is conformance-stamped:
+    a nominal token simulation of the untransformed CDFG supplies the
+    golden register file once, and each configuration must reproduce it
+    under the per-pass oracles with zero violations or hazards —
+    non-conformant points survive in the result, flagged via
+    :attr:`DesignPoint.conformant` / :attr:`DesignPoint.conformance`.
     """
+    golden = simulate_tokens(cdfg, seed=NOMINAL).registers if verify else None
     if global_subsets is None:
         global_subsets = [
             subset
@@ -161,7 +225,15 @@ def explore_design_space(
         local_subsets = [(), tuple(STANDARD_LOCAL_SEQUENCE)]
 
     payloads = [
-        (cdfg, tuple(global_transforms), tuple(local_transforms), delays, seed, reference)
+        (
+            cdfg,
+            tuple(global_transforms),
+            tuple(local_transforms),
+            delays,
+            seed,
+            reference,
+            golden,
+        )
         for global_transforms in global_subsets
         for local_transforms in local_subsets
     ]

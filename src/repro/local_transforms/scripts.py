@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import perf
 
 from repro.afsm.extract import Controller, DistributedDesign
+from repro.afsm.machine import BurstModeMachine
 from repro.afsm.signals import SignalKind
 from repro.afsm.validate import check_machine
 from repro.local_transforms.base import LocalReport, LocalTransform
@@ -58,8 +59,18 @@ def optimize_local(
     design: DistributedDesign,
     enabled: Sequence[str] = STANDARD_LOCAL_SEQUENCE,
     checked: bool = True,
+    oracle: Optional[
+        Callable[[LocalReport, BurstModeMachine, BurstModeMachine], None]
+    ] = None,
 ) -> LocalOptimizationResult:
-    """Apply the local-transform script to a copy of every controller."""
+    """Apply the local-transform script to a copy of every controller.
+
+    ``oracle`` is a per-pass invariant check called as
+    ``oracle(report, before, after)`` after every ``apply()`` on every
+    machine (``before`` is a snapshot of the machine the pass
+    received); it should raise on violation.  The metamorphic
+    per-transform oracles live in :mod:`repro.verify.oracles`.
+    """
     transforms = build_local_sequence(enabled)
     optimized = DistributedDesign(
         cdfg=design.cdfg, plan=design.plan, phases=design.phases
@@ -68,6 +79,7 @@ def optimize_local(
     for fu, controller in design.controllers.items():
         machine = controller.machine.copy()
         for transform in transforms:
+            snapshot = machine.copy() if oracle is not None else None
             start = time.perf_counter()
             report = transform.apply(machine)
             report.duration = time.perf_counter() - start
@@ -76,6 +88,8 @@ def optimize_local(
             if checked:
                 with perf.timed_section("local/check_machine"):
                     check_machine(machine)
+            if oracle is not None:
+                oracle(report, snapshot, machine)
         machine.fold_trivial_states()
         machine.prune_unreachable()
         optimized.controllers[fu] = Controller(

@@ -15,10 +15,13 @@ Both share the :mod:`repro.sim.kernel` event queue.
 """
 
 from repro.sim.kernel import EventKernel
+from repro.sim.seeding import NOMINAL, SeedLike
 from repro.sim.token_sim import TokenSimulator, TokenSimResult, simulate_tokens
 
 __all__ = [
     "EventKernel",
+    "NOMINAL",
+    "SeedLike",
     "TokenSimulator",
     "TokenSimResult",
     "simulate_tokens",

@@ -1,0 +1,53 @@
+"""Seed resolution shared by the two simulators.
+
+Every simulation is driven by one of three delay-sampling modes:
+
+- ``seed=<int>`` — delays are sampled from a :class:`random.Random`
+  seeded with that integer (reproducible randomized run);
+- ``seed=None`` (the default) — a fresh entropy seed is drawn and
+  *recorded in the result*, so even an unseeded failure can be
+  replayed exactly by passing the recorded seed back in;
+- ``seed=NOMINAL`` — no sampling at all: every delay is the midpoint
+  of its interval (the deterministic mode the timing analyses and the
+  performance-comparison tests rely on).
+
+Before this module existed, ``seed=None`` silently meant "nominal",
+and code that wanted randomness but forgot a seed produced failures
+nobody could reproduce.  The sentinel makes the deterministic mode an
+explicit request instead of an accident.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple, Union
+
+
+class _NominalDelays:
+    """Sentinel type for :data:`NOMINAL` (kept a class for repr/typing)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NOMINAL"
+
+
+#: Pass as ``seed`` to run with deterministic midpoint delays.
+NOMINAL = _NominalDelays()
+
+SeedLike = Union[int, None, _NominalDelays]
+
+
+def resolve_seed(seed: SeedLike) -> Tuple[Optional[random.Random], Optional[int]]:
+    """Resolve a ``seed`` argument to ``(rng, effective_seed)``.
+
+    ``NOMINAL`` yields ``(None, None)`` — no sampling.  ``None`` draws
+    a fresh 32-bit seed (from the global :mod:`random` stream, so test
+    harnesses can still pin it) and returns an rng seeded with it; the
+    effective seed must be recorded in the simulation result.
+    """
+    if isinstance(seed, _NominalDelays):
+        return None, None
+    if seed is None:
+        seed = random.randrange(2**32)
+    return random.Random(seed), int(seed)

@@ -11,7 +11,6 @@ terminates with the correct register file.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -21,6 +20,7 @@ from repro.errors import SimulationError
 from repro.sim.controller import ControllerRuntime, GlobalWire
 from repro.sim.datapath import Datapath
 from repro.sim.kernel import EventKernel
+from repro.sim.seeding import SeedLike, resolve_seed
 from repro.timing.delays import DelayModel
 
 
@@ -35,6 +35,8 @@ class SystemResult:
     hazards: List[str] = field(default_factory=list)
     violations: List[str] = field(default_factory=list)
     events_processed: int = 0
+    #: effective delay-sampling seed (None for a NOMINAL run)
+    seed: Optional[int] = None
 
 
 class ControllerSystem:
@@ -44,14 +46,14 @@ class ControllerSystem:
         self,
         design: DistributedDesign,
         delays: Optional[DelayModel] = None,
-        seed: Optional[int] = None,
+        seed: SeedLike = None,
         strict: bool = True,
         max_events: int = 2_000_000,
     ):
         self.design = design
         self.kernel = EventKernel()
         self.max_events = max_events
-        rng = random.Random(seed) if seed is not None else None
+        rng, self.seed = resolve_seed(seed)
         self.datapath = Datapath(
             self.kernel,
             design.cdfg.initial_registers,
@@ -124,13 +126,14 @@ class ControllerSystem:
             hazards=list(self.datapath.hazards),
             violations=violations,
             events_processed=self.kernel.events_processed,
+            seed=self.seed,
         )
 
 
 def simulate_system(
     design: DistributedDesign,
     delays: Optional[DelayModel] = None,
-    seed: Optional[int] = None,
+    seed: SeedLike = None,
     strict: bool = True,
     max_events: int = 2_000_000,
 ) -> SystemResult:

@@ -30,7 +30,6 @@ emission finds a token already pending on an arc, a
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -38,9 +37,11 @@ from repro.cdfg.arc import Arc
 from repro.cdfg.graph import Cdfg
 from repro.cdfg.kinds import NodeKind
 from repro.cdfg.node import Node
+from repro.channels.model import ChannelPlan
 from repro.errors import ChannelSafetyError, SimulationError
 from repro.rtl.semantics import evaluate_expr
 from repro.sim.kernel import EventKernel
+from repro.sim.seeding import SeedLike, resolve_seed
 from repro.timing.delays import DelayModel
 
 
@@ -63,6 +64,8 @@ class TokenSimResult:
     loop_iterations: Dict[str, int] = field(default_factory=dict)
     violations: List[str] = field(default_factory=list)
     events_processed: int = 0
+    #: effective delay-sampling seed (None for a NOMINAL run)
+    seed: Optional[int] = None
 
     def firing_count(self, node: str) -> int:
         return sum(1 for firing in self.firings if firing.node == node)
@@ -78,15 +81,24 @@ class TokenSimulator:
         self,
         cdfg: Cdfg,
         delay_model: Optional[DelayModel] = None,
-        seed: Optional[int] = None,
+        seed: SeedLike = None,
         strict: bool = True,
         max_events: int = 1_000_000,
+        channel_plan: Optional[ChannelPlan] = None,
     ):
         self.cdfg = cdfg
         self.delays = delay_model or DelayModel()
-        self.rng = random.Random(seed) if seed is not None else None
+        self.rng, self.seed = resolve_seed(seed)
         self.strict = strict
         self.max_events = max_events
+        #: optional channel plan: when given, the simulator also checks
+        #: that two *different* events (distinct source nodes) are never
+        #: simultaneously outstanding on one merged wire — the safety
+        #: property GT5's concurrency proof must guarantee
+        self._arc_channel: Dict[Tuple[str, str], str] = (
+            dict(channel_plan.arc_to_channel) if channel_plan is not None else {}
+        )
+        self._channel_outstanding: Dict[str, Dict[str, int]] = {}
 
         self.kernel = EventKernel()
         self.tokens: Dict[Tuple[str, str], int] = {arc.key: 0 for arc in cdfg.arcs()}
@@ -102,7 +114,7 @@ class TokenSimulator:
         self.loop_epoch: Dict[str, int] = {}
         #: node -> loop epoch during which the node last fired
         self._node_epoch: Dict[str, int] = {}
-        self.result = TokenSimResult(registers=self.registers, end_time=0.0)
+        self.result = TokenSimResult(registers=self.registers, end_time=0.0, seed=self.seed)
         self._ancestors = self._compute_ancestors()
         self._pending_writes: Dict[str, List[Tuple[str, float]]] = {}
         self._ended = False
@@ -230,6 +242,7 @@ class TokenSimulator:
             self.result.violations.append(message)
             if self.strict:
                 raise ChannelSafetyError(message)
+        self._track_production(arc)
         self._try_fire(arc.dst)
 
     def _consume(self, arcs: List[Arc]) -> None:
@@ -237,6 +250,37 @@ class TokenSimulator:
             if self.tokens[arc.key] < 1:
                 raise SimulationError(f"consuming missing token on {arc}")
             self.tokens[arc.key] -= 1
+            self._track_consumption(arc)
+
+    # ------------------------------------------------------------------
+    # merged-wire occupancy (channel-plan conformance)
+    # ------------------------------------------------------------------
+    def _track_production(self, arc: Arc) -> None:
+        channel = self._arc_channel.get(arc.key)
+        if channel is None:
+            return
+        outstanding = self._channel_outstanding.setdefault(channel, {})
+        concurrent = sorted(
+            src for src, count in outstanding.items() if count > 0 and src != arc.src
+        )
+        outstanding[arc.src] = outstanding.get(arc.src, 0) + 1
+        if concurrent:
+            message = (
+                f"channel safety violated at t={self.kernel.now:.3f}: event of "
+                f"{arc.src!r} emitted on merged channel {channel} while the event "
+                f"of {concurrent[0]!r} is still outstanding"
+            )
+            self.result.violations.append(message)
+            if self.strict:
+                raise ChannelSafetyError(message)
+
+    def _track_consumption(self, arc: Arc) -> None:
+        channel = self._arc_channel.get(arc.key)
+        if channel is None:
+            return
+        outstanding = self._channel_outstanding.get(channel)
+        if outstanding and outstanding.get(arc.src, 0) > 0:
+            outstanding[arc.src] -= 1
 
     # ------------------------------------------------------------------
     # firing
@@ -323,7 +367,9 @@ class TokenSimulator:
                 # pre-enable backward arcs for the first iteration
                 for arc in self.cdfg.arcs():
                     if arc.backward and self._inside(arc.src, name) and self._inside(arc.dst, name):
-                        self.tokens[arc.key] = 1
+                        if self.tokens[arc.key] == 0:
+                            self.tokens[arc.key] = 1
+                            self._track_production(arc)
                         self._try_fire(arc.dst)
             for arc in self.cdfg.arcs_from(name):
                 if self._inside(arc.dst, name) or arc.dst == name:
@@ -427,12 +473,18 @@ class TokenSimulator:
 def simulate_tokens(
     cdfg: Cdfg,
     delay_model: Optional[DelayModel] = None,
-    seed: Optional[int] = None,
+    seed: SeedLike = None,
     strict: bool = True,
     max_events: int = 1_000_000,
+    channel_plan: Optional[ChannelPlan] = None,
 ) -> TokenSimResult:
     """Run one token simulation of ``cdfg`` and return the result."""
     simulator = TokenSimulator(
-        cdfg, delay_model=delay_model, seed=seed, strict=strict, max_events=max_events
+        cdfg,
+        delay_model=delay_model,
+        seed=seed,
+        strict=strict,
+        max_events=max_events,
+        channel_plan=channel_plan,
     )
     return simulator.run()

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cdfg.graph import Cdfg
 from repro.cdfg.validate import check_well_formed
@@ -70,13 +70,23 @@ class PassManager:
         self.checked = checked
 
     def run(
-        self, cdfg: Cdfg, transforms: Sequence[Transform]
+        self,
+        cdfg: Cdfg,
+        transforms: Sequence[Transform],
+        oracle: Optional[Callable[[TransformReport, Cdfg, Cdfg], None]] = None,
     ) -> Tuple[Cdfg, List[TransformReport]]:
         """Apply ``transforms`` to a copy of ``cdfg``.
 
         Each pass's wall time is recorded on its report and in the
         process-global :mod:`repro.perf` registry under
         ``global/<name>``.
+
+        ``oracle`` is a per-pass invariant check, called as
+        ``oracle(report, before, after)`` after every ``apply()`` (and
+        after well-formedness validation when ``checked``); ``before``
+        is a snapshot of the graph the pass received.  It should raise
+        (e.g. :class:`~repro.errors.VerificationError`) on violation.
+        The snapshot copy is only taken when an oracle is installed.
         """
         import time
 
@@ -85,6 +95,7 @@ class PassManager:
         working = cdfg.copy()
         reports: List[TransformReport] = []
         for transform in transforms:
+            snapshot = working.copy() if oracle is not None else None
             start = time.perf_counter()
             report = transform.apply(working)
             report.duration = time.perf_counter() - start
@@ -93,6 +104,8 @@ class PassManager:
             if self.checked:
                 with perf.timed_section("global/check_well_formed"):
                     check_well_formed(working)
+            if oracle is not None:
+                oracle(report, snapshot, working)
         return working, reports
 
 

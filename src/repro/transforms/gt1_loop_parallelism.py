@@ -148,6 +148,12 @@ class LoopParallelism(Transform):
 
         instances: Dict[str, Tuple[List[str], List[str]]] = {}
         for variable, events in accesses.items():
+            if not any(kind == "write" for kind, __ in events):
+                # read-only in the body: no cross-iteration hazard, and
+                # the first/last notion degenerates to "every read",
+                # which would weave a pre-enabled backward-arc cycle
+                # among the readers (unsafe on ready wires)
+                continue
             firsts: List[str] = []
             for kind, name in events:
                 if kind == "write":

@@ -10,7 +10,7 @@ GT1 -> GT2 -> GT3 -> GT4 -> GT5 — plus hooks for ablation studies
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.cdfg.graph import Cdfg
 from repro.channels.model import ChannelPlan, derive_channels
@@ -73,16 +73,20 @@ def optimize_global(
     enabled: Sequence[str] = STANDARD_SEQUENCE,
     delays: Optional[DelayModel] = None,
     checked: bool = True,
+    oracle: Optional[Callable[[TransformReport, Cdfg, Cdfg], None]] = None,
 ) -> GlobalOptimizationResult:
     """Run the global-transform script on a copy of ``cdfg``.
 
     ``enabled`` selects a subset of GT1..GT5 (canonical order is always
     respected); ``checked`` validates graph well-formedness after each
-    transform.
+    transform.  ``oracle`` is forwarded to the pass manager and called
+    as ``oracle(report, before, after)`` after every pass (see
+    :class:`~repro.transforms.base.PassManager`); the metamorphic
+    per-transform oracles live in :mod:`repro.verify.oracles`.
     """
     transforms = build_sequence(enabled, delays=delays, checked=checked)
     manager = PassManager(checked=checked)
-    optimized, reports = manager.run(cdfg, transforms)
+    optimized, reports = manager.run(cdfg, transforms, oracle=oracle)
 
     channel_plan: Optional[ChannelPlan] = None
     for report in reports:

@@ -1,0 +1,44 @@
+"""Differential conformance fuzzing.
+
+The correctness claim of the whole flow — GT1–GT5 and LT1–LT5
+preserve behaviour while restructuring control — is checked here
+*differentially*: every workload is executed at three levels (golden
+Python reference, CDFG token simulation, extracted-AFSM system
+simulation) at every transform level, under randomized inputs and
+randomized bounded delays, with metamorphic per-transform oracles
+running inside the scripts and failing cases shrunk to minimal
+counterexamples.
+
+Entry points:
+
+- :func:`check_case` — run one pinned case through every level;
+- :func:`fuzz_workload` — a seeded randomized campaign returning a
+  machine-readable :class:`VerifyReport` (the ``repro verify`` CLI and
+  the conformance stamp of ``explore_design_space`` sit on top);
+- :func:`shrink_case` — minimize a failing case;
+- :func:`make_global_oracle` / :func:`make_local_oracle` — the
+  per-pass invariant checkers, installable on any
+  ``optimize_global`` / ``optimize_local`` call.
+"""
+
+from repro.verify.conformance import CaseResult, VerifyCase, check_case
+from repro.verify.fuzz import PARAM_SPACES, fuzz_workload, random_case
+from repro.verify.oracles import make_global_oracle, make_local_oracle
+from repro.verify.report import FailureRecord, VerifyReport, load_report
+from repro.verify.shrink import MINIMAL_PARAMS, shrink_case
+
+__all__ = [
+    "CaseResult",
+    "VerifyCase",
+    "check_case",
+    "PARAM_SPACES",
+    "fuzz_workload",
+    "random_case",
+    "make_global_oracle",
+    "make_local_oracle",
+    "FailureRecord",
+    "VerifyReport",
+    "load_report",
+    "MINIMAL_PARAMS",
+    "shrink_case",
+]

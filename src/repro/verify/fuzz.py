@@ -1,0 +1,167 @@
+"""Seeded conformance fuzzing.
+
+:func:`fuzz_workload` drives the differential checker of
+:mod:`repro.verify.conformance` with randomized cases: random input
+vectors from each workload's parameter space, random delay-model
+perturbations (per-unit interval overrides), random GT/LT subsets and
+a random delay-sampling seed per case — all drawn from one master
+seed, so every campaign (and every failure inside it) is exactly
+reproducible.  Case 0 of every campaign is the canonical full-script
+run on default inputs, so ``--runs 1`` is already the paper's flow.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.local_transforms.scripts import STANDARD_LOCAL_SEQUENCE
+from repro.transforms.scripts import STANDARD_SEQUENCE
+from repro.verify.conformance import VerifyCase, check_case
+from repro.verify.report import FailureRecord, VerifyReport
+from repro.verify.shrink import shrink_case
+from repro.workloads import workload_names
+
+#: workload -> random-input generator.  Each generator must return
+#: parameters on which the workload provably terminates quickly (the
+#: fuzzer's job is breadth, not long loops).
+PARAM_SPACES: Dict[str, Callable[[random.Random], Dict[str, object]]] = {
+    "diffeq": lambda rng: {
+        "dx": rng.choice([0.125, 0.25, 0.5]),
+        "a": rng.choice([0.5, 1.0]),
+        "y0": round(rng.uniform(-2.0, 2.0), 3),
+        "u0": round(rng.uniform(-1.0, 1.0), 3),
+    },
+    "gcd": lambda rng: {
+        "a0": rng.randrange(1, 120),
+        "b0": rng.randrange(1, 120),
+    },
+    "ewf": lambda rng: {
+        "n": rng.randrange(1, 9),
+        "s0": round(rng.uniform(0.5, 2.0), 3),
+        "k1": rng.choice([0.25, 0.5, 0.75]),
+        "k2": rng.choice([0.125, 0.25]),
+        "decay": rng.choice([0.5, 0.75]),
+    },
+    "fir": lambda rng: {
+        "taps": rng.randrange(2, 6),
+        "samples": rng.randrange(1, 7),
+        "x0": round(rng.uniform(0.5, 2.0), 3),
+        "decay": rng.choice([0.5, 0.8]),
+    },
+}
+
+
+def random_case(
+    workload: str,
+    rng: random.Random,
+    full: bool = False,
+    units: Optional[List[str]] = None,
+) -> VerifyCase:
+    """Draw one case from the workload's fuzzing distribution.
+
+    ``full`` pins the canonical configuration (full scripts, default
+    inputs, default delays) and randomizes only the sampling seed.
+    ``units`` lists the ``(fu, operator)`` pairs eligible for delay
+    overrides (default: the pairs the workload actually executes).
+
+    Overrides target specific *operators*, never a whole unit: a
+    unit-wide override also slows the unit's register latches, which
+    steps outside the bundled-data timing assumption LT1 is allowed to
+    rely on (a done moved up beside the latch may then outrun the
+    write) — a real sensitivity of the paper's transform, but not a
+    conformance bug, so the fuzzer stays inside the assumption.
+    """
+    if workload not in PARAM_SPACES:
+        raise KeyError(
+            f"unknown workload {workload!r}; known workloads: {', '.join(workload_names())}"
+        )
+    seed = rng.randrange(2**32)
+    if full:
+        return VerifyCase(workload=workload, params={}, seed=seed)
+    if units is None:
+        units = _override_targets(workload)
+    params = PARAM_SPACES[workload](rng)
+    gts = tuple(name for name in STANDARD_SEQUENCE if rng.random() < 0.75)
+    lts = tuple(name for name in STANDARD_LOCAL_SEQUENCE if rng.random() < 0.75)
+    overrides = []
+    if units:
+        for _ in range(rng.randrange(0, 3)):
+            low = round(rng.uniform(0.5, 4.0), 2)
+            high = round(low + rng.uniform(0.0, 8.0), 2)
+            fu, operator = rng.choice(units)
+            overrides.append((fu, operator, (low, high)))
+    return VerifyCase(
+        workload=workload,
+        params=params,
+        gts=gts,
+        lts=lts,
+        delay_overrides=tuple(overrides),
+        seed=seed,
+    )
+
+
+def _override_targets(workload: str) -> List[tuple]:
+    """The ``(fu, operator)`` pairs the workload's operations exercise."""
+    from repro.workloads import build_workload
+
+    cdfg = build_workload(workload)
+    targets = {
+        (node.fu, statement.operator)
+        for node in cdfg.operation_nodes()
+        if node.fu
+        for statement in node.statements
+        if statement.operator is not None
+    }
+    return sorted(targets)
+
+
+def fuzz_workload(
+    workload: str,
+    runs: int = 20,
+    seed: int = 0,
+    budget: Optional[float] = None,
+    shrink: bool = True,
+    progress: Optional[Callable[[int, bool], None]] = None,
+) -> VerifyReport:
+    """Run one conformance-fuzzing campaign over ``workload``.
+
+    ``runs`` bounds the number of cases; ``budget`` (seconds) stops
+    early when exceeded — whichever comes first.  Failing cases are
+    shrunk to a minimal (input, delay, transform-subset) triple unless
+    ``shrink`` is disabled.  ``progress`` is called after each case
+    with ``(index, ok)``.
+    """
+    rng = random.Random(seed)
+    units = _override_targets(workload)
+    report = VerifyReport(workload=workload, seed=seed, runs_requested=runs)
+    levels: set = set()
+    start = time.monotonic()
+    for index in range(runs):
+        if budget is not None and time.monotonic() - start >= budget:
+            break
+        case = random_case(workload, rng, full=(index == 0), units=units)
+        result = check_case(case)
+        report.runs_executed += 1
+        levels.update(result.levels)
+        if result.ok:
+            report.passed += 1
+        else:
+            levels.discard(result.failure_level)
+            record = FailureRecord(
+                level=result.failure_level or "unknown",
+                message=result.message or "",
+                case=case.to_dict(),
+            )
+            if shrink:
+                shrunk_case, shrunk_result = shrink_case(case)
+                record.shrunk = shrunk_case.to_dict()
+                record.shrunk_level = shrunk_result.failure_level
+                record.shrunk_message = shrunk_result.message
+            report.failures.append(record)
+        if progress is not None:
+            progress(index, result.ok)
+    report.levels_checked = sorted(levels)
+    report.duration = time.monotonic() - start
+    return report

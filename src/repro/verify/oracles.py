@@ -1,0 +1,249 @@
+"""Metamorphic per-transform oracles.
+
+Each GT/LT carries an invariant that must hold between the graph (or
+machine) it received and the one it produced — independent of the
+transform's own internal proof.  The oracles check those invariants
+after every ``apply()`` when installed on
+:func:`repro.transforms.optimize_global` /
+:func:`repro.local_transforms.optimize_local`, turning every synthesis
+run into a self-checking one:
+
+- **GT1/GT3** only ever *relax* ordering: the firing partial order of
+  the result must be a subset of the original's.
+- **GT2** removes dominated constraints: the partial order must be
+  exactly unchanged.
+- **GT4** merges assignments: no ordered pair may be lost (modulo the
+  merge aliasing resolved by
+  :func:`~repro.transforms.base.check_precedence_preserved`).
+- **GT5** merges channels: ordering is preserved, the emitted plan
+  must cover every inter-controller arc, and a token simulation run
+  *with* the plan must show no two distinct events concurrently
+  outstanding on one merged wire — the property GT5's
+  never-concurrent proof claims.
+- **LT1/LT2/LT3** only move output edges between bursts: the set of
+  output events, the datapath actions they drive, and every global
+  handshake edge are preserved.
+- **LT4** removes acknowledgment waits: only ``LOCAL_ACK`` input edges
+  may disappear; outputs (and so the datapath write sequence) are
+  untouched.
+- **LT5** merges identically-switching wires: wire names change but
+  the set of datapath actions and the global handshake are preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Optional, Set, Tuple
+
+from repro.afsm.machine import BurstModeMachine
+from repro.afsm.signals import Signal, SignalKind
+from repro.cdfg.graph import Cdfg
+from repro.errors import ChannelSafetyError, VerificationError
+from repro.local_transforms.base import LocalReport
+from repro.sim.seeding import NOMINAL
+from repro.sim.token_sim import simulate_tokens
+from repro.timing.delays import DelayModel
+from repro.transforms.base import (
+    TransformReport,
+    check_precedence_preserved,
+    operation_order_pairs,
+)
+
+GlobalOracle = Callable[[TransformReport, Cdfg, Cdfg], None]
+LocalOracle = Callable[[LocalReport, BurstModeMachine, BurstModeMachine], None]
+
+
+def _fail(transform: str, reason: str) -> None:
+    raise VerificationError(f"oracle[{transform}]: {reason}")
+
+
+# ----------------------------------------------------------------------
+# global transforms
+# ----------------------------------------------------------------------
+def make_global_oracle(
+    delays: Optional[DelayModel] = None,
+    deep: bool = True,
+    sim_seeds: Tuple = (NOMINAL, 0, 1),
+) -> GlobalOracle:
+    """Build the per-GT invariant checker.
+
+    ``deep`` additionally executes GT5's result under its channel plan
+    (``sim_seeds`` simulations) so an unsound channel merge is caught
+    dynamically even if the structural checks pass; disable it where
+    the surrounding harness already simulates with the plan.
+    """
+
+    def oracle(report: TransformReport, before: Cdfg, after: Cdfg) -> None:
+        name = report.name
+        if not report.applied:
+            return
+        if name in ("GT1", "GT3"):
+            extra = operation_order_pairs(after) - operation_order_pairs(before)
+            if extra:
+                _fail(name, f"introduced ordering not present before: {sorted(extra)[:3]}")
+        elif name == "GT2":
+            if operation_order_pairs(before) != operation_order_pairs(after):
+                _fail(name, "changed the firing partial order (must be identity)")
+        elif name == "GT4":
+            missing = check_precedence_preserved(before, after, allow_missing=True)
+            if missing:
+                _fail(name, f"lost ordering for {len(missing)} pairs, e.g. {missing[:3]}")
+        elif name == "GT5":
+            missing = check_precedence_preserved(before, after, allow_missing=True)
+            if missing:
+                _fail(name, f"lost ordering for {len(missing)} pairs, e.g. {missing[:3]}")
+            plan = report.artifacts.get("channel_plan")
+            if plan is None:
+                _fail(name, "applied but emitted no channel plan")
+            uncovered = [
+                arc.key for arc in after.inter_fu_arcs() if arc.key not in plan.arc_to_channel
+            ]
+            if uncovered:
+                _fail(name, f"plan leaves arcs without a channel: {uncovered[:3]}")
+            if deep:
+                for seed in sim_seeds:
+                    try:
+                        result = simulate_tokens(
+                            after, delay_model=delays, seed=seed, channel_plan=plan
+                        )
+                    except ChannelSafetyError as exc:
+                        _fail(name, f"merged-channel safety violated (seed {seed!r}): {exc}")
+                    if result.violations:
+                        _fail(
+                            name,
+                            f"merged-channel safety violated (seed {seed!r}): "
+                            f"{result.violations[0]}",
+                        )
+
+    return oracle
+
+
+# ----------------------------------------------------------------------
+# local transforms
+# ----------------------------------------------------------------------
+def _output_edges(machine: BurstModeMachine) -> Set[Tuple[str, bool]]:
+    return {
+        (edge.signal, edge.rising)
+        for transition in machine.transitions()
+        for edge in transition.output_burst.edges
+    }
+
+
+def _input_edges(
+    machine: BurstModeMachine, exclude: FrozenSet[SignalKind] = frozenset()
+) -> Set[Tuple[str, bool]]:
+    edges: Set[Tuple[str, bool]] = set()
+    for transition in machine.transitions():
+        for edge in transition.input_burst.edges:
+            if exclude and _kind_of(machine, edge.signal) in exclude:
+                continue
+            edges.add((edge.signal, edge.rising))
+    return edges
+
+
+def _kind_of(machine: BurstModeMachine, name: str) -> Optional[SignalKind]:
+    try:
+        return machine.signal(name).kind
+    except Exception:
+        return None
+
+
+def _edges_of_kind(
+    machine: BurstModeMachine, kind: SignalKind, outputs: bool
+) -> Set[Tuple[str, bool]]:
+    edges: Set[Tuple[str, bool]] = set()
+    for transition in machine.transitions():
+        burst = transition.output_burst if outputs else transition.input_burst
+        for edge in burst.edges:
+            if _kind_of(machine, edge.signal) is kind:
+                edges.add((edge.signal, edge.rising))
+    return edges
+
+
+def _flatten_actions(signal: Signal) -> Tuple:
+    if signal.action is None:
+        return ()
+    if signal.action[0] == "multi":
+        return tuple(signal.action[1])
+    return (signal.action,)
+
+
+def _datapath_actions(machine: BurstModeMachine) -> Set[tuple]:
+    """Every datapath action reachable from a rising output edge."""
+    actions: Set[tuple] = set()
+    for transition in machine.transitions():
+        for edge in transition.output_burst.edges:
+            if not edge.rising:
+                continue
+            try:
+                signal = machine.signal(edge.signal)
+            except Exception:
+                continue
+            actions.update(_flatten_actions(signal))
+    return actions
+
+
+def make_local_oracle() -> LocalOracle:
+    """Build the per-LT invariant checker (see module docstring)."""
+
+    def oracle(
+        report: LocalReport, before: BurstModeMachine, after: BurstModeMachine
+    ) -> None:
+        name = report.name
+        if not report.applied:
+            return
+        # every LT preserves the global handshake exactly
+        for outputs in (True, False):
+            direction = "output" if outputs else "input"
+            old = _edges_of_kind(before, SignalKind.GLOBAL_READY, outputs)
+            new = _edges_of_kind(after, SignalKind.GLOBAL_READY, outputs)
+            if old != new:
+                _fail(
+                    name,
+                    f"{before.name}: global {direction} handshake changed: "
+                    f"lost {sorted(old - new)}, gained {sorted(new - old)}",
+                )
+        if name in ("LT1", "LT2", "LT3"):
+            old_out, new_out = _output_edges(before), _output_edges(after)
+            if old_out != new_out:
+                _fail(
+                    name,
+                    f"{before.name}: output events changed (moves only): "
+                    f"lost {sorted(old_out - new_out)}, gained {sorted(new_out - old_out)}",
+                )
+            old_in = _input_edges(before)
+            new_in = _input_edges(after)
+            if old_in != new_in:
+                _fail(
+                    name,
+                    f"{before.name}: input events changed: lost "
+                    f"{sorted(old_in - new_in)}, gained {sorted(new_in - old_in)}",
+                )
+        if name == "LT4":
+            old_out, new_out = _output_edges(before), _output_edges(after)
+            if old_out != new_out:
+                _fail(
+                    name,
+                    f"{before.name}: ack removal changed the output events: "
+                    f"lost {sorted(old_out - new_out)}, gained {sorted(new_out - old_out)}",
+                )
+            ack = frozenset({SignalKind.LOCAL_ACK})
+            old_in = _input_edges(before, exclude=ack)
+            new_in = _input_edges(after, exclude=ack)
+            if old_in != new_in:
+                _fail(
+                    name,
+                    f"{before.name}: a non-acknowledgment input edge changed: "
+                    f"lost {sorted(old_in - new_in)}, gained {sorted(new_in - old_in)}",
+                )
+        if name in ("LT1", "LT2", "LT3", "LT4", "LT5"):
+            old_actions = _datapath_actions(before)
+            new_actions = _datapath_actions(after)
+            if old_actions != new_actions:
+                _fail(
+                    name,
+                    f"{before.name}: datapath actions changed: lost "
+                    f"{sorted(old_actions - new_actions)}, "
+                    f"gained {sorted(new_actions - old_actions)}",
+                )
+
+    return oracle

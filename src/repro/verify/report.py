@@ -1,0 +1,103 @@
+"""Machine-readable conformance reports.
+
+A :class:`VerifyReport` is the JSON artifact of one fuzzing campaign
+over one workload: how many cases ran, which execution levels were
+checked, and — for every failure — the offending case plus its shrunk
+minimal form.  The ``repro verify`` CLI prints and optionally writes
+these; ``explore_design_space`` stamps design points from them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class FailureRecord:
+    """One failing case, as found and as shrunk."""
+
+    level: str
+    message: str
+    case: Dict[str, object]
+    #: minimal failing form of ``case`` (same schema), or None when
+    #: shrinking was disabled or could not reduce the case further
+    shrunk: Optional[Dict[str, object]] = None
+    shrunk_level: Optional[str] = None
+    shrunk_message: Optional[str] = None
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one conformance-fuzzing campaign."""
+
+    workload: str
+    seed: int
+    runs_requested: int
+    runs_executed: int = 0
+    passed: int = 0
+    duration: float = 0.0
+    #: every execution level exercised at least once, sorted
+    levels_checked: List[str] = field(default_factory=list)
+    failures: List[FailureRecord] = field(default_factory=list)
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def conformant(self) -> bool:
+        return self.runs_executed > 0 and not self.failures
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["failed"] = self.failed
+        payload["conformant"] = self.conformant
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    def summary(self) -> str:
+        verdict = "CONFORMANT" if self.conformant else "NON-CONFORMANT"
+        lines = [
+            f"{self.workload}: {verdict} — {self.passed}/{self.runs_executed} cases passed "
+            f"({len(self.levels_checked)} levels, seed {self.seed}, {self.duration:.2f}s)"
+        ]
+        for failure in self.failures:
+            lines.append(f"  FAIL at {failure.level}: {failure.message}")
+            if failure.shrunk is not None:
+                lines.append(f"    shrunk to: {json.dumps(failure.shrunk, sort_keys=True)}")
+        return "\n".join(lines)
+
+
+def load_report(path: str) -> VerifyReport:
+    """Read a :class:`VerifyReport` back from its JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    failures = [
+        FailureRecord(
+            level=item["level"],
+            message=item["message"],
+            case=item["case"],
+            shrunk=item.get("shrunk"),
+            shrunk_level=item.get("shrunk_level"),
+            shrunk_message=item.get("shrunk_message"),
+        )
+        for item in payload.get("failures", [])
+    ]
+    return VerifyReport(
+        workload=payload["workload"],
+        seed=payload["seed"],
+        runs_requested=payload["runs_requested"],
+        runs_executed=payload.get("runs_executed", 0),
+        passed=payload.get("passed", 0),
+        duration=payload.get("duration", 0.0),
+        levels_checked=list(payload.get("levels_checked", [])),
+        failures=failures,
+    )

@@ -1,0 +1,76 @@
+"""Counterexample shrinking.
+
+A failing :class:`~repro.verify.conformance.VerifyCase` found by the
+fuzzer usually carries irrelevant freight: transforms that are not
+implicated, delay overrides that do not matter, input parameters far
+from minimal.  :func:`shrink_case` greedily minimizes the
+``(input, delay, transform-subset)`` triple while the case keeps
+failing, so the reported counterexample is the smallest the greedy
+pass can reach — typically a single transform plus one tiny input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterator, Tuple
+
+from repro.verify.conformance import CaseResult, VerifyCase, check_case
+
+#: smallest known-terminating inputs per workload, used as a shrink
+#: target for the parameter component of a counterexample
+MINIMAL_PARAMS: Dict[str, Dict[str, object]] = {
+    "diffeq": {"dx": 0.5, "a": 0.5},
+    "gcd": {"a0": 2, "b0": 1},
+    "ewf": {"n": 1},
+    "fir": {"taps": 2, "samples": 1},
+}
+
+
+def _candidates(case: VerifyCase) -> Iterator[VerifyCase]:
+    """Strictly simpler variants of ``case``, most aggressive first."""
+    minimal = MINIMAL_PARAMS.get(case.workload)
+    if minimal is not None and dict(case.params) != minimal:
+        yield replace(case, params=dict(minimal))
+    if case.delay_overrides:
+        yield replace(case, delay_overrides=())
+    for index in range(len(case.delay_overrides)):
+        yield replace(
+            case,
+            delay_overrides=case.delay_overrides[:index] + case.delay_overrides[index + 1 :],
+        )
+    for index in range(len(case.lts)):
+        yield replace(case, lts=case.lts[:index] + case.lts[index + 1 :])
+    for index in range(len(case.gts)):
+        yield replace(case, gts=case.gts[:index] + case.gts[index + 1 :])
+    if case.seed != 0:
+        yield replace(case, seed=0)
+
+
+def shrink_case(
+    case: VerifyCase, max_attempts: int = 64
+) -> Tuple[VerifyCase, CaseResult]:
+    """Greedily minimize a failing case.
+
+    Repeatedly tries the simpler variants from :func:`_candidates`,
+    adopting any that still fails, until a fixpoint or the attempt
+    budget.  Returns the minimal case and its (failing) result; if
+    ``case`` does not actually fail it is returned unchanged with its
+    passing result.
+    """
+    result = check_case(case)
+    if result.ok:
+        return case, result
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _candidates(case):
+            attempts += 1
+            candidate_result = check_case(candidate)
+            if not candidate_result.ok:
+                case, result = candidate, candidate_result
+                improved = True
+                break
+            if attempts >= max_attempts:
+                break
+    return case, result

@@ -20,14 +20,33 @@ from repro.workloads.ewf import build_ewf_cdfg
 from repro.workloads.fir import build_fir_cdfg, fir_reference
 from repro.workloads.reference import diffeq_reference, gcd_reference, ewf_reference
 
+def _build_diffeq(params=None, **kwargs) -> Cdfg:
+    """Adapter: :func:`build_diffeq_cdfg` takes one ``params`` dict while
+    every other builder (and every golden model) takes keyword
+    arguments; accept both spellings so the registries stay uniform."""
+    if kwargs:
+        params = dict(params or {}, **kwargs)
+    return build_diffeq_cdfg(params)
+
+
 #: Name -> builder registry; lets the API and CLI resolve workloads by
 #: name (``synthesize("diffeq")``).  Builders accept keyword arguments
 #: (e.g. ``build_workload("fir", taps=16)``).
 WORKLOADS: Dict[str, Callable[..., Cdfg]] = {
-    "diffeq": build_diffeq_cdfg,
+    "diffeq": _build_diffeq,
     "gcd": build_gcd_cdfg,
     "ewf": build_ewf_cdfg,
     "fir": build_fir_cdfg,
+}
+
+#: Name -> golden model; same keyword arguments as the matching
+#: builder, returns the reference register file the synthesized design
+#: must reproduce exactly.
+GOLDEN_MODELS: Dict[str, Callable[..., Dict[str, float]]] = {
+    "diffeq": diffeq_reference,
+    "gcd": gcd_reference,
+    "ewf": ewf_reference,
+    "fir": fir_reference,
 }
 
 
@@ -50,10 +69,22 @@ def build_workload(name: str, **kwargs) -> Cdfg:
     return builder(**kwargs)
 
 
+def golden_reference(name: str, **kwargs) -> Dict[str, float]:
+    """Run the golden Python model of a workload on the given inputs."""
+    model = GOLDEN_MODELS.get(name.strip().lower())
+    if model is None:
+        raise KeyError(
+            f"unknown workload {name!r}; known workloads: {', '.join(workload_names())}"
+        )
+    return model(**kwargs)
+
+
 __all__ = [
     "WORKLOADS",
+    "GOLDEN_MODELS",
     "workload_names",
     "build_workload",
+    "golden_reference",
     "build_diffeq_cdfg",
     "DIFFEQ_DEFAULTS",
     "build_gcd_cdfg",

@@ -17,7 +17,7 @@ from repro.errors import ExtractionError
 from repro.transforms import optimize_global
 from repro.workloads import build_diffeq_cdfg
 
-from tests.property.test_transform_properties import _build, programs
+from tests.strategies import build_program as _build, programs
 
 
 def _synthesis_fingerprint(cdfg):

@@ -4,61 +4,26 @@ A random structured program (straight-line ops, one optional loop,
 random binding onto 2-3 units) is built, the full transform script is
 applied, and the invariants of the paper's framework are asserted:
 well-formedness, semantic equivalence under random delays, and channel
-monotonicity.
+monotonicity.  The program generator lives in :mod:`tests.strategies`
+so the verify tests can reuse it.
 """
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.cdfg import CdfgBuilder, check_well_formed
+from repro.cdfg import check_well_formed
 from repro.channels import derive_channels
-from repro.sim import simulate_tokens
+from repro.sim import NOMINAL, simulate_tokens
 from repro.transforms import optimize_global
 
-UNITS = ("FU_A", "FU_B", "FU_C")
-REGISTERS = ("R0", "R1", "R2", "R3")
-OPERATORS = ("+", "-", "*")
-
-
-@st.composite
-def programs(draw):
-    """(pre-ops, body-ops, iterations) with data-dependency-safe reads."""
-    op_strategy = st.tuples(
-        st.sampled_from(REGISTERS),
-        st.sampled_from(REGISTERS),
-        st.sampled_from(OPERATORS),
-        st.sampled_from(REGISTERS),
-        st.sampled_from(UNITS),
-    )
-    pre = draw(st.lists(op_strategy, min_size=0, max_size=3))
-    body = draw(st.lists(op_strategy, min_size=1, max_size=5))
-    iterations = draw(st.integers(min_value=0, max_value=4))
-    return pre, body, iterations
-
-
-def _build(program):
-    pre, body, iterations = program
-    builder = CdfgBuilder("random")
-    builder.input("one", 1.0)
-    builder.input("limit", float(iterations))
-    for index, (dest, left, operator, right, fu) in enumerate(pre):
-        builder.op(f"{dest} := {left} {operator} {right}", fu=fu, name=f"pre{index}")
-    with builder.loop("C", fu="CNT"):
-        for index, (dest, left, operator, right, fu) in enumerate(body):
-            builder.op(f"{dest} := {left} {operator} {right}", fu=fu, name=f"body{index}")
-        builder.op("I := I + one", fu="CNT")
-        builder.op("C := I < limit", fu="CNT")
-    initial = {reg: float(i + 1) for i, reg in enumerate(REGISTERS)}
-    initial["I"] = 0.0
-    initial["C"] = 1.0 if iterations > 0 else 0.0
-    return builder.build(initial=initial)
+from tests.strategies import build_program, programs
 
 
 @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(programs())
 def test_transform_script_preserves_semantics(program):
-    cdfg = _build(program)
+    cdfg = build_program(program)
     check_well_formed(cdfg)
     baseline = simulate_tokens(cdfg, seed=0)
 
@@ -73,7 +38,7 @@ def test_transform_script_preserves_semantics(program):
 @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(programs())
 def test_channels_never_increase(program):
-    cdfg = _build(program)
+    cdfg = build_program(program)
     before = derive_channels(cdfg).count(include_env=False)
     optimized = optimize_global(cdfg)
     assert optimized.plan.count(include_env=False) <= before
@@ -83,7 +48,7 @@ def test_channels_never_increase(program):
 @given(programs(), st.integers(min_value=0, max_value=1000))
 def test_token_simulation_delay_insensitive(program, seed):
     """Final register files are independent of delay assignments."""
-    cdfg = _build(program)
-    nominal = simulate_tokens(cdfg)
+    cdfg = build_program(program)
+    nominal = simulate_tokens(cdfg, seed=NOMINAL)
     random_delays = simulate_tokens(cdfg, seed=seed)
     assert nominal.registers == random_delays.registers

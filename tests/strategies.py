@@ -1,0 +1,144 @@
+"""Reusable Hypothesis strategies for the test suite.
+
+Three families, shared by the property tests and the verify tests:
+
+- :func:`programs` / :func:`build_program` — random structured CDFG
+  programs (straight-line ops plus one loop on random unit bindings);
+- :func:`workload_params` — random input vectors for each of the real
+  workloads, drawn from the same terminating parameter spaces the
+  conformance fuzzer uses;
+- :func:`delay_overrides` / :func:`transform_subsets` /
+  :func:`verify_cases` — random delay-model perturbations, random
+  GT/LT subsets, and fully-pinned :class:`~repro.verify.VerifyCase`
+  instances built from all of the above.
+"""
+
+from hypothesis import strategies as st
+
+from repro.cdfg import CdfgBuilder
+from repro.local_transforms.scripts import STANDARD_LOCAL_SEQUENCE
+from repro.transforms.scripts import STANDARD_SEQUENCE
+from repro.verify import VerifyCase
+from repro.verify.fuzz import _override_targets
+
+UNITS = ("FU_A", "FU_B", "FU_C")
+REGISTERS = ("R0", "R1", "R2", "R3")
+OPERATORS = ("+", "-", "*")
+
+
+@st.composite
+def programs(draw):
+    """(pre-ops, body-ops, iterations) with data-dependency-safe reads."""
+    op_strategy = st.tuples(
+        st.sampled_from(REGISTERS),
+        st.sampled_from(REGISTERS),
+        st.sampled_from(OPERATORS),
+        st.sampled_from(REGISTERS),
+        st.sampled_from(UNITS),
+    )
+    pre = draw(st.lists(op_strategy, min_size=0, max_size=3))
+    body = draw(st.lists(op_strategy, min_size=1, max_size=5))
+    iterations = draw(st.integers(min_value=0, max_value=4))
+    return pre, body, iterations
+
+
+def build_program(program):
+    """Materialize a :func:`programs` draw as a well-formed CDFG."""
+    pre, body, iterations = program
+    builder = CdfgBuilder("random")
+    builder.input("one", 1.0)
+    builder.input("limit", float(iterations))
+    for index, (dest, left, operator, right, fu) in enumerate(pre):
+        builder.op(f"{dest} := {left} {operator} {right}", fu=fu, name=f"pre{index}")
+    with builder.loop("C", fu="CNT"):
+        for index, (dest, left, operator, right, fu) in enumerate(body):
+            builder.op(f"{dest} := {left} {operator} {right}", fu=fu, name=f"body{index}")
+        builder.op("I := I + one", fu="CNT")
+        builder.op("C := I < limit", fu="CNT")
+    initial = {reg: float(i + 1) for i, reg in enumerate(REGISTERS)}
+    initial["I"] = 0.0
+    initial["C"] = 1.0 if iterations > 0 else 0.0
+    return builder.build(initial=initial)
+
+
+#: per-workload strategies over provably-terminating input vectors —
+#: kept in sync with ``repro.verify.fuzz.PARAM_SPACES``
+_PARAM_STRATEGIES = {
+    "diffeq": st.fixed_dictionaries(
+        {
+            "dx": st.sampled_from([0.125, 0.25, 0.5]),
+            "a": st.sampled_from([0.5, 1.0]),
+            "y0": st.integers(-16, 16).map(lambda n: n / 8.0),
+            "u0": st.integers(-8, 8).map(lambda n: n / 8.0),
+        }
+    ),
+    "gcd": st.fixed_dictionaries(
+        {
+            "a0": st.integers(min_value=1, max_value=119),
+            "b0": st.integers(min_value=1, max_value=119),
+        }
+    ),
+    "ewf": st.fixed_dictionaries(
+        {
+            "n": st.integers(min_value=1, max_value=8),
+            "s0": st.integers(4, 16).map(lambda n: n / 8.0),
+            "k1": st.sampled_from([0.25, 0.5, 0.75]),
+            "k2": st.sampled_from([0.125, 0.25]),
+            "decay": st.sampled_from([0.5, 0.75]),
+        }
+    ),
+    "fir": st.fixed_dictionaries(
+        {
+            "taps": st.integers(min_value=2, max_value=5),
+            "samples": st.integers(min_value=1, max_value=6),
+            "x0": st.integers(4, 16).map(lambda n: n / 8.0),
+            "decay": st.sampled_from([0.5, 0.8]),
+        }
+    ),
+}
+
+
+def workload_params(workload: str):
+    """Strategy over random input vectors for ``workload``."""
+    return _PARAM_STRATEGIES[workload]
+
+
+def transform_subsets(sequence=STANDARD_SEQUENCE):
+    """Random subsets of a transform sequence, in canonical order."""
+    return st.sets(st.sampled_from(sequence)).map(
+        lambda chosen: tuple(name for name in sequence if name in chosen)
+    )
+
+
+def delay_overrides(workload: str, max_size: int = 2):
+    """Random operator-specific delay overrides for ``workload``.
+
+    Only ``(fu, operator)`` pairs the workload actually executes are
+    targeted, and never a whole unit — a unit-wide override also slows
+    register latches, stepping outside the bundled-data timing
+    assumption the local transforms rely on.
+    """
+    targets = _override_targets(workload)
+    interval = st.tuples(
+        st.integers(1, 8).map(lambda n: n / 2.0),
+        st.integers(0, 16).map(lambda n: n / 2.0),
+    ).map(lambda pair: (pair[0], pair[0] + pair[1]))
+    return st.lists(
+        st.tuples(st.sampled_from(targets), interval).map(
+            lambda drawn: (drawn[0][0], drawn[0][1], drawn[1])
+        ),
+        max_size=max_size,
+    ).map(tuple)
+
+
+@st.composite
+def verify_cases(draw, workload: str):
+    """Fully-pinned conformance cases for ``workload``."""
+    return VerifyCase(
+        workload=workload,
+        params=draw(workload_params(workload)),
+        gts=draw(transform_subsets(STANDARD_SEQUENCE)),
+        lts=draw(transform_subsets(STANDARD_LOCAL_SEQUENCE)),
+        delay_overrides=draw(delay_overrides(workload)),
+        seed=draw(st.integers(min_value=0, max_value=2**32 - 1)),
+    )

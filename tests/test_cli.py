@@ -43,6 +43,62 @@ class TestCli:
         assert "$enddefinitions" in content
         assert "#0" in content
 
+    def test_synthesize_timings(self, capsys):
+        assert main(["synthesize", "diffeq", "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "per-pass wall time" in out
+        assert "GT1" in out
+
+    def test_explore(self, capsys):
+        assert main(["explore", "gcd"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto-optimal" in out
+        assert "conformant" in out
+        assert "NON-CONFORMANT" not in out
+
+    def test_explore_workers(self, capsys):
+        assert main(["explore", "gcd", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto-optimal" in out
+
+    def test_verify(self, capsys):
+        assert main(["verify", "diffeq", "--runs", "3", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "diffeq: CONFORMANT" in out
+        assert "3/3 cases passed" in out
+
+    def test_verify_all_with_json(self, tmp_path, capsys):
+        target = tmp_path / "reports.json"
+        assert main(
+            ["verify", "all", "--runs", "1", "--no-shrink", "--json", str(target)]
+        ) == 0
+        out = capsys.readouterr().out
+        for workload in ("diffeq", "ewf", "fir", "gcd"):
+            assert f"{workload}: CONFORMANT" in out
+        import json
+
+        payload = json.loads(target.read_text())
+        assert [report["workload"] for report in payload] == [
+            "diffeq", "ewf", "fir", "gcd",
+        ]
+
+    def test_verify_budget(self, capsys):
+        assert main(["verify", "gcd", "--runs", "500", "--budget", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "gcd: CONFORMANT" in out
+
+    def test_verify_nonconformant_exits_one(self, monkeypatch, capsys):
+        from repro.transforms.gt5_channel_elimination import ChannelElimination
+
+        monkeypatch.setattr(
+            ChannelElimination,
+            "_never_concurrent",
+            lambda self, cdfg, reach, left, right: True,
+        )
+        assert main(["verify", "fir", "--runs", "1", "--no-shrink"]) == 1
+        out = capsys.readouterr().out
+        assert "NON-CONFORMANT" in out
+
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
             main(["simulate", "nonexistent"])

@@ -79,6 +79,30 @@ class TestParallelSweep:
         assert len(result.points) == 1
 
 
+class TestConformanceStamp:
+    def test_sweep_points_are_stamped(self, sweep):
+        for point in sweep.points:
+            assert point.conformant
+            assert point.conformance == "conformant"
+
+    def test_verify_false_leaves_points_unchecked(self, diffeq):
+        result = explore_design_space(
+            diffeq, global_subsets=[()], local_subsets=[()], verify=False
+        )
+        assert result.points[0].conformance == "unchecked"
+        assert result.points[0].conformant  # unchecked is not a failure
+
+    def test_wrong_golden_marks_point_nonconformant(self, diffeq):
+        point = evaluate_point(diffeq, (), (), golden={"x": -1e9})
+        assert not point.conformant
+        assert point.conformance.startswith("failed: register x")
+
+    def test_matching_golden_marks_point_conformant(self, diffeq):
+        point = evaluate_point(diffeq, ("GT1",), (), golden=diffeq_reference())
+        assert point.conformant
+        assert point.conformance == "conformant"
+
+
 class TestDominance:
     def test_dominates(self):
         a = DesignPoint((), (), 5, 50, 55, 100.0)

@@ -1,0 +1,74 @@
+"""Differential conformance checking: cases, levels, round-trips."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.local_transforms.scripts import STANDARD_LOCAL_SEQUENCE
+from repro.transforms.scripts import STANDARD_SEQUENCE
+from repro.verify import VerifyCase, check_case
+from repro.workloads import workload_names
+
+from tests.strategies import verify_cases
+
+
+class TestVerifyCase:
+    def test_defaults_are_the_full_scripts(self):
+        case = VerifyCase(workload="diffeq")
+        assert case.gts == tuple(STANDARD_SEQUENCE)
+        assert case.lts == tuple(STANDARD_LOCAL_SEQUENCE)
+
+    def test_transform_order_is_canonicalized(self):
+        case = VerifyCase(workload="gcd", gts=("GT5", "GT1"), lts=("LT1", "LT4"))
+        assert case.gts == ("GT1", "GT5")
+        assert case.lts == ("LT4", "LT1")
+
+    def test_dict_round_trip(self):
+        case = VerifyCase(
+            workload="fir",
+            params={"taps": 3, "samples": 2},
+            gts=("GT1", "GT4"),
+            lts=("LT2",),
+            delay_overrides=(("FMUL1", "*", (1.0, 5.0)),),
+            seed=77,
+        )
+        assert VerifyCase.from_dict(case.to_dict()) == case
+
+    def test_delay_model_carries_overrides(self):
+        case = VerifyCase(workload="gcd", delay_overrides=(("SUB", "-", (2.0, 9.0)),))
+        model = case.delay_model()
+        assert model.operator_interval("SUB", "-") == (2.0, 9.0)
+
+
+class TestCheckCase:
+    @pytest.mark.parametrize("workload", sorted(workload_names()))
+    def test_canonical_case_is_conformant(self, workload):
+        result = check_case(VerifyCase(workload=workload))
+        assert result.ok, f"{result.failure_level}: {result.message}"
+        assert "token:base" in result.levels
+        assert "system:extracted" in result.levels
+        # one token level per applied GT, one system level per LT prefix
+        assert result.levels[-1] == "system:" + "+".join(STANDARD_LOCAL_SEQUENCE)
+
+    def test_untransformed_case(self):
+        result = check_case(VerifyCase(workload="gcd", gts=(), lts=()))
+        assert result.ok
+        assert result.levels == ["token:base", "system:extracted"]
+
+    def test_random_inputs_still_conform(self):
+        result = check_case(
+            VerifyCase(workload="gcd", params={"a0": 119, "b0": 17}, seed=3)
+        )
+        assert result.ok
+
+    def test_bad_parameters_fail_without_raising(self):
+        result = check_case(VerifyCase(workload="fir", params={"taps": 0}))
+        assert not result.ok
+        assert result.failure_level == "golden"
+
+    @settings(
+        max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(verify_cases("gcd"))
+    def test_fuzzed_gcd_cases_conform(self, case):
+        result = check_case(case)
+        assert result.ok, f"{case}: {result.failure_level}: {result.message}"

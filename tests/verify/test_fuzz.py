@@ -1,0 +1,85 @@
+"""Fuzzing campaigns: determinism, budgets, reports, shrinking."""
+
+import json
+
+import pytest
+
+from repro.verify import (
+    MINIMAL_PARAMS,
+    PARAM_SPACES,
+    VerifyCase,
+    fuzz_workload,
+    load_report,
+    random_case,
+    shrink_case,
+)
+from repro.workloads import workload_names
+import random
+
+
+class TestRandomCase:
+    def test_case_zero_equivalent_is_canonical(self):
+        case = random_case("diffeq", random.Random(0), full=True)
+        assert case.params == {}
+        assert case.delay_overrides == ()
+
+    def test_same_seed_same_cases(self):
+        draws_a = [random_case("ewf", random.Random(5)) for __ in range(3)]
+        draws_b = [random_case("ewf", random.Random(5)) for __ in range(3)]
+        assert draws_a == draws_b
+
+    def test_overrides_are_operator_specific(self):
+        rng = random.Random(1)
+        for __ in range(50):
+            case = random_case("fir", rng)
+            for __fu, operator, __interval in case.delay_overrides:
+                assert operator is not None
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            random_case("nonexistent", random.Random(0))
+
+    def test_every_workload_has_a_param_space(self):
+        assert set(PARAM_SPACES) == set(workload_names())
+        assert set(MINIMAL_PARAMS) == set(workload_names())
+
+
+class TestFuzzWorkload:
+    def test_small_campaign_is_conformant(self):
+        report = fuzz_workload("diffeq", runs=4, seed=0)
+        assert report.conformant
+        assert report.runs_executed == 4
+        assert report.passed == 4
+        assert "token:base" in report.levels_checked
+
+    def test_campaign_is_deterministic(self):
+        one = fuzz_workload("gcd", runs=4, seed=11).to_dict()
+        two = fuzz_workload("gcd", runs=4, seed=11).to_dict()
+        one.pop("duration"), two.pop("duration")
+        assert one == two
+
+    def test_budget_stops_early(self):
+        report = fuzz_workload("ewf", runs=10_000, seed=0, budget=0.3)
+        assert report.runs_executed < 10_000
+        assert report.runs_requested == 10_000
+
+    def test_report_json_round_trip(self, tmp_path):
+        report = fuzz_workload("fir", runs=2, seed=3)
+        target = tmp_path / "report.json"
+        report.write(str(target))
+        loaded = load_report(str(target))
+        assert loaded.to_dict() == report.to_dict()
+        assert json.loads(target.read_text())["workload"] == "fir"
+
+    def test_summary_mentions_verdict(self):
+        report = fuzz_workload("gcd", runs=2, seed=0)
+        assert "CONFORMANT" in report.summary()
+        assert "gcd" in report.summary()
+
+
+class TestShrink:
+    def test_passing_case_returned_unchanged(self):
+        case = VerifyCase(workload="gcd", seed=42)
+        shrunk, result = shrink_case(case)
+        assert shrunk == case
+        assert result.ok

@@ -1,0 +1,63 @@
+"""Mutation testing: an injected GT5 channel-merge bug must be caught.
+
+GT5 merges two point-to-point channels only when
+:meth:`ChannelElimination._never_concurrent` proves their events can
+never be outstanding simultaneously.  These tests break that proof
+(force it to say yes to everything) and assert the conformance harness
+catches the resulting illegal merge *dynamically* — and shrinks it to
+a minimal counterexample implicating GT5 alone.
+
+FIR is the workload of choice: its multiplier fans out to two
+consumers whose events genuinely overlap, so the broken proof merges
+wires that are concurrently busy.  (On DIFFEQ the mutation is a no-op:
+every same-source/same-destination merge there is legal anyway.)
+"""
+
+import pytest
+
+from repro.transforms.gt5_channel_elimination import ChannelElimination
+from repro.verify import VerifyCase, check_case, fuzz_workload, shrink_case
+
+
+@pytest.fixture
+def broken_gt5(monkeypatch):
+    monkeypatch.setattr(
+        ChannelElimination,
+        "_never_concurrent",
+        lambda self, cdfg, reach, left, right: True,
+    )
+
+
+FIR_CASE = VerifyCase(workload="fir", params={"taps": 4, "samples": 6})
+
+
+def test_mutant_is_caught_at_the_gt5_token_level(broken_gt5):
+    result = check_case(FIR_CASE)
+    assert not result.ok
+    assert result.failure_level == "token:GT5"
+    assert "merged channel" in (result.message or "")
+
+
+def test_mutant_fails_the_fuzz_campaign_with_shrunk_counterexample(broken_gt5):
+    report = fuzz_workload("fir", runs=3, seed=0)
+    assert not report.conformant
+    assert report.failures
+    failure = report.failures[0]
+    assert failure.shrunk is not None
+    # the minimized case implicates GT5 alone, with no delay overrides
+    assert failure.shrunk["gts"] == ["GT5"]
+    assert failure.shrunk["delay_overrides"] == []
+    assert failure.shrunk_level == "token:GT5"
+
+
+def test_shrinker_reduces_to_gt5_only(broken_gt5):
+    shrunk, result = shrink_case(FIR_CASE)
+    assert not result.ok
+    assert shrunk.gts == ("GT5",)
+    assert shrunk.lts == ()
+    assert result.failure_level == "token:GT5"
+
+
+def test_unmutated_fir_is_conformant():
+    result = check_case(FIR_CASE)
+    assert result.ok, f"{result.failure_level}: {result.message}"

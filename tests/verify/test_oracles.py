@@ -1,0 +1,92 @@
+"""Metamorphic per-transform oracles: clean runs pass, mutations fail."""
+
+import pytest
+
+from repro.afsm.extract import extract_controllers
+from repro.cdfg.arc import Arc, ArcRole, control_tag
+from repro.errors import VerificationError
+from repro.local_transforms import optimize_local
+from repro.local_transforms.base import LocalReport
+from repro.transforms import optimize_global
+from repro.transforms.base import TransformReport
+from repro.verify import make_global_oracle, make_local_oracle
+from repro.workloads import build_workload, workload_names
+
+
+@pytest.mark.parametrize("workload", sorted(workload_names()))
+def test_full_flow_passes_under_oracles(workload):
+    cdfg = build_workload(workload)
+    optimized = optimize_global(cdfg, oracle=make_global_oracle())
+    design = extract_controllers(optimized.cdfg, optimized.plan)
+    optimize_local(design, oracle=make_local_oracle())
+
+
+def test_oracle_skips_unapplied_passes(diffeq):
+    report = TransformReport("GT1", applied=False)
+    # before/after wildly different, but the pass did nothing: no error
+    make_global_oracle()(report, diffeq, build_workload("gcd"))
+
+
+def test_gt1_oracle_rejects_added_ordering(diffeq_optimized):
+    """GT1 may only relax the firing order; adding an arc must fail."""
+    from repro.transforms.base import operation_order_pairs
+
+    before = diffeq_optimized.cdfg
+    pairs_before = operation_order_pairs(before)
+    ops = [node.name for node in before.operation_nodes()]
+    # find an arc whose addition genuinely orders two operations
+    after = None
+    for left in ops:
+        for right in ops:
+            if left == right or before.has_arc(left, right):
+                continue
+            candidate = before.copy()
+            candidate.add_arc(Arc(left, right, frozenset({control_tag()})))
+            if operation_order_pairs(candidate) - pairs_before:
+                after = candidate
+                break
+        if after is not None:
+            break
+    assert after is not None
+    report = TransformReport("GT1", applied=True)
+    with pytest.raises(VerificationError, match=r"oracle\[GT1\]"):
+        make_global_oracle()(report, before, after)
+
+
+def test_gt2_oracle_rejects_any_order_change(diffeq):
+    after = diffeq.copy()
+    removable = next(
+        arc
+        for arc in after.arcs()
+        if not arc.has_role(ArcRole.SCHEDULING) and not arc.backward
+    )
+    after.remove_arc(removable.src, removable.dst)
+    report = TransformReport("GT2", applied=True)
+    with pytest.raises(VerificationError, match=r"oracle\[GT2\]"):
+        make_global_oracle()(report, diffeq, after)
+
+
+def test_gt5_oracle_requires_a_plan(diffeq_optimized):
+    report = TransformReport("GT5", applied=True)  # no channel_plan artifact
+    cdfg = diffeq_optimized.cdfg
+    with pytest.raises(VerificationError, match="no channel plan"):
+        make_global_oracle()(report, cdfg, cdfg)
+
+
+def test_local_oracle_rejects_lost_output_edge(gcd_optimized):
+    design = extract_controllers(gcd_optimized.cdfg, gcd_optimized.plan)
+    controller = next(iter(design.controllers.values()))
+    before = controller.machine
+    after = before.copy()
+    victim = next(t for t in after.transitions() if t.output_burst.edges)
+    dropped = victim.output_burst.edges[0]
+    victim.output_burst = victim.output_burst.without_signal(dropped.signal)
+    report = LocalReport("LT1", machine=after.name, applied=True)
+    with pytest.raises(VerificationError, match=r"oracle\[LT1\]"):
+        make_local_oracle()(report, before, after)
+
+
+def test_local_oracle_allows_lt4_ack_removal(gcd_optimized):
+    """LT4's own legitimate effect (dropping ack waits) must pass."""
+    design = extract_controllers(gcd_optimized.cdfg, gcd_optimized.plan)
+    optimize_local(design, enabled=("LT4",), oracle=make_local_oracle())

@@ -1,0 +1,63 @@
+"""Seed plumbing: every randomized run records its effective seed."""
+
+from repro.afsm.extract import extract_controllers
+from repro.channels import derive_channels
+from repro.sim import NOMINAL, simulate_tokens
+from repro.sim.seeding import resolve_seed
+from repro.sim.system import ControllerSystem, simulate_system
+from repro.workloads import build_workload
+
+
+class TestResolveSeed:
+    def test_nominal_has_no_rng(self):
+        rng, seed = resolve_seed(NOMINAL)
+        assert rng is None and seed is None
+
+    def test_explicit_seed_is_recorded(self):
+        rng, seed = resolve_seed(7)
+        assert seed == 7
+        assert rng is not None
+
+    def test_none_draws_and_records_fresh_entropy(self):
+        rng, seed = resolve_seed(None)
+        assert isinstance(seed, int)
+        assert rng is not None
+
+
+class TestTokenSimSeeds:
+    def test_result_records_seed(self, gcd):
+        assert simulate_tokens(gcd, seed=13).seed == 13
+
+    def test_nominal_records_none(self, gcd):
+        assert simulate_tokens(gcd, seed=NOMINAL).seed is None
+
+    def test_fresh_seed_reproduces_the_run(self, gcd):
+        first = simulate_tokens(gcd, seed=None)
+        assert first.seed is not None
+        replay = simulate_tokens(gcd, seed=first.seed)
+        assert replay.end_time == first.end_time
+        assert replay.registers == first.registers
+
+
+class TestSystemSeeds:
+    def _design(self):
+        cdfg = build_workload("gcd")
+        return extract_controllers(cdfg, derive_channels(cdfg))
+
+    def test_result_records_seed(self):
+        result = simulate_system(self._design(), seed=21)
+        assert result.seed == 21
+
+    def test_fresh_seed_reproduces_the_run(self):
+        design = self._design()
+        first = ControllerSystem(design, seed=None).run()
+        assert first.seed is not None
+        replay = ControllerSystem(design, seed=first.seed).run()
+        assert replay.end_time == first.end_time
+        assert replay.registers == first.registers
+
+    def test_nominal_is_deterministic(self):
+        design = self._design()
+        runs = {simulate_system(design, seed=NOMINAL).end_time for __ in range(2)}
+        assert len(runs) == 1
+        assert simulate_system(design, seed=NOMINAL).seed is None
