@@ -35,6 +35,7 @@ from repro.cdfg.kinds import NodeKind
 from repro.cdfg.node import Node
 from repro.channels.model import Channel, ChannelPlan
 from repro.errors import ExtractionError
+from repro.obs.spans import set_attribute, span
 
 
 # ----------------------------------------------------------------------
@@ -1130,16 +1131,21 @@ class _ControllerBuilder:
 
 def extract_controllers(cdfg: Cdfg, plan: ChannelPlan) -> DistributedDesign:
     """Extract one burst-mode controller per functional unit."""
-    phases = assign_phases(cdfg, plan)
-    design = DistributedDesign(cdfg=cdfg, plan=plan, phases=phases)
-    for fu in cdfg.functional_units():
-        builder = _ControllerBuilder(cdfg, plan, phases, fu)
-        machine = builder.build()
-        controller = Controller(
-            fu=fu,
-            machine=machine,
-            input_wires=[s.name for s in machine.inputs() if s.kind is SignalKind.GLOBAL_READY],
-            output_wires=[s.name for s in machine.outputs() if s.kind is SignalKind.GLOBAL_READY],
-        )
-        design.controllers[fu] = controller
+    with span("extract_controllers", workload=cdfg.name):
+        phases = assign_phases(cdfg, plan)
+        design = DistributedDesign(cdfg=cdfg, plan=plan, phases=phases)
+        for fu in cdfg.functional_units():
+            with span(f"extract/{fu}"):
+                builder = _ControllerBuilder(cdfg, plan, phases, fu)
+                machine = builder.build()
+                set_attribute("states", len(machine.states()))
+                set_attribute("transitions", len(machine.transitions()))
+            controller = Controller(
+                fu=fu,
+                machine=machine,
+                input_wires=[s.name for s in machine.inputs() if s.kind is SignalKind.GLOBAL_READY],
+                output_wires=[s.name for s in machine.outputs() if s.kind is SignalKind.GLOBAL_READY],
+            )
+            design.controllers[fu] = controller
+        set_attribute("controllers", len(design.controllers))
     return design

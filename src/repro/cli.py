@@ -7,6 +7,9 @@ Commands
 ``synthesize``  run the full flow on a workload and print the design
 ``simulate``    execute a synthesized design and report the register
                 file, makespan and event counts
+``profile``     synthesize + simulate with full observability: span
+                tree, transform provenance, simulation critical path
+``trace``       stream the same observability data as JSONL
 ``explore``     sweep transform subsets and print the Pareto frontier
 ``verify``      conformance-fuzz the flow against the golden reference
 ``dot``         export the (optionally optimized) CDFG as Graphviz
@@ -17,7 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.afsm.extract import extract_controllers
 from repro.cdfg.dot import to_dot
@@ -32,6 +35,8 @@ from repro.eval.experiments import (
 from repro.eval.tables import render_table
 from repro import perf
 from repro.local_transforms import optimize_local
+from repro.obs.provenance import ProvenanceRecord
+from repro.sim.seeding import NOMINAL, SeedLike
 from repro.sim.system import ControllerSystem, simulate_system
 from repro.transforms import optimize_global
 from repro.workloads import WORKLOADS
@@ -39,15 +44,38 @@ from repro.workloads import WORKLOADS
 LEVELS = ("unoptimized", "gt", "gt+lt")
 
 
-def _build_design(workload: str, level: str):
+def _parse_seed(text: str) -> SeedLike:
+    """``nominal`` | ``random`` | ``<int>`` (see :mod:`repro.sim.seeding`)."""
+    lowered = text.strip().lower()
+    if lowered == "nominal":
+        return NOMINAL
+    if lowered == "random":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"seed must be 'nominal', 'random' or an integer, got {text!r}"
+        )
+
+
+def _format_seed(effective: Optional[int]) -> str:
+    return "nominal" if effective is None else str(effective)
+
+
+def _build_design(workload: str, level: str) -> Tuple[object, List[ProvenanceRecord]]:
+    """Synthesize ``workload`` at ``level``; returns (design, provenance)."""
     cdfg = WORKLOADS[workload]()
     if level == "unoptimized":
-        return extract_controllers(cdfg, derive_channels(cdfg))
+        return extract_controllers(cdfg, derive_channels(cdfg)), []
     optimized = optimize_global(cdfg)
+    provenance = list(optimized.provenance)
     design = extract_controllers(optimized.cdfg, optimized.plan)
     if level == "gt+lt":
-        design = optimize_local(design).design
-    return design
+        local = optimize_local(design)
+        design = local.design
+        provenance.extend(local.provenance)
+    return design, provenance
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -60,7 +88,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     if args.timings:
         perf.reset_timings()
-    design = _build_design(args.workload, args.level)
+    design, __ = _build_design(args.workload, args.level)
     print(design.summary())
     if args.verbose:
         for controller in design.controllers.values():
@@ -74,16 +102,129 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    design = _build_design(args.workload, args.level)
+    design, __ = _build_design(args.workload, args.level)
     result = simulate_system(design, seed=args.seed)
     rows = sorted(result.registers.items())
     print(render_table(("register", "value"), rows))
-    print(f"makespan: {result.end_time:.2f}   events: {result.events_processed}")
+    print(
+        f"makespan: {result.end_time:.2f}   events: {result.events_processed}"
+        f"   seed: {_format_seed(result.seed)}"
+    )
     if result.hazards:
         print("HAZARDS:")
         for hazard in result.hazards:
             print("  ", hazard)
         return 1
+    return 0
+
+
+def _profiled_run(args: argparse.Namespace):
+    """Synthesize + simulate with every observability channel armed.
+
+    Returns ``(design, provenance, result, segments)`` where
+    ``segments`` is the simulation's causal critical path.
+    """
+    from repro.obs.causal import EventTrace, critical_path
+    from repro.obs.spans import reset_spans
+
+    perf.reset_timings()
+    reset_spans()
+    design, provenance = _build_design(args.workload, args.level)
+    trace = EventTrace()
+    result = simulate_system(design, seed=args.seed, trace=trace)
+    segments = critical_path(trace)
+    return design, provenance, result, segments
+
+
+def _provenance_summary(provenance: List[ProvenanceRecord]) -> List[Tuple[str, str, int]]:
+    """(transform, kind, count) rows in first-seen order."""
+    counts: Dict[Tuple[str, str], int] = {}
+    for record in provenance:
+        key = (record.transform, record.kind)
+        counts[key] = counts.get(key, 0) + 1
+    return [(transform, kind, count) for (transform, kind), count in counts.items()]
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.causal import bottleneck_label, path_delay_sum, slack_by_label
+    from repro.obs.spans import format_spans
+
+    design, provenance, result, segments = _profiled_run(args)
+
+    print(f"== synthesis spans ({args.workload}, {args.level}) ==")
+    print(format_spans())
+
+    print()
+    print("== transform provenance ==")
+    rows = [(t, k, str(c)) for t, k, c in _provenance_summary(provenance)]
+    if rows:
+        print(render_table(("transform", "kind", "records"), rows))
+    print(f"{len(provenance)} records (export with: repro trace {args.workload} --jsonl ...)")
+
+    print()
+    print("== simulation critical path ==")
+    visible = [s for s in segments if s.delay > 0.0]
+    hidden = len(segments) - len(visible)
+    path_rows = [
+        (f"{s.start:.2f}", f"{s.end:.2f}", f"{s.delay:.2f}", s.label or "?")
+        for s in visible
+    ]
+    print(render_table(("start", "end", "delay", "event"), path_rows))
+    if hidden:
+        print(f"({hidden} zero-delay scheduling events hidden)")
+    total = path_delay_sum(segments)
+    exact = total == result.end_time
+    print(
+        f"critical path: {len(segments)} events, delays sum to {total:.2f}; "
+        f"makespan {result.end_time:.2f} "
+        f"({'exact' if exact else 'MISMATCH'}, seed {_format_seed(result.seed)})"
+    )
+    if segments:
+        print(f"bottleneck: {bottleneck_label(segments)}")
+
+    print()
+    print("== per-operation slack (10 tightest) ==")
+    slack = slack_by_label(result.trace, end_time=result.end_time)
+    tight = sorted(slack.items(), key=lambda item: (item[1], item[0]))[:10]
+    print(render_table(("event", "slack"), [(label, f"{value:.2f}") for label, value in tight]))
+    return 0 if exact else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.causal import path_delay_sum
+    from repro.obs.spans import spans_to_dicts
+
+    design, provenance, result, segments = _profiled_run(args)
+
+    lines: List[str] = []
+    for entry in spans_to_dicts():
+        lines.append(json.dumps({"type": "span", **entry}, sort_keys=True, default=str))
+    for record in provenance:
+        lines.append(json.dumps({"type": "provenance", **record.to_dict()}, sort_keys=True, default=str))
+    for event in result.trace.to_dicts():
+        lines.append(json.dumps({"type": "event", **event}, sort_keys=True, default=str))
+    summary = {
+        "type": "summary",
+        "workload": args.workload,
+        "level": args.level,
+        "seed": result.seed,
+        "makespan": result.end_time,
+        "events_processed": result.events_processed,
+        "critical_path_events": len(segments),
+        "critical_path_delay_sum": path_delay_sum(segments),
+        "provenance_records": len(provenance),
+    }
+    lines.append(json.dumps(summary, sort_keys=True, default=str))
+
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        print(f"wrote {args.jsonl} ({len(lines)} records)")
+    else:
+        for line in lines:
+            print(line)
     return 0
 
 
@@ -99,11 +240,26 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             point.channels,
             point.total_states,
             f"{point.makespan:.1f}",
+            point.provenance_records,
+            point.bottleneck or "-",
             "yes" if point.conformant else "NO",
         )
         for point in sorted(frontier, key=lambda p: p.objectives())
     ]
-    print(render_table(("configuration", "channels", "states", "makespan", "conformant"), rows))
+    print(
+        render_table(
+            (
+                "configuration",
+                "channels",
+                "states",
+                "makespan",
+                "provenance",
+                "bottleneck",
+                "conformant",
+            ),
+            rows,
+        )
+    )
     print(f"{len(frontier)} Pareto-optimal of {len(result.points)} explored points")
     bad = [point for point in result.points if not point.conformant]
     if bad:
@@ -133,9 +289,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if args.json:
         import json
 
+        # always a list, even for a single workload, so consumers can
+        # iterate unconditionally
         payload = [report.to_dict() for report in reports]
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload[0] if len(payload) == 1 else payload, handle, indent=2)
+            json.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"wrote {args.json}")
     return 0 if all(report.conformant for report in reports) else 1
@@ -158,14 +316,14 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 def _cmd_vcd(args: argparse.Namespace) -> int:
     from repro.sim.trace import VcdTracer
 
-    design = _build_design(args.workload, args.level)
+    design, __ = _build_design(args.workload, args.level)
     system = ControllerSystem(design, seed=args.seed)
     tracer = VcdTracer(system)
     result = tracer.run()
     with open(args.output, "w", encoding="utf-8") as handle:
         tracer.write(handle)
     print(f"wrote {args.output} ({len(tracer.changes)} value changes, "
-          f"makespan {result.end_time:.1f})")
+          f"makespan {result.end_time:.1f}, seed {_format_seed(result.seed)})")
     return 0
 
 
@@ -182,11 +340,18 @@ def build_parser() -> argparse.ArgumentParser:
         ("synthesize", "run the synthesis flow and print the controllers"),
         ("simulate", "execute a synthesized design"),
         ("vcd", "dump a VCD waveform of a run"),
+        ("profile", "spans, provenance and simulation critical path"),
+        ("trace", "stream spans/provenance/events as JSONL"),
     ):
         command = sub.add_parser(name, help=help_text)
         command.add_argument("workload", choices=sorted(WORKLOADS))
         command.add_argument("--level", choices=LEVELS, default="gt+lt")
-        command.add_argument("--seed", type=int, default=0)
+        command.add_argument(
+            "--seed",
+            type=_parse_seed,
+            default=0,
+            help="delay sampling: 'nominal', 'random' or an integer (default 0)",
+        )
         if name == "synthesize":
             command.add_argument("--verbose", action="store_true")
             command.add_argument(
@@ -196,6 +361,10 @@ def build_parser() -> argparse.ArgumentParser:
             )
         if name == "vcd":
             command.add_argument("--output", "-o", default="trace.vcd")
+        if name == "trace":
+            command.add_argument(
+                "--jsonl", default=None, help="write JSONL here instead of stdout"
+            )
 
     explore = sub.add_parser("explore", help="design-space exploration")
     explore.add_argument("workload", choices=sorted(WORKLOADS))
@@ -240,6 +409,8 @@ def main(argv: Optional[list] = None) -> int:
         "tables": _cmd_tables,
         "synthesize": _cmd_synthesize,
         "simulate": _cmd_simulate,
+        "profile": _cmd_profile,
+        "trace": _cmd_trace,
         "explore": _cmd_explore,
         "verify": _cmd_verify,
         "dot": _cmd_dot,

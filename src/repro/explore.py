@@ -24,6 +24,7 @@ from repro.cdfg.graph import Cdfg
 from repro.errors import VerificationError
 from repro.local_transforms import optimize_local
 from repro.local_transforms.scripts import STANDARD_LOCAL_SEQUENCE
+from repro.obs.causal import EventTrace, bottleneck_label, critical_path
 from repro.sim.seeding import NOMINAL
 from repro.sim.system import simulate_system
 from repro.sim.token_sim import simulate_tokens
@@ -47,6 +48,10 @@ class DesignPoint:
     conformant: bool = True
     #: "conformant", "failed: <reason>", or "unchecked"
     conformance: str = "unchecked"
+    #: how many provenance records the GT/LT scripts emitted
+    provenance_records: int = 0
+    #: dominant label group on the simulation's critical path
+    bottleneck: str = ""
 
     @property
     def label(self) -> str:
@@ -118,10 +123,13 @@ def evaluate_point(
             cdfg, enabled=tuple(global_transforms), delays=delays, oracle=oracle
         )
         design = extract_controllers(optimized.cdfg, optimized.plan)
+        provenance_records = len(optimized.provenance)
         if local_transforms:
-            design = optimize_local(
+            local = optimize_local(
                 design, enabled=tuple(local_transforms), oracle=local_oracle
-            ).design
+            )
+            design = local.design
+            provenance_records += len(local.provenance)
     except VerificationError as exc:
         if golden is None:
             raise
@@ -129,10 +137,17 @@ def evaluate_point(
         # metrics are still reported, stamped non-conformant
         optimized = optimize_global(cdfg, enabled=tuple(global_transforms), delays=delays)
         design = extract_controllers(optimized.cdfg, optimized.plan)
+        provenance_records = len(optimized.provenance)
         if local_transforms:
-            design = optimize_local(design, enabled=tuple(local_transforms)).design
+            local = optimize_local(design, enabled=tuple(local_transforms))
+            design = local.design
+            provenance_records += len(local.provenance)
         conformance = f"failed: {exc}"
-    result = simulate_system(design, delays=delays, seed=seed, strict=(golden is None))
+    result = simulate_system(
+        design, delays=delays, seed=seed, strict=(golden is None), trace=EventTrace()
+    )
+    segments = critical_path(result.trace)
+    bottleneck = bottleneck_label(segments) if segments else ""
     if reference is not None:
         for register, value in reference.items():
             if result.registers.get(register) != value:
@@ -164,6 +179,8 @@ def evaluate_point(
         makespan=result.end_time,
         conformant=conformance in ("conformant", "unchecked"),
         conformance=conformance,
+        provenance_records=provenance_records,
+        bottleneck=bottleneck,
     )
 
 

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.afsm.machine import BurstModeMachine, Transition
+from repro.obs.provenance import ProvenanceRecord
 
 
 @dataclass
@@ -23,9 +24,20 @@ class LocalReport:
     details: List[str] = field(default_factory=list)
     #: wall time of the pass in seconds (filled by optimize_local)
     duration: float = 0.0
+    #: typed provenance of every individual action of the pass
+    provenance: List[ProvenanceRecord] = field(default_factory=list)
 
     def note(self, message: str) -> None:
         self.details.append(message)
+
+    def record(self, kind: str, subject: str, **detail: object) -> ProvenanceRecord:
+        """Append (and return) a provenance record for this pass; the
+        machine name is always included in the detail."""
+        merged = {"machine": self.machine}
+        merged.update(detail)
+        entry = ProvenanceRecord(self.name, kind, subject, merged)
+        self.provenance.append(entry)
+        return entry
 
 
 class LocalTransform(abc.ABC):

@@ -51,6 +51,12 @@ class MoveUp(LocalTransform):
                     )
                     target.output_burst = target.output_burst.adding(edge)
                     report.moved_edges.append(str(edge))
+                    report.record(
+                        "edge-moved-up", str(edge),
+                        fragment=transition.tags.get("node"),
+                        from_burst=position, to_burst=latch_position,
+                        latch_transition=f"{target.src}->{target.dst}",
+                    )
                     report.note(
                         f"moved done {edge} up to the latch burst of "
                         f"fragment {transition.tags.get('node')}"

@@ -41,6 +41,11 @@ class MoveDown(LocalTransform):
                         )
                         chain[target].output_burst = chain[target].output_burst.adding(edge)
                         report.moved_edges.append(str(edge))
+                        report.record(
+                            "edge-moved-down", str(edge),
+                            fragment=transition.tags.get("node"),
+                            from_burst=position, to_burst=target,
+                        )
                         report.note(
                             f"moved {edge} from burst {position} to {target} "
                             f"of fragment {transition.tags.get('node')}"

@@ -9,13 +9,14 @@ Machines are folded and re-validated after every step.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import perf
 
 from repro.afsm.extract import Controller, DistributedDesign
+from repro.obs.provenance import ProvenanceRecord, write_jsonl
+from repro.obs.spans import span
 from repro.afsm.machine import BurstModeMachine
 from repro.afsm.signals import SignalKind
 from repro.afsm.validate import check_machine
@@ -39,6 +40,15 @@ class LocalOptimizationResult:
 
     def reports_for(self, fu: str) -> List[LocalReport]:
         return [report for report in self.reports if report.machine == fu]
+
+    @property
+    def provenance(self) -> List[ProvenanceRecord]:
+        """Every pass's provenance records, in application order."""
+        return [entry for report in self.reports for entry in report.provenance]
+
+    def export_provenance(self, target) -> int:
+        """Write the provenance as JSONL to a path or stream."""
+        return write_jsonl(self.provenance, target)
 
 
 def build_local_sequence(enabled: Sequence[str] = STANDARD_LOCAL_SEQUENCE) -> List[LocalTransform]:
@@ -76,30 +86,54 @@ def optimize_local(
         cdfg=design.cdfg, plan=design.plan, phases=design.phases
     )
     reports: List[LocalReport] = []
-    for fu, controller in design.controllers.items():
-        machine = controller.machine.copy()
-        for transform in transforms:
-            snapshot = machine.copy() if oracle is not None else None
-            start = time.perf_counter()
-            report = transform.apply(machine)
-            report.duration = time.perf_counter() - start
-            perf.record_duration(f"local/{transform.name}", report.duration)
-            reports.append(report)
-            if checked:
-                with perf.timed_section("local/check_machine"):
-                    check_machine(machine)
-            if oracle is not None:
-                oracle(report, snapshot, machine)
-        machine.fold_trivial_states()
-        machine.prune_unreachable()
-        optimized.controllers[fu] = Controller(
-            fu=fu,
-            machine=machine,
-            input_wires=[
-                s.name for s in machine.inputs() if s.kind is SignalKind.GLOBAL_READY
-            ],
-            output_wires=[
-                s.name for s in machine.outputs() if s.kind is SignalKind.GLOBAL_READY
-            ],
-        )
+    with span("optimize_local", workload=design.cdfg.name, enabled="+".join(enabled)):
+        for fu, controller in design.controllers.items():
+            machine = controller.machine.copy()
+            for transform in transforms:
+                snapshot = machine.copy() if oracle is not None else None
+                with span(f"local/{transform.name}", machine=fu) as section:
+                    report = transform.apply(machine)
+                report.duration = section.duration
+                section.attributes.update(
+                    applied=report.applied, moved_edges=len(report.moved_edges)
+                )
+                if not report.provenance:
+                    _derive_generic_provenance(report)
+                report.record(
+                    "pass-summary",
+                    fu,
+                    applied=report.applied,
+                    moved_edges=len(report.moved_edges),
+                    removed_signals=len(report.removed_signals),
+                    merged_signals=len(report.merged_signals),
+                    folded_states=report.folded_states,
+                )
+                reports.append(report)
+                if checked:
+                    with perf.timed_section("local/check_machine"):
+                        check_machine(machine)
+                if oracle is not None:
+                    oracle(report, snapshot, machine)
+            machine.fold_trivial_states()
+            machine.prune_unreachable()
+            optimized.controllers[fu] = Controller(
+                fu=fu,
+                machine=machine,
+                input_wires=[
+                    s.name for s in machine.inputs() if s.kind is SignalKind.GLOBAL_READY
+                ],
+                output_wires=[
+                    s.name for s in machine.outputs() if s.kind is SignalKind.GLOBAL_READY
+                ],
+            )
     return LocalOptimizationResult(design=optimized, reports=reports)
+
+
+def _derive_generic_provenance(report: LocalReport) -> None:
+    """Fallback records for a local pass without bespoke instrumentation."""
+    for edge in report.moved_edges:
+        report.record("edge-moved", edge)
+    for signal in report.removed_signals:
+        report.record("signal-removed", signal)
+    for signal in report.merged_signals:
+        report.record("signals-merged", signal)

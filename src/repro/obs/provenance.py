@@ -1,0 +1,102 @@
+"""Typed transform provenance.
+
+The paper's evaluation (Figures 12/13) attributes cycle-time and area
+wins to *specific* transformations — "GT2 removed arc 10", "GT5 merged
+these channels".  A bare before/after number cannot support that
+argument; every pass therefore emits :class:`ProvenanceRecord` entries
+describing exactly what it changed and why (the dominating path of a
+GT2 removal, the timing witness of a GT3 removal, the hub of a GT5.2
+reroute, the latch burst an LT1 done edge moved to, ...).
+
+Records are plain data: they collect on
+:class:`~repro.transforms.base.TransformReport` /
+:class:`~repro.local_transforms.base.LocalReport`, aggregate on the
+optimization results, and serialize losslessly to JSONL
+(:func:`write_jsonl` / :func:`read_jsonl`) for offline attribution
+tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Dict, Iterable, List, Union
+
+
+@dataclass(frozen=True)
+class ProvenanceRecord:
+    """One attributable action of one transform pass.
+
+    ``transform``
+        the pass that acted (``GT1``..``GT5``, ``LT1``..``LT5``);
+    ``kind``
+        what happened — a stable, hyphenated verb phrase such as
+        ``dominated-arc-removed``, ``backward-arc-added``,
+        ``channels-merged``, ``edge-moved-up`` or ``pass-summary``;
+    ``subject``
+        the arc / edge / channel / node acted on, rendered as text;
+    ``detail``
+        kind-specific context (dominating path, timing witness, hub,
+        machine name, counts ...).  Values must be JSON-serializable.
+    """
+
+    transform: str
+    kind: str
+    subject: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "transform": self.transform,
+            "kind": self.kind,
+            "subject": self.subject,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ProvenanceRecord":
+        return cls(
+            transform=str(payload["transform"]),
+            kind=str(payload["kind"]),
+            subject=str(payload["subject"]),
+            detail=dict(payload.get("detail", {})),  # type: ignore[arg-type]
+        )
+
+
+def to_jsonl(records: Iterable[ProvenanceRecord]) -> str:
+    """Serialize ``records`` as one JSON object per line."""
+    return "".join(
+        json.dumps(record.to_dict(), sort_keys=True, default=str) + "\n"
+        for record in records
+    )
+
+
+def from_jsonl(text: str) -> List[ProvenanceRecord]:
+    """Parse records produced by :func:`to_jsonl` (blank lines skipped)."""
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            records.append(ProvenanceRecord.from_dict(json.loads(line)))
+    return records
+
+
+def write_jsonl(
+    records: Iterable[ProvenanceRecord], target: Union[str, IO[str]]
+) -> int:
+    """Write ``records`` to a path or text stream; returns the count."""
+    text = to_jsonl(records)
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        target.write(text)
+    return text.count("\n")
+
+
+def read_jsonl(source: Union[str, IO[str]]) -> List[ProvenanceRecord]:
+    """Read records from a path or text stream written by :func:`write_jsonl`."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return from_jsonl(handle.read())
+    return from_jsonl(source.read())

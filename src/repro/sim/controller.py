@@ -111,7 +111,7 @@ class ControllerRuntime:
     # ------------------------------------------------------------------
     def poke(self) -> None:
         """Schedule an enablement check (called on any input change)."""
-        self.kernel.schedule(0.0, self._step)
+        self.kernel.schedule(0.0, self._step, label=f"poke:{self.fu}")
 
     def _step(self) -> None:
         if self.busy:
@@ -126,7 +126,12 @@ class ControllerRuntime:
             )
         transition = enabled[0]
         self.busy = True
-        self.kernel.schedule(CONTROL_DELAY, lambda: self._fire(transition))
+        fragment = transition.tags.get("node") or f"{transition.src}->{transition.dst}"
+        self.kernel.schedule(
+            CONTROL_DELAY,
+            lambda: self._fire(transition),
+            label=f"ctrl:{self.fu}:{fragment}",
+        )
 
     def _satisfied(self, transition: Transition) -> bool:
         for cond in transition.input_burst.conditions:

@@ -131,7 +131,7 @@ class Datapath:
                 self.fu_ports[(fu, port)] = source
                 on_complete()
 
-            self.kernel.schedule(delay, settle)
+            self.kernel.schedule(delay, settle, label=f"dp:mux:{fu}.{port}")
         elif kind == "fu_go":
             __, fu, operator = action
             low, high = self.delays.operator_interval(fu, operator)
@@ -145,7 +145,7 @@ class Datapath:
                 self.fu_outputs[fu] = _apply(operator, left, right)
                 on_complete()
 
-            self.kernel.schedule(delay, compute)
+            self.kernel.schedule(delay, compute, label=f"dp:fu:{fu}:{operator}")
         elif kind == "reg_mux":
             __, register, source = action
             delay = self._delay(MUX_DELAY, MUX_DELAY * 1.5)
@@ -156,7 +156,7 @@ class Datapath:
                 self.reg_muxes[register] = source
                 on_complete()
 
-            self.kernel.schedule(delay, settle)
+            self.kernel.schedule(delay, settle, label=f"dp:mux:{register}")
         elif kind == "latch":
             (__, register) = action
             if register in self._input_names:
@@ -171,13 +171,13 @@ class Datapath:
                 self.registers[register] = self._resolve(source)
                 on_complete()
 
-            self.kernel.schedule(delay, capture)
+            self.kernel.schedule(delay, capture, label=f"dp:latch:{register}")
         else:
             raise SimulationError(f"unknown datapath action {action!r}")
 
     def release(self, action: tuple, on_complete: Callable[[], None]) -> None:
         """Handle a req- edge: the element returns to idle."""
-        self.kernel.schedule(0.1, on_complete)
+        self.kernel.schedule(0.1, on_complete, label=f"dp:release:{action[0]}")
 
     def _check_mux_settled(self, key: Tuple[str, object], what: str) -> None:
         settling_until = self._mux_flights.get(key)

@@ -17,6 +17,8 @@ from typing import Dict, List, Optional
 from repro.afsm.extract import DistributedDesign
 from repro.cdfg.graph import ENV
 from repro.errors import SimulationError
+from repro.obs.causal import EventTrace
+from repro.obs.spans import span
 from repro.sim.controller import ControllerRuntime, GlobalWire
 from repro.sim.datapath import Datapath
 from repro.sim.kernel import EventKernel
@@ -37,6 +39,8 @@ class SystemResult:
     events_processed: int = 0
     #: effective delay-sampling seed (None for a NOMINAL run)
     seed: Optional[int] = None
+    #: causal event log (present when the run was traced)
+    trace: Optional[EventTrace] = None
 
 
 class ControllerSystem:
@@ -49,9 +53,10 @@ class ControllerSystem:
         seed: SeedLike = None,
         strict: bool = True,
         max_events: int = 2_000_000,
+        trace: Optional[EventTrace] = None,
     ):
         self.design = design
-        self.kernel = EventKernel()
+        self.kernel = EventKernel(trace=trace)
         self.max_events = max_events
         rng, self.seed = resolve_seed(seed)
         self.datapath = Datapath(
@@ -92,6 +97,10 @@ class ControllerSystem:
 
     # ------------------------------------------------------------------
     def run(self) -> SystemResult:
+        with span("sim/system", workload=self.design.cdfg.name):
+            return self._run()
+
+    def _run(self) -> SystemResult:
         # pre-enabled (backward) channels start with one pending
         # transition, then the environment raises every "go" wire
         for wire_name, rising in self.design.phases.init_events:
@@ -127,6 +136,7 @@ class ControllerSystem:
             violations=violations,
             events_processed=self.kernel.events_processed,
             seed=self.seed,
+            trace=self.kernel.trace,
         )
 
 
@@ -136,9 +146,10 @@ def simulate_system(
     seed: SeedLike = None,
     strict: bool = True,
     max_events: int = 2_000_000,
+    trace: Optional[EventTrace] = None,
 ) -> SystemResult:
     """Instantiate and run a distributed design once."""
     system = ControllerSystem(
-        design, delays=delays, seed=seed, strict=strict, max_events=max_events
+        design, delays=delays, seed=seed, strict=strict, max_events=max_events, trace=trace
     )
     return system.run()

@@ -39,6 +39,8 @@ from repro.cdfg.kinds import NodeKind
 from repro.cdfg.node import Node
 from repro.channels.model import ChannelPlan
 from repro.errors import ChannelSafetyError, SimulationError
+from repro.obs.causal import EventTrace
+from repro.obs.spans import span
 from repro.rtl.semantics import evaluate_expr
 from repro.sim.kernel import EventKernel
 from repro.sim.seeding import SeedLike, resolve_seed
@@ -66,6 +68,10 @@ class TokenSimResult:
     events_processed: int = 0
     #: effective delay-sampling seed (None for a NOMINAL run)
     seed: Optional[int] = None
+    #: causal event log (present when the run was traced)
+    trace: Optional[EventTrace] = None
+    #: trace uid of the END completion (terminal of the critical path)
+    end_event: Optional[int] = None
 
     def firing_count(self, node: str) -> int:
         return sum(1 for firing in self.firings if firing.node == node)
@@ -85,6 +91,7 @@ class TokenSimulator:
         strict: bool = True,
         max_events: int = 1_000_000,
         channel_plan: Optional[ChannelPlan] = None,
+        trace: Optional[EventTrace] = None,
     ):
         self.cdfg = cdfg
         self.delays = delay_model or DelayModel()
@@ -100,7 +107,7 @@ class TokenSimulator:
         )
         self._channel_outstanding: Dict[str, Dict[str, int]] = {}
 
-        self.kernel = EventKernel()
+        self.kernel = EventKernel(trace=trace)
         self.tokens: Dict[Tuple[str, str], int] = {arc.key: 0 for arc in cdfg.arcs()}
         self.registers: Dict[str, float] = {}
         self.registers.update(cdfg.initial_registers)
@@ -114,7 +121,9 @@ class TokenSimulator:
         self.loop_epoch: Dict[str, int] = {}
         #: node -> loop epoch during which the node last fired
         self._node_epoch: Dict[str, int] = {}
-        self.result = TokenSimResult(registers=self.registers, end_time=0.0, seed=self.seed)
+        self.result = TokenSimResult(
+            registers=self.registers, end_time=0.0, seed=self.seed, trace=trace
+        )
         self._ancestors = self._compute_ancestors()
         self._pending_writes: Dict[str, List[Tuple[str, float]]] = {}
         self._ended = False
@@ -302,11 +311,16 @@ class TokenSimulator:
             else self.delays.nominal(node)
         )
 
+        label = f"{self.cdfg.fu_of(name)}:{name}"
         if node.kind is NodeKind.OPERATION:
             writes = self._evaluate_operation(node)
-            self.kernel.schedule(delay, lambda: self._complete_operation(node, start, writes))
+            self.kernel.schedule(
+                delay, lambda: self._complete_operation(node, start, writes), label=label
+            )
         else:
-            self.kernel.schedule(delay, lambda: self._complete_structural(node, start, required))
+            self.kernel.schedule(
+                delay, lambda: self._complete_structural(node, start, required), label=label
+            )
 
     def _evaluate_operation(self, node: Node) -> List[Tuple[str, float]]:
         """Read operands now; later statements of a merged node see the
@@ -339,6 +353,8 @@ class TokenSimulator:
         elif node.kind is NodeKind.END:
             self._ended = True
             self.result.end_time = self.kernel.now
+            if self.kernel.trace is not None:
+                self.result.end_event = self.kernel.trace.current
         elif node.kind is NodeKind.LOOP:
             self._complete_loop(name, consumed)
         elif node.kind is NodeKind.ENDLOOP:
@@ -403,12 +419,18 @@ class TokenSimulator:
         self.busy.discard(node.name)
         self.result.firings.append(Firing(node.name, start, self.kernel.now))
         # a node may be re-enabled immediately (e.g. LOOP via iterate token)
-        self.kernel.schedule(0.0, lambda: self._try_fire(node.name))
+        self.kernel.schedule(
+            0.0, lambda: self._try_fire(node.name), label=f"poke:{node.name}"
+        )
 
     # ------------------------------------------------------------------
     # run
     # ------------------------------------------------------------------
     def run(self) -> TokenSimResult:
+        with span("sim/tokens", workload=self.cdfg.name):
+            return self._run()
+
+    def _run(self) -> TokenSimResult:
         self._try_fire_start()
         self.kernel.run(max_events=self.max_events)
         self.result.events_processed = self.kernel.events_processed
@@ -425,7 +447,9 @@ class TokenSimulator:
         start = self.cdfg.start
         self.busy.add(start.name)
         self.kernel.schedule(
-            self.delays.nominal(start), lambda: self._complete_structural(start, 0.0, [])
+            self.delays.nominal(start),
+            lambda: self._complete_structural(start, 0.0, []),
+            label=f"{self.cdfg.fu_of(start.name)}:{start.name}",
         )
 
     def _deadlock_report(self) -> str:
@@ -477,6 +501,7 @@ def simulate_tokens(
     strict: bool = True,
     max_events: int = 1_000_000,
     channel_plan: Optional[ChannelPlan] = None,
+    trace: Optional[EventTrace] = None,
 ) -> TokenSimResult:
     """Run one token simulation of ``cdfg`` and return the result."""
     simulator = TokenSimulator(
@@ -486,5 +511,6 @@ def simulate_tokens(
         strict=strict,
         max_events=max_events,
         channel_plan=channel_plan,
+        trace=trace,
     )
     return simulator.run()

@@ -30,6 +30,7 @@ class VcdTracer:
         self.resolution = resolution
         self.changes: List[_Change] = []
         self._identifiers: Dict[Tuple[str, str], str] = {}
+        self._initial: Dict[Tuple[str, str], str] = {}
         self._next_code = 33  # '!' onwards, printable VCD id chars
         self._instrument()
 
@@ -53,10 +54,15 @@ class VcdTracer:
             _Change(self.system.kernel.now, self._identifier(scope, name), value)
         )
 
+    def _set_initial(self, scope: str, name: str, value: str) -> None:
+        self._identifier(scope, name)
+        self._initial[(scope, name)] = value
+
     def _instrument(self) -> None:
         # global wires: wrap emit
         for wire in self.system.wires.values():
             self._wrap_wire(wire)
+            self._set_initial("wires", wire.name, "0")
         # registers: wrap the datapath's register dict writes via latch
         datapath = self.system.datapath
         original_request = datapath.request
@@ -74,9 +80,12 @@ class VcdTracer:
             original_request(action, on_complete)
 
         datapath.request = traced_request
+        for register, value in datapath.registers.items():
+            self._set_initial("registers", register, f"r{value}")
         # controller states
         for runtime in self.system.controllers.values():
             self._wrap_controller(runtime)
+            self._set_initial("states", runtime.fu, f"s{runtime.state}")
 
     def _wrap_wire(self, wire) -> None:
         original_emit = wire.emit
@@ -102,12 +111,24 @@ class VcdTracer:
 
     # ------------------------------------------------------------------
     def run(self) -> SystemResult:
-        for name, wire in self.system.wires.items():
-            self._record("wires", name, "0")
         return self.system.run()
 
+    @staticmethod
+    def _change_line(value: str, identifier: str) -> str:
+        if value in ("0", "1"):
+            return f"{value}{identifier}\n"
+        return f"{value.replace(' ', '_')} {identifier}\n"
+
     def write(self, stream: TextIO, timescale: str = "1ns") -> None:
-        """Dump the recorded changes as VCD."""
+        """Dump the recorded changes as VCD.
+
+        Controller states are declared as ``$var string`` (the GTKWave
+        extension for symbolic values; the dumped form is ``s<state>``);
+        registers are ``$var real``.  An initial-value ``$dumpvars``
+        block at ``#0`` covers every declared variable — wires,
+        registers and states — so viewers never show an undefined
+        prefix.
+        """
         stream.write("$date repro asynchronous distributed control $end\n")
         stream.write(f"$timescale {timescale} $end\n")
         scopes: Dict[str, List[Tuple[str, str]]] = {}
@@ -119,21 +140,26 @@ class VcdTracer:
                 sanitized = name.replace(" ", "_")
                 if scope == "wires":
                     stream.write(f"$var wire 1 {identifier} {sanitized} $end\n")
+                elif scope == "states":
+                    stream.write(f"$var string 1 {identifier} {sanitized} $end\n")
                 else:
                     stream.write(f"$var real 64 {identifier} {sanitized} $end\n")
             stream.write("$upscope $end\n")
         stream.write("$enddefinitions $end\n")
 
-        current_time: Optional[int] = None
+        stream.write("#0\n$dumpvars\n")
+        for (scope, name) in sorted(self._initial):
+            value = self._initial[(scope, name)]
+            stream.write(self._change_line(value, self._identifiers[(scope, name)]))
+        stream.write("$end\n")
+
+        current_time: int = 0
         for change in sorted(self.changes, key=lambda c: c.time):
             step = int(round(change.time * self.resolution))
             if step != current_time:
                 stream.write(f"#{step}\n")
                 current_time = step
-            if change.value in ("0", "1"):
-                stream.write(f"{change.value}{change.identifier}\n")
-            else:
-                stream.write(f"{change.value} {change.identifier}\n")
+            stream.write(self._change_line(change.value, change.identifier))
 
 
 def trace_to_vcd(system: ControllerSystem, path: str) -> SystemResult:

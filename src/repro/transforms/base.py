@@ -9,6 +9,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.cdfg.graph import Cdfg
 from repro.cdfg.validate import check_well_formed
 from repro.errors import TransformError
+from repro.obs.provenance import ProvenanceRecord
+from repro.obs.spans import span
 from repro.transforms.unfold import cached_unfolded_reach
 
 
@@ -26,9 +28,17 @@ class TransformReport:
     artifacts: Dict[str, object] = field(default_factory=dict)
     #: wall time of the pass in seconds (filled by PassManager.run)
     duration: float = 0.0
+    #: typed provenance of every individual action of the pass
+    provenance: List[ProvenanceRecord] = field(default_factory=list)
 
     def note(self, message: str) -> None:
         self.details.append(message)
+
+    def record(self, kind: str, subject: str, **detail: object) -> ProvenanceRecord:
+        """Append (and return) a provenance record for this pass."""
+        entry = ProvenanceRecord(self.name, kind, subject, dict(detail))
+        self.provenance.append(entry)
+        return entry
 
     def summary(self) -> str:
         parts = [self.name, "applied" if self.applied else "no-op"]
@@ -87,19 +97,38 @@ class PassManager:
         is a snapshot of the graph the pass received.  It should raise
         (e.g. :class:`~repro.errors.VerificationError`) on violation.
         The snapshot copy is only taken when an oracle is installed.
-        """
-        import time
 
+        Each pass runs inside a :func:`repro.obs.spans.span` named
+        ``global/<name>`` (which still feeds the :mod:`repro.perf`
+        registry, so ``--timings`` is unchanged) and is guaranteed at
+        least one provenance record: transforms emit typed records for
+        every action, and the manager appends a ``pass-summary`` record
+        with the aggregate counts.
+        """
         from repro import perf
 
         working = cdfg.copy()
         reports: List[TransformReport] = []
         for transform in transforms:
             snapshot = working.copy() if oracle is not None else None
-            start = time.perf_counter()
-            report = transform.apply(working)
-            report.duration = time.perf_counter() - start
-            perf.record_duration(f"global/{transform.name}", report.duration)
+            with span(f"global/{transform.name}", workload=cdfg.name) as section:
+                report = transform.apply(working)
+            report.duration = section.duration
+            section.attributes.update(
+                applied=report.applied,
+                removed_arcs=len(report.removed_arcs),
+                added_arcs=len(report.added_arcs),
+            )
+            if not report.provenance:
+                _derive_generic_provenance(report)
+            report.record(
+                "pass-summary",
+                cdfg.name,
+                applied=report.applied,
+                removed_arcs=len(report.removed_arcs),
+                added_arcs=len(report.added_arcs),
+                merged_nodes=len(report.merged_nodes),
+            )
             reports.append(report)
             if self.checked:
                 with perf.timed_section("global/check_well_formed"):
@@ -107,6 +136,16 @@ class PassManager:
             if oracle is not None:
                 oracle(report, snapshot, working)
         return working, reports
+
+
+def _derive_generic_provenance(report: TransformReport) -> None:
+    """Fallback records for a transform without bespoke instrumentation."""
+    for arc in report.removed_arcs:
+        report.record("arc-removed", arc)
+    for arc in report.added_arcs:
+        report.record("arc-added", arc)
+    for node in report.merged_nodes:
+        report.record("nodes-merged", node)
 
 
 def operation_order_pairs(cdfg: Cdfg, unfold: int = 2) -> Set[Tuple[str, str]]:

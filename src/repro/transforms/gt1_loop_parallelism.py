@@ -82,6 +82,10 @@ class LoopParallelism(Transform):
                 continue
             cdfg.remove_arc(arc.src, arc.dst)
             report.removed_arcs.append(str(arc))
+            report.record(
+                "sync-removed", str(arc), step="A", endloop=endloop,
+                kept_scheduling_arc=prev_in_schedule,
+            )
             report.note(f"A: removed ENDLOOP sync {arc}")
 
     # -- step B ---------------------------------------------------------
@@ -122,9 +126,16 @@ class LoopParallelism(Transform):
             if reach.path_exists_avoiding((src, 0), (dst, 1), banned | own):
                 cdfg.remove_arc(src, dst)
                 banned |= own
+                report.record(
+                    "backward-arc-pruned", f"{src} -> {dst}", step="B",
+                    variable=variable, reason="implied by cross-iteration path",
+                )
                 report.note(f"B: backward arc {src} -> {dst} [{variable}] implied; pruned")
             elif str(arc) not in report.added_arcs:
                 report.added_arcs.append(str(arc))
+                report.record(
+                    "backward-arc-added", str(arc), step="B", variable=variable,
+                )
                 report.note(f"B: added backward arc {arc}")
 
     def _variable_instances(
@@ -206,6 +217,10 @@ class LoopParallelism(Transform):
             return
         arc = cdfg.add_arc(Arc(last_write, endloop, frozenset({control_tag()})))
         report.added_arcs.append(str(arc))
+        report.record(
+            "loop-variable-arc-added", str(arc), step="C",
+            variable=condition, loop=loop,
+        )
         report.note(f"C: added loop-variable arc {arc}")
 
     # -- step D ---------------------------------------------------------
@@ -222,4 +237,7 @@ class LoopParallelism(Transform):
                 continue
             arc = cdfg.add_arc(Arc(first, endloop, frozenset({control_tag()})))
             report.added_arcs.append(str(arc))
+            report.record(
+                "limit-parallelism-arc-added", str(arc), step="D", fu=fu, loop=loop,
+            )
             report.note(f"D: added limit-parallelism arc {arc}")

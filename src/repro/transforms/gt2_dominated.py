@@ -14,6 +14,9 @@ behavioural, not ordering).
 
 from __future__ import annotations
 
+from collections import deque
+from typing import List, Optional, Tuple
+
 from repro.cdfg.graph import Cdfg
 from repro.cdfg.kinds import NodeKind
 from repro.transforms.base import Transform, TransformReport
@@ -30,12 +33,16 @@ class RemoveDominatedConstraints(Transform):
         for arc in cdfg.forward_arcs():
             if self._is_protected(cdfg, arc):
                 continue
-            if cdfg.implies(arc.src, arc.dst, exclude_arc=arc.key):
-                dominated.append(arc)
-        for arc in dominated:
+            path = dominating_path(cdfg, arc.src, arc.dst, exclude_arc=arc.key)
+            if path is not None:
+                dominated.append((arc, path))
+        for arc, path in dominated:
             cdfg.remove_arc(arc.src, arc.dst)
             report.removed_arcs.append(str(arc))
-            report.note(f"removed dominated {arc}")
+            report.record(
+                "dominated-arc-removed", str(arc), dominating_path=path,
+            )
+            report.note(f"removed dominated {arc} (via {' -> '.join(path)})")
         report.applied = bool(dominated)
         return report
 
@@ -47,3 +54,38 @@ class RemoveDominatedConstraints(Transform):
         if src_kind is NodeKind.IF and dst_kind is NodeKind.ENDIF:
             return True
         return False
+
+
+def dominating_path(
+    cdfg: Cdfg,
+    src: str,
+    dst: str,
+    exclude_arc: Optional[Tuple[str, str]] = None,
+) -> Optional[List[str]]:
+    """A shortest forward path src -> ... -> dst avoiding ``exclude_arc``.
+
+    Returns the node sequence including both endpoints, or ``None`` when
+    no such path exists.  This is the witness that a constraint arc
+    (src, dst) is dominated — :meth:`Cdfg.implies` answers the same
+    query but yields only a boolean.
+    """
+    parents = {src: None}
+    queue = deque([src])
+    while queue:
+        current = queue.popleft()
+        for arc in cdfg.arcs_from(current):
+            if arc.backward or cdfg.is_iterate_arc(arc):
+                continue
+            if exclude_arc is not None and arc.key == exclude_arc:
+                continue
+            if arc.dst in parents:
+                continue
+            parents[arc.dst] = current
+            if arc.dst == dst:
+                path = [dst]
+                while path[-1] != src:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            queue.append(arc.dst)
+    return None

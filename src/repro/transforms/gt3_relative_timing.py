@@ -49,6 +49,12 @@ class RelativeTimingOptimization(Transform):
                 if witness is not None:
                     cdfg.remove_arc(arc.src, arc.dst)
                     report.removed_arcs.append(str(arc))
+                    report.record(
+                        "timed-arc-removed", str(arc),
+                        witness=f"{witness.src} -> {witness.dst}",
+                        proof="witness arc provably arrives no earlier "
+                        "under the [min, max] delay model",
+                    )
                     report.note(
                         f"removed never-last arc {arc} "
                         f"(witness: {witness.src} -> {witness.dst})"

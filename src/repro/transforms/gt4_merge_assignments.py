@@ -119,4 +119,8 @@ class MergeAssignmentNodes(Transform):
                 cdfg.add_arc(Arc(merged_name, arc.dst, arc.tags, backward=arc.backward, label=arc.label))
         cdfg.remove_node(copy_name)
         report.merged_nodes.append(merged_name)
+        report.record(
+            "nodes-merged", merged_name,
+            copy_node=copy_name, target_node=target, fu=target_node.fu,
+        )
         report.note(f"merged {copy_name!r} into {target!r} as {merged_name!r}")

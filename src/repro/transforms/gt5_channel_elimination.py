@@ -94,6 +94,11 @@ class ChannelElimination(Transform):
         reduction = RemoveDominatedConstraints().apply(cdfg)
         if reduction.applied:
             report.removed_arcs.extend(reduction.removed_arcs)
+            for entry in reduction.provenance:
+                report.record(
+                    "pre-reduction-arc-removed", entry.subject,
+                    delegated_to="GT2", **entry.detail,
+                )
             report.note(
                 f"pre-reduced {len(reduction.removed_arcs)} dominated arcs "
                 "(GT5 requires a transitively-reduced CDFG)"
@@ -105,7 +110,7 @@ class ChannelElimination(Transform):
         groups = self._source_groups(cdfg)
         if self.enable_symmetrization:
             self._symmetrize(cdfg, groups, report)
-        plan = self._build_plan(cdfg, groups)
+        plan = self._build_plan(cdfg, groups, report)
         report.artifacts["channel_plan"] = plan
         report.applied = True
         report.note(
@@ -177,6 +182,10 @@ class ChannelElimination(Transform):
                     )
                     report.added_arcs.append(f"{hub} -> {arc.dst}")
                 report.removed_arcs.append(str(arc))
+                report.record(
+                    "arc-rerouted", str(arc), sub_transform="GT5.2", hub=hub,
+                    hub_fu=cdfg.fu_of(hub),
+                )
                 report.note(f"5.2: rerouted {arc} via hub {hub!r}")
                 changed = True
                 break
@@ -270,6 +279,11 @@ class ChannelElimination(Transform):
                         cdfg.add_arc(new_arc)
                         narrow.arcs.append(new_arc.key)
                         report.added_arcs.append(str(new_arc))
+                        report.record(
+                            "safe-addition", str(new_arc), sub_transform="GT5.3",
+                            group_source=narrow.source,
+                            widened_toward=sorted(missing),
+                        )
                         report.note(f"5.3: safe addition {new_arc}")
                     changed = True
 
@@ -334,7 +348,9 @@ class ChannelElimination(Transform):
     # ------------------------------------------------------------------
     # GT5.1 multiplexing + plan construction
     # ------------------------------------------------------------------
-    def _build_plan(self, cdfg: Cdfg, groups: List[_Group]) -> ChannelPlan:
+    def _build_plan(
+        self, cdfg: Cdfg, groups: List[_Group], report: Optional[TransformReport] = None
+    ) -> ChannelPlan:
         reach = cached_unfolded_reach(cdfg, unfold=self.unfold)
         merged: List[List[_Group]] = []
         for group in groups:
@@ -358,9 +374,17 @@ class ChannelElimination(Transform):
             for group in cluster:
                 arcs.extend(group.arcs)
             label = "_".join(sorted(receivers))
+            name = f"ch{index}_{cluster[0].src_fu}_to_{label}"
+            if report is not None and len(cluster) > 1:
+                report.record(
+                    "channels-merged", name, sub_transform="GT5.1",
+                    sources=sorted(group.source for group in cluster),
+                    receivers=sorted(receivers),
+                    arcs=[f"{src} -> {dst}" for src, dst in sorted(arcs)],
+                )
             plan.add(
                 Channel(
-                    name=f"ch{index}_{cluster[0].src_fu}_to_{label}",
+                    name=name,
                     src_fu=cluster[0].src_fu,
                     dst_fus=receivers,
                     arcs=sorted(arcs),

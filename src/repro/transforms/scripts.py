@@ -14,6 +14,8 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.cdfg.graph import Cdfg
 from repro.channels.model import ChannelPlan, derive_channels
+from repro.obs.provenance import ProvenanceRecord, write_jsonl
+from repro.obs.spans import span
 from repro.timing.delays import DelayModel
 from repro.transforms.base import PassManager, Transform, TransformReport
 from repro.transforms.gt1_loop_parallelism import LoopParallelism
@@ -39,6 +41,15 @@ class GlobalOptimizationResult:
             if report.name == name:
                 return report
         raise KeyError(f"no report for transform {name!r}")
+
+    @property
+    def provenance(self) -> List[ProvenanceRecord]:
+        """Every pass's provenance records, in application order."""
+        return [entry for report in self.reports for entry in report.provenance]
+
+    def export_provenance(self, target) -> int:
+        """Write the provenance as JSONL to a path or stream."""
+        return write_jsonl(self.provenance, target)
 
     @property
     def plan(self) -> ChannelPlan:
@@ -86,7 +97,8 @@ def optimize_global(
     """
     transforms = build_sequence(enabled, delays=delays, checked=checked)
     manager = PassManager(checked=checked)
-    optimized, reports = manager.run(cdfg, transforms, oracle=oracle)
+    with span("optimize_global", workload=cdfg.name, enabled="+".join(enabled)):
+        optimized, reports = manager.run(cdfg, transforms, oracle=oracle)
 
     channel_plan: Optional[ChannelPlan] = None
     for report in reports:

@@ -1,0 +1,127 @@
+"""Causal event tracing and exact critical-path decomposition."""
+
+import pytest
+
+from repro import synthesize
+from repro.obs.causal import (
+    EventTrace,
+    bottleneck_label,
+    critical_path,
+    path_delay_sum,
+    slack_by_label,
+)
+from repro.sim.kernel import EventKernel
+from repro.sim.seeding import NOMINAL
+from repro.sim.system import simulate_system
+from repro.sim.token_sim import simulate_tokens
+from repro.workloads import WORKLOADS
+
+
+class TestKernelTracing:
+    def test_parent_is_the_enabling_event(self):
+        trace = EventTrace()
+        kernel = EventKernel(trace=trace)
+        order = []
+
+        def leaf():
+            order.append("leaf")
+
+        def root():
+            order.append("root")
+            kernel.schedule(2.0, leaf, label="leaf")
+
+        kernel.schedule(1.0, root, label="root")
+        kernel.run()
+        assert order == ["root", "leaf"]
+        chain = trace.chain()
+        assert [event.label for event in chain] == ["root", "leaf"]
+        assert chain[1].parent == chain[0].uid
+        assert chain[1].time == 3.0
+
+    def test_untraced_kernel_records_nothing(self):
+        kernel = EventKernel()
+        kernel.schedule(1.0, lambda: None, label="ignored")
+        kernel.run()
+        assert kernel.trace is None
+
+    def test_critical_path_filters_zero_delay_exactly(self):
+        trace = EventTrace()
+        kernel = EventKernel(trace=trace)
+
+        def step2():
+            pass
+
+        def step1():
+            kernel.schedule(0.0, lambda: kernel.schedule(0.7, step2, label="b"), label="poke")
+
+        kernel.schedule(0.3, step1, label="a")
+        kernel.run()
+        full = critical_path(trace, include_zero=True)
+        filtered = critical_path(trace)
+        assert len(full) == 3 and len(filtered) == 2
+        assert path_delay_sum(full) == path_delay_sum(filtered) == 1.0
+
+
+@pytest.mark.parametrize("workload", ["diffeq", "fir"])
+class TestNominalExactness:
+    """In NOMINAL mode the critical path must reproduce the makespan
+    bit-for-bit: same delays, same fold-left additions."""
+
+    def test_token_sim_path_sums_to_makespan(self, workload):
+        cdfg = WORKLOADS[workload]()
+        result = simulate_tokens(cdfg, seed=NOMINAL, trace=EventTrace())
+        segments = critical_path(result.trace, end_uid=result.end_event)
+        assert segments
+        assert path_delay_sum(segments) == result.end_time
+
+    def test_system_sim_path_sums_to_makespan(self, workload):
+        design = synthesize(workload)
+        result = simulate_system(design, seed=NOMINAL, trace=EventTrace())
+        segments = critical_path(result.trace)
+        assert segments
+        assert path_delay_sum(segments) == result.end_time
+
+    def test_seeded_run_is_also_exact(self, workload):
+        design = synthesize(workload)
+        result = simulate_system(design, seed=7, trace=EventTrace())
+        segments = critical_path(result.trace)
+        assert path_delay_sum(segments) == result.end_time
+
+
+class TestAnalysis:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        design = synthesize("diffeq")
+        result = simulate_system(design, seed=NOMINAL, trace=EventTrace())
+        return result
+
+    def test_segments_are_contiguous(self, traced_run):
+        segments = critical_path(traced_run.trace, include_zero=True)
+        for previous, current in zip(segments, segments[1:]):
+            assert current.start == previous.end
+
+    def test_critical_labels_have_zero_slack(self, traced_run):
+        segments = critical_path(traced_run.trace)
+        slack = slack_by_label(traced_run.trace, end_time=traced_run.end_time)
+        for segment in segments:
+            assert slack[segment.label] == 0.0
+
+    def test_slack_is_nonnegative_and_bounded(self, traced_run):
+        slack = slack_by_label(traced_run.trace, end_time=traced_run.end_time)
+        assert slack
+        for value in slack.values():
+            assert 0.0 <= value <= traced_run.end_time
+
+    def test_bottleneck_groups_labels(self, traced_run):
+        segments = critical_path(traced_run.trace)
+        group = bottleneck_label(segments)
+        # diffeq's inner product chain is multiplier-bound
+        assert group.startswith(("dp:", "ctrl:", "poke:"))
+        assert bottleneck_label([]) == ""
+
+    def test_event_dump_is_execution_ordered(self, traced_run):
+        dumped = traced_run.trace.to_dicts()
+        assert [entry["order"] for entry in dumped] == list(range(len(dumped)))
+        labels = {entry["label"] for entry in dumped if entry["label"]}
+        assert any(label.startswith("ctrl:") for label in labels)
+        assert any(label.startswith("dp:") for label in labels)

@@ -1,0 +1,115 @@
+"""Transform provenance records and their JSONL round-trip."""
+
+import io
+
+import pytest
+
+from repro.afsm.extract import extract_controllers
+from repro.local_transforms import optimize_local
+from repro.obs.provenance import (
+    ProvenanceRecord,
+    from_jsonl,
+    read_jsonl,
+    to_jsonl,
+    write_jsonl,
+)
+from repro.transforms import optimize_global
+
+GLOBAL_PASSES = ("GT1", "GT2", "GT3", "GT4", "GT5")
+LOCAL_PASSES = ("LT1", "LT2", "LT3", "LT4", "LT5")
+
+
+@pytest.fixture(scope="module")
+def diffeq_flow(request):
+    cdfg = request.getfixturevalue("diffeq")
+    optimized = optimize_global(cdfg)
+    design = extract_controllers(optimized.cdfg, optimized.plan)
+    local = optimize_local(design)
+    return optimized, local
+
+
+class TestRecords:
+    def test_every_global_pass_emits_records(self, diffeq_flow):
+        optimized, __ = diffeq_flow
+        by_pass = {name: 0 for name in GLOBAL_PASSES}
+        for record in optimized.provenance:
+            by_pass[record.transform] += 1
+        for name in GLOBAL_PASSES:
+            assert by_pass[name] >= 1, f"{name} emitted no provenance"
+
+    def test_every_local_pass_emits_records(self, diffeq_flow):
+        __, local = diffeq_flow
+        by_pass = {name: 0 for name in LOCAL_PASSES}
+        for record in local.provenance:
+            by_pass[record.transform] += 1
+        for name in LOCAL_PASSES:
+            assert by_pass[name] >= 1, f"{name} emitted no provenance"
+
+    def test_gt2_records_carry_dominating_path(self, diffeq_flow):
+        optimized, __ = diffeq_flow
+        removed = [
+            record
+            for record in optimized.provenance
+            if record.transform == "GT2" and record.kind == "dominated-arc-removed"
+        ]
+        assert removed
+        for record in removed:
+            path = record.detail["dominating_path"]
+            assert len(path) >= 3  # src, at least one intermediate, dst
+
+    def test_gt3_records_carry_witness(self, diffeq_flow):
+        optimized, __ = diffeq_flow
+        removed = [
+            record
+            for record in optimized.provenance
+            if record.transform == "GT3" and record.kind == "timed-arc-removed"
+        ]
+        assert removed
+        for record in removed:
+            assert " -> " in record.detail["witness"]
+
+    def test_local_records_name_their_machine(self, diffeq_flow):
+        __, local = diffeq_flow
+        for record in local.provenance:
+            assert record.detail["machine"]
+
+    def test_pass_summary_present_even_for_noop(self, gcd):
+        # GT1 is a no-op on a workload whose loop cannot overlap further
+        optimized = optimize_global(gcd, enabled=("GT4",))
+        summaries = [r for r in optimized.provenance if r.kind == "pass-summary"]
+        assert len(summaries) == 1
+        assert summaries[0].detail["applied"] in (True, False)
+
+
+class TestRoundTrip:
+    def test_jsonl_round_trip(self, diffeq_flow):
+        optimized, local = diffeq_flow
+        records = optimized.provenance + local.provenance
+        assert records
+        restored = from_jsonl(to_jsonl(records))
+        assert restored == records
+
+    def test_write_and_read_path(self, diffeq_flow, tmp_path):
+        optimized, __ = diffeq_flow
+        target = tmp_path / "provenance.jsonl"
+        count = optimized.export_provenance(str(target))
+        assert count == len(optimized.provenance)
+        assert read_jsonl(str(target)) == optimized.provenance
+
+    def test_write_to_stream(self, diffeq_flow):
+        __, local = diffeq_flow
+        buffer = io.StringIO()
+        count = write_jsonl(local.provenance, buffer)
+        assert count == len(local.provenance)
+        assert from_jsonl(buffer.getvalue()) == local.provenance
+
+    def test_record_shape(self):
+        record = ProvenanceRecord("GT9", "arc-removed", "a -> b", {"why": "test"})
+        data = record.to_dict()
+        assert data == {
+            "transform": "GT9",
+            "kind": "arc-removed",
+            "subject": "a -> b",
+            "detail": {"why": "test"},
+        }
+        assert ProvenanceRecord.from_dict(data) == record

@@ -1,0 +1,104 @@
+"""Span tracing: nesting, attributes and the perf bridge."""
+
+import pytest
+
+from repro import perf
+from repro.obs.spans import (
+    current_span,
+    format_spans,
+    reset_spans,
+    set_attribute,
+    span,
+    spans,
+    spans_to_dicts,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    reset_spans()
+    perf.reset_timings()
+    yield
+    reset_spans()
+    perf.reset_timings()
+
+
+class TestSpans:
+    def test_nesting_depths(self):
+        with span("outer"):
+            with span("inner"):
+                with span("leaf"):
+                    pass
+            with span("sibling"):
+                pass
+        recorded = spans()
+        assert [s.name for s in recorded] == ["outer", "inner", "leaf", "sibling"]
+        assert [s.depth for s in recorded] == [0, 1, 2, 1]
+
+    def test_durations_filled_on_exit(self):
+        with span("timed") as entry:
+            assert entry.duration == 0.0
+        assert entry.duration > 0.0
+        assert entry.duration == spans()[0].duration
+
+    def test_attributes_at_entry_and_via_setter(self):
+        with span("work", workload="gcd"):
+            set_attribute("applied", True)
+        recorded = spans()[0]
+        assert recorded.attributes == {"workload": "gcd", "applied": True}
+
+    def test_current_span(self):
+        assert current_span() is None
+        with span("open") as entry:
+            assert current_span() is entry
+        assert current_span() is None
+
+    def test_set_attribute_outside_span_is_noop(self):
+        set_attribute("ignored", 1)
+        assert spans() == []
+
+    def test_perf_bridge_keeps_timings_working(self):
+        with span("global/GT1"):
+            pass
+        with span("global/GT1"):
+            pass
+        timings = perf.section_timings()
+        assert timings["global/GT1"].calls == 2
+        assert timings["global/GT1"].total > 0.0
+
+    def test_exception_still_records(self):
+        with pytest.raises(RuntimeError):
+            with span("fails"):
+                raise RuntimeError("boom")
+        assert spans()[0].duration > 0.0
+        assert current_span() is None
+
+    def test_format_and_dicts(self):
+        with span("outer", workload="fir"):
+            with span("inner"):
+                pass
+        text = format_spans()
+        assert "outer" in text and "workload=fir" in text
+        assert text.splitlines()[1].startswith("  inner")
+        dicts = spans_to_dicts()
+        assert dicts[0]["name"] == "outer"
+        assert dicts[1]["depth"] == 1
+
+    def test_synthesis_flow_produces_span_tree(self, gcd):
+        from repro.afsm.extract import extract_controllers
+        from repro.local_transforms import optimize_local
+        from repro.transforms import optimize_global
+
+        optimized = optimize_global(gcd)
+        design = extract_controllers(optimized.cdfg, optimized.plan)
+        optimize_local(design)
+        names = [s.name for s in spans()]
+        assert "optimize_global" in names
+        assert "global/GT1" in names
+        assert "extract_controllers" in names
+        assert "optimize_local" in names
+        assert any(name.startswith("local/LT") for name in names)
+        # pass spans nest under their script span
+        outer = names.index("optimize_global")
+        assert spans()[outer].depth == 0
+        assert spans()[names.index("global/GT1")].depth == 1

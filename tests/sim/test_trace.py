@@ -57,3 +57,91 @@ class TestVcd:
         trace_to_vcd(ControllerSystem(design, seed=4), str(path))
         text = path.read_text()
         assert "r12.0" in text  # the final gcd value was latched
+
+def _parse_vcd(text):
+    """Minimal VCD reader: (vars, initial values, timed changes)."""
+    variables = {}  # identifier -> (type, name)
+    initial = {}
+    changes = []  # (time, identifier, value)
+    lines = iter(text.splitlines())
+    in_header = True
+    in_dumpvars = False
+    time = None
+    for line in lines:
+        line = line.strip()
+        if in_header:
+            if line.startswith("$var "):
+                __, var_type, __, identifier, name, __ = line.split(" ")
+                variables[identifier] = (var_type, name)
+            elif line == "$enddefinitions $end":
+                in_header = False
+            continue
+        if line == "$dumpvars":
+            in_dumpvars = True
+            continue
+        if line == "$end":
+            in_dumpvars = False
+            continue
+        if line.startswith("#"):
+            time = int(line[1:])
+            continue
+        if line[0] in "01":
+            identifier, value = line[1:], line[0]
+        else:
+            value, identifier = line.split(" ")
+        if in_dumpvars:
+            initial[identifier] = value
+        else:
+            changes.append((time, identifier, value))
+    return variables, initial, changes
+
+
+class TestVcdParseBack:
+    """The satellite bugfix: states are $var string (not real) and the
+    $dumpvars block covers every variable, not just wires."""
+
+    @pytest.fixture(scope="class")
+    def vcd(self, design):
+        tracer = VcdTracer(ControllerSystem(design, seed=4))
+        tracer.run()
+        buffer = io.StringIO()
+        tracer.write(buffer)
+        return _parse_vcd(buffer.getvalue())
+
+    def test_var_types(self, vcd):
+        variables, __, __ = vcd
+        types = {}
+        for var_type, name in variables.values():
+            types.setdefault(var_type, []).append(name)
+        assert set(types) == {"wire", "string", "real"}
+        assert "CMP" in types["string"]  # controller state
+        assert "A" in types["real"]  # register
+
+    def test_dumpvars_covers_every_variable(self, vcd):
+        variables, initial, __ = vcd
+        assert set(initial) == set(variables)
+
+    def test_initial_values_typed_correctly(self, vcd):
+        variables, initial, __ = vcd
+        for identifier, value in initial.items():
+            var_type = variables[identifier][0]
+            if var_type == "wire":
+                assert value == "0"
+            elif var_type == "string":
+                assert value.startswith("s")
+            else:
+                assert value.startswith("r")
+                float(value[1:])  # parses as a number
+
+    def test_state_changes_are_strings(self, vcd):
+        variables, __, changes = vcd
+        state_ids = {i for i, (t, __) in variables.items() if t == "string"}
+        state_changes = [(t, v) for t, i, v in changes if i in state_ids]
+        assert state_changes
+        for __, value in state_changes:
+            assert value.startswith("s")
+            assert " " not in value
+
+    def test_changes_only_reference_declared_ids(self, vcd):
+        variables, __, changes = vcd
+        assert {identifier for __, identifier, __ in changes} <= set(variables)

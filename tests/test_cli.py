@@ -106,3 +106,103 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSeedModes:
+    def test_simulate_nominal(self, capsys):
+        assert main(["simulate", "gcd", "--seed", "nominal"]) == 0
+        assert "seed: nominal" in capsys.readouterr().out
+
+    def test_simulate_integer_seed_echoed(self, capsys):
+        assert main(["simulate", "gcd", "--seed", "42"]) == 0
+        assert "seed: 42" in capsys.readouterr().out
+
+    def test_simulate_random_records_effective_seed(self, capsys):
+        assert main(["simulate", "gcd", "--seed", "random"]) == 0
+        out = capsys.readouterr().out
+        seed = out.rsplit("seed: ", 1)[1].strip()
+        assert seed != "nominal"
+        int(seed)  # a replayable integer was printed
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "gcd", "--seed", "sometimes"])
+
+    def test_vcd_accepts_nominal(self, tmp_path, capsys):
+        target = tmp_path / "t.vcd"
+        assert main(["vcd", "gcd", "--seed", "nominal", "-o", str(target)]) == 0
+        assert "seed nominal" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_profile_nominal_is_exact(self, capsys):
+        assert main(["profile", "diffeq", "--level", "gt+lt", "--seed", "nominal"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "exact" in out and "MISMATCH" not in out
+        assert "optimize_global" in out  # span tree
+        assert "pass-summary" in out  # provenance table
+        assert "slack" in out
+
+    def test_profile_seeded_run(self, capsys):
+        assert main(["profile", "gcd", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "exact" in out
+
+    def test_profile_unoptimized_has_no_transform_provenance(self, capsys):
+        assert main(["profile", "gcd", "--level", "unoptimized", "--seed", "nominal"]) == 0
+        out = capsys.readouterr().out
+        assert "0 records" in out
+
+
+class TestTraceCommand:
+    def test_trace_jsonl_file(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "t.jsonl"
+        assert main(
+            ["trace", "diffeq", "--seed", "nominal", "--jsonl", str(target)]
+        ) == 0
+        records = [json.loads(line) for line in target.read_text().splitlines()]
+        kinds = {record["type"] for record in records}
+        assert kinds == {"span", "provenance", "event", "summary"}
+        summary = records[-1]
+        assert summary["type"] == "summary"
+        assert summary["critical_path_delay_sum"] == summary["makespan"]
+        assert summary["provenance_records"] > 0
+        # provenance lines round-trip through the obs reader
+        from repro.obs.provenance import ProvenanceRecord
+
+        provenance = [
+            ProvenanceRecord.from_dict(record)
+            for record in records
+            if record["type"] == "provenance"
+        ]
+        assert len(provenance) == summary["provenance_records"]
+
+    def test_trace_stdout(self, capsys):
+        assert main(["trace", "gcd", "--seed", "nominal"]) == 0
+        out = capsys.readouterr().out
+        assert '"type": "summary"' in out
+
+
+class TestVerifyJsonShape:
+    def test_single_workload_json_is_a_list(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "one.json"
+        assert main(
+            ["verify", "gcd", "--runs", "1", "--no-shrink", "--json", str(target)]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert isinstance(payload, list)
+        assert len(payload) == 1
+        assert payload[0]["workload"] == "gcd"
+
+
+class TestExploreColumns:
+    def test_explore_reports_provenance_and_bottleneck(self, capsys):
+        assert main(["explore", "gcd"]) == 0
+        out = capsys.readouterr().out
+        assert "provenance" in out
+        assert "bottleneck" in out
