@@ -9,55 +9,9 @@ The file is a JSON object ``{"runs": [...]}``; entries are appended,
 never rewritten, so successive CI runs and local measurements
 accumulate into a history that diffing tools (and future PRs) can
 compare against.
+
+The implementation lives in :mod:`repro.bench` (so the ``repro bench``
+CLI shares it); this module re-exports it for the benchmark scripts.
 """
 
-from __future__ import annotations
-
-import datetime
-import json
-import platform
-from pathlib import Path
-from typing import Dict, Optional, Union
-
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
-
-Metric = Union[int, float, str, bool, None]
-
-
-def _load(path: Path) -> Dict:
-    if path.exists():
-        try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-            if isinstance(data, dict) and isinstance(data.get("runs"), list):
-                return data
-        except (ValueError, OSError):
-            pass  # corrupt/unreadable history: start a fresh one
-    return {"runs": []}
-
-
-def record(
-    bench: str,
-    wall_time: float,
-    path: Optional[Path] = None,
-    **metrics: Metric,
-) -> Dict:
-    """Append one measurement; returns the entry written.
-
-    ``bench`` is a stable identifier (e.g. ``fir_synthesis/taps=48``),
-    ``wall_time`` is seconds, and ``metrics`` are any JSON-scalar
-    key/value pairs worth tracking across PRs.
-    """
-    path = path or RESULTS_PATH
-    data = _load(path)
-    entry = {
-        "bench": bench,
-        "wall_time": round(float(wall_time), 6),
-        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
-            timespec="seconds"
-        ),
-        "python": platform.python_version(),
-        "metrics": dict(metrics),
-    }
-    data["runs"].append(entry)
-    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
-    return entry
+from repro.bench import Metric, RESULTS_PATH, compare_last, record  # noqa: F401

@@ -1,0 +1,156 @@
+"""Benchmark recording and the exploration benchmark.
+
+Two halves:
+
+**Recording.**  :func:`record` appends one measurement to
+``BENCH_scaling.json`` at the repository root (the format the
+``benchmarks/`` harness has always used — ``benchmarks/_record.py`` now
+delegates here), and :func:`compare_last` looks up the previous entry
+for the same bench name so a run can report its own regression ratio.
+
+**The exploration bench.**  :func:`run_explore_bench` measures the
+design-space sweep three ways on one workload — the historical
+per-point path, the shared-prefix incremental engine against an empty
+cache (*cold*), and a second engine run against the cache the cold run
+just persisted (*warm*) — asserts all three produce bit-identical
+:class:`~repro.explore.DesignPoint` lists, and reports the wall times
+and speedups.  ``repro bench`` wraps it on the command line and CI runs
+it with ``--check`` so a cold/warm divergence fails the build.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import platform
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+RESULTS_PATH = Path(__file__).resolve().parents[2] / "BENCH_scaling.json"
+
+Metric = Union[int, float, str, bool, None]
+
+
+def _load(path: Path) -> Dict:
+    if path.exists():
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(data, dict) and isinstance(data.get("runs"), list):
+                return data
+        except (ValueError, OSError):
+            pass  # corrupt/unreadable history: start a fresh one
+    return {"runs": []}
+
+
+def record(
+    bench: str,
+    wall_time: float,
+    path: Optional[Path] = None,
+    **metrics: Metric,
+) -> Dict:
+    """Append one measurement; returns the entry written.
+
+    ``bench`` is a stable identifier (e.g. ``fir_synthesis/taps=48``),
+    ``wall_time`` is seconds, and ``metrics`` are any JSON-scalar
+    key/value pairs worth tracking across PRs.
+    """
+    path = Path(path) if path is not None else RESULTS_PATH
+    data = _load(path)
+    entry = {
+        "bench": bench,
+        "wall_time": round(float(wall_time), 6),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "metrics": dict(metrics),
+    }
+    data["runs"].append(entry)
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    return entry
+
+
+def compare_last(bench: str, wall_time: float, path: Optional[Path] = None) -> Optional[Dict]:
+    """Compare ``wall_time`` against the last recorded entry for ``bench``.
+
+    Returns ``None`` when there is no history, else a dict with the
+    previous wall time, the current one, and ``ratio`` (current /
+    previous; > 1 means slower).  Call *before* :func:`record`, or the
+    run compares against itself.
+    """
+    path = Path(path) if path is not None else RESULTS_PATH
+    history = [entry for entry in _load(path)["runs"] if entry.get("bench") == bench]
+    if not history:
+        return None
+    previous = history[-1]
+    prior_wall = float(previous.get("wall_time") or 0.0)
+    return {
+        "previous": prior_wall,
+        "previous_timestamp": previous.get("timestamp"),
+        "current": float(wall_time),
+        "ratio": (float(wall_time) / prior_wall) if prior_wall else None,
+    }
+
+
+def run_explore_bench(
+    workload: str = "diffeq",
+    workers: Optional[int] = None,
+    per_point: bool = True,
+    cache_dir: Optional[str] = None,
+) -> Dict:
+    """Measure ``explore_design_space`` per-point vs incremental cold vs warm.
+
+    The cold run always starts from an empty cache directory (a
+    temporary one unless ``cache_dir`` is given, in which case it is
+    wiped first — pass a dedicated path).  The warm run constructs a
+    *fresh* :class:`~repro.cache.ArtifactCache` over the persisted file
+    so it measures the real disk round-trip.  All result lists are
+    checked for bit-identical equality; ``identical`` in the returned
+    dict records the verdict (the CLI's ``--check`` turns a ``False``
+    into a failing exit code).
+    """
+    from repro.cache.store import ArtifactCache
+    from repro.explore import explore_design_space
+    from repro.workloads import WORKLOADS
+
+    cdfg = WORKLOADS[workload]()
+    out: Dict[str, object] = {"workload": workload}
+
+    baseline = None
+    if per_point:
+        start = time.perf_counter()
+        baseline = explore_design_space(cdfg, workers=workers, incremental=False)
+        out["per_point_cold"] = time.perf_counter() - start
+
+    directory = Path(cache_dir) if cache_dir is not None else None
+    tmp = None
+    if directory is None:
+        tmp = tempfile.mkdtemp(prefix="repro-bench-cache-")
+        directory = Path(tmp)
+    elif directory.exists():
+        shutil.rmtree(directory)
+    try:
+        start = time.perf_counter()
+        cold = explore_design_space(cdfg, workers=workers, cache=ArtifactCache(directory))
+        out["incremental_cold"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = explore_design_space(cdfg, workers=workers, cache=ArtifactCache(directory))
+        out["warm"] = time.perf_counter() - start
+    finally:
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    out["points"] = len(cold.points)
+    out["evaluations"] = cold.stats.get("evaluations")
+    out["edges"] = cold.stats.get("edges")
+    out["identical"] = cold.points == warm.points and (
+        baseline is None or baseline.points == cold.points
+    )
+    if baseline is not None:
+        out["speedup_cold"] = round(out["per_point_cold"] / out["incremental_cold"], 2)
+        out["speedup_warm"] = round(out["per_point_cold"] / out["warm"], 2)
+    return out

@@ -1,0 +1,41 @@
+"""Content-addressed synthesis cache and incremental exploration.
+
+Three cooperating layers (see DESIGN.md §12):
+
+- :mod:`repro.cache.fingerprint` — stable, content-addressed
+  fingerprints for CDFGs, channel plans, burst-mode machines, delay
+  models and register files;
+- :mod:`repro.cache.store` — :class:`ArtifactCache`, an in-process
+  memo with an optional on-disk JSON mirror under ``.repro-cache/``,
+  so repeated CLI runs, benchmarks and fuzz campaigns start warm;
+- :mod:`repro.cache.incremental` — the shared-prefix exploration
+  engine: the GT-subset grid is organized as a trie so every transform
+  application happens once per trie *edge* instead of once per point,
+  one ``extract_controllers`` result is shared across the ``()``/LT
+  pair of a GT subset, and local optimization is memoized per machine.
+"""
+
+from repro.cache.fingerprint import (
+    fingerprint_cdfg,
+    fingerprint_content,
+    fingerprint_delays,
+    fingerprint_machine,
+    fingerprint_plan,
+    fingerprint_registers,
+    stable_digest,
+)
+from repro.cache.store import ArtifactCache, DEFAULT_CACHE_DIR
+from repro.cache.incremental import IncrementalExplorer
+
+__all__ = [
+    "ArtifactCache",
+    "DEFAULT_CACHE_DIR",
+    "IncrementalExplorer",
+    "fingerprint_cdfg",
+    "fingerprint_content",
+    "fingerprint_delays",
+    "fingerprint_machine",
+    "fingerprint_plan",
+    "fingerprint_registers",
+    "stable_digest",
+]

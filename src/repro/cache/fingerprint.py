@@ -1,0 +1,148 @@
+"""Stable content fingerprints for synthesis artifacts.
+
+Every fingerprint is a SHA-256 digest over a *canonical encoding* of
+the artifact: nested tuples of primitives, rendered with ``repr``.
+``repr`` round-trips floats exactly and is stable across processes
+(no ``PYTHONHASHSEED`` dependence), so equal artifacts fingerprint
+identically in a CLI run, a worker process and a later warm run.
+
+Two artifacts that are *behaviorally* equal but differ in internal
+iteration order (node/arc insertion order, transition uids) fingerprint
+**differently** on purpose: downstream stages (extraction, local
+optimization, simulation) are deterministic functions of the concrete
+representation, so only representation-identical artifacts are safe to
+share when the incremental engine promises bit-identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Union
+
+from repro.afsm.machine import BurstModeMachine
+from repro.cdfg.graph import Cdfg
+from repro.channels.model import ChannelPlan
+from repro.timing.delays import DelayModel
+
+
+def stable_digest(payload: object) -> str:
+    """SHA-256 hex digest of ``repr(payload)`` (payload should be
+    nested tuples/lists of primitives with deterministic ``repr``)."""
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+def _encode_cdfg(cdfg: Cdfg) -> tuple:
+    nodes = tuple(
+        (
+            node.name,
+            node.kind.value,
+            node.fu,
+            tuple(str(statement) for statement in node.statements),
+            node.condition,
+            cdfg.block_of(node.name),
+            cdfg.branch_of(node.name),
+        )
+        for node in cdfg.nodes()
+    )
+    arcs = tuple(
+        (
+            arc.src,
+            arc.dst,
+            tuple(sorted(str(tag) for tag in arc.tags)),
+            arc.backward,
+            arc.label,
+        )
+        for arc in cdfg.arcs()
+    )
+    schedules = tuple((fu, tuple(cdfg.fu_schedule(fu))) for fu in cdfg.functional_units())
+    return (
+        "cdfg",
+        nodes,
+        arcs,
+        schedules,
+        tuple(sorted(cdfg.inputs.items())),
+        tuple(sorted(cdfg.initial_registers.items())),
+    )
+
+
+def fingerprint_cdfg(cdfg: Cdfg) -> str:
+    """Content fingerprint of a CDFG (nodes, arcs, schedules, values).
+
+    Insertion order of nodes/arcs/schedules is part of the fingerprint
+    (see module docstring); the graph's *name* and memoized analyses
+    are not.
+    """
+    return stable_digest(_encode_cdfg(cdfg))
+
+
+def _encode_plan(plan: ChannelPlan) -> tuple:
+    return (
+        "plan",
+        tuple(
+            (
+                channel.name,
+                channel.src_fu,
+                tuple(sorted(channel.dst_fus)),
+                tuple(channel.arcs),
+            )
+            for channel in plan.channels
+        ),
+    )
+
+
+def fingerprint_plan(plan: ChannelPlan) -> str:
+    """Content fingerprint of a channel plan (channel order included)."""
+    return stable_digest(_encode_plan(plan))
+
+
+def fingerprint_content(cdfg: Cdfg, plan: ChannelPlan) -> str:
+    """Joint fingerprint of a transformed CDFG plus its effective
+    channel plan — the key under which downstream synthesis artifacts
+    (extraction, local optimization, simulation) are memoized."""
+    return stable_digest(("content", _encode_cdfg(cdfg), _encode_plan(plan)))
+
+
+def fingerprint_machine(machine: BurstModeMachine) -> str:
+    """Content fingerprint of a burst-mode machine.
+
+    Includes transition uids and declaration order: the local
+    transforms iterate machines in uid order, so two machines are only
+    interchangeable when their representations match exactly.
+    """
+    signals = tuple(
+        (signal.name, signal.kind.value, signal.is_input) for signal in machine.signals()
+    )
+    transitions = tuple(
+        (
+            transition.uid,
+            transition.src,
+            transition.dst,
+            str(transition.input_burst),
+            str(transition.output_burst),
+            tuple(sorted(transition.tags.items())),
+        )
+        for transition in machine.transitions()
+    )
+    return stable_digest(
+        (
+            "machine",
+            machine.initial_state,
+            tuple(machine.states()),
+            signals,
+            transitions,
+        )
+    )
+
+
+def fingerprint_delays(delays: Optional[DelayModel]) -> str:
+    """Fingerprint of a delay model (``None`` = the default model)."""
+    if delays is None:
+        return "default"
+    return stable_digest(("delays", delays.cache_key()))
+
+
+def fingerprint_registers(registers: Optional[Dict[str, Union[int, float]]]) -> str:
+    """Fingerprint of a golden/reference register file (order-free)."""
+    if registers is None:
+        return "-"
+    return stable_digest(("registers", tuple(sorted(registers.items()))))

@@ -1,0 +1,471 @@
+"""Shared-prefix incremental exploration over the GT/LT grid.
+
+The per-point path (:func:`repro.explore.evaluate_point`) re-runs the
+whole synthesize→extract→optimize→simulate pipeline for every grid
+point, so a 64-point sweep applies GT passes 80 times and extracts 64
+designs.  This engine exploits three redundancies instead:
+
+1. **Prefix sharing.**  GT subsets are evaluated in canonical order, so
+   the grid forms a trie: ``(GT1, GT2, GT3)`` extends ``(GT1, GT2)`` by
+   one pass.  Each transform application happens once per trie *edge*
+   (31 edges for the default 32-subset grid instead of 80 point-wise
+   applications), via the same :class:`~repro.transforms.base.PassManager`
+   code path, so the graph produced along a path is representation-
+   identical to a single :func:`~repro.transforms.optimize_global` call.
+2. **Content addressing.**  Every trie node is fingerprinted
+   (:mod:`repro.cache.fingerprint`); evaluations (extract + local
+   optimize + simulate) are memoized by ``(content, LT subset, delay
+   model, seed, golden)``.  Distinct GT subsets that happen to produce
+   identical graphs (GT2 no-ops, for instance) share one evaluation,
+   one ``extract_controllers`` result serves both members of the
+   ``()``/all-LT pair, and locally-optimized controllers are memoized
+   per machine fingerprint.  With an :class:`~repro.cache.store.ArtifactCache`
+   the memo persists across runs, making repeated sweeps near-instant.
+3. **Cheap fan-out.**  With ``workers`` > 1, only the *missing*
+   evaluations are shipped to a process pool; the base CDFG travels
+   once per worker (pool initializer), payloads are ``(prefix, lt)``
+   tuples, and workers keep their own trie so prefix work is shared
+   within each process too.
+
+Bit-identical equivalence with the per-point path is a hard contract
+(tested in ``tests/cache/``): conformance stamps, provenance counts,
+bottleneck labels and makespans all match, whether results were
+computed cold, deduplicated in-process, or served from a warm disk
+cache.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.afsm.extract import DistributedDesign, extract_controllers
+from repro.cache.fingerprint import (
+    fingerprint_content,
+    fingerprint_delays,
+    fingerprint_machine,
+    fingerprint_registers,
+)
+from repro.cache.store import ArtifactCache, make_key
+from repro.cdfg.graph import Cdfg
+from repro.channels.model import ChannelPlan, derive_channels
+from repro.errors import VerificationError
+from repro.local_transforms.scripts import (
+    STANDARD_LOCAL_SEQUENCE,
+    build_local_sequence,
+    optimize_machine,
+)
+from repro.obs.causal import EventTrace, bottleneck_label, critical_path
+from repro.obs.spans import span
+from repro.sim.seeding import NOMINAL
+from repro.sim.system import simulate_system
+from repro.timing.delays import DelayModel
+from repro.transforms.scripts import STANDARD_SEQUENCE, apply_transform
+
+
+@dataclass
+class _TrieNode:
+    """One evaluated GT prefix: fingerprint + lazily materialized graph."""
+
+    prefix: Tuple[str, ...]
+    parent: Optional["_TrieNode"]
+    #: content fingerprint of (transformed CDFG, effective channel plan)
+    fp: str
+    #: GT provenance records accumulated along the path
+    provenance: int
+    #: first oracle failure message along the path (None = clean)
+    failure: Optional[str]
+    cdfg: Optional[Cdfg] = None
+    plan: Optional[ChannelPlan] = None
+    #: extracted (pre-LT) design, shared across the ()/LT pair
+    design: Optional[DistributedDesign] = None
+
+
+class IncrementalExplorer:
+    """Evaluate a transform-subset grid with shared-prefix reuse.
+
+    Mirrors :func:`repro.explore.evaluate_point` exactly (including the
+    oracle-failure re-run semantics and conformance stamping) while
+    sharing every artifact the grid allows.  ``check_edges=False``
+    skips the per-edge global oracle — used by worker processes, whose
+    conformance verdicts are assembled parent-side from the parent's
+    edge records.
+    """
+
+    def __init__(
+        self,
+        cdfg: Cdfg,
+        delays: Optional[DelayModel] = None,
+        seed=9,
+        reference: Optional[Dict[str, float]] = None,
+        golden: Optional[Dict[str, float]] = None,
+        cache: Optional[ArtifactCache] = None,
+        workers: Optional[int] = None,
+        check_edges: bool = True,
+    ):
+        self.cdfg = cdfg
+        self.delays = delays
+        self.seed = seed
+        self.reference = reference
+        self.golden = golden
+        self.cache = cache
+        self.workers = workers
+        self._delay_fp = fingerprint_delays(delays)
+        self._golden_fp = fingerprint_registers(golden)
+        self._seed_key = "nominal" if seed is NOMINAL else repr(seed)
+        self._nodes: Dict[Tuple[str, ...], _TrieNode] = {}
+        #: (fu, machine fp, lt) -> (Controller, provenance, failure)
+        self._machine_memo: Dict[str, tuple] = {}
+        #: eval key -> eval record (run-local; mirrored to the cache)
+        self._evals: Dict[str, dict] = {}
+        self.evaluations_computed = 0
+        self.edges_applied = 0
+        self._oracle = None
+        self._local_oracle = None
+        if golden is not None:
+            from repro.verify.oracles import make_global_oracle, make_local_oracle
+
+            if check_edges:
+                self._oracle = make_global_oracle(delays=delays, deep=False)
+            self._local_oracle = make_local_oracle()
+
+    # ------------------------------------------------------------------
+    # grid normalization
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize_gt(enabled: Sequence[str]) -> Tuple[str, ...]:
+        unknown = [name for name in enabled if name not in STANDARD_SEQUENCE]
+        if unknown:
+            raise KeyError(f"unknown transforms: {unknown}")
+        return tuple(name for name in STANDARD_SEQUENCE if name in enabled)
+
+    @staticmethod
+    def _normalize_lt(enabled: Sequence[str]) -> Tuple[str, ...]:
+        unknown = [name for name in enabled if name not in STANDARD_LOCAL_SEQUENCE]
+        if unknown:
+            raise KeyError(f"unknown local transforms: {unknown}")
+        return tuple(name for name in STANDARD_LOCAL_SEQUENCE if name in enabled)
+
+    # ------------------------------------------------------------------
+    # the prefix trie
+    # ------------------------------------------------------------------
+    def _node(self, prefix: Tuple[str, ...]) -> _TrieNode:
+        node = self._nodes.get(prefix)
+        if node is None:
+            node = self._root() if not prefix else self._extend(self._node(prefix[:-1]), prefix[-1])
+            self._nodes[prefix] = node
+        return node
+
+    def _root(self) -> _TrieNode:
+        cdfg = self.cdfg.copy()
+        plan = derive_channels(cdfg)
+        return _TrieNode(
+            prefix=(),
+            parent=None,
+            fp=fingerprint_content(cdfg, plan),
+            provenance=0,
+            failure=None,
+            cdfg=cdfg,
+            plan=plan,
+        )
+
+    def _extend(self, parent: _TrieNode, name: str) -> _TrieNode:
+        # once an ancestor pass failed its oracle, the per-point path
+        # re-runs the remaining script unchecked — mirror that here
+        use_oracle = self._oracle is not None and parent.failure is None
+        key = make_key(
+            "gt-edge", parent.fp, name, self._delay_fp, "oracle" if use_oracle else "plain"
+        )
+        record = self.cache.get(key) if self.cache is not None else None
+        child_cdfg = child_plan = None
+        if record is None:
+            self._materialize(parent)
+            failure = None
+            try:
+                result = apply_transform(
+                    parent.cdfg,
+                    name,
+                    delays=self.delays,
+                    oracle=self._oracle if use_oracle else None,
+                )
+            except VerificationError as exc:
+                # re-apply unchecked so the metrics of every point
+                # through this edge are still measured (the oracle
+                # never mutates, so the graph is the same)
+                failure = str(exc)
+                result = apply_transform(parent.cdfg, name, delays=self.delays)
+            child_cdfg = result.cdfg
+            child_plan = result.plan
+            self.edges_applied += 1
+            record = {
+                "fp": fingerprint_content(child_cdfg, child_plan),
+                "provenance": len(result.provenance),
+                "failure": failure,
+            }
+            if self.cache is not None:
+                self.cache.put(key, record)
+        return _TrieNode(
+            prefix=parent.prefix + (name,),
+            parent=parent,
+            fp=record["fp"],
+            provenance=parent.provenance + record["provenance"],
+            failure=parent.failure or record["failure"],
+            cdfg=child_cdfg,
+            plan=child_plan,
+        )
+
+    def _materialize(self, node: _TrieNode) -> None:
+        """Ensure ``node.cdfg``/``node.plan`` exist (warm nodes carry
+        only fingerprints until an evaluation actually needs the graph)."""
+        if node.cdfg is not None:
+            return
+        self._materialize(node.parent)
+        result = apply_transform(node.parent.cdfg, node.prefix[-1], delays=self.delays)
+        node.cdfg = result.cdfg
+        node.plan = result.plan
+
+    def _design(self, node: _TrieNode) -> DistributedDesign:
+        if node.design is None:
+            self._materialize(node)
+            node.design = extract_controllers(node.cdfg, node.plan)
+        return node.design
+
+    # ------------------------------------------------------------------
+    # evaluations
+    # ------------------------------------------------------------------
+    def _eval_key(self, node: _TrieNode, lt: Tuple[str, ...]) -> str:
+        return make_key(
+            "eval",
+            node.fp,
+            "+".join(lt) or "-",
+            self._delay_fp,
+            self._seed_key,
+            self._golden_fp,
+            "loracle" if self.golden is not None else "plain",
+        )
+
+    def _optimize_controllers(
+        self, design: DistributedDesign, lt: Tuple[str, ...]
+    ) -> Tuple[DistributedDesign, int, Optional[str]]:
+        """Locally optimize ``design``, memoized per machine fingerprint.
+
+        Returns ``(optimized design, provenance count, first failure)``.
+        Matches :func:`repro.local_transforms.optimize_local` machine by
+        machine — including the oracle-failure semantics: metrics come
+        from the unchecked pipeline (the oracle never mutates), and the
+        failure of the first failing machine in iteration order is the
+        one the per-point path would have raised.
+        """
+        transforms = build_local_sequence(lt)
+        controllers = {}
+        provenance = 0
+        first_failure: Optional[str] = None
+        for fu, controller in design.controllers.items():
+            mkey = make_key("machine", fu, fingerprint_machine(controller.machine), "+".join(lt))
+            cached = self._machine_memo.get(mkey)
+            if cached is None:
+                failure = None
+                try:
+                    rebuilt, reports = optimize_machine(
+                        fu, controller.machine, transforms, oracle=self._local_oracle
+                    )
+                except VerificationError as exc:
+                    failure = str(exc)
+                    rebuilt, reports = optimize_machine(fu, controller.machine, transforms)
+                cached = (
+                    rebuilt,
+                    sum(len(report.provenance) for report in reports),
+                    failure,
+                )
+                self._machine_memo[mkey] = cached
+            rebuilt, machine_provenance, failure = cached
+            controllers[fu] = rebuilt
+            provenance += machine_provenance
+            if first_failure is None and failure is not None:
+                first_failure = failure
+        optimized = DistributedDesign(
+            cdfg=design.cdfg,
+            plan=design.plan,
+            phases=design.phases,
+            controllers=controllers,
+        )
+        return optimized, provenance, first_failure
+
+    def _compute_eval(self, node: _TrieNode, lt: Tuple[str, ...]) -> dict:
+        design = self._design(node)
+        lt_provenance = 0
+        local_failure: Optional[str] = None
+        if lt:
+            design, lt_provenance, local_failure = self._optimize_controllers(design, lt)
+        result = simulate_system(
+            design,
+            delays=self.delays,
+            seed=self.seed,
+            strict=(self.golden is None),
+            trace=EventTrace(),
+        )
+        segments = critical_path(result.trace)
+        bottleneck = bottleneck_label(segments) if segments else ""
+        sim_conformance = "unchecked"
+        if self.golden is not None:
+            sim_conformance = "conformant"
+            if result.violations:
+                sim_conformance = f"failed: {result.violations[0]}"
+            elif result.hazards:
+                sim_conformance = f"failed: hazard {result.hazards[0]}"
+            else:
+                for register, value in self.golden.items():
+                    got = result.registers.get(register)
+                    if got != value:
+                        sim_conformance = (
+                            f"failed: register {register} = {got!r}, golden says {value!r}"
+                        )
+                        break
+        self.evaluations_computed += 1
+        return {
+            "channels": design.plan.count(include_env=False),
+            "states": sum(c.state_count for c in design.controllers.values()),
+            "transitions": sum(c.transition_count for c in design.controllers.values()),
+            "makespan": result.end_time,
+            "bottleneck": bottleneck,
+            "lt_provenance": lt_provenance,
+            "local_failure": local_failure,
+            "sim_conformance": sim_conformance,
+            "registers": dict(result.registers),
+        }
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def _assemble(self, gt, lt, node: _TrieNode, record: dict):
+        from repro.explore import DesignPoint
+
+        if self.golden is None:
+            conformance = "unchecked"
+        elif node.failure is not None:
+            conformance = f"failed: {node.failure}"
+        elif record["local_failure"]:
+            conformance = f"failed: {record['local_failure']}"
+        else:
+            conformance = record["sim_conformance"]
+        if self.reference is not None:
+            registers = record["registers"]
+            for register, value in self.reference.items():
+                if registers.get(register) != value:
+                    raise AssertionError(
+                        f"configuration {gt}/{lt} "
+                        f"computed {register}={registers.get(register)!r}, "
+                        f"expected {value!r}"
+                    )
+        return DesignPoint(
+            global_transforms=tuple(gt),
+            local_transforms=tuple(lt),
+            channels=record["channels"],
+            total_states=record["states"],
+            total_transitions=record["transitions"],
+            makespan=record["makespan"],
+            conformant=conformance in ("conformant", "unchecked"),
+            conformance=conformance,
+            provenance_records=node.provenance + record["lt_provenance"],
+            bottleneck=record["bottleneck"],
+        )
+
+    # ------------------------------------------------------------------
+    # drivers
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        global_subsets: Sequence[Sequence[str]],
+        local_subsets: Sequence[Sequence[str]],
+    ) -> List:
+        with span("explore/incremental", workload=self.cdfg.name) as section:
+            tasks = []
+            for gt in global_subsets:
+                prefix = self._normalize_gt(gt)
+                node = self._node(prefix)
+                for lt in local_subsets:
+                    lt_norm = self._normalize_lt(lt)
+                    tasks.append((tuple(gt), tuple(lt), node, lt_norm, self._eval_key(node, lt_norm)))
+
+            missing = []
+            claimed = set()
+            for __, __, node, lt_norm, key in tasks:
+                if key in self._evals or key in claimed:
+                    continue
+                record = self.cache.get(key) if self.cache is not None else None
+                if record is not None:
+                    with span("explore/cache-hit", fingerprint=node.fp[:12], lt="+".join(lt_norm) or "-"):
+                        pass
+                    self._evals[key] = record
+                else:
+                    claimed.add(key)
+                    missing.append((node, lt_norm, key))
+
+            self._resolve(missing)
+
+            points = [
+                self._assemble(gt, lt, node, self._evals[key])
+                for gt, lt, node, __, key in tasks
+            ]
+            section.attributes.update(
+                points=len(points),
+                evaluations=len(claimed),
+                shared=len(tasks) - len(claimed),
+                edges=self.edges_applied,
+            )
+        return points
+
+    def _resolve(self, missing) -> None:
+        """Compute the missing evaluations, serially or on a pool."""
+        workers = self.workers
+        if workers == 0:
+            workers = os.cpu_count() or 1
+        if workers is not None and workers > 1 and len(missing) > 1:
+            max_workers = min(workers, len(missing))
+            chunksize = max(1, -(-len(missing) // (max_workers * 2)))
+            payloads = [(node.prefix, lt) for node, lt, __ in missing]
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_init_worker,
+                initargs=(self.cdfg, self.delays, self.seed, self.golden),
+            ) as pool:
+                records = list(pool.map(_evaluate_shared, payloads, chunksize=chunksize))
+            for (node, lt, key), record in zip(missing, records):
+                self.evaluations_computed += 1
+                self._evals[key] = record
+                if self.cache is not None:
+                    self.cache.put(key, record)
+        else:
+            for node, lt, key in missing:
+                record = self._compute_eval(node, lt)
+                self._evals[key] = record
+                if self.cache is not None:
+                    self.cache.put(key, record)
+
+
+# ----------------------------------------------------------------------
+# worker-side state: the base CDFG ships once per process (initializer),
+# payloads are (prefix, lt) tuples, and the worker's own trie shares
+# prefix work across every payload it receives
+# ----------------------------------------------------------------------
+_WORKER: Optional[IncrementalExplorer] = None
+
+
+def _init_worker(cdfg: Cdfg, delays, seed, golden) -> None:
+    global _WORKER
+    _WORKER = IncrementalExplorer(
+        cdfg,
+        delays=delays,
+        seed=seed,
+        golden=golden,
+        cache=None,
+        workers=None,
+        check_edges=False,
+    )
+
+
+def _evaluate_shared(payload: Tuple[Tuple[str, ...], Tuple[str, ...]]) -> dict:
+    prefix, lt = payload
+    return _WORKER._compute_eval(_WORKER._node(prefix), lt)

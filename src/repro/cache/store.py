@@ -1,0 +1,141 @@
+"""The artifact cache: in-process memo + optional on-disk JSON mirror.
+
+Records are small JSON-serializable dicts keyed by content-addressed
+strings (built from the fingerprints of everything the record depends
+on), so a record can never be served stale: mutate the CDFG or the
+delay model and the key changes.
+
+Disk layout: one JSON file (``explore.json`` by default) inside the
+cache directory (``.repro-cache/`` by default), written atomically via
+a temp file + rename.  Because floats are serialized with ``repr``
+precision by :mod:`json`, a record round-trips bit-identically —
+the property the cold-vs-warm equivalence tests pin down.
+
+Every lookup is counted in the :mod:`repro.perf` registry
+(``cache/hit`` / ``cache/miss``) and hits can additionally be marked
+with zero-duration spans so ``repro profile`` stays honest about work
+that was *not* redone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro import perf
+
+#: default on-disk location (relative to the working directory)
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_FORMAT_VERSION = 1
+
+
+class ArtifactCache:
+    """Content-addressed memo for synthesis/exploration artifacts.
+
+    ``directory=None`` keeps the cache purely in-process (still useful:
+    the incremental engine shares records within one run).  With a
+    directory, :meth:`load` merges the persisted records in and
+    :meth:`save` writes the union back atomically.
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None, filename: str = "explore.json"):
+        self.directory = Path(directory) if directory is not None else None
+        self.filename = filename
+        self.memory: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.loaded_entries = 0
+        if self.directory is not None:
+            self.load()
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / self.filename
+
+    def load(self) -> int:
+        """Merge the on-disk records into memory; returns the count."""
+        path = self.path
+        if path is None or not path.exists():
+            return 0
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            return 0  # corrupt cache: treat as cold, it will be rewritten
+        if not isinstance(data, dict) or data.get("version") != _FORMAT_VERSION:
+            return 0
+        entries = data.get("entries")
+        if not isinstance(entries, dict):
+            return 0
+        for key, record in entries.items():
+            self.memory.setdefault(key, record)
+        self.loaded_entries = len(entries)
+        return self.loaded_entries
+
+    def save(self) -> Optional[Path]:
+        """Atomically persist every record; no-op without a directory."""
+        path = self.path
+        if path is None:
+            return None
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"version": _FORMAT_VERSION, "entries": self.memory}, sort_keys=True
+        )
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=str(path.parent), prefix=path.name, suffix=".tmp",
+            delete=False, encoding="utf-8",
+        )
+        try:
+            with handle:
+                handle.write(payload)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[dict]:
+        record = self.memory.get(key)
+        if record is None:
+            self.misses += 1
+            perf.count_event("cache/miss")
+            return None
+        self.hits += 1
+        perf.count_event("cache/hit")
+        return record
+
+    def put(self, key: str, record: dict) -> dict:
+        self.memory[key] = record
+        self.stores += 1
+        return record
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.memory
+
+    def __len__(self) -> int:
+        return len(self.memory)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self.memory),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "loaded": self.loaded_entries,
+        }
+
+
+def make_key(*parts: object) -> str:
+    """Join key components into one cache key string."""
+    return ":".join(str(part) for part in parts)

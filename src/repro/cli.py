@@ -11,6 +11,9 @@ Commands
                 tree, transform provenance, simulation critical path
 ``trace``       stream the same observability data as JSONL
 ``explore``     sweep transform subsets and print the Pareto frontier
+                (incremental + cached by default; see ``--no-cache``)
+``bench``       time the exploration sweep cold/warm and append the
+                result to ``BENCH_scaling.json``
 ``verify``      conformance-fuzz the flow against the golden reference
 ``dot``         export the (optionally optimized) CDFG as Graphviz
 ``vcd``         dump a VCD waveform of a system simulation
@@ -229,10 +232,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.cache.store import DEFAULT_CACHE_DIR, ArtifactCache
     from repro.explore import explore_design_space
 
     cdfg = WORKLOADS[args.workload]()
-    result = explore_design_space(cdfg, workers=args.workers)
+    cache = None
+    if args.cache and not args.per_point:
+        cache = ArtifactCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    result = explore_design_space(
+        cdfg,
+        workers=args.workers,
+        incremental=not args.per_point,
+        cache=cache,
+    )
     frontier = result.pareto_points()
     rows = [
         (
@@ -261,11 +273,74 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         )
     )
     print(f"{len(frontier)} Pareto-optimal of {len(result.points)} explored points")
+    if cache is not None:
+        stats = cache.stats()
+        print(
+            f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['entries']} entries in {cache.path}"
+        )
     bad = [point for point in result.points if not point.conformant]
     if bad:
         print(f"{len(bad)} NON-CONFORMANT points:")
         for point in bad:
             print(f"  {point.label}: {point.conformance}")
+        return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import compare_last, record, run_explore_bench
+
+    bench_name = f"explore_incremental/{args.workload}"
+    result = run_explore_bench(
+        args.workload,
+        workers=args.workers,
+        per_point=not args.no_baseline,
+        cache_dir=args.cache_dir,
+    )
+    for key in ("per_point_cold", "incremental_cold", "warm"):
+        if key in result:
+            print(f"{key:>18}: {result[key]:.3f}s")
+    if "speedup_cold" in result:
+        print(f"{'speedup':>18}: {result['speedup_cold']}x cold, {result['speedup_warm']}x warm")
+    print(
+        f"{'grid':>18}: {result['points']} points -> {result['evaluations']} "
+        f"evaluations over {result['edges']} trie edges"
+    )
+    print(f"{'identical':>18}: {result['identical']}")
+
+    comparison = compare_last(bench_name, result["incremental_cold"], path=args.output)
+    if args.compare:
+        if comparison is None:
+            print("no prior run to compare against")
+        else:
+            direction = "slower" if comparison["ratio"] > 1 else "faster"
+            print(
+                f"vs last run ({comparison['previous_timestamp']}): "
+                f"{comparison['previous']:.3f}s -> {comparison['current']:.3f}s "
+                f"({comparison['ratio']:.2f}x, {direction})"
+            )
+    if not args.no_record:
+        metrics = {
+            key: result[key]
+            for key in (
+                "points",
+                "evaluations",
+                "edges",
+                "per_point_cold",
+                "warm",
+                "speedup_cold",
+                "speedup_warm",
+                "identical",
+            )
+            if key in result
+        }
+        entry = record(
+            bench_name, result["incremental_cold"], path=args.output, **metrics
+        )
+        print(f"recorded {entry['bench']} ({entry['timestamp']})")
+    if args.check and not result["identical"]:
+        print("FAIL: cold and warm exploration results diverge")
         return 1
     return 0
 
@@ -374,6 +449,70 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="evaluate points on a process pool (0 = one per CPU; default serial)",
     )
+    explore.add_argument(
+        "--cache",
+        dest="cache",
+        action="store_true",
+        default=True,
+        help="persist the artifact cache across runs (the default)",
+    )
+    explore.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="skip the on-disk cache (in-process sharing still applies)",
+    )
+    explore.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact cache location (default .repro-cache/)",
+    )
+    explore.add_argument(
+        "--per-point",
+        action="store_true",
+        help="use the historical fully-independent per-point path",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the exploration sweep and record BENCH_scaling.json"
+    )
+    bench.add_argument("workload", nargs="?", default="diffeq", choices=sorted(WORKLOADS))
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width for every measured sweep (default serial)",
+    )
+    bench.add_argument(
+        "--compare",
+        action="store_true",
+        help="print the regression ratio against the last recorded run",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if cold and warm results diverge (CI gate)",
+    )
+    bench.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the per-point baseline sweep (faster, no speedup numbers)",
+    )
+    bench.add_argument(
+        "--no-record",
+        action="store_true",
+        help="measure only; do not append to BENCH_scaling.json",
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        help="results file (default BENCH_scaling.json at the repo root)",
+    )
+    bench.add_argument(
+        "--cache-dir",
+        default=None,
+        help="bench cache directory (WIPED before the cold run; default a temp dir)",
+    )
 
     verify = sub.add_parser(
         "verify",
@@ -412,6 +551,7 @@ def main(argv: Optional[list] = None) -> int:
         "profile": _cmd_profile,
         "trace": _cmd_trace,
         "explore": _cmd_explore,
+        "bench": _cmd_bench,
         "verify": _cmd_verify,
         "dot": _cmd_dot,
         "vcd": _cmd_vcd,

@@ -70,13 +70,28 @@ class DesignPoint:
 @dataclass
 class ExplorationResult:
     points: List[DesignPoint] = field(default_factory=list)
+    #: run diagnostics (cache hits, evaluations computed, ...);
+    #: excluded from equality so cold and warm results compare equal
+    stats: Dict[str, object] = field(default_factory=dict, compare=False)
 
     def pareto_points(self) -> List[DesignPoint]:
-        return [
-            point
-            for point in self.points
-            if not any(other.dominates(point) for other in self.points)
-        ]
+        """The non-dominated points, in their original order.
+
+        Sort-based skyline filter: points are visited in lexicographic
+        objective order, so any dominator of a point is visited before
+        it and (by transitivity of dominance) the skyline collected so
+        far suffices to reject it — O(n log n + n·k) for k skyline
+        points instead of the naive all-pairs O(n²) scan.
+        """
+        order = sorted(range(len(self.points)), key=lambda i: self.points[i].objectives())
+        skyline: List[DesignPoint] = []
+        keep = set()
+        for index in order:
+            point = self.points[index]
+            if not any(other.dominates(point) for other in skyline):
+                skyline.append(point)
+                keep.add(index)
+        return [point for index, point in enumerate(self.points) if index in keep]
 
     def best(self, objective: str) -> DesignPoint:
         """The single best point for one objective
@@ -184,14 +199,26 @@ def evaluate_point(
     )
 
 
-def _evaluate_config(payload: Tuple) -> DesignPoint:
-    """Worker-side shim: unpack one configuration and evaluate it.
+#: per-point worker context: (cdfg, delays, seed, reference, golden).
+#: Shipped once per process via the pool initializer so the payloads
+#: are tiny (gt, lt) tuples instead of 64 pickled copies of the CDFG.
+_POINT_CONTEXT: Optional[Tuple] = None
+
+
+def _init_point_context(cdfg, delays, seed, reference, golden) -> None:
+    global _POINT_CONTEXT
+    _POINT_CONTEXT = (cdfg, delays, seed, reference, golden)
+
+
+def _evaluate_config(payload: Tuple[Tuple[str, ...], Tuple[str, ...]]) -> DesignPoint:
+    """Worker-side shim: evaluate one ``(gt, lt)`` configuration.
 
     Module-level so :class:`~concurrent.futures.ProcessPoolExecutor`
     can pickle it; also used by the serial path so both paths share
     one code path per point.
     """
-    cdfg, global_transforms, local_transforms, delays, seed, reference, golden = payload
+    global_transforms, local_transforms = payload
+    cdfg, delays, seed, reference, golden = _POINT_CONTEXT
     return evaluate_point(
         cdfg,
         global_transforms,
@@ -212,6 +239,9 @@ def explore_design_space(
     reference: Optional[Dict[str, float]] = None,
     workers: Optional[int] = None,
     verify: bool = True,
+    incremental: bool = True,
+    cache: Optional["ArtifactCache"] = None,
+    cache_dir: Optional[str] = None,
 ) -> ExplorationResult:
     """Evaluate a grid of transform configurations.
 
@@ -219,10 +249,22 @@ def explore_design_space(
     with {no LTs, all LTs} — 64 points is already informative; pass
     explicit subset lists for a wider or narrower sweep.
 
+    ``incremental`` (the default) routes the sweep through the
+    shared-prefix engine (:mod:`repro.cache.incremental`): the GT grid
+    is evaluated as a trie so each transform applies once per trie edge,
+    extraction is shared across the ``()``/LT pair of every GT subset,
+    and evaluations are content-addressed.  Pass an
+    :class:`~repro.cache.ArtifactCache` via ``cache`` (or just a
+    ``cache_dir`` path) to persist the memo across runs — warm sweeps
+    are then near-instant and bit-identical to cold ones.
+    ``incremental=False`` keeps the historical fully-independent
+    per-point path (``cache``/``cache_dir`` are ignored there).
+
     Every point is independent, so the sweep parallelizes trivially:
     ``workers`` > 1 fans the grid out over a process pool (``workers=0``
-    means one process per CPU).  The default (``None`` or 1) evaluates
-    serially; both paths produce identical points in identical order.
+    means one process per CPU); the CDFG ships once per worker via the
+    pool initializer.  The default (``None`` or 1) evaluates serially;
+    all paths produce identical points in identical order.
 
     With ``verify`` (the default) every point is conformance-stamped:
     a nominal token simulation of the untransformed CDFG supplies the
@@ -241,16 +283,35 @@ def explore_design_space(
     if local_subsets is None:
         local_subsets = [(), tuple(STANDARD_LOCAL_SEQUENCE)]
 
-    payloads = [
-        (
+    if incremental:
+        from repro.cache.incremental import IncrementalExplorer
+        from repro.cache.store import ArtifactCache
+
+        store = cache
+        if store is None and cache_dir is not None:
+            store = ArtifactCache(cache_dir)
+        engine = IncrementalExplorer(
             cdfg,
-            tuple(global_transforms),
-            tuple(local_transforms),
-            delays,
-            seed,
-            reference,
-            golden,
+            delays=delays,
+            seed=seed,
+            reference=reference,
+            golden=golden,
+            cache=store,
+            workers=workers,
         )
+        result = ExplorationResult(points=engine.run(global_subsets, local_subsets))
+        if store is not None:
+            if store.directory is not None:
+                store.save()
+            result.stats["cache"] = store.stats()
+        result.stats.update(
+            evaluations=engine.evaluations_computed,
+            edges=engine.edges_applied,
+        )
+        return result
+
+    payloads = [
+        (tuple(global_transforms), tuple(local_transforms))
         for global_transforms in global_subsets
         for local_transforms in local_subsets
     ]
@@ -260,8 +321,15 @@ def explore_design_space(
         workers = os.cpu_count() or 1
     if workers is not None and workers > 1 and len(payloads) > 1:
         max_workers = min(workers, len(payloads))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            result.points.extend(pool.map(_evaluate_config, payloads, chunksize=1))
+        chunksize = max(1, -(-len(payloads) // (max_workers * 2)))
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_point_context,
+            initargs=(cdfg, delays, seed, reference, golden),
+        ) as pool:
+            result.points.extend(pool.map(_evaluate_config, payloads, chunksize=chunksize))
     else:
+        _init_point_context(cdfg, delays, seed, reference, golden)
         result.points.extend(map(_evaluate_config, payloads))
+    result.stats["evaluations"] = len(payloads)
     return result

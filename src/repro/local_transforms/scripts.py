@@ -10,7 +10,7 @@ Machines are folded and re-validated after every step.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import perf
 
@@ -65,6 +65,65 @@ def build_local_sequence(enabled: Sequence[str] = STANDARD_LOCAL_SEQUENCE) -> Li
     return [catalog[name]() for name in STANDARD_LOCAL_SEQUENCE if name in enabled]
 
 
+def optimize_machine(
+    fu: str,
+    machine: BurstModeMachine,
+    transforms: Sequence[LocalTransform],
+    checked: bool = True,
+    oracle: Optional[
+        Callable[[LocalReport, BurstModeMachine, BurstModeMachine], None]
+    ] = None,
+) -> Tuple[Controller, List[LocalReport]]:
+    """Run the local-transform pipeline on a copy of one machine.
+
+    The per-machine unit of :func:`optimize_local`, exposed so the
+    incremental exploration engine (:mod:`repro.cache.incremental`) can
+    memoize locally-optimized controllers by machine fingerprint while
+    sharing this exact code path.  Returns the rebuilt
+    :class:`~repro.afsm.extract.Controller` and the per-pass reports.
+    """
+    machine = machine.copy()
+    reports: List[LocalReport] = []
+    for transform in transforms:
+        snapshot = machine.copy() if oracle is not None else None
+        with span(f"local/{transform.name}", machine=fu) as section:
+            report = transform.apply(machine)
+        report.duration = section.duration
+        section.attributes.update(
+            applied=report.applied, moved_edges=len(report.moved_edges)
+        )
+        if not report.provenance:
+            _derive_generic_provenance(report)
+        report.record(
+            "pass-summary",
+            fu,
+            applied=report.applied,
+            moved_edges=len(report.moved_edges),
+            removed_signals=len(report.removed_signals),
+            merged_signals=len(report.merged_signals),
+            folded_states=report.folded_states,
+        )
+        reports.append(report)
+        if checked:
+            with perf.timed_section("local/check_machine"):
+                check_machine(machine)
+        if oracle is not None:
+            oracle(report, snapshot, machine)
+    machine.fold_trivial_states()
+    machine.prune_unreachable()
+    controller = Controller(
+        fu=fu,
+        machine=machine,
+        input_wires=[
+            s.name for s in machine.inputs() if s.kind is SignalKind.GLOBAL_READY
+        ],
+        output_wires=[
+            s.name for s in machine.outputs() if s.kind is SignalKind.GLOBAL_READY
+        ],
+    )
+    return controller, reports
+
+
 def optimize_local(
     design: DistributedDesign,
     enabled: Sequence[str] = STANDARD_LOCAL_SEQUENCE,
@@ -88,44 +147,11 @@ def optimize_local(
     reports: List[LocalReport] = []
     with span("optimize_local", workload=design.cdfg.name, enabled="+".join(enabled)):
         for fu, controller in design.controllers.items():
-            machine = controller.machine.copy()
-            for transform in transforms:
-                snapshot = machine.copy() if oracle is not None else None
-                with span(f"local/{transform.name}", machine=fu) as section:
-                    report = transform.apply(machine)
-                report.duration = section.duration
-                section.attributes.update(
-                    applied=report.applied, moved_edges=len(report.moved_edges)
-                )
-                if not report.provenance:
-                    _derive_generic_provenance(report)
-                report.record(
-                    "pass-summary",
-                    fu,
-                    applied=report.applied,
-                    moved_edges=len(report.moved_edges),
-                    removed_signals=len(report.removed_signals),
-                    merged_signals=len(report.merged_signals),
-                    folded_states=report.folded_states,
-                )
-                reports.append(report)
-                if checked:
-                    with perf.timed_section("local/check_machine"):
-                        check_machine(machine)
-                if oracle is not None:
-                    oracle(report, snapshot, machine)
-            machine.fold_trivial_states()
-            machine.prune_unreachable()
-            optimized.controllers[fu] = Controller(
-                fu=fu,
-                machine=machine,
-                input_wires=[
-                    s.name for s in machine.inputs() if s.kind is SignalKind.GLOBAL_READY
-                ],
-                output_wires=[
-                    s.name for s in machine.outputs() if s.kind is SignalKind.GLOBAL_READY
-                ],
+            rebuilt, machine_reports = optimize_machine(
+                fu, controller.machine, transforms, checked=checked, oracle=oracle
             )
+            reports.extend(machine_reports)
+            optimized.controllers[fu] = rebuilt
     return LocalOptimizationResult(design=optimized, reports=reports)
 
 

@@ -39,6 +39,7 @@ __all__ = [
     "caching_disabled",
     "timed_section",
     "record_duration",
+    "count_event",
     "section_timings",
     "reset_timings",
     "format_timings",
@@ -99,6 +100,16 @@ def record_duration(name: str, seconds: float) -> None:
         stat = _sections[name] = SectionStat()
     stat.calls += 1
     stat.total += seconds
+
+
+def count_event(name: str) -> None:
+    """Count one occurrence of ``name`` (zero duration).
+
+    Used for events whose *count* is the signal — artifact-cache hits
+    and misses (``cache/hit`` / ``cache/miss``) show up in
+    ``--timings`` output next to the sections they saved.
+    """
+    record_duration(name, 0.0)
 
 
 @contextmanager

@@ -54,14 +54,21 @@ class EventKernel:
         return len(self._queue)
 
     def run(self, max_events: int = 1_000_000) -> float:
-        """Process events until the queue drains; return the final time."""
+        """Process events until the queue drains; return the final time.
+
+        ``max_events`` bounds *this* call, not the kernel's lifetime:
+        successive ``run()`` calls each get the full budget, while
+        ``events_processed`` keeps the cumulative total for reporting.
+        """
+        processed = 0
         while self._queue:
-            if self.events_processed >= max_events:
+            if processed >= max_events:
                 raise SimulationError(
                     f"simulation exceeded {max_events} events (livelock or runaway loop?)"
                 )
             time, sequence, callback = heapq.heappop(self._queue)
             self.now = time
+            processed += 1
             self.events_processed += 1
             if self.trace is not None:
                 self.trace.on_execute(sequence)

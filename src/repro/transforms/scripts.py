@@ -79,6 +79,25 @@ def build_sequence(
     return [catalog[name]() for name in STANDARD_SEQUENCE if name in enabled]
 
 
+def apply_transform(
+    cdfg: Cdfg,
+    name: str,
+    delays: Optional[DelayModel] = None,
+    checked: bool = True,
+    oracle: Optional[Callable[[TransformReport, Cdfg, Cdfg], None]] = None,
+) -> "GlobalOptimizationResult":
+    """Apply ONE global transform to a copy of ``cdfg``.
+
+    The single-step entry point of the incremental exploration engine
+    (:mod:`repro.cache.incremental`): applying the canonical script one
+    transform at a time through this helper is pass-for-pass identical
+    to one :func:`optimize_global` call with the full subset, because
+    both run each pass through the same :class:`PassManager` on the
+    graph state left by the previous pass.
+    """
+    return optimize_global(cdfg, enabled=(name,), delays=delays, checked=checked, oracle=oracle)
+
+
 def optimize_global(
     cdfg: Cdfg,
     enabled: Sequence[str] = STANDARD_SEQUENCE,

@@ -1,0 +1,70 @@
+"""Fingerprint stability and sensitivity.
+
+The cache can only serve bit-identical results if the fingerprint is
+(a) deterministic across independent builds of the same content and
+(b) sensitive to every input the evaluation depends on.
+"""
+
+from repro.cache import (
+    fingerprint_cdfg,
+    fingerprint_content,
+    fingerprint_delays,
+    fingerprint_machine,
+    fingerprint_registers,
+    stable_digest,
+)
+from repro.afsm.extract import extract_controllers
+from repro.channels.model import derive_channels
+from repro.timing.delays import DelayModel
+from repro.workloads import build_diffeq_cdfg, build_gcd_cdfg
+
+
+class TestStability:
+    def test_same_build_same_fingerprint(self):
+        assert fingerprint_cdfg(build_diffeq_cdfg()) == fingerprint_cdfg(build_diffeq_cdfg())
+
+    def test_copy_preserves_fingerprint(self, diffeq):
+        assert fingerprint_cdfg(diffeq.copy()) == fingerprint_cdfg(diffeq)
+
+    def test_content_fingerprint_is_deterministic(self):
+        def build():
+            cdfg = build_diffeq_cdfg()
+            return fingerprint_content(cdfg, derive_channels(cdfg))
+
+        assert build() == build()
+
+    def test_machine_fingerprint_is_deterministic(self):
+        def build():
+            cdfg = build_gcd_cdfg()
+            design = extract_controllers(cdfg, derive_channels(cdfg))
+            fu, controller = next(iter(design.controllers.items()))
+            return fu, fingerprint_machine(controller.machine)
+
+        assert build() == build()
+
+    def test_stable_digest_is_pure(self):
+        assert stable_digest(("a", 1, 2.5)) == stable_digest(("a", 1, 2.5))
+        assert stable_digest(("a",)) != stable_digest(("b",))
+
+
+class TestSensitivity:
+    def test_different_workloads_differ(self, diffeq, gcd):
+        assert fingerprint_cdfg(diffeq) != fingerprint_cdfg(gcd)
+
+    def test_parameter_change_invalidates(self):
+        base = build_diffeq_cdfg()
+        nudged = build_diffeq_cdfg({"x0": 99.0})
+        assert fingerprint_cdfg(base) != fingerprint_cdfg(nudged)
+
+    def test_delay_model_sensitivity(self):
+        assert fingerprint_delays(None) != fingerprint_delays(DelayModel())
+        assert fingerprint_delays(DelayModel()) == fingerprint_delays(DelayModel())
+        tweaked = DelayModel(overrides={("MUL1", None): (5.0, 7.0)})
+        assert fingerprint_delays(DelayModel()) != fingerprint_delays(tweaked)
+
+    def test_register_fingerprint_order_insensitive(self):
+        assert fingerprint_registers({"a": 1.0, "b": 2.0}) == fingerprint_registers(
+            {"b": 2.0, "a": 1.0}
+        )
+        assert fingerprint_registers({"a": 1.0}) != fingerprint_registers({"a": 1.5})
+        assert fingerprint_registers(None) != fingerprint_registers({})

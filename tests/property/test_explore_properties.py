@@ -1,0 +1,55 @@
+"""Property tests for the exploration result machinery.
+
+The sort-based skyline filter in
+:meth:`repro.explore.ExplorationResult.pareto_points` must agree with
+the naive all-pairs dominance scan on any point set — including
+duplicates, total orders, and anti-chains.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore import DesignPoint, ExplorationResult
+
+
+def _point(index: int, objectives) -> DesignPoint:
+    channels, states, makespan = objectives
+    return DesignPoint(
+        global_transforms=(f"GT{index}",),
+        local_transforms=(),
+        channels=channels,
+        total_states=states,
+        total_transitions=states,
+        makespan=float(makespan),
+    )
+
+
+objective_triples = st.tuples(
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=5),
+)
+
+
+class TestParetoSkyline:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(objective_triples, max_size=40))
+    def test_matches_naive_scan(self, triples):
+        result = ExplorationResult(
+            points=[_point(i, t) for i, t in enumerate(triples)]
+        )
+        naive = [
+            point
+            for point in result.points
+            if not any(other.dominates(point) for other in result.points)
+        ]
+        assert result.pareto_points() == naive
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(objective_triples, min_size=1, max_size=40))
+    def test_frontier_is_nonempty_and_undominated(self, triples):
+        result = ExplorationResult(points=[_point(i, t) for i, t in enumerate(triples)])
+        frontier = result.pareto_points()
+        assert frontier
+        for point in frontier:
+            assert not any(other.dominates(point) for other in result.points)

@@ -52,6 +52,24 @@ class TestKernel:
         with pytest.raises(SimulationError):
             kernel.run(max_events=100)
 
+    def test_event_limit_is_per_run(self):
+        # the budget bounds each run() call, not the kernel's lifetime:
+        # a kernel reused across runs must not shrink later budgets
+        kernel = EventKernel()
+        for _ in range(3):
+            for i in range(40):
+                kernel.schedule(float(i), lambda: None)
+            kernel.run(max_events=50)
+        assert kernel.events_processed == 120
+
+    def test_events_processed_stays_cumulative(self):
+        kernel = EventKernel()
+        kernel.schedule(1.0, lambda: None)
+        kernel.run(max_events=10)
+        kernel.schedule(1.0, lambda: None)
+        kernel.run(max_events=10)
+        assert kernel.events_processed == 2
+
     def test_now_advances(self):
         kernel = EventKernel()
         seen = []

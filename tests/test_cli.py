@@ -49,17 +49,49 @@ class TestCli:
         assert "per-pass wall time" in out
         assert "GT1" in out
 
-    def test_explore(self, capsys):
-        assert main(["explore", "gcd"]) == 0
+    def test_explore(self, tmp_path, capsys):
+        assert main(["explore", "gcd", "--cache-dir", str(tmp_path / "cache")]) == 0
         out = capsys.readouterr().out
         assert "Pareto-optimal" in out
         assert "conformant" in out
         assert "NON-CONFORMANT" not in out
+        assert "cache:" in out
+        # second run is served from the cache, bit-identical output
+        assert main(["explore", "gcd", "--cache-dir", str(tmp_path / "cache")]) == 0
+        warm = capsys.readouterr().out
+        assert "0 misses" in warm
 
-    def test_explore_workers(self, capsys):
-        assert main(["explore", "gcd", "--workers", "2"]) == 0
+    def test_explore_no_cache(self, capsys):
+        assert main(["explore", "gcd", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "Pareto-optimal" in out
+        assert "cache:" not in out
+
+    def test_explore_per_point(self, capsys):
+        assert main(["explore", "gcd", "--per-point"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto-optimal" in out
+
+    def test_explore_workers(self, capsys):
+        assert main(["explore", "gcd", "--workers", "2", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto-optimal" in out
+
+    def test_bench(self, tmp_path, capsys):
+        results = tmp_path / "bench.json"
+        args = [
+            "bench", "gcd", "--check", "--no-baseline",
+            "--output", str(results), "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args + ["--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "identical: True" in out
+        assert "no prior run to compare" in out
+        assert results.exists()
+        # a second run finds the recorded history to compare against
+        assert main(args + ["--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "vs last run" in out
 
     def test_verify(self, capsys):
         assert main(["verify", "diffeq", "--runs", "3", "--seed", "0"]) == 0
