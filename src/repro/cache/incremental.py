@@ -37,8 +37,7 @@ cache.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.afsm.extract import DistributedDesign, extract_controllers
@@ -104,6 +103,9 @@ class IncrementalExplorer:
         cache: Optional[ArtifactCache] = None,
         workers: Optional[int] = None,
         check_edges: bool = True,
+        fault_injector=None,
+        point_timeout: Optional[float] = None,
+        retries: int = 2,
     ):
         self.cdfg = cdfg
         self.delays = delays
@@ -112,6 +114,13 @@ class IncrementalExplorer:
         self.golden = golden
         self.cache = cache
         self.workers = workers
+        self.fault_injector = fault_injector
+        self.point_timeout = point_timeout
+        self.retries = retries
+        #: a KeyboardInterrupt stopped the sweep (points are partial)
+        self.interrupted = False
+        #: pool-recovery diagnostics from the last parallel resolve
+        self.pool_diagnostics: Optional[dict] = None
         self._delay_fp = fingerprint_delays(delays)
         self._golden_fp = fingerprint_registers(golden)
         self._seed_key = "nominal" if seed is NOMINAL else repr(seed)
@@ -323,8 +332,8 @@ class IncrementalExplorer:
                             f"failed: register {register} = {got!r}, golden says {value!r}"
                         )
                         break
-        self.evaluations_computed += 1
         return {
+            "status": "ok",
             "channels": design.plan.count(include_env=False),
             "states": sum(c.state_count for c in design.controllers.values()),
             "transitions": sum(c.transition_count for c in design.controllers.values()),
@@ -336,12 +345,37 @@ class IncrementalExplorer:
             "registers": dict(result.registers),
         }
 
+    def _guarded_eval(self, node, lt: Tuple[str, ...]) -> dict:
+        """Per-point guard: any exception becomes a ``failed`` record.
+
+        ``node`` may be a prefix tuple (worker side), resolved inside
+        the guard so transform failures along the trie path fail only
+        the points that need that path.  Failed records are never
+        written to the artifact cache — a warm sweep must re-attempt,
+        not replay, a crash.
+        """
+        from repro.resilience.injection import point_deadline
+
+        try:
+            if isinstance(node, tuple):
+                node = self._node(node)
+            if self.fault_injector is not None:
+                self.fault_injector(node.prefix, lt)
+            with point_deadline(self.point_timeout):
+                return self._compute_eval(node, lt)
+        except (KeyboardInterrupt, AssertionError):
+            raise
+        except Exception as exc:
+            return {"status": "failed", "error": f"{type(exc).__name__}: {exc}"}
+
     # ------------------------------------------------------------------
     # assembly
     # ------------------------------------------------------------------
     def _assemble(self, gt, lt, node: _TrieNode, record: dict):
-        from repro.explore import DesignPoint
+        from repro.explore import DesignPoint, failed_point
 
+        if record.get("status", "ok") != "ok":
+            return failed_point(gt, lt, str(record.get("error", "unknown failure")))
         if self.golden is None:
             conformance = "unchecked"
         elif node.failure is not None:
@@ -384,7 +418,35 @@ class IncrementalExplorer:
             tasks = []
             for gt in global_subsets:
                 prefix = self._normalize_gt(gt)
-                node = self._node(prefix)
+                # a raise-mode injector is applied parent-side, per grid
+                # point, so exactly the targeted points fail (worker-side
+                # evaluations are deduplicated by content and would blur
+                # that); exit-mode injectors must ride into the workers
+                # they are meant to kill
+                if (
+                    self.fault_injector is not None
+                    and getattr(self.fault_injector, "mode", None) == "raise"
+                    and getattr(self.fault_injector, "matches", lambda gt: False)(prefix)
+                ):
+                    try:
+                        self.fault_injector(prefix, ())
+                        error = "injected fault"
+                    except Exception as exc:
+                        error = f"{type(exc).__name__}: {exc}"
+                    for lt in local_subsets:
+                        tasks.append((tuple(gt), tuple(lt), None, error, None))
+                    continue
+                try:
+                    node = self._node(prefix)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    # a transform crash along this trie path fails every
+                    # point that needs the path, nothing else
+                    error = f"{type(exc).__name__}: {exc}"
+                    for lt in local_subsets:
+                        tasks.append((tuple(gt), tuple(lt), None, error, None))
+                    continue
                 for lt in local_subsets:
                     lt_norm = self._normalize_lt(lt)
                     tasks.append((tuple(gt), tuple(lt), node, lt_norm, self._eval_key(node, lt_norm)))
@@ -392,7 +454,7 @@ class IncrementalExplorer:
             missing = []
             claimed = set()
             for __, __, node, lt_norm, key in tasks:
-                if key in self._evals or key in claimed:
+                if node is None or key in self._evals or key in claimed:
                     continue
                 record = self.cache.get(key) if self.cache is not None else None
                 if record is not None:
@@ -405,10 +467,17 @@ class IncrementalExplorer:
 
             self._resolve(missing)
 
-            points = [
-                self._assemble(gt, lt, node, self._evals[key])
-                for gt, lt, node, __, key in tasks
-            ]
+            points = []
+            for gt, lt, node, lt_norm, key in tasks:
+                if node is None:
+                    from repro.explore import failed_point
+
+                    points.append(failed_point(gt, lt, lt_norm))
+                    continue
+                record = self._evals.get(key)
+                if record is None:
+                    continue  # interrupted before this evaluation ran
+                points.append(self._assemble(gt, lt, node, record))
             section.attributes.update(
                 points=len(points),
                 evaluations=len(claimed),
@@ -418,31 +487,49 @@ class IncrementalExplorer:
         return points
 
     def _resolve(self, missing) -> None:
-        """Compute the missing evaluations, serially or on a pool."""
+        """Compute the missing evaluations, serially or on a pool.
+
+        Both paths are fault-tolerant: per-point failures come back as
+        ``failed`` records (never cached), dead workers are retried and
+        degraded to serial, and an interrupt keeps what finished.
+        """
+        from repro.resilience.pool import resilient_map, serial_map
+
         workers = self.workers
         if workers == 0:
             workers = os.cpu_count() or 1
         if workers is not None and workers > 1 and len(missing) > 1:
-            max_workers = min(workers, len(missing))
-            chunksize = max(1, -(-len(missing) // (max_workers * 2)))
             payloads = [(node.prefix, lt) for node, lt, __ in missing]
-            with ProcessPoolExecutor(
-                max_workers=max_workers,
+            records, diagnostics = resilient_map(
+                _evaluate_shared,
+                payloads,
+                max_workers=min(workers, len(missing)),
                 initializer=_init_worker,
-                initargs=(self.cdfg, self.delays, self.seed, self.golden),
-            ) as pool:
-                records = list(pool.map(_evaluate_shared, payloads, chunksize=chunksize))
-            for (node, lt, key), record in zip(missing, records):
-                self.evaluations_computed += 1
-                self._evals[key] = record
-                if self.cache is not None:
-                    self.cache.put(key, record)
+                initargs=(
+                    self.cdfg,
+                    self.delays,
+                    self.seed,
+                    self.golden,
+                    self.fault_injector,
+                    self.point_timeout,
+                ),
+                retries=self.retries,
+            )
         else:
-            for node, lt, key in missing:
-                record = self._compute_eval(node, lt)
-                self._evals[key] = record
-                if self.cache is not None:
-                    self.cache.put(key, record)
+            records, diagnostics = serial_map(
+                lambda item: self._guarded_eval(item[0], item[1]),
+                [(node, lt) for node, lt, __ in missing],
+            )
+        self.interrupted = self.interrupted or diagnostics.interrupted
+        if diagnostics.broken_pools or diagnostics.degraded_serial:
+            self.pool_diagnostics = diagnostics.to_dict()
+        for (node, lt, key), record in zip(missing, records):
+            if record is None:
+                continue  # interrupted before this evaluation ran
+            self.evaluations_computed += 1
+            self._evals[key] = record
+            if self.cache is not None and record.get("status", "ok") == "ok":
+                self.cache.put(key, record)
 
 
 # ----------------------------------------------------------------------
@@ -453,7 +540,7 @@ class IncrementalExplorer:
 _WORKER: Optional[IncrementalExplorer] = None
 
 
-def _init_worker(cdfg: Cdfg, delays, seed, golden) -> None:
+def _init_worker(cdfg: Cdfg, delays, seed, golden, injector=None, timeout=None) -> None:
     global _WORKER
     _WORKER = IncrementalExplorer(
         cdfg,
@@ -463,9 +550,11 @@ def _init_worker(cdfg: Cdfg, delays, seed, golden) -> None:
         cache=None,
         workers=None,
         check_edges=False,
+        fault_injector=injector,
+        point_timeout=timeout,
     )
 
 
 def _evaluate_shared(payload: Tuple[Tuple[str, ...], Tuple[str, ...]]) -> dict:
     prefix, lt = payload
-    return _WORKER._compute_eval(_WORKER._node(prefix), lt)
+    return _WORKER._guarded_eval(prefix, lt)

@@ -61,23 +61,58 @@ class ArtifactCache:
         return self.directory / self.filename
 
     def load(self) -> int:
-        """Merge the on-disk records into memory; returns the count."""
+        """Merge the on-disk records into memory; returns the count.
+
+        A cache that cannot be parsed is *quarantined* — renamed to
+        ``<name>.corrupt-<timestamp>`` with a one-line warning — so the
+        run proceeds cold without silently overwriting the evidence of
+        what corrupted it.  A version mismatch is not corruption (the
+        file belongs to another format) and just reads as cold.
+        """
         path = self.path
         if path is None or not path.exists():
             return 0
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
-        except (ValueError, OSError):
-            return 0  # corrupt cache: treat as cold, it will be rewritten
-        if not isinstance(data, dict) or data.get("version") != _FORMAT_VERSION:
+        except OSError:
+            return 0  # unreadable (permissions, transient IO): treat as cold
+        except ValueError:
+            self._quarantine(path, "not valid JSON")
+            return 0
+        if not isinstance(data, dict):
+            self._quarantine(path, "top-level payload is not an object")
+            return 0
+        if data.get("version") != _FORMAT_VERSION:
             return 0
         entries = data.get("entries")
         if not isinstance(entries, dict):
+            self._quarantine(path, "'entries' is not an object")
             return 0
         for key, record in entries.items():
             self.memory.setdefault(key, record)
         self.loaded_entries = len(entries)
         return self.loaded_entries
+
+    @staticmethod
+    def _quarantine(path: Path, reason: str) -> None:
+        import time
+        import warnings
+
+        stamp = time.strftime("%Y%m%dT%H%M%S")
+        target = path.with_name(f"{path.name}.corrupt-{stamp}")
+        counter = 0
+        while target.exists():
+            counter += 1
+            target = path.with_name(f"{path.name}.corrupt-{stamp}-{counter}")
+        try:
+            os.replace(path, target)
+        except OSError:
+            return  # cannot rename (read-only dir): cold run, file stays
+        warnings.warn(
+            f"quarantined corrupt artifact cache {path} -> {target.name} ({reason})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def save(self) -> Optional[Path]:
         """Atomically persist every record; no-op without a directory."""

@@ -15,6 +15,8 @@ Commands
 ``bench``       time the exploration sweep cold/warm and append the
                 result to ``BENCH_scaling.json``
 ``verify``      conformance-fuzz the flow against the golden reference
+``faults``      delay-fault campaign: GT3 slack margins, GT5 channel
+                skew tolerance, seeded randomized fault trials
 ``dot``         export the (optionally optimized) CDFG as Graphviz
 ``vcd``         dump a VCD waveform of a system simulation
 """
@@ -239,15 +241,53 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     cache = None
     if args.cache and not args.per_point:
         cache = ArtifactCache(args.cache_dir or DEFAULT_CACHE_DIR)
-    result = explore_design_space(
-        cdfg,
-        workers=args.workers,
-        incremental=not args.per_point,
-        cache=cache,
-    )
+    injector = None
+    if args.inject_fail is not None:
+        from repro.resilience import parse_inject_spec
+
+        injector = parse_inject_spec(args.inject_fail)
+    try:
+        result = explore_design_space(
+            cdfg,
+            workers=args.workers,
+            incremental=not args.per_point,
+            cache=cache,
+            fault_injector=injector,
+            point_timeout=args.timeout,
+        )
+    except KeyboardInterrupt:
+        # interrupted outside the evaluation loop: nothing to report,
+        # but whatever the cache already holds is worth keeping
+        if cache is not None and cache.directory is not None:
+            cache.save()
+        print("interrupted before any results completed")
+        return 130
+    interrupted = bool(result.stats.get("interrupted"))
     frontier = result.pareto_points()
-    rows = [
-        (
+    headers = [
+        "configuration",
+        "channels",
+        "states",
+        "makespan",
+        "provenance",
+        "bottleneck",
+        "conformant",
+    ]
+    probes = {}
+    if args.faults:
+        from repro.resilience import quick_probe
+        from repro.sim.seeding import NOMINAL
+        from repro.sim.token_sim import simulate_tokens
+
+        headers.append("faults")
+        golden = simulate_tokens(cdfg, seed=NOMINAL).registers
+        for point in frontier:
+            probes[point.global_transforms] = quick_probe(
+                cdfg, point.global_transforms, seed=args.seed, golden=golden
+            )
+    rows = []
+    for point in sorted(frontier, key=lambda p: p.objectives()):
+        row = [
             point.label,
             point.channels,
             point.total_states,
@@ -255,37 +295,37 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             point.provenance_records,
             point.bottleneck or "-",
             "yes" if point.conformant else "NO",
-        )
-        for point in sorted(frontier, key=lambda p: p.objectives())
-    ]
-    print(
-        render_table(
-            (
-                "configuration",
-                "channels",
-                "states",
-                "makespan",
-                "provenance",
-                "bottleneck",
-                "conformant",
-            ),
-            rows,
-        )
-    )
-    print(f"{len(frontier)} Pareto-optimal of {len(result.points)} explored points")
+        ]
+        if args.faults:
+            row.append(probes[point.global_transforms])
+        rows.append(tuple(row))
+    print(render_table(tuple(headers), rows))
+    summary = f"{len(frontier)} Pareto-optimal of {len(result.points)} explored points"
+    if interrupted:
+        summary += " (interrupted — partial sweep)"
+    print(summary)
     if cache is not None:
         stats = cache.stats()
         print(
             f"cache: {stats['hits']} hits, {stats['misses']} misses, "
             f"{stats['entries']} entries in {cache.path}"
         )
-    bad = [point for point in result.points if not point.conformant]
+    failed = result.failed_points()
+    if failed:
+        print(f"{len(failed)} FAILED points (excluded from the frontier):")
+        for point in failed:
+            print(f"  {point.label}: {point.error}")
+    bad = [point for point in result.points if point.status == "ok" and not point.conformant]
     if bad:
         print(f"{len(bad)} NON-CONFORMANT points:")
         for point in bad:
             print(f"  {point.label}: {point.conformance}")
-        return 1
-    return 0
+    if interrupted:
+        return 130
+    if result.points and len(failed) == len(result.points):
+        print("every point failed to evaluate")
+        return 2
+    return 1 if bad else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -372,6 +412,27 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"wrote {args.json}")
     return 0 if all(report.conformant for report in reports) else 1
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.resilience import run_campaign
+
+    report = run_campaign(
+        args.workload,
+        seed=args.seed,
+        trials=args.trials,
+        scale_max=args.scale_max,
+        magnitude_max=args.magnitude,
+    )
+    print(report.summary())
+    failed_trials = [trial for trial in report.trials if not trial.ok]
+    for trial in failed_trials:
+        print(f"  trial {trial.index}: {trial.status} — {trial.detail}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"wrote {args.json}")
+    return 0 if report.healthy else 1
 
 
 def _cmd_dot(args: argparse.Namespace) -> int:
@@ -472,6 +533,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the historical fully-independent per-point path",
     )
+    explore.add_argument(
+        "--faults",
+        action="store_true",
+        help="add a fault-campaign verdict column to the frontier table",
+    )
+    explore.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the --faults probes (default 0)",
+    )
+    explore.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-point wall-clock deadline in seconds (timed-out points fail)",
+    )
+    explore.add_argument(
+        "--inject-fail",
+        default=None,
+        metavar="SPEC",
+        help="deterministically fail the GT subsets in SPEC, e.g. "
+        "'GT1+GT2,GT3' ('-' for the no-GT point) — for testing the "
+        "fault-tolerant sweep",
+    )
 
     bench = sub.add_parser(
         "bench", help="benchmark the exploration sweep and record BENCH_scaling.json"
@@ -534,6 +620,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="report failing cases as found, without minimization",
     )
 
+    faults = sub.add_parser(
+        "faults",
+        help="delay-fault campaign: GT3 slack, GT5 skew, randomized trials",
+    )
+    faults.add_argument("workload", choices=sorted(WORKLOADS))
+    faults.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
+    faults.add_argument(
+        "--trials", type=int, default=8, help="randomized fault trials (default 8)"
+    )
+    faults.add_argument(
+        "--scale-max",
+        type=float,
+        default=16.0,
+        help="cap of the geometric slowdown ladder (default 16)",
+    )
+    faults.add_argument(
+        "--magnitude",
+        type=float,
+        default=1.0,
+        help="largest random fault magnitude (default 1.0 = 2x slowdown)",
+    )
+    faults.add_argument(
+        "--json", default=None, help="write the campaign report to this path"
+    )
+
     dot = sub.add_parser("dot", help="export a CDFG as Graphviz")
     dot.add_argument("workload", choices=sorted(WORKLOADS))
     dot.add_argument("--optimized", action="store_true")
@@ -553,6 +664,7 @@ def main(argv: Optional[list] = None) -> int:
         "explore": _cmd_explore,
         "bench": _cmd_bench,
         "verify": _cmd_verify,
+        "faults": _cmd_faults,
         "dot": _cmd_dot,
         "vcd": _cmd_vcd,
     }

@@ -75,6 +75,52 @@ class VerificationError(ReproError):
     """
 
 
+class DeadlockError(SimulationError):
+    """The simulation quiesced with unfired operations.
+
+    Beyond the human-readable message, the exception carries the
+    watchdog's structured diagnosis so resilience tooling (fault
+    campaigns, exploration sweeps) can report *which* channels and
+    nodes were blocked instead of re-parsing the message:
+
+    ``time``
+        simulation time at quiescence;
+    ``waiting``
+        one dict per blocked node — ``{"node", "missing", "held"}``,
+        the arcs whose tokens never arrived vs the ones already held;
+    ``blocked_channels``
+        arc keys (and channel names, when a plan was active) the
+        missing tokens would have travelled on;
+    ``recent_events``
+        labels of the last executed causal-trace events before the
+        stall (empty when the run was not traced).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        time: float = 0.0,
+        waiting: tuple = (),
+        blocked_channels: tuple = (),
+        recent_events: tuple = (),
+    ):
+        self.time = time
+        self.waiting = list(waiting)
+        self.blocked_channels = list(blocked_channels)
+        self.recent_events = list(recent_events)
+        super().__init__(message)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by fault-campaign reports)."""
+        return {
+            "time": self.time,
+            "waiting": list(self.waiting),
+            "blocked_channels": list(self.blocked_channels),
+            "recent_events": list(self.recent_events),
+            "message": str(self),
+        }
+
+
 class ChannelSafetyError(SimulationError):
     """Two transitions were outstanding on a single-wire channel.
 

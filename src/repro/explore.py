@@ -14,7 +14,6 @@ resulting design points, and extract the Pareto frontier.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -52,6 +51,12 @@ class DesignPoint:
     provenance_records: int = 0
     #: dominant label group on the simulation's critical path
     bottleneck: str = ""
+    #: "ok", or "failed" when the point's evaluation raised instead of
+    #: producing a design (crash, timeout, injected fault) — failed
+    #: points carry zeroed metrics and are excluded from the frontier
+    status: str = "ok"
+    #: the exception that failed the point (empty when status == "ok")
+    error: str = ""
 
     @property
     def label(self) -> str:
@@ -83,7 +88,8 @@ class ExplorationResult:
         far suffices to reject it — O(n log n + n·k) for k skyline
         points instead of the naive all-pairs O(n²) scan.
         """
-        order = sorted(range(len(self.points)), key=lambda i: self.points[i].objectives())
+        candidates = [i for i in range(len(self.points)) if self.points[i].status == "ok"]
+        order = sorted(candidates, key=lambda i: self.points[i].objectives())
         skyline: List[DesignPoint] = []
         keep = set()
         for index in order:
@@ -92,6 +98,10 @@ class ExplorationResult:
                 skyline.append(point)
                 keep.add(index)
         return [point for index, point in enumerate(self.points) if index in keep]
+
+    def failed_points(self) -> List[DesignPoint]:
+        """Points whose evaluation crashed or timed out."""
+        return [point for point in self.points if point.status != "ok"]
 
     def best(self, objective: str) -> DesignPoint:
         """The single best point for one objective
@@ -105,7 +115,10 @@ class ExplorationResult:
             key = keys[objective]
         except KeyError:
             raise ValueError(f"unknown objective {objective!r}") from None
-        return min(self.points, key=key)
+        candidates = [point for point in self.points if point.status == "ok"]
+        if not candidates:
+            raise ValueError("no successfully evaluated points")
+        return min(candidates, key=key)
 
 
 def evaluate_point(
@@ -199,15 +212,38 @@ def evaluate_point(
     )
 
 
-#: per-point worker context: (cdfg, delays, seed, reference, golden).
+def failed_point(
+    global_transforms: Sequence[str],
+    local_transforms: Sequence[str],
+    error: str,
+) -> DesignPoint:
+    """The zeroed ``status="failed"`` stand-in for a crashed evaluation."""
+    return DesignPoint(
+        global_transforms=tuple(global_transforms),
+        local_transforms=tuple(local_transforms),
+        channels=0,
+        total_states=0,
+        total_transitions=0,
+        makespan=0.0,
+        conformant=False,
+        conformance=f"failed: {error}",
+        status="failed",
+        error=error,
+    )
+
+
+#: per-point worker context:
+#: (cdfg, delays, seed, reference, golden, injector, timeout).
 #: Shipped once per process via the pool initializer so the payloads
 #: are tiny (gt, lt) tuples instead of 64 pickled copies of the CDFG.
 _POINT_CONTEXT: Optional[Tuple] = None
 
 
-def _init_point_context(cdfg, delays, seed, reference, golden) -> None:
+def _init_point_context(
+    cdfg, delays, seed, reference, golden, injector=None, timeout=None
+) -> None:
     global _POINT_CONTEXT
-    _POINT_CONTEXT = (cdfg, delays, seed, reference, golden)
+    _POINT_CONTEXT = (cdfg, delays, seed, reference, golden, injector, timeout)
 
 
 def _evaluate_config(payload: Tuple[Tuple[str, ...], Tuple[str, ...]]) -> DesignPoint:
@@ -216,18 +252,36 @@ def _evaluate_config(payload: Tuple[Tuple[str, ...], Tuple[str, ...]]) -> Design
     Module-level so :class:`~concurrent.futures.ProcessPoolExecutor`
     can pickle it; also used by the serial path so both paths share
     one code path per point.
+
+    One bad grid point must not kill the sweep: any exception out of
+    the evaluation (a transform bug, a timeout, an injected fault)
+    becomes a ``status="failed"`` design point.  ``reference``
+    mismatches keep their historical raise-on-mismatch contract, and
+    ``KeyboardInterrupt`` always propagates to the resilient map.
     """
+    from repro.resilience.injection import point_deadline
+
     global_transforms, local_transforms = payload
-    cdfg, delays, seed, reference, golden = _POINT_CONTEXT
-    return evaluate_point(
-        cdfg,
-        global_transforms,
-        local_transforms,
-        delays=delays,
-        seed=seed,
-        reference=reference,
-        golden=golden,
-    )
+    cdfg, delays, seed, reference, golden, injector, timeout = _POINT_CONTEXT
+    try:
+        if injector is not None:
+            injector(global_transforms, local_transforms)
+        with point_deadline(timeout):
+            return evaluate_point(
+                cdfg,
+                global_transforms,
+                local_transforms,
+                delays=delays,
+                seed=seed,
+                reference=reference,
+                golden=golden,
+            )
+    except (KeyboardInterrupt, AssertionError):
+        raise
+    except Exception as exc:
+        return failed_point(
+            global_transforms, local_transforms, f"{type(exc).__name__}: {exc}"
+        )
 
 
 def explore_design_space(
@@ -242,6 +296,9 @@ def explore_design_space(
     incremental: bool = True,
     cache: Optional["ArtifactCache"] = None,
     cache_dir: Optional[str] = None,
+    fault_injector=None,
+    point_timeout: Optional[float] = None,
+    retries: int = 2,
 ) -> ExplorationResult:
     """Evaluate a grid of transform configurations.
 
@@ -272,6 +329,16 @@ def explore_design_space(
     under the per-pass oracles with zero violations or hazards —
     non-conformant points survive in the result, flagged via
     :attr:`DesignPoint.conformant` / :attr:`DesignPoint.conformance`.
+
+    The sweep is fault-tolerant: a grid point whose evaluation raises
+    (or exceeds ``point_timeout`` seconds of wall clock) becomes a
+    ``status="failed"`` point instead of aborting the sweep; a worker
+    process dying rebuilds the pool and retries the unfinished points
+    up to ``retries`` times with exponential backoff before degrading
+    to serial evaluation; ``KeyboardInterrupt`` returns the completed
+    points with ``stats["interrupted"]`` set.  ``fault_injector`` (see
+    :mod:`repro.resilience.injection`) deterministically fails chosen
+    points — the hook CI uses to prove all of the above.
     """
     golden = simulate_tokens(cdfg, seed=NOMINAL).registers if verify else None
     if global_subsets is None:
@@ -298,6 +365,9 @@ def explore_design_space(
             golden=golden,
             cache=store,
             workers=workers,
+            fault_injector=fault_injector,
+            point_timeout=point_timeout,
+            retries=retries,
         )
         result = ExplorationResult(points=engine.run(global_subsets, local_subsets))
         if store is not None:
@@ -308,6 +378,13 @@ def explore_design_space(
             evaluations=engine.evaluations_computed,
             edges=engine.edges_applied,
         )
+        if engine.interrupted:
+            result.stats["interrupted"] = True
+        if engine.pool_diagnostics is not None:
+            result.stats["pool"] = engine.pool_diagnostics
+        failed = len(result.failed_points())
+        if failed:
+            result.stats["failed"] = failed
         return result
 
     payloads = [
@@ -316,20 +393,32 @@ def explore_design_space(
         for local_transforms in local_subsets
     ]
 
+    from repro.resilience.pool import resilient_map, serial_map
+
     result = ExplorationResult()
+    initargs = (cdfg, delays, seed, reference, golden, fault_injector, point_timeout)
     if workers == 0:
         workers = os.cpu_count() or 1
     if workers is not None and workers > 1 and len(payloads) > 1:
-        max_workers = min(workers, len(payloads))
-        chunksize = max(1, -(-len(payloads) // (max_workers * 2)))
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
+        points, diagnostics = resilient_map(
+            _evaluate_config,
+            payloads,
+            max_workers=min(workers, len(payloads)),
             initializer=_init_point_context,
-            initargs=(cdfg, delays, seed, reference, golden),
-        ) as pool:
-            result.points.extend(pool.map(_evaluate_config, payloads, chunksize=chunksize))
+            initargs=initargs,
+            retries=retries,
+        )
     else:
-        _init_point_context(cdfg, delays, seed, reference, golden)
-        result.points.extend(map(_evaluate_config, payloads))
-    result.stats["evaluations"] = len(payloads)
+        points, diagnostics = serial_map(
+            _evaluate_config, payloads, initializer=_init_point_context, initargs=initargs
+        )
+    result.points.extend(point for point in points if point is not None)
+    result.stats["evaluations"] = len(result.points)
+    if diagnostics.interrupted:
+        result.stats["interrupted"] = True
+    if diagnostics.broken_pools or diagnostics.degraded_serial:
+        result.stats["pool"] = diagnostics.to_dict()
+    failed = len(result.failed_points())
+    if failed:
+        result.stats["failed"] = failed
     return result

@@ -1,0 +1,481 @@
+"""Delay-fault campaigns: stress the assumption-dependent transforms.
+
+GT3 deletes constraint arcs justified only by relative-timing proofs
+over the delay model's ``[min, max]`` intervals; GT5 merges channels
+whose safety rests on the serialization GT5.2 inserted.  Both edits
+are *assumption-dependent*: they are provably safe inside the model,
+and silently unsafe outside it.  A fault campaign measures how far
+outside the model a design can drift before it breaks:
+
+1. **GT3 slack sweep** — for every arc GT3 removed, slow the FU that
+   sourced the arc (the event the proof said would "never be last")
+   through a geometric ladder of scale factors.  At each factor the
+   never-last proof is *re-derived* on the pre-GT3 graph under the
+   faulted delay model (would GT3 still remove this arc?), and the
+   transformed design is re-simulated against the golden register
+   file.  The largest factor passing both is the removal's *measured
+   timing slack*; the first failure distinguishes
+   ``proof-invalidated`` (the timing argument no longer holds — the
+   design has left its validated envelope, even if this run happened
+   to survive) from an observable simulation failure.
+2. **GT5 skew sweep** — for every merged multi-arc channel, lag each
+   receiving FU the same way and watch the merged-wire occupancy
+   checker: a violation means two events were simultaneously
+   outstanding on one wire, the exact failure GT5's concurrency
+   argument must exclude.
+3. **Randomized trials** — seeded :class:`~repro.resilience.faults.FaultPlan`
+   draws perturb arbitrary ``(fu, operator)`` delays; each trial must
+   keep the golden registers, stay violation-free, and hold the
+   analytic makespan bound ``nominal x worst-case-slowdown``.
+
+Everything is deterministic in the campaign seed: the same seed
+produces a bit-identical JSON report (no wall-clock anywhere in it),
+so a verdict in CI can be replayed locally from the report alone.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.obs.spans import span
+from repro.resilience.faults import FaultPlan, FaultSpec, fault_targets, unit_slowdown
+from repro.sim.seeding import NOMINAL
+from repro.sim.token_sim import simulate_tokens
+from repro.timing.delays import DelayModel
+from repro.transforms import optimize_global
+from repro.transforms.scripts import STANDARD_SEQUENCE
+
+#: default geometric ladder of slowdown factors for the sweeps
+DEFAULT_SCALE_LADDER = (1.5, 2.0, 4.0, 8.0, 16.0)
+
+#: float-comparison guard for the makespan bound
+_BOUND_EPS = 1e-9
+
+
+@dataclass
+class ArcSlackEntry:
+    """Measured timing slack of one GT3 arc removal."""
+
+    arc: str
+    src: str
+    dst: str
+    fu: str
+    operators: List[str]
+    witness: str
+    #: largest slowdown factor that still reproduced the golden run
+    max_passing_scale: float
+    #: first factor that broke it (None: survived the whole ladder)
+    failing_scale: Optional[float] = None
+    failure_mode: Optional[str] = None
+    failure_detail: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class ChannelSkewEntry:
+    """Occupancy behaviour of one GT5-merged channel under skew."""
+
+    channel: str
+    src_fu: str
+    stressed_fu: str
+    arcs: int
+    #: first skew factor that produced an occupancy violation
+    first_violating_skew: Optional[float] = None
+    detail: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class FaultTrial:
+    """One randomized delay-fault simulation."""
+
+    index: int
+    plan: Dict[str, object]
+    status: str  # ok | register-mismatch | violation | deadlock | error | bound-exceeded
+    detail: Optional[str] = None
+    makespan: Optional[float] = None
+    makespan_bound: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class CampaignReport:
+    """Deterministic outcome of one fault campaign."""
+
+    workload: str
+    seed: int
+    trials_requested: int
+    scale_ladder: List[float] = field(default_factory=list)
+    magnitude_max: float = 1.0
+    baseline_conformant: bool = False
+    baseline_detail: Optional[str] = None
+    nominal_makespan: float = 0.0
+    arc_slack: List[ArcSlackEntry] = field(default_factory=list)
+    channel_skew: List[ChannelSkewEntry] = field(default_factory=list)
+    trials: List[FaultTrial] = field(default_factory=list)
+
+    @property
+    def trials_ok(self) -> int:
+        return sum(1 for trial in self.trials if trial.ok)
+
+    @property
+    def healthy(self) -> bool:
+        """The zero-fault baseline reproduced the golden run."""
+        return self.baseline_conformant
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "trials_requested": self.trials_requested,
+            "scale_ladder": list(self.scale_ladder),
+            "magnitude_max": self.magnitude_max,
+            "baseline_conformant": self.baseline_conformant,
+            "baseline_detail": self.baseline_detail,
+            "nominal_makespan": self.nominal_makespan,
+            "arc_slack": [entry.to_dict() for entry in self.arc_slack],
+            "channel_skew": [entry.to_dict() for entry in self.channel_skew],
+            "trials": [trial.to_dict() for trial in self.trials],
+            "trials_ok": self.trials_ok,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CampaignReport":
+        report = cls(
+            workload=str(payload["workload"]),
+            seed=int(payload["seed"]),  # type: ignore[arg-type]
+            trials_requested=int(payload["trials_requested"]),  # type: ignore[arg-type]
+            scale_ladder=[float(x) for x in payload.get("scale_ladder", [])],  # type: ignore[union-attr]
+            magnitude_max=float(payload.get("magnitude_max", 1.0)),  # type: ignore[arg-type]
+            baseline_conformant=bool(payload.get("baseline_conformant")),
+            baseline_detail=payload.get("baseline_detail"),  # type: ignore[arg-type]
+            nominal_makespan=float(payload.get("nominal_makespan", 0.0)),  # type: ignore[arg-type]
+        )
+        report.arc_slack = [ArcSlackEntry(**item) for item in payload.get("arc_slack", [])]  # type: ignore[union-attr]
+        report.channel_skew = [
+            ChannelSkewEntry(**item) for item in payload.get("channel_skew", [])  # type: ignore[union-attr]
+        ]
+        report.trials = [FaultTrial(**item) for item in payload.get("trials", [])]  # type: ignore[union-attr]
+        return report
+
+    def summary(self) -> str:
+        verdict = "HEALTHY" if self.healthy else "BASELINE NON-CONFORMANT"
+        lines = [
+            f"{self.workload}: {verdict} — {self.trials_ok}/{len(self.trials)} fault "
+            f"trials ok, {len(self.arc_slack)} GT3 removals swept, "
+            f"{len(self.channel_skew)} merged channels skewed (seed {self.seed})"
+        ]
+        for entry in self.arc_slack:
+            fate = (
+                f"fails at x{entry.failing_scale:g} ({entry.failure_mode})"
+                if entry.failing_scale is not None
+                else "never failed"
+            )
+            lines.append(
+                f"  GT3 slack {entry.arc}: {entry.fu} up to x{entry.max_passing_scale:g}, {fate}"
+            )
+        for entry in self.channel_skew:
+            fate = (
+                f"occupancy violation at x{entry.first_violating_skew:g}"
+                if entry.first_violating_skew is not None
+                else "safe across the ladder"
+            )
+            lines.append(
+                f"  GT5 skew {entry.channel} (lagging {entry.stressed_fu}): {fate}"
+            )
+        return "\n".join(lines)
+
+
+def load_report(path: str) -> CampaignReport:
+    with open(path, "r", encoding="utf-8") as handle:
+        return CampaignReport.from_dict(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# simulation verdicts
+# ----------------------------------------------------------------------
+def _simulate_verdict(
+    cdfg,
+    delays: DelayModel,
+    golden: Dict[str, float],
+    channel_plan=None,
+) -> Tuple[str, Optional[str], Optional[float]]:
+    """(status, detail, makespan) of one faulted nominal-mode run."""
+    try:
+        result = simulate_tokens(
+            cdfg,
+            delay_model=delays,
+            seed=NOMINAL,
+            strict=False,
+            channel_plan=channel_plan,
+        )
+    except DeadlockError as exc:
+        return "deadlock", str(exc), None
+    except SimulationError as exc:
+        return "error", str(exc), None
+    if result.violations:
+        return "violation", result.violations[0], result.end_time
+    for register, value in golden.items():
+        got = result.registers.get(register)
+        if got != value:
+            return (
+                "register-mismatch",
+                f"register {register} = {got!r}, golden says {value!r}",
+                result.end_time,
+            )
+    return "ok", None, result.end_time
+
+
+def scale_ladder(scale_max: float = 16.0) -> Tuple[float, ...]:
+    """The geometric slowdown ladder, clipped at ``scale_max``."""
+    return tuple(factor for factor in DEFAULT_SCALE_LADDER if factor <= scale_max)
+
+
+# ----------------------------------------------------------------------
+# the campaign
+# ----------------------------------------------------------------------
+def run_campaign(
+    workload: str,
+    seed: int = 0,
+    trials: int = 8,
+    scale_max: float = 16.0,
+    magnitude_max: float = 1.0,
+    delays: Optional[DelayModel] = None,
+    enabled: Optional[Sequence[str]] = None,
+) -> CampaignReport:
+    """Run a full fault campaign on ``workload``; fully deterministic.
+
+    ``enabled`` restricts the global-transform script (default: the
+    whole canonical GT1..GT5 sequence).  The report carries no
+    wall-clock data, so two runs with equal arguments produce
+    bit-identical JSON.
+    """
+    from repro.workloads import build_workload
+
+    with span("resilience/campaign", workload=workload, seed=seed):
+        cdfg = build_workload(workload)
+        base = delays or DelayModel()
+        ladder = scale_ladder(scale_max)
+        report = CampaignReport(
+            workload=workload,
+            seed=seed,
+            trials_requested=trials,
+            scale_ladder=list(ladder),
+            magnitude_max=magnitude_max,
+        )
+
+        golden = simulate_tokens(cdfg, seed=NOMINAL).registers
+        script = tuple(enabled) if enabled is not None else STANDARD_SEQUENCE
+        optimized = optimize_global(cdfg, enabled=script, delays=base)
+        plan = optimized.plan
+
+        status, detail, makespan = _simulate_verdict(
+            optimized.cdfg, base, golden, channel_plan=plan
+        )
+        report.baseline_conformant = status == "ok"
+        report.baseline_detail = detail
+        report.nominal_makespan = makespan if makespan is not None else 0.0
+
+        report.arc_slack = _sweep_gt3_slack(
+            cdfg, script, optimized, base, golden, plan, ladder
+        )
+        report.channel_skew = _sweep_gt5_skew(optimized, base, golden, plan, ladder)
+        report.trials = _run_trials(
+            optimized, base, golden, plan, seed, trials, magnitude_max,
+            nominal_makespan=report.nominal_makespan,
+        )
+    return report
+
+
+def _proof_still_holds(
+    base_cdfg, pre_gt3_script, faulted: DelayModel, src: str, dst: str
+) -> bool:
+    """Would GT3 still remove ``src -> dst`` under the faulted model?
+
+    Re-derives the never-last proof exactly as GT3 does — iterative
+    removals on the pre-GT3 graph — rather than replaying a cached
+    witness, because earlier removals can change which witness (if
+    any) carries a later proof.
+    """
+    from repro.transforms.gt3_relative_timing import RelativeTimingOptimization
+
+    pre = optimize_global(base_cdfg, enabled=pre_gt3_script, delays=faulted).cdfg
+    rerun = RelativeTimingOptimization(delays=faulted).apply(pre)
+    for record in rerun.provenance:
+        if record.kind != "timed-arc-removed":
+            continue
+        if record.detail.get("src") == src and record.detail.get("dst") == dst:
+            return True
+    return False
+
+
+def _sweep_gt3_slack(
+    base_cdfg, script, optimized, base, golden, plan, ladder
+) -> List[ArcSlackEntry]:
+    """Stress every GT3-removed arc's source FU through the ladder."""
+    try:
+        gt3 = optimized.report("GT3")
+    except KeyError:
+        return []
+    # the graph exactly as GT3 saw it: canonical-order transforms up to GT3
+    pre_gt3_script = tuple(
+        name for name in STANDARD_SEQUENCE if name in script and name < "GT3"
+    )
+    entries: List[ArcSlackEntry] = []
+    for record in gt3.provenance:
+        if record.kind != "timed-arc-removed":
+            continue
+        fu = str(record.detail.get("fu", ""))
+        src = str(record.detail.get("src", ""))
+        dst = str(record.detail.get("dst", ""))
+        operators = [str(op) for op in record.detail.get("operators", [])] or [None]
+        entry = ArcSlackEntry(
+            arc=record.subject,
+            src=src,
+            dst=dst,
+            fu=fu,
+            operators=[op for op in operators if op is not None],
+            witness=str(record.detail.get("witness", "")),
+            max_passing_scale=1.0,
+        )
+        for factor in ladder:
+            specs = tuple(
+                FaultSpec(kind="scale", fu=fu, operator=op, magnitude=factor - 1.0)
+                for op in operators
+            )
+            faulted = FaultPlan(seed=0, specs=specs).apply(base)
+            status, detail, __ = _simulate_verdict(
+                optimized.cdfg, faulted, golden, channel_plan=plan
+            )
+            if status == "ok" and not _proof_still_holds(
+                base_cdfg, pre_gt3_script, faulted, src, dst
+            ):
+                status = "proof-invalidated"
+                detail = (
+                    f"at x{factor:g} the never-last proof for {src} -> {dst} "
+                    f"no longer holds (simulation still conformant, but the "
+                    f"removal is outside its validated timing envelope)"
+                )
+            if status == "ok":
+                entry.max_passing_scale = factor
+            else:
+                entry.failing_scale = factor
+                entry.failure_mode = status
+                entry.failure_detail = detail
+                break
+        entries.append(entry)
+    return entries
+
+
+def _sweep_gt5_skew(optimized, base, golden, plan, ladder) -> List[ChannelSkewEntry]:
+    """Lag each receiver of every merged multi-arc channel."""
+    from repro.cdfg.graph import ENV
+
+    entries: List[ChannelSkewEntry] = []
+    for channel in plan.controller_channels():
+        if len(channel.arcs) < 2:
+            continue
+        for stressed in sorted(fu for fu in channel.dst_fus if fu != ENV):
+            entry = ChannelSkewEntry(
+                channel=channel.name,
+                src_fu=channel.src_fu,
+                stressed_fu=stressed,
+                arcs=len(channel.arcs),
+            )
+            for factor in ladder:
+                specs = unit_slowdown(optimized.cdfg, stressed, factor - 1.0)
+                if not specs:
+                    break
+                faulted = FaultPlan(seed=0, specs=specs).apply(base)
+                status, detail, __ = _simulate_verdict(
+                    optimized.cdfg, faulted, golden, channel_plan=plan
+                )
+                if status == "violation" and f"channel {channel.name}" in (detail or ""):
+                    entry.first_violating_skew = factor
+                    entry.detail = detail
+                    break
+            entries.append(entry)
+    return entries
+
+
+def _run_trials(
+    optimized, base, golden, plan, seed, trials, magnitude_max, nominal_makespan
+) -> List[FaultTrial]:
+    """Seeded randomized fault plans on the fully transformed design."""
+    targets = fault_targets(optimized.cdfg)
+    results: List[FaultTrial] = []
+    for index in range(trials):
+        fault_plan = FaultPlan.generate(
+            targets, seed=seed * 1_000_003 + index, magnitude_max=magnitude_max
+        )
+        faulted = fault_plan.apply(base)
+        status, detail, makespan = _simulate_verdict(
+            optimized.cdfg, faulted, golden, channel_plan=plan
+        )
+        bound = nominal_makespan * fault_plan.worst_case_slowdown() + _BOUND_EPS
+        if status == "ok" and makespan is not None and makespan > bound:
+            status = "bound-exceeded"
+            detail = f"makespan {makespan} exceeds bound {bound}"
+        results.append(
+            FaultTrial(
+                index=index,
+                plan=fault_plan.to_dict(),
+                status=status,
+                detail=detail,
+                makespan=makespan,
+                makespan_bound=bound,
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# fast per-point probe for `repro explore --faults`
+# ----------------------------------------------------------------------
+def quick_probe(
+    cdfg,
+    global_transforms: Sequence[str],
+    delays: Optional[DelayModel] = None,
+    seed: int = 0,
+    trials: int = 3,
+    magnitude_max: float = 0.5,
+    golden: Optional[Dict[str, float]] = None,
+) -> str:
+    """A tiny fault verdict for one exploration point.
+
+    Token-level only (local transforms do not change token semantics):
+    re-synthesizes the point's GT subset, runs ``trials`` seeded fault
+    plans, and folds the verdicts into a short column value —
+    ``ok(n)`` when all pass, else ``FAIL@<trial>:<status>``.
+    """
+    base = delays or DelayModel()
+    if golden is None:
+        golden = simulate_tokens(cdfg, seed=NOMINAL).registers
+    optimized = optimize_global(cdfg, enabled=tuple(global_transforms), delays=base)
+    targets = fault_targets(optimized.cdfg)
+    for index in range(trials):
+        fault_plan = FaultPlan.generate(
+            targets, seed=seed * 1_000_003 + index, magnitude_max=magnitude_max
+        )
+        status, __, __unused = _simulate_verdict(
+            optimized.cdfg, fault_plan.apply(base), golden, channel_plan=optimized.plan
+        )
+        if status != "ok":
+            return f"FAIL@{index}:{status}"
+    return f"ok({trials})"

@@ -1,0 +1,187 @@
+"""Seeded, deterministic delay-fault plans.
+
+A :class:`FaultPlan` is a reproducible perturbation of a
+:class:`~repro.timing.delays.DelayModel`: a tuple of
+:class:`FaultSpec` entries, each scaling, widening or pinning the
+delay interval of one ``(fu, operator)`` pair.  Plans are pure data —
+applying one never mutates the base model (it goes through
+:meth:`DelayModel.with_override`), and generating one from a seed is
+bit-reproducible, so an entire fault campaign can be replayed from its
+JSON report.
+
+Fault kinds (``magnitude`` is the *extra* perturbation, so magnitude
+``0.0`` is always the identity for ``scale`` and ``jitter``):
+
+``scale``
+    multiply the whole interval by ``1 + magnitude`` — a uniformly
+    slower unit (process corner, voltage droop);
+``jitter``
+    stretch only the upper bound by ``(high - low) * magnitude`` — a
+    noisier unit whose worst case degrades but whose best case holds;
+``stuck_slow``
+    collapse the interval to ``high * (1 + magnitude)`` — a unit stuck
+    at (or beyond) its slowest datasheet corner, with no variation.
+
+Faults target ``(fu, operator)`` pairs the workload actually executes
+(the same discipline as the conformance fuzzer's delay overrides):
+perturbing a whole unit would also slow its register latches, stepping
+outside the bundled-data timing assumption the local transforms rely
+on.  Channel skew is expressed by slowing the FU on one side of the
+channel — :func:`unit_slowdown` builds the per-operator spec set for
+that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.timing.delays import DelayModel
+
+FAULT_KINDS = ("scale", "jitter", "stuck_slow")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One delay perturbation of one ``(fu, operator)`` pair."""
+
+    kind: str  # "scale" | "jitter" | "stuck_slow"
+    fu: str
+    operator: Optional[str]
+    magnitude: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.magnitude < 0:
+            raise ValueError(f"negative fault magnitude {self.magnitude}")
+
+    def perturb(self, interval: Tuple[float, float]) -> Tuple[float, float]:
+        """The faulted ``[min, max]`` interval."""
+        low, high = interval
+        factor = 1.0 + self.magnitude
+        if self.kind == "scale":
+            return (low * factor, high * factor)
+        if self.kind == "jitter":
+            return (low, high + (high - low) * self.magnitude)
+        # stuck_slow: pinned at (or beyond) the slowest corner
+        pinned = high * factor
+        return (pinned, pinned)
+
+    def worst_case_slowdown(self) -> float:
+        """Upper bound on the nominal-delay ratio this fault can cause.
+
+        ``scale``/``jitter`` move the midpoint by at most ``1 +
+        magnitude``; ``stuck_slow`` pins to ``high * (1 + magnitude)``,
+        and ``high <= 2 * midpoint`` for any non-negative interval.
+        """
+        if self.kind == "stuck_slow":
+            return 2.0 * (1.0 + self.magnitude)
+        return 1.0 + self.magnitude
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "fu": self.fu,
+            "operator": self.operator,
+            "magnitude": self.magnitude,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultSpec":
+        return cls(
+            kind=str(payload["kind"]),
+            fu=str(payload["fu"]),
+            operator=None if payload.get("operator") is None else str(payload["operator"]),
+            magnitude=float(payload["magnitude"]),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of delay faults, applicable to any base model."""
+
+    seed: int
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def apply(self, base: Optional[DelayModel] = None) -> DelayModel:
+        """A faulted copy of ``base`` (never mutates it)."""
+        model = base or DelayModel()
+        for spec in self.specs:
+            interval = model.operator_interval(spec.fu, spec.operator)
+            model = model.with_override(spec.fu, spec.operator, spec.perturb(interval))
+        return model
+
+    def worst_case_slowdown(self) -> float:
+        """Bound on how much any single delay's nominal grew."""
+        return max((spec.worst_case_slowdown() for spec in self.specs), default=1.0)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"seed": self.seed, "specs": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        return cls(
+            seed=int(payload["seed"]),  # type: ignore[arg-type]
+            specs=tuple(FaultSpec.from_dict(item) for item in payload.get("specs", [])),
+        )
+
+    @classmethod
+    def generate(
+        cls,
+        targets: Sequence[Tuple[str, str]],
+        seed: int,
+        count: Optional[int] = None,
+        magnitude_max: float = 1.0,
+        kinds: Sequence[str] = FAULT_KINDS,
+    ) -> "FaultPlan":
+        """Draw a random plan over ``targets`` — deterministic in ``seed``.
+
+        ``targets`` are the ``(fu, operator)`` pairs eligible for
+        perturbation (see :func:`fault_targets`); ``count`` defaults to
+        1–3 faults drawn from the seed.  Magnitudes are quantized to
+        1/16 so reports stay exactly representable in JSON floats.
+        """
+        rng = random.Random(seed)
+        if not targets:
+            return cls(seed=seed, specs=())
+        if count is None:
+            count = rng.randint(1, min(3, len(targets)))
+        specs = []
+        for __ in range(count):
+            fu, operator = rng.choice(list(targets))
+            kind = rng.choice(list(kinds))
+            sixteenths = rng.randint(0, int(magnitude_max * 16))
+            specs.append(
+                FaultSpec(kind=kind, fu=fu, operator=operator, magnitude=sixteenths / 16.0)
+            )
+        return cls(seed=seed, specs=tuple(specs))
+
+
+def fault_targets(cdfg) -> List[Tuple[str, str]]:
+    """The ``(fu, operator)`` pairs a CDFG's operations exercise."""
+    targets = {
+        (node.fu, statement.operator)
+        for node in cdfg.operation_nodes()
+        if node.fu
+        for statement in node.statements
+        if statement.operator is not None
+    }
+    return sorted(targets)
+
+
+def unit_slowdown(
+    cdfg, fu: str, magnitude: float, kind: str = "scale"
+) -> Tuple[FaultSpec, ...]:
+    """Specs slowing every operator ``fu`` executes by the same factor.
+
+    The per-operator form of "this unit is slow": used by the GT5 skew
+    sweep to lag one side of a merged channel without touching the
+    unit's latch timing.
+    """
+    return tuple(
+        FaultSpec(kind=kind, fu=target_fu, operator=operator, magnitude=magnitude)
+        for target_fu, operator in fault_targets(cdfg)
+        if target_fu == fu
+    )

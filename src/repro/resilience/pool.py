@@ -1,0 +1,169 @@
+"""Crash-tolerant process-pool mapping for exploration sweeps.
+
+``ProcessPoolExecutor.map`` has all-or-nothing semantics: one worker
+dying (OOM kill, segfault in a native extension, ``os._exit``) raises
+``BrokenProcessPool`` and throws away every completed result.  For a
+design-space sweep that is the wrong trade — 63 finished points should
+not be lost because point 64 crashed the worker.
+
+:func:`resilient_map` keeps per-payload futures so completed results
+survive a pool collapse, then recovers in three stages:
+
+1. **Retry**: rebuild the pool and resubmit only the unfinished
+   payloads, with exponential backoff between attempts (a transient
+   crash — OOM spike, killed container sibling — usually clears).
+2. **Serial degradation**: after ``retries`` collapses, evaluate the
+   remaining payloads in-process.  A payload that *deterministically*
+   kills its worker can then be caught as an ordinary exception (or at
+   worst reproduces under a debugger instead of vanishing in a pool).
+3. **Interrupt preservation**: ``KeyboardInterrupt`` stops the sweep
+   but returns every completed result, flagged in the diagnostics, so
+   the caller can flush caches and print a partial table.
+
+Exceptions raised by individual payloads are converted through
+``on_error`` (payload, exception) -> result, never aborting the map.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+#: distinguishes "never computed" from a legitimate None result
+_UNSET = object()
+
+
+@dataclass
+class MapDiagnostics:
+    """What the resilient map had to do to finish."""
+
+    broken_pools: int = 0
+    retried_payloads: int = 0
+    degraded_serial: bool = False
+    interrupted: bool = False
+    completed: int = 0
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def resilient_map(
+    func: Callable,
+    payloads: Sequence,
+    max_workers: int,
+    initializer: Optional[Callable] = None,
+    initargs: Tuple = (),
+    retries: int = 2,
+    backoff: float = 0.05,
+    on_error: Optional[Callable] = None,
+) -> Tuple[List, MapDiagnostics]:
+    """Map ``func`` over ``payloads`` on a process pool, tolerating crashes.
+
+    Returns ``(results, diagnostics)`` where ``results`` aligns with
+    ``payloads``; entries never computed (interrupt) are ``None``.
+    ``on_error`` converts a payload's exception into its result slot
+    (default: re-raise, which callers that pre-catch inside ``func``
+    never hit).
+    """
+    results = [_UNSET] * len(payloads)
+    diagnostics = MapDiagnostics()
+    pending = list(range(len(payloads)))
+    attempt = 0
+
+    while pending:
+        broken = False
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(max_workers, len(pending)),
+                initializer=initializer,
+                initargs=initargs,
+            ) as pool:
+                futures = {pool.submit(func, payloads[index]): index for index in pending}
+                not_done = set(futures)
+                try:
+                    while not_done:
+                        done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            index = futures[future]
+                            try:
+                                results[index] = future.result()
+                                diagnostics.completed += 1
+                            except BrokenProcessPool:
+                                broken = True
+                            except Exception as exc:
+                                if on_error is None:
+                                    raise
+                                results[index] = on_error(payloads[index], exc)
+                                diagnostics.completed += 1
+                        if broken:
+                            break
+                except KeyboardInterrupt:
+                    diagnostics.interrupted = True
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    return _finalize(results), diagnostics
+        except BrokenProcessPool:
+            broken = True
+        except KeyboardInterrupt:
+            diagnostics.interrupted = True
+            return _finalize(results), diagnostics
+
+        pending = [index for index in pending if results[index] is _UNSET]
+        if not pending:
+            break
+        if not broken:
+            continue  # defensive: nothing crashed, loop resubmits leftovers
+        diagnostics.broken_pools += 1
+        diagnostics.retried_payloads += len(pending)
+        if attempt >= retries:
+            diagnostics.degraded_serial = True
+            serial_results, serial_diag = serial_map(
+                func,
+                [payloads[index] for index in pending],
+                initializer=initializer,
+                initargs=initargs,
+                on_error=on_error,
+            )
+            for index, result in zip(pending, serial_results):
+                if result is not None:
+                    results[index] = result
+            diagnostics.completed += serial_diag.completed
+            diagnostics.interrupted = diagnostics.interrupted or serial_diag.interrupted
+            break
+        time.sleep(backoff * (2 ** attempt))
+        attempt += 1
+
+    return _finalize(results), diagnostics
+
+
+def serial_map(
+    func: Callable,
+    payloads: Sequence,
+    initializer: Optional[Callable] = None,
+    initargs: Tuple = (),
+    on_error: Optional[Callable] = None,
+) -> Tuple[List, MapDiagnostics]:
+    """The in-process twin of :func:`resilient_map` (same contract)."""
+    diagnostics = MapDiagnostics()
+    if initializer is not None:
+        initializer(*initargs)
+    results: List = [None] * len(payloads)
+    for position, payload in enumerate(payloads):
+        try:
+            results[position] = func(payload)
+            diagnostics.completed += 1
+        except KeyboardInterrupt:
+            diagnostics.interrupted = True
+            break
+        except Exception as exc:
+            if on_error is None:
+                raise
+            results[position] = on_error(payload, exc)
+            diagnostics.completed += 1
+    return results, diagnostics
+
+
+def _finalize(results: List) -> List:
+    return [None if result is _UNSET else result for result in results]

@@ -10,26 +10,39 @@ records a causal event (keyed by the scheduling sequence number)
 whose parent is the event being executed when the call was made, plus
 the optional caller-supplied ``label``.  Tracing is off by default and
 costs one branch per schedule when disabled.
+
+Independently of tracing, the kernel keeps a small rolling window of
+the labels of the most recently executed events
+(:attr:`EventKernel.recent_labels`).  The window is what turns a bare
+"exceeded max_events" abort into a diagnosable report: the runaway
+loop's participants are, with overwhelming probability, the labels
+repeating in the window.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.obs.causal import EventTrace
+
+#: how many executed-event labels the kernel remembers for diagnostics
+RECENT_WINDOW = 8
 
 
 class EventKernel:
     """A time-ordered event queue."""
 
     def __init__(self, trace: Optional[EventTrace] = None) -> None:
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._queue: List[Tuple[float, int, Callable[[], None], Optional[str]]] = []
         self._sequence = 0
         self.now = 0.0
         self.events_processed = 0
         self.trace = trace
+        #: labels of the last few executed events (unlabeled ones skipped)
+        self.recent_labels: Deque[str] = deque(maxlen=RECENT_WINDOW)
 
     def schedule(
         self,
@@ -45,7 +58,7 @@ class EventKernel:
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        heapq.heappush(self._queue, (self.now + delay, self._sequence, callback))
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, callback, label))
         if self.trace is not None:
             self.trace.on_schedule(self._sequence, self.now, delay, label)
         self._sequence += 1
@@ -63,13 +76,19 @@ class EventKernel:
         processed = 0
         while self._queue:
             if processed >= max_events:
+                recent = ", ".join(self.recent_labels) or "(no labeled events)"
                 raise SimulationError(
-                    f"simulation exceeded {max_events} events (livelock or runaway loop?)"
+                    f"simulation exceeded {max_events} events "
+                    f"(livelock or runaway loop?) at t={self.now:.3f} "
+                    f"with {len(self._queue)} events still pending; "
+                    f"last executed: {recent}"
                 )
-            time, sequence, callback = heapq.heappop(self._queue)
+            time, sequence, callback, label = heapq.heappop(self._queue)
             self.now = time
             processed += 1
             self.events_processed += 1
+            if label is not None:
+                self.recent_labels.append(label)
             if self.trace is not None:
                 self.trace.on_execute(sequence)
             callback()

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 
 from repro.afsm.extract import DistributedDesign
 from repro.cdfg.graph import ENV
-from repro.errors import SimulationError
+from repro.errors import DeadlockError
 from repro.obs.causal import EventTrace
 from repro.obs.spans import span
 from repro.sim.controller import ControllerRuntime, GlobalWire
@@ -115,11 +115,19 @@ class ControllerSystem:
         for wire_name in self.env_done_wires:
             wire = self.wires[wire_name]
             if wire.pending_total(ENV) < 1:
-                raise SimulationError(
-                    f"system quiesced without environment done on {wire_name} "
-                    f"(controllers at: "
+                waiting = tuple(
+                    {"node": f"{fu}@{runtime.state}", "missing": [wire_name], "held": []}
+                    for fu, runtime in sorted(self.controllers.items())
+                )
+                raise DeadlockError(
+                    f"system quiesced at t={self.kernel.now:.3f} without environment "
+                    f"done on {wire_name} (deadlock; controllers at: "
                     + ", ".join(f"{fu}@{rt.state}" for fu, rt in self.controllers.items())
-                    + ")"
+                    + ")",
+                    time=self.kernel.now,
+                    waiting=waiting,
+                    blocked_channels=(wire_name,),
+                    recent_events=tuple(self.kernel.recent_labels),
                 )
 
         violations: List[str] = []

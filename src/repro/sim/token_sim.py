@@ -38,7 +38,7 @@ from repro.cdfg.graph import Cdfg
 from repro.cdfg.kinds import NodeKind
 from repro.cdfg.node import Node
 from repro.channels.model import ChannelPlan
-from repro.errors import ChannelSafetyError, SimulationError
+from repro.errors import ChannelSafetyError, DeadlockError, SimulationError
 from repro.obs.causal import EventTrace
 from repro.obs.spans import span
 from repro.rtl.semantics import evaluate_expr
@@ -435,11 +435,7 @@ class TokenSimulator:
         self.kernel.run(max_events=self.max_events)
         self.result.events_processed = self.kernel.events_processed
         if not self._ended:
-            raise SimulationError(
-                "simulation quiesced without reaching END (deadlock: "
-                + self._deadlock_report()
-                + ")"
-            )
+            raise self._deadlock_error()
         self._check_leftover_tokens()
         return self.result
 
@@ -452,17 +448,62 @@ class TokenSimulator:
             label=f"{self.cdfg.fu_of(start.name)}:{start.name}",
         )
 
-    def _deadlock_report(self) -> str:
-        waiting = []
-        for name in self.cdfg.node_names():
+    def _deadlock_error(self) -> DeadlockError:
+        """The watchdog's verdict on a quiesced-but-unfinished run.
+
+        Diagnoses the stall frontier: nodes holding some but not all of
+        their required tokens (the classic deadlock symptom), falling
+        back to never-fired nodes with missing tokens when nothing is
+        even partially enabled.  Every missing arc is reported as a
+        blocked channel (with its merged-channel name when a channel
+        plan is active), and the kernel's recent-label window names the
+        last events that did execute before the stall.
+        """
+        fired = {firing.node for firing in self.result.firings}
+        frontier = []
+        downstream = []
+        for name in sorted(self.cdfg.node_names()):
             required = self._required_arcs(name)
-            if required is None:
+            if required is None or not required:
                 continue
-            missing = [str(arc) for arc in required if self.tokens[arc.key] < 1]
-            held = [str(arc) for arc in required if self.tokens[arc.key] >= 1]
-            if held and missing:
-                waiting.append(f"{name} waits for {missing}")
-        return "; ".join(waiting) or "no partially-enabled nodes"
+            missing = [arc for arc in required if self.tokens[arc.key] < 1]
+            held = [arc for arc in required if self.tokens[arc.key] >= 1]
+            if not missing:
+                continue
+            entry = {
+                "node": name,
+                "missing": [str(arc) for arc in missing],
+                "held": [str(arc) for arc in held],
+            }
+            if held:
+                frontier.append((entry, missing))
+            elif name not in fired:
+                downstream.append((entry, missing))
+        diagnosed = frontier or downstream
+        waiting = [entry for entry, __ in diagnosed]
+        blocked_channels = []
+        seen = set()
+        for __, missing in diagnosed:
+            for arc in missing:
+                channel = self._arc_channel.get(arc.key)
+                wire = channel if channel is not None else f"{arc.src}->{arc.dst}"
+                if wire not in seen:
+                    seen.add(wire)
+                    blocked_channels.append(wire)
+        summary = (
+            "; ".join(f"{e['node']} waits for {e['missing']}" for e in waiting[:4])
+            or "no partially-enabled nodes"
+        )
+        if len(waiting) > 4:
+            summary += f"; ... {len(waiting) - 4} more"
+        return DeadlockError(
+            f"simulation quiesced at t={self.kernel.now:.3f} without reaching END "
+            f"(deadlock: {summary})",
+            time=self.kernel.now,
+            waiting=tuple(waiting),
+            blocked_channels=tuple(blocked_channels),
+            recent_events=tuple(self.kernel.recent_labels),
+        )
 
     def _check_leftover_tokens(self) -> None:
         """After quiescence, tokens may legitimately remain only on

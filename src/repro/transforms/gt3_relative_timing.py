@@ -47,6 +47,7 @@ class RelativeTimingOptimization(Transform):
             for arc in sorted(self._candidates(cdfg), key=lambda a: a.key):
                 witness = self._find_witness(cdfg, arc)
                 if witness is not None:
+                    src_node = cdfg.node(arc.src)
                     cdfg.remove_arc(arc.src, arc.dst)
                     report.removed_arcs.append(str(arc))
                     report.record(
@@ -54,6 +55,19 @@ class RelativeTimingOptimization(Transform):
                         witness=f"{witness.src} -> {witness.dst}",
                         proof="witness arc provably arrives no earlier "
                         "under the [min, max] delay model",
+                        # structured fields for the fault-campaign slack
+                        # sweep (repro.resilience): which FU/operators to
+                        # stress to test the removal's timing margin
+                        src=arc.src,
+                        dst=arc.dst,
+                        fu=cdfg.fu_of(arc.src),
+                        operators=sorted(
+                            {
+                                statement.operator
+                                for statement in src_node.statements
+                                if statement.operator is not None
+                            }
+                        ),
                     )
                     report.note(
                         f"removed never-last arc {arc} "

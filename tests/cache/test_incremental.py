@@ -98,7 +98,8 @@ class TestWarmCache:
     def test_corrupt_cache_degrades_to_cold(self, diffeq, tmp_path):
         cold = _sweep(diffeq, cache_dir=str(tmp_path / "cache"))
         (tmp_path / "cache" / "explore.json").write_text("{not json", encoding="utf-8")
-        again = _sweep(diffeq, cache_dir=str(tmp_path / "cache"))
+        with pytest.warns(RuntimeWarning, match="quarantined corrupt artifact cache"):
+            again = _sweep(diffeq, cache_dir=str(tmp_path / "cache"))
         assert again.points == cold.points
         assert again.stats["evaluations"] > 0
 

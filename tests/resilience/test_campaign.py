@@ -1,0 +1,102 @@
+"""Fault campaigns: determinism, measured GT3 slack, report round-trip."""
+
+import json
+
+import pytest
+
+from repro.resilience import CampaignReport, load_report, quick_probe, run_campaign
+
+
+@pytest.fixture(scope="module")
+def diffeq_campaign():
+    return run_campaign("diffeq", seed=0, trials=4)
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical_json(self, diffeq_campaign):
+        again = run_campaign("diffeq", seed=0, trials=4)
+        assert diffeq_campaign.to_json() == again.to_json()
+
+    def test_different_seed_changes_trials(self, diffeq_campaign):
+        other = run_campaign("diffeq", seed=1, trials=4)
+        assert [t.plan for t in other.trials] != [t.plan for t in diffeq_campaign.trials]
+
+    def test_no_wall_clock_in_the_report(self, diffeq_campaign):
+        text = diffeq_campaign.to_json().lower()
+        for forbidden in ("timestamp", "wall", "elapsed", "duration"):
+            assert forbidden not in text
+
+
+class TestDiffeqSlack:
+    """DIFFEQ is the paper's GT3 example: arc 10 is removed because arc
+    11 provably arrives later.  The campaign measures how much timing
+    slack that proof actually has."""
+
+    def test_the_removed_arc_is_swept(self, diffeq_campaign):
+        assert len(diffeq_campaign.arc_slack) == 1
+        entry = diffeq_campaign.arc_slack[0]
+        assert entry.src == "M2 := U * dx"
+        assert entry.dst == "U := U - M1"
+        assert entry.fu == "MUL2"
+
+    def test_measured_slack_is_x1_5(self, diffeq_campaign):
+        entry = diffeq_campaign.arc_slack[0]
+        assert entry.max_passing_scale == 1.5
+        assert entry.failing_scale == 2.0
+        assert entry.failure_mode == "proof-invalidated"
+
+    def test_baseline_and_trials_healthy(self, diffeq_campaign):
+        assert diffeq_campaign.healthy
+        assert diffeq_campaign.trials_ok == len(diffeq_campaign.trials) == 4
+
+    def test_gt5_channels_swept(self, diffeq_campaign):
+        assert diffeq_campaign.channel_skew
+        for entry in diffeq_campaign.channel_skew:
+            assert entry.arcs >= 2
+
+    def test_summary_mentions_the_slack(self, diffeq_campaign):
+        summary = diffeq_campaign.summary()
+        assert "HEALTHY" in summary
+        assert "x1.5" in summary
+        assert "proof-invalidated" in summary
+
+
+class TestReportRoundTrip:
+    def test_dict_roundtrip(self, diffeq_campaign):
+        rebuilt = CampaignReport.from_dict(diffeq_campaign.to_dict())
+        assert rebuilt.to_dict() == diffeq_campaign.to_dict()
+
+    def test_load_report(self, diffeq_campaign, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text(diffeq_campaign.to_json() + "\n", encoding="utf-8")
+        loaded = load_report(str(path))
+        assert loaded.to_json() == diffeq_campaign.to_json()
+
+    def test_json_is_sorted_and_parseable(self, diffeq_campaign):
+        payload = json.loads(diffeq_campaign.to_json())
+        assert payload["workload"] == "diffeq"
+        assert payload["trials_ok"] == 4
+
+
+class TestOtherWorkloads:
+    @pytest.mark.parametrize("workload", ["gcd", "ewf", "fir"])
+    def test_campaign_runs_healthy(self, workload):
+        report = run_campaign(workload, seed=0, trials=2, scale_max=4.0)
+        assert report.healthy
+
+    def test_fir_has_no_gt3_removals(self):
+        # an honest negative: GT3 finds nothing to remove on FIR, so
+        # there is no slack to measure there
+        report = run_campaign("fir", seed=0, trials=1, scale_max=2.0)
+        assert report.arc_slack == []
+
+
+class TestQuickProbe:
+    def test_full_script_probe_ok(self, diffeq):
+        verdict = quick_probe(diffeq, ("GT1", "GT2", "GT3", "GT4", "GT5"), trials=2)
+        assert verdict == "ok(2)"
+
+    def test_probe_is_deterministic(self, diffeq):
+        first = quick_probe(diffeq, ("GT1", "GT2"), seed=5)
+        second = quick_probe(diffeq, ("GT1", "GT2"), seed=5)
+        assert first == second

@@ -1,0 +1,175 @@
+"""Fault-tolerant exploration: crashed workers, bad points, timeouts.
+
+The headline acceptance test injects a worker crash into a full
+64-point sweep and checks the result set is still complete, with
+exactly the crashed points marked ``failed``.
+"""
+
+import pytest
+
+from repro.cache.store import ArtifactCache
+from repro.explore import explore_design_space
+from repro.resilience.injection import ConfigFaultInjector
+from repro.workloads import build_diffeq_cdfg
+
+SMALL_GTS = [(), ("GT1",), ("GT1", "GT2"), ("GT1", "GT2", "GT3")]
+SMALL_LTS = [(), ("LT4", "LT2", "LT1", "LT5")]
+
+
+def _failed_configs(result):
+    return sorted(
+        (point.global_transforms, point.local_transforms)
+        for point in result.failed_points()
+    )
+
+
+class TestWorkerCrashRecovery:
+    def test_64_point_sweep_survives_a_worker_crash(self, diffeq, tmp_path):
+        """A worker dying mid-sweep must not lose any grid point."""
+        injector = ConfigFaultInjector.for_configs(
+            [("GT1",)], mode="exit", once_marker=str(tmp_path / "crashed")
+        )
+        result = explore_design_space(
+            diffeq,
+            workers=4,
+            incremental=False,
+            fault_injector=injector,
+        )
+        assert len(result.points) == 64
+        failed = result.failed_points()
+        assert len(failed) == 2  # ('GT1',) x {no LTs, all LTs} — nothing else
+        assert all(point.global_transforms == ("GT1",) for point in failed)
+        assert result.stats["pool"]["broken_pools"] >= 1
+        assert result.stats["failed"] == 2
+        ok = [point for point in result.points if point.status == "ok"]
+        assert len(ok) == 62 and all(point.conformant for point in ok)
+
+    def test_persistent_crasher_degrades_to_serial(self, diffeq):
+        # no once-marker: the point kills every worker that touches it,
+        # so the map must give up on pools and finish in-process (where
+        # the injector degrades to a raise and the point comes back failed)
+        injector = ConfigFaultInjector.for_configs([("GT1",)], mode="exit")
+        result = explore_design_space(
+            diffeq,
+            global_subsets=SMALL_GTS,
+            local_subsets=SMALL_LTS,
+            workers=2,
+            incremental=False,
+            retries=1,
+            fault_injector=injector,
+        )
+        assert len(result.points) == len(SMALL_GTS) * len(SMALL_LTS)
+        assert result.stats["pool"]["degraded_serial"] is True
+        assert _failed_configs(result) == [
+            (("GT1",), ()),
+            (("GT1",), ("LT4", "LT2", "LT1", "LT5")),
+        ]
+
+
+class TestInjectedPointFailures:
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_raise_injection_fails_exactly_the_targets(self, diffeq, incremental):
+        injector = ConfigFaultInjector.for_configs([("GT1",), ()])
+        result = explore_design_space(
+            diffeq,
+            global_subsets=SMALL_GTS,
+            local_subsets=SMALL_LTS,
+            incremental=incremental,
+            fault_injector=injector,
+        )
+        assert len(result.points) == len(SMALL_GTS) * len(SMALL_LTS)
+        failed = result.failed_points()
+        assert sorted(point.global_transforms for point in failed) == [
+            (),
+            (),
+            ("GT1",),
+            ("GT1",),
+        ]
+        assert all("InjectedFault" in point.error for point in failed)
+
+    def test_failed_points_stay_off_the_frontier(self, diffeq):
+        injector = ConfigFaultInjector.for_configs([("GT1", "GT2", "GT3")])
+        result = explore_design_space(
+            diffeq,
+            global_subsets=SMALL_GTS,
+            local_subsets=SMALL_LTS,
+            incremental=False,
+            fault_injector=injector,
+        )
+        frontier = result.pareto_points()
+        assert frontier
+        assert all(point.status == "ok" for point in frontier)
+        assert result.best("makespan").status == "ok"
+
+    def test_all_points_failed_has_no_best(self, diffeq):
+        result = explore_design_space(
+            diffeq,
+            global_subsets=[()],
+            local_subsets=[()],
+            incremental=False,
+            fault_injector=ConfigFaultInjector.for_configs([()]),
+        )
+        assert len(result.failed_points()) == 1
+        with pytest.raises(ValueError, match="no successfully evaluated"):
+            result.best("makespan")
+
+    def test_point_timeout_becomes_a_failed_point(self, diffeq):
+        result = explore_design_space(
+            diffeq,
+            global_subsets=[(), ("GT1",)],
+            local_subsets=[()],
+            incremental=False,
+            point_timeout=1e-6,
+        )
+        assert len(result.points) == 2
+        assert all(point.status == "failed" for point in result.points)
+        assert all("PointTimeout" in point.error for point in result.points)
+
+
+class TestFailuresNeverCached:
+    def test_warm_run_reattempts_failed_points(self, diffeq, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        injector = ConfigFaultInjector.for_configs([("GT1",)])
+        cold = explore_design_space(
+            diffeq,
+            global_subsets=SMALL_GTS,
+            local_subsets=SMALL_LTS,
+            cache=cache,
+            fault_injector=injector,
+        )
+        assert len(cold.failed_points()) == 2
+
+        # same cache, injector gone: the crash must not have been
+        # memoized, so the formerly-failed points are re-evaluated
+        warm_cache = ArtifactCache(str(tmp_path))
+        warm = explore_design_space(
+            diffeq,
+            global_subsets=SMALL_GTS,
+            local_subsets=SMALL_LTS,
+            cache=warm_cache,
+        )
+        assert warm.failed_points() == []
+        assert len(warm.points) == len(SMALL_GTS) * len(SMALL_LTS)
+        assert all(point.conformant for point in warm.points)
+        assert warm.stats["evaluations"] > 0  # the failed points re-ran
+
+
+def _interrupt_gt1_gt2(global_transforms, local_transforms):
+    if tuple(global_transforms) == ("GT1", "GT2"):
+        raise KeyboardInterrupt
+
+
+class TestInterruptPreservesPartials:
+    def test_serial_interrupt_returns_completed_points(self, diffeq):
+        result = explore_design_space(
+            diffeq,
+            global_subsets=SMALL_GTS,
+            local_subsets=SMALL_LTS,
+            incremental=False,
+            fault_injector=_interrupt_gt1_gt2,
+        )
+        assert result.stats["interrupted"] is True
+        # payloads run in grid order: everything before the interrupt
+        # point completed and is preserved
+        assert len(result.points) == 4
+        assert all(point.status == "ok" for point in result.points)

@@ -1,0 +1,120 @@
+"""Fault plans: perturbation semantics, determinism, identity property."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    fault_targets,
+    unit_slowdown,
+)
+from repro.sim.seeding import NOMINAL
+from repro.sim.token_sim import simulate_tokens
+from repro.timing.delays import DelayModel
+from repro.workloads import build_diffeq_cdfg
+
+from tests.strategies import fault_plans
+
+
+class TestFaultSpec:
+    def test_scale_multiplies_both_bounds(self):
+        spec = FaultSpec(kind="scale", fu="MUL1", operator="*", magnitude=1.0)
+        assert spec.perturb((6.0, 9.0)) == (12.0, 18.0)
+
+    def test_jitter_stretches_only_the_upper_bound(self):
+        spec = FaultSpec(kind="jitter", fu="MUL1", operator="*", magnitude=0.5)
+        assert spec.perturb((6.0, 9.0)) == (6.0, 10.5)
+
+    def test_stuck_slow_pins_the_interval(self):
+        spec = FaultSpec(kind="stuck_slow", fu="MUL1", operator="*", magnitude=0.5)
+        assert spec.perturb((6.0, 9.0)) == (13.5, 13.5)
+
+    @pytest.mark.parametrize("kind", ["scale", "jitter"])
+    def test_zero_magnitude_is_identity(self, kind):
+        spec = FaultSpec(kind=kind, fu="MUL1", operator="*", magnitude=0.0)
+        assert spec.perturb((6.0, 9.0)) == (6.0, 9.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="teleport", fu="MUL1", operator="*", magnitude=0.5)
+
+    def test_negative_magnitude_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="scale", fu="MUL1", operator="*", magnitude=-0.5)
+
+    def test_roundtrip(self):
+        spec = FaultSpec(kind="jitter", fu="ALU1", operator="+", magnitude=0.25)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFaultPlan:
+    def test_apply_never_mutates_the_base(self):
+        base = DelayModel()
+        nominal = base.operator_interval("MUL1", "*")
+        plan = FaultPlan(
+            seed=0, specs=(FaultSpec(kind="scale", fu="MUL1", operator="*", magnitude=1.0),)
+        )
+        faulted = plan.apply(base)
+        assert base.operator_interval("MUL1", "*") == nominal
+        assert faulted.operator_interval("MUL1", "*") == (nominal[0] * 2, nominal[1] * 2)
+
+    def test_generate_is_deterministic_in_seed(self):
+        targets = fault_targets(build_diffeq_cdfg())
+        assert FaultPlan.generate(targets, seed=7) == FaultPlan.generate(targets, seed=7)
+        assert FaultPlan.generate(targets, seed=7) != FaultPlan.generate(targets, seed=8)
+
+    def test_generate_quantizes_magnitudes(self):
+        targets = fault_targets(build_diffeq_cdfg())
+        plan = FaultPlan.generate(targets, seed=3, count=8)
+        for spec in plan.specs:
+            assert spec.magnitude * 16 == int(spec.magnitude * 16)
+            assert spec.kind in FAULT_KINDS
+
+    def test_roundtrip(self):
+        targets = fault_targets(build_diffeq_cdfg())
+        plan = FaultPlan.generate(targets, seed=11, count=3)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_worst_case_slowdown_bounds_every_spec(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec(kind="scale", fu="MUL1", operator="*", magnitude=0.5),
+                FaultSpec(kind="stuck_slow", fu="ALU1", operator="+", magnitude=0.25),
+            ),
+        )
+        # stuck_slow dominates: pinned at high * 1.25, and high <= 2 * midpoint
+        assert plan.worst_case_slowdown() == 2.0 * 1.25
+
+    def test_empty_plan_slowdown_is_one(self):
+        assert FaultPlan(seed=0).worst_case_slowdown() == 1.0
+
+
+class TestTargets:
+    def test_fault_targets_sorted_pairs(self):
+        targets = fault_targets(build_diffeq_cdfg())
+        assert targets == sorted(targets)
+        assert ("MUL1", "*") in targets
+
+    def test_unit_slowdown_restricted_to_the_unit(self):
+        specs = unit_slowdown(build_diffeq_cdfg(), "MUL1", 0.5)
+        assert specs
+        assert all(spec.fu == "MUL1" for spec in specs)
+        assert all(spec.kind == "scale" for spec in specs)
+
+
+class TestZeroMagnitudeProperty:
+    """Zero-magnitude scale/jitter plans reproduce the nominal run bit
+    for bit — the identity the whole campaign's deltas are measured
+    against."""
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(fault_plans("diffeq", magnitude_max=0.0, kinds=("scale", "jitter")))
+    def test_zero_magnitude_plan_reproduces_nominal(self, plan):
+        cdfg = build_diffeq_cdfg()
+        nominal = simulate_tokens(cdfg, delay_model=DelayModel(), seed=NOMINAL)
+        faulted = simulate_tokens(cdfg, delay_model=plan.apply(DelayModel()), seed=NOMINAL)
+        assert faulted.registers == nominal.registers
+        assert faulted.end_time == nominal.end_time

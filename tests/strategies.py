@@ -131,6 +131,30 @@ def delay_overrides(workload: str, max_size: int = 2):
     ).map(tuple)
 
 
+def fault_plans(workload: str, max_specs: int = 3, magnitude_max: float = 1.0, kinds=None):
+    """Random delay-fault plans over pairs ``workload`` actually executes.
+
+    ``kinds`` restricts the fault kinds (default: all three).  Note
+    that magnitude 0 is only the identity for ``scale``/``jitter`` —
+    ``stuck_slow`` pins the interval even at magnitude 0.
+    """
+    from repro.resilience.faults import FAULT_KINDS, FaultPlan, FaultSpec
+
+    targets = _override_targets(workload)
+    spec = st.tuples(
+        st.sampled_from(tuple(kinds) if kinds is not None else FAULT_KINDS),
+        st.sampled_from(targets),
+        st.integers(0, int(magnitude_max * 16)),
+    ).map(
+        lambda drawn: FaultSpec(
+            kind=drawn[0], fu=drawn[1][0], operator=drawn[1][1], magnitude=drawn[2] / 16.0
+        )
+    )
+    return st.lists(spec, max_size=max_specs).map(
+        lambda specs: FaultPlan(seed=0, specs=tuple(specs))
+    )
+
+
 @st.composite
 def verify_cases(draw, workload: str):
     """Fully-pinned conformance cases for ``workload``."""

@@ -238,3 +238,52 @@ class TestExploreColumns:
         out = capsys.readouterr().out
         assert "provenance" in out
         assert "bottleneck" in out
+
+
+class TestFaultsCommand:
+    def test_faults_healthy_exit_zero(self, capsys):
+        assert main(["faults", "diffeq", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "HEALTHY" in out
+        assert "GT3 slack" in out
+
+    def test_faults_json_report(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "report.json"
+        assert main(
+            ["faults", "gcd", "--trials", "2", "--scale-max", "4", "--json", str(target)]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert payload["workload"] == "gcd"
+        assert payload["trials_ok"] == 2
+
+    def test_faults_json_deterministic(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        for target in (first, second):
+            assert main(
+                ["faults", "diffeq", "--trials", "2", "--json", str(target)]
+            ) == 0
+        assert first.read_text() == second.read_text()
+
+
+class TestExploreResilienceFlags:
+    def test_inject_fail_keeps_exit_zero(self, capsys):
+        # failed points are reported but do not fail the sweep
+        assert main(["explore", "gcd", "--no-cache", "--inject-fail", "GT1"]) == 0
+        out = capsys.readouterr().out
+        assert "FAILED points (excluded from the frontier)" in out
+        assert "InjectedFault" in out
+        assert "Pareto-optimal" in out
+
+    def test_total_failure_exits_two(self, capsys):
+        assert main(["explore", "gcd", "--no-cache", "--timeout", "1e-6"]) == 2
+        out = capsys.readouterr().out
+        assert "every point failed to evaluate" in out
+
+    def test_faults_column_on_the_frontier(self, capsys):
+        assert main(["explore", "gcd", "--no-cache", "--faults"]) == 0
+        out = capsys.readouterr().out
+        assert "faults" in out
+        assert "ok(" in out
