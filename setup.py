@@ -1,2 +1,9 @@
+"""Shim for legacy ``pip install -e .`` flows.
+
+All metadata — including the runtime dependencies (networkx, and numpy
+for the batched max-plus simulation engine) — lives in pyproject.toml.
+"""
+
 from setuptools import setup
+
 setup()

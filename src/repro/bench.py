@@ -154,3 +154,44 @@ def run_explore_bench(
         out["speedup_cold"] = round(out["per_point_cold"] / out["incremental_cold"], 2)
         out["speedup_warm"] = round(out["per_point_cold"] / out["warm"], 2)
     return out
+
+
+def run_batched_sim_bench(
+    workload: str = "diffeq",
+    trials: int = 256,
+    seed: int = 0,
+) -> Dict:
+    """Measure a full fault campaign scalar vs batched.
+
+    Runs ``repro faults``'s :func:`~repro.resilience.run_campaign`
+    twice — once on the scalar event loop, once through the batched
+    max-plus engine (runtime spot-checks at their default fraction) —
+    and compares the two reports *byte for byte*: equality means every
+    per-trial makespan, status, and detail string agreed bit-exactly.
+    ``identical`` carries the verdict; the CLI's ``--check`` turns a
+    ``False`` into a failing exit, and CI runs it that way.
+
+    Both paths get one small untimed warm-up campaign first, so the
+    measurement compares steady-state campaign throughput rather than
+    charging one side the process's one-time import and cache-fill
+    costs (numpy alone is tens of milliseconds to import).
+    """
+    from repro.resilience import run_campaign
+
+    out: Dict[str, object] = {"workload": workload, "trials": trials, "seed": seed}
+
+    for batched in (False, True):
+        run_campaign(workload, seed=seed, trials=2, batched=batched)
+
+    start = time.perf_counter()
+    scalar = run_campaign(workload, seed=seed, trials=trials, batched=False)
+    out["scalar_wall"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = run_campaign(workload, seed=seed, trials=trials, batched=True)
+    out["batched_wall"] = time.perf_counter() - start
+
+    out["identical"] = scalar.to_json() == batched.to_json()
+    out["speedup"] = round(out["scalar_wall"] / out["batched_wall"], 2)
+    out["trials_ok"] = scalar.trials_ok
+    return out

@@ -331,6 +331,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import compare_last, record, run_explore_bench
 
+    if args.sim:
+        return _cmd_bench_sim(args)
     bench_name = f"explore_incremental/{args.workload}"
     result = run_explore_bench(
         args.workload,
@@ -385,6 +387,45 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_sim(args: argparse.Namespace) -> int:
+    from repro.bench import compare_last, record, run_batched_sim_bench
+
+    bench_name = f"batched_sim/{args.workload}/trials={args.trials}"
+    result = run_batched_sim_bench(args.workload, trials=args.trials)
+    print(f"{'scalar':>18}: {result['scalar_wall']:.3f}s")
+    print(f"{'batched':>18}: {result['batched_wall']:.3f}s")
+    print(f"{'speedup':>18}: {result['speedup']}x")
+    print(f"{'identical':>18}: {result['identical']}")
+
+    comparison = compare_last(bench_name, result["batched_wall"], path=args.output)
+    if args.compare:
+        if comparison is None:
+            print("no prior run to compare against")
+        else:
+            direction = "slower" if comparison["ratio"] > 1 else "faster"
+            print(
+                f"vs last run ({comparison['previous_timestamp']}): "
+                f"{comparison['previous']:.3f}s -> {comparison['current']:.3f}s "
+                f"({comparison['ratio']:.2f}x, {direction})"
+            )
+    if not args.no_record:
+        entry = record(
+            bench_name,
+            result["batched_wall"],
+            path=args.output,
+            scalar_wall=result["scalar_wall"],
+            batched_wall=result["batched_wall"],
+            speedup=result["speedup"],
+            identical=result["identical"],
+            trials=result["trials"],
+        )
+        print(f"recorded {entry['bench']} ({entry['timestamp']})")
+    if args.check and not result["identical"]:
+        print("FAIL: scalar and batched campaign reports diverge")
+        return 1
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify import fuzz_workload
     from repro.workloads import workload_names
@@ -411,18 +452,47 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"wrote {args.json}")
-    return 0 if all(report.conformant for report in reports) else 1
+    conformant = all(report.conformant for report in reports)
+    if args.timing_samples:
+        from repro.verify import sampled_timing_campaign
+
+        timing_reports = []
+        for name in names:
+            timing = sampled_timing_campaign(
+                name, samples=args.timing_samples, seed=args.seed
+            )
+            timing_reports.append(timing)
+            print(timing.summary())
+        if args.timing_json:
+            import json
+
+            payload = [timing.to_dict() for timing in timing_reports]
+            with open(args.timing_json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote {args.timing_json}")
+        conformant = conformant and all(t.conformant for t in timing_reports)
+    return 0 if conformant else 1
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.resilience import run_campaign
 
+    if args.batched or args.mc_samples:
+        from repro.sim.batched import HAVE_NUMPY, NUMPY_HINT
+
+        if not HAVE_NUMPY:
+            print(NUMPY_HINT)
+            return 2
     report = run_campaign(
         args.workload,
         seed=args.seed,
         trials=args.trials,
         scale_max=args.scale_max,
         magnitude_max=args.magnitude,
+        batched=args.batched,
+        mc_samples=args.mc_samples,
+        spot_check=args.spot_check,
     )
     print(report.summary())
     failed_trials = [trial for trial in report.trials if not trial.ok]
@@ -599,6 +669,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bench cache directory (WIPED before the cold run; default a temp dir)",
     )
+    bench.add_argument(
+        "--sim",
+        action="store_true",
+        help="benchmark the batched max-plus simulation engine against "
+        "the scalar kernel on a full fault campaign instead of the "
+        "exploration sweep (--check fails on any report divergence)",
+    )
+    bench.add_argument(
+        "--trials",
+        type=int,
+        default=256,
+        help="randomized fault trials for --sim (default 256)",
+    )
 
     verify = sub.add_parser(
         "verify",
@@ -618,6 +701,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink",
         action="store_true",
         help="report failing cases as found, without minimization",
+    )
+    verify.add_argument(
+        "--timing-samples",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run a sampled-timing campaign: N batched delay "
+        "samples per transform level, each cross-checked bit-for-bit "
+        "against the scalar simulator (default 0 = off; needs numpy)",
+    )
+    verify.add_argument(
+        "--timing-json",
+        default=None,
+        help="write the sampled-timing report(s) to this path",
     )
 
     faults = sub.add_parser(
@@ -643,6 +740,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument(
         "--json", default=None, help="write the campaign report to this path"
+    )
+    faults.add_argument(
+        "--batched",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="route every stage simulation through the batched max-plus "
+        "engine (bit-exact vs the scalar kernel, so the report is "
+        "byte-identical; needs numpy). --no-batched is the scalar "
+        "default.",
+    )
+    faults.add_argument(
+        "--mc-samples",
+        type=int,
+        default=0,
+        metavar="N",
+        help="add the GT3 Monte-Carlo never-last re-proof over N "
+        "sampled delay assignments (default 0 = off; needs numpy)",
+    )
+    faults.add_argument(
+        "--spot-check",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="fraction of batched samples re-run through the scalar "
+        "oracle at runtime (default: engine default, 1/64; 0 disables)",
     )
 
     dot = sub.add_parser("dot", help="export a CDFG as Graphviz")

@@ -63,6 +63,11 @@ class EventTrace:
         self.events: Dict[int, CausalEvent] = {}
         self.current: Optional[int] = None  # uid of the executing event
         self._order = 0
+        #: execution-order list, maintained incrementally: each uid
+        #: executes at most once, so appending in :meth:`on_execute`
+        #: keeps this permanently sorted by ``order`` and every query
+        #: below reads it instead of re-sorting the full event dict
+        self._executed: List[CausalEvent] = []
 
     # called by the kernel -------------------------------------------------
     def on_schedule(self, uid: int, at: float, delay: float, label: Optional[str]) -> None:
@@ -75,21 +80,18 @@ class EventTrace:
         event.order = self._order
         self._order += 1
         self.current = uid
+        self._executed.append(event)
 
     # queries --------------------------------------------------------------
     def executed(self) -> List[CausalEvent]:
         """Events whose callback actually ran, in execution order."""
-        return sorted(
-            (event for event in self.events.values() if event.order >= 0),
-            key=lambda event: event.order,
-        )
+        return list(self._executed)
 
     def last_event(self) -> Optional[CausalEvent]:
         """The final executed event — the one that set the kernel's end time."""
-        executed = [event for event in self.events.values() if event.order >= 0]
-        if not executed:
+        if not self._executed:
             return None
-        return max(executed, key=lambda event: event.order)
+        return self._executed[-1]
 
     def chain(self, uid: Optional[int] = None) -> List[CausalEvent]:
         """Parent chain root -> ``uid`` (default: the last executed event)."""

@@ -19,6 +19,7 @@ from repro.resilience.campaign import (
     CampaignReport,
     ChannelSkewEntry,
     FaultTrial,
+    Gt3MonteCarloEntry,
     load_report,
     quick_probe,
     run_campaign,
@@ -41,6 +42,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FaultTrial",
+    "Gt3MonteCarloEntry",
     "InjectedFault",
     "MapDiagnostics",
     "PointTimeout",

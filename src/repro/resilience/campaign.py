@@ -27,10 +27,23 @@ outside the model a design can drift before it breaks:
    draws perturb arbitrary ``(fu, operator)`` delays; each trial must
    keep the golden registers, stay violation-free, and hold the
    analytic makespan bound ``nominal x worst-case-slowdown``.
+4. **GT3 Monte-Carlo re-proof** (optional, ``mc_samples > 0``) — the
+   analytic never-last proof is checked empirically: B sampled delay
+   assignments of the *pre-GT3* graph are evaluated at once by the
+   batched max-plus engine, counting per removed arc how often its
+   token arrival actually achieved the consumer's firing time.  A
+   nonzero count does not contradict the interval proof (samples are
+   drawn inside the intervals the proof already covers) but measures
+   how close each removal runs to its envelope.
 
 Everything is deterministic in the campaign seed: the same seed
 produces a bit-identical JSON report (no wall-clock anywhere in it),
 so a verdict in CI can be replayed locally from the report alone.
+``batched=True`` routes every nominal-mode stage simulation through
+:class:`~repro.sim.batched.BatchedTokenEngine` instead of the scalar
+event loop; the engine is bit-exact against the scalar kernel (flagged
+samples fall back to scalar runs for their verdicts), so the report is
+byte-identical either way — only the wall-clock changes.
 """
 
 from __future__ import annotations
@@ -42,7 +55,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import DeadlockError, SimulationError
 from repro.obs.spans import span
 from repro.resilience.faults import FaultPlan, FaultSpec, fault_targets, unit_slowdown
-from repro.sim.seeding import NOMINAL
+from repro.sim.seeding import NOMINAL, node_stream_seed
 from repro.sim.token_sim import simulate_tokens
 from repro.timing.delays import DelayModel
 from repro.transforms import optimize_global
@@ -93,6 +106,29 @@ class ChannelSkewEntry:
 
 
 @dataclass
+class Gt3MonteCarloEntry:
+    """Empirical never-last evidence for one GT3 arc removal.
+
+    ``last_count`` counts sampled delay assignments (out of
+    ``samples``) in which the removed arc's token arrival achieved its
+    consumer's firing time — i.e. the arc *could* have been the last
+    enabling constraint.  ``suspect_samples`` counts samples whose
+    batched timeline could not be trusted (conservatively counted as
+    could-be-last for every arc)."""
+
+    arc: str
+    src: str
+    dst: str
+    samples: int
+    last_count: int
+    never_last: bool
+    suspect_samples: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+@dataclass
 class FaultTrial:
     """One randomized delay-fault simulation."""
 
@@ -126,6 +162,9 @@ class CampaignReport:
     arc_slack: List[ArcSlackEntry] = field(default_factory=list)
     channel_skew: List[ChannelSkewEntry] = field(default_factory=list)
     trials: List[FaultTrial] = field(default_factory=list)
+    #: populated only when the campaign ran with ``mc_samples > 0``
+    gt3_mc: List[Gt3MonteCarloEntry] = field(default_factory=list)
+    mc_samples: int = 0
 
     @property
     def trials_ok(self) -> int:
@@ -150,6 +189,8 @@ class CampaignReport:
             "channel_skew": [entry.to_dict() for entry in self.channel_skew],
             "trials": [trial.to_dict() for trial in self.trials],
             "trials_ok": self.trials_ok,
+            "gt3_mc": [entry.to_dict() for entry in self.gt3_mc],
+            "mc_samples": self.mc_samples,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -172,6 +213,10 @@ class CampaignReport:
             ChannelSkewEntry(**item) for item in payload.get("channel_skew", [])  # type: ignore[union-attr]
         ]
         report.trials = [FaultTrial(**item) for item in payload.get("trials", [])]  # type: ignore[union-attr]
+        report.gt3_mc = [
+            Gt3MonteCarloEntry(**item) for item in payload.get("gt3_mc", [])  # type: ignore[union-attr]
+        ]
+        report.mc_samples = int(payload.get("mc_samples", 0))  # type: ignore[arg-type]
         return report
 
     def summary(self) -> str:
@@ -199,6 +244,13 @@ class CampaignReport:
             lines.append(
                 f"  GT5 skew {entry.channel} (lagging {entry.stressed_fu}): {fate}"
             )
+        for entry in self.gt3_mc:
+            fate = (
+                "never last"
+                if entry.never_last
+                else f"last in {entry.last_count}/{entry.samples} samples"
+            )
+            lines.append(f"  GT3 MC {entry.arc}: {fate}")
         return "\n".join(lines)
 
 
@@ -210,6 +262,20 @@ def load_report(path: str) -> CampaignReport:
 # ----------------------------------------------------------------------
 # simulation verdicts
 # ----------------------------------------------------------------------
+def _verdict_from_result(result, golden) -> Tuple[str, Optional[str], Optional[float]]:
+    if result.violations:
+        return "violation", result.violations[0], result.end_time
+    for register, value in golden.items():
+        got = result.registers.get(register)
+        if got != value:
+            return (
+                "register-mismatch",
+                f"register {register} = {got!r}, golden says {value!r}",
+                result.end_time,
+            )
+    return "ok", None, result.end_time
+
+
 def _simulate_verdict(
     cdfg,
     delays: DelayModel,
@@ -229,17 +295,54 @@ def _simulate_verdict(
         return "deadlock", str(exc), None
     except SimulationError as exc:
         return "error", str(exc), None
-    if result.violations:
-        return "violation", result.violations[0], result.end_time
-    for register, value in golden.items():
-        got = result.registers.get(register)
-        if got != value:
-            return (
-                "register-mismatch",
-                f"register {register} = {got!r}, golden says {value!r}",
-                result.end_time,
-            )
-    return "ok", None, result.end_time
+    return _verdict_from_result(result, golden)
+
+
+class _BatchedVerdicts:
+    """Batched drop-in for repeated :func:`_simulate_verdict` calls.
+
+    Wraps a :class:`~repro.sim.batched.BatchedTokenEngine` compiled for
+    the optimized graph and turns whole lists of fault plans into
+    verdict tuples.  Bit-exactness contract: clean samples take their
+    makespans straight from the max-plus evaluation (proven identical
+    to the scalar kernel), while any sample the engine flags as suspect
+    — possible violation, exact tie, merged-wire overlap — is re-run
+    through :func:`_simulate_verdict` for the authoritative status,
+    detail string, and makespan.  Campaign reports produced through
+    this path are byte-identical to scalar ones.
+    """
+
+    def __init__(self, cdfg, base: DelayModel, golden, channel_plan, spot_check=None):
+        from repro.sim.batched import DEFAULT_SPOT_CHECK, BatchedTokenEngine
+
+        self.cdfg = cdfg
+        self.base = base
+        self.golden = golden
+        self.channel_plan = channel_plan
+        self.spot_check = DEFAULT_SPOT_CHECK if spot_check is None else spot_check
+        self.engine = BatchedTokenEngine(
+            cdfg, delay_model=base, channel_plan=channel_plan, spot_check=self.spot_check
+        )
+        # the compile run IS the zero-fault baseline simulation
+        self.baseline = _verdict_from_result(self.engine.program.reference, golden)
+
+    def for_plans(self, plans) -> List[Tuple[str, Optional[str], Optional[float]]]:
+        if not plans:
+            return []
+        batch = self.engine.run_plans(plans)
+        verdicts: List[Tuple[str, Optional[str], Optional[float]]] = []
+        for index, plan in enumerate(plans):
+            if batch.suspect[index]:
+                verdicts.append(
+                    _simulate_verdict(
+                        self.cdfg, plan.apply(self.base), self.golden,
+                        channel_plan=self.channel_plan,
+                    )
+                )
+            else:
+                status, detail, __ = self.baseline
+                verdicts.append((status, detail, float(batch.makespans[index])))
+        return verdicts
 
 
 def scale_ladder(scale_max: float = 16.0) -> Tuple[float, ...]:
@@ -258,13 +361,23 @@ def run_campaign(
     magnitude_max: float = 1.0,
     delays: Optional[DelayModel] = None,
     enabled: Optional[Sequence[str]] = None,
+    batched: bool = False,
+    mc_samples: int = 0,
+    spot_check: Optional[float] = None,
 ) -> CampaignReport:
     """Run a full fault campaign on ``workload``; fully deterministic.
 
     ``enabled`` restricts the global-transform script (default: the
     whole canonical GT1..GT5 sequence).  The report carries no
     wall-clock data, so two runs with equal arguments produce
-    bit-identical JSON.
+    bit-identical JSON — and because the batched engine is bit-exact
+    against the scalar kernel, the same holds across ``batched``
+    modes: only wall-clock changes, never a byte of the report.
+
+    ``mc_samples > 0`` adds the GT3 Monte-Carlo never-last re-proof
+    (needs numpy regardless of ``batched`` — it is inherently a batch
+    computation).  ``spot_check`` tunes the fraction of batched samples
+    re-run through the scalar oracle at runtime (None: engine default).
     """
     from repro.workloads import build_workload
 
@@ -278,6 +391,7 @@ def run_campaign(
             trials_requested=trials,
             scale_ladder=list(ladder),
             magnitude_max=magnitude_max,
+            mc_samples=mc_samples,
         )
 
         golden = simulate_tokens(cdfg, seed=NOMINAL).registers
@@ -285,22 +399,53 @@ def run_campaign(
         optimized = optimize_global(cdfg, enabled=script, delays=base)
         plan = optimized.plan
 
-        status, detail, makespan = _simulate_verdict(
-            optimized.cdfg, base, golden, channel_plan=plan
-        )
+        verdicts: Optional[_BatchedVerdicts] = None
+        if batched:
+            verdicts = _try_batched_verdicts(
+                optimized.cdfg, base, golden, plan, spot_check
+            )
+        if verdicts is not None:
+            status, detail, makespan = verdicts.baseline
+        else:
+            status, detail, makespan = _simulate_verdict(
+                optimized.cdfg, base, golden, channel_plan=plan
+            )
         report.baseline_conformant = status == "ok"
         report.baseline_detail = detail
         report.nominal_makespan = makespan if makespan is not None else 0.0
 
         report.arc_slack = _sweep_gt3_slack(
-            cdfg, script, optimized, base, golden, plan, ladder
+            cdfg, script, optimized, base, golden, plan, ladder, verdicts=verdicts
         )
-        report.channel_skew = _sweep_gt5_skew(optimized, base, golden, plan, ladder)
+        report.channel_skew = _sweep_gt5_skew(
+            optimized, base, golden, plan, ladder, verdicts=verdicts
+        )
         report.trials = _run_trials(
             optimized, base, golden, plan, seed, trials, magnitude_max,
-            nominal_makespan=report.nominal_makespan,
+            nominal_makespan=report.nominal_makespan, verdicts=verdicts,
         )
+        if mc_samples > 0:
+            report.gt3_mc = _gt3_monte_carlo(
+                cdfg, script, optimized, base, seed, mc_samples
+            )
     return report
+
+
+def _try_batched_verdicts(cdfg, base, golden, plan, spot_check):
+    """Compile the batched engine, or None for the scalar fallback.
+
+    Falls back when numpy is missing or the design is unbatchable (the
+    NOMINAL reference run deadlocks or is unsafe) — cases where the
+    scalar path reproduces the exact diagnostic the report needs.
+    """
+    try:
+        from repro.sim.batched import HAVE_NUMPY
+
+        if not HAVE_NUMPY:
+            return None
+        return _BatchedVerdicts(cdfg, base, golden, plan, spot_check=spot_check)
+    except SimulationError:
+        return None
 
 
 def _proof_still_holds(
@@ -326,7 +471,7 @@ def _proof_still_holds(
 
 
 def _sweep_gt3_slack(
-    base_cdfg, script, optimized, base, golden, plan, ladder
+    base_cdfg, script, optimized, base, golden, plan, ladder, verdicts=None
 ) -> List[ArcSlackEntry]:
     """Stress every GT3-removed arc's source FU through the ladder."""
     try:
@@ -337,10 +482,46 @@ def _sweep_gt3_slack(
     pre_gt3_script = tuple(
         name for name in STANDARD_SEQUENCE if name in script and name < "GT3"
     )
+    removals = [
+        record for record in gt3.provenance if record.kind == "timed-arc-removed"
+    ]
+    ladder_plans = {
+        factor: {
+            record.subject: FaultPlan(
+                seed=0,
+                specs=tuple(
+                    FaultSpec(
+                        kind="scale",
+                        fu=str(record.detail.get("fu", "")),
+                        operator=op,
+                        magnitude=factor - 1.0,
+                    )
+                    for op in (
+                        [str(x) for x in record.detail.get("operators", [])] or [None]
+                    )
+                ),
+            )
+            for record in removals
+        }
+        for factor in ladder
+    }
+    # batched mode evaluates the whole (removal x factor) grid in one
+    # pass; the ladder walk below then just reads verdicts (the scalar
+    # walk's early break only ever skipped redundant simulations)
+    lookup = None
+    if verdicts is not None and removals:
+        flat = [
+            (factor, record.subject, ladder_plans[factor][record.subject])
+            for record in removals
+            for factor in ladder
+        ]
+        flat_verdicts = verdicts.for_plans([plan_ for __, __unused, plan_ in flat])
+        lookup = {
+            (subject, factor): verdict
+            for (factor, subject, __), verdict in zip(flat, flat_verdicts)
+        }
     entries: List[ArcSlackEntry] = []
-    for record in gt3.provenance:
-        if record.kind != "timed-arc-removed":
-            continue
+    for record in removals:
         fu = str(record.detail.get("fu", ""))
         src = str(record.detail.get("src", ""))
         dst = str(record.detail.get("dst", ""))
@@ -355,16 +536,15 @@ def _sweep_gt3_slack(
             max_passing_scale=1.0,
         )
         for factor in ladder:
-            specs = tuple(
-                FaultSpec(kind="scale", fu=fu, operator=op, magnitude=factor - 1.0)
-                for op in operators
-            )
-            faulted = FaultPlan(seed=0, specs=specs).apply(base)
-            status, detail, __ = _simulate_verdict(
-                optimized.cdfg, faulted, golden, channel_plan=plan
-            )
+            fault_plan = ladder_plans[factor][record.subject]
+            if lookup is not None:
+                status, detail, __ = lookup[(record.subject, factor)]
+            else:
+                status, detail, __ = _simulate_verdict(
+                    optimized.cdfg, fault_plan.apply(base), golden, channel_plan=plan
+                )
             if status == "ok" and not _proof_still_holds(
-                base_cdfg, pre_gt3_script, faulted, src, dst
+                base_cdfg, pre_gt3_script, fault_plan.apply(base), src, dst
             ):
                 status = "proof-invalidated"
                 detail = (
@@ -383,51 +563,86 @@ def _sweep_gt3_slack(
     return entries
 
 
-def _sweep_gt5_skew(optimized, base, golden, plan, ladder) -> List[ChannelSkewEntry]:
+def _sweep_gt5_skew(
+    optimized, base, golden, plan, ladder, verdicts=None
+) -> List[ChannelSkewEntry]:
     """Lag each receiver of every merged multi-arc channel."""
     from repro.cdfg.graph import ENV
 
-    entries: List[ChannelSkewEntry] = []
+    # enumerate the (channel, stressed FU, factor) grid up front so the
+    # batched path can evaluate it in one engine pass
+    grid = []
     for channel in plan.controller_channels():
         if len(channel.arcs) < 2:
             continue
         for stressed in sorted(fu for fu in channel.dst_fus if fu != ENV):
-            entry = ChannelSkewEntry(
-                channel=channel.name,
-                src_fu=channel.src_fu,
-                stressed_fu=stressed,
-                arcs=len(channel.arcs),
-            )
+            factors = []
             for factor in ladder:
                 specs = unit_slowdown(optimized.cdfg, stressed, factor - 1.0)
                 if not specs:
                     break
-                faulted = FaultPlan(seed=0, specs=specs).apply(base)
+                factors.append((factor, FaultPlan(seed=0, specs=specs)))
+            grid.append((channel, stressed, factors))
+    lookup = None
+    if verdicts is not None and grid:
+        flat = [
+            (channel.name, stressed, factor, fault_plan)
+            for channel, stressed, factors in grid
+            for factor, fault_plan in factors
+        ]
+        flat_verdicts = verdicts.for_plans([item[3] for item in flat])
+        lookup = {
+            (name, stressed, factor): verdict
+            for (name, stressed, factor, __), verdict in zip(flat, flat_verdicts)
+        }
+    entries: List[ChannelSkewEntry] = []
+    for channel, stressed, factors in grid:
+        entry = ChannelSkewEntry(
+            channel=channel.name,
+            src_fu=channel.src_fu,
+            stressed_fu=stressed,
+            arcs=len(channel.arcs),
+        )
+        for factor, fault_plan in factors:
+            if lookup is not None:
+                status, detail, __ = lookup[(channel.name, stressed, factor)]
+            else:
                 status, detail, __ = _simulate_verdict(
-                    optimized.cdfg, faulted, golden, channel_plan=plan
+                    optimized.cdfg, fault_plan.apply(base), golden, channel_plan=plan
                 )
-                if status == "violation" and f"channel {channel.name}" in (detail or ""):
-                    entry.first_violating_skew = factor
-                    entry.detail = detail
-                    break
-            entries.append(entry)
+            if status == "violation" and f"channel {channel.name}" in (detail or ""):
+                entry.first_violating_skew = factor
+                entry.detail = detail
+                break
+        entries.append(entry)
     return entries
 
 
 def _run_trials(
-    optimized, base, golden, plan, seed, trials, magnitude_max, nominal_makespan
+    optimized, base, golden, plan, seed, trials, magnitude_max, nominal_makespan,
+    verdicts=None,
 ) -> List[FaultTrial]:
     """Seeded randomized fault plans on the fully transformed design."""
     targets = fault_targets(optimized.cdfg)
-    results: List[FaultTrial] = []
-    for index in range(trials):
-        fault_plan = FaultPlan.generate(
+    plans = [
+        FaultPlan.generate(
             targets, seed=seed * 1_000_003 + index, magnitude_max=magnitude_max
         )
-        faulted = fault_plan.apply(base)
-        status, detail, makespan = _simulate_verdict(
-            optimized.cdfg, faulted, golden, channel_plan=plan
-        )
+        for index in range(trials)
+    ]
+    if verdicts is not None:
+        outcomes = verdicts.for_plans(plans)
+    else:
+        outcomes = [
+            _simulate_verdict(
+                optimized.cdfg, fault_plan.apply(base), golden, channel_plan=plan
+            )
+            for fault_plan in plans
+        ]
+    results: List[FaultTrial] = []
+    for index, (fault_plan, (status, detail, makespan)) in enumerate(
+        zip(plans, outcomes)
+    ):
         bound = nominal_makespan * fault_plan.worst_case_slowdown() + _BOUND_EPS
         if status == "ok" and makespan is not None and makespan > bound:
             status = "bound-exceeded"
@@ -443,6 +658,56 @@ def _run_trials(
             )
         )
     return results
+
+
+def _gt3_monte_carlo(
+    base_cdfg, script, optimized, base, seed, mc_samples
+) -> List[Gt3MonteCarloEntry]:
+    """Empirical never-last counts for every GT3-removed arc.
+
+    Compiles the *pre-GT3* graph (where the removed arcs still exist)
+    and evaluates ``mc_samples`` seeded delay assignments in one batch,
+    reading each removed arc's could-be-last indicator.  Sample seeds
+    are derived deterministically from the campaign seed, so the
+    entries are as reproducible as the rest of the report.
+    """
+    from repro.sim.batched import BatchedTokenEngine
+
+    try:
+        gt3 = optimized.report("GT3")
+    except KeyError:
+        return []
+    removals = [
+        record for record in gt3.provenance if record.kind == "timed-arc-removed"
+    ]
+    if not removals:
+        return []
+    pre_gt3_script = tuple(
+        name for name in STANDARD_SEQUENCE if name in script and name < "GT3"
+    )
+    pre = optimize_global(base_cdfg, enabled=pre_gt3_script, delays=base).cdfg
+    engine = BatchedTokenEngine(pre, delay_model=base)
+    seeds = [node_stream_seed(seed, f"gt3-mc:{index}") for index in range(mc_samples)]
+    arcs = [
+        (str(r.detail.get("src", "")), str(r.detail.get("dst", ""))) for r in removals
+    ]
+    batch = engine.run_seeded(seeds, arcs=arcs)
+    suspect_count = int(batch.suspect.sum())
+    entries = []
+    for record, key in zip(removals, arcs):
+        last_count = int(batch.arc_last[key].sum())
+        entries.append(
+            Gt3MonteCarloEntry(
+                arc=record.subject,
+                src=key[0],
+                dst=key[1],
+                samples=mc_samples,
+                last_count=last_count,
+                never_last=last_count == 0,
+                suspect_samples=suspect_count,
+            )
+        )
+    return entries
 
 
 # ----------------------------------------------------------------------

@@ -11,17 +11,22 @@ Two levels of simulation back the correctness story:
   functional units), checking the same semantics after extraction and
   after each local transform.
 
-Both share the :mod:`repro.sim.kernel` event queue.
+Both share the :mod:`repro.sim.kernel` event queue.  A third substrate,
+:mod:`repro.sim.batched`, compiles a token simulation into a
+straight-line max-plus program and evaluates whole batches of delay
+samples at once (bit-identical to the scalar kernel) for Monte-Carlo
+campaigns.
 """
 
 from repro.sim.kernel import EventKernel
-from repro.sim.seeding import NOMINAL, SeedLike
+from repro.sim.seeding import NOMINAL, SeedLike, node_stream_seed
 from repro.sim.token_sim import TokenSimulator, TokenSimResult, simulate_tokens
 
 __all__ = [
     "EventKernel",
     "NOMINAL",
     "SeedLike",
+    "node_stream_seed",
     "TokenSimulator",
     "TokenSimResult",
     "simulate_tokens",

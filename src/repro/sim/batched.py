@@ -1,0 +1,628 @@
+"""Vectorized max-plus batch evaluation of token simulations.
+
+The scalar token simulator (:mod:`repro.sim.token_sim`) interprets one
+delay sample per run of an interpreter-bound event loop.  But the
+*structure* of a run — which firings happen, which tokens each firing
+consumes — is delay-independent: register values, loop trip counts and
+IF decisions are pure dataflow, so every in-bounds delay assignment
+replays the same token causality.  Only the *times* change, and they
+obey a max-plus recurrence::
+
+    start(f)      = max(completion(p) for p in parents(f))   (0 for START)
+    completion(f) = start(f) + delay(f)
+
+where ``parents(f)`` are the producers of the tokens ``f`` consumed
+plus ``f``'s own previous firing (a node cannot fire while busy).  Both
+operations are exact in IEEE float64 — ``max`` selects one operand bit
+for bit and the single addition is the same one the event kernel
+performs — so evaluating the recurrence with numpy over a batch axis
+reproduces scalar makespans *bit-identically*.
+
+The engine therefore works in two phases:
+
+1. **Compile** (once): run the scalar simulator under NOMINAL delays
+   with recording hooks, unrolling loop iterations to their actual trip
+   counts, resolving IF branches from the value trace, and capturing
+   GT1 pre-enabled backward arcs.  The result is a topologically
+   ordered list of firings with parent indices — a straight-line
+   max-plus program.
+2. **Evaluate** (per batch): build a ``(B, firings)`` delay matrix
+   (nominal per faulted model, or per-node seeded substreams identical
+   to the scalar sampler's) and sweep the recurrence once, yielding all
+   B makespans, completion matrices, and per-arc "could-be-last"
+   indicators in a handful of numpy passes.
+
+**Oracle policy.**  The scalar kernel remains the semantics oracle.
+Channel-safety violations are the one delay-*dependent* behaviour (an
+early emission can overtake a late consumption), so the engine
+classifies each sample against the compiled token timeline: a strict
+token overtake is a definite violation, an exact tie or a merged-wire
+overlap is a *suspect*, and every flagged sample must be re-run through
+the scalar simulator for its authoritative verdict.  On top of that, a
+configurable fraction of clean samples is spot-checked against scalar
+runs at runtime (:class:`BatchDivergenceError` on any mismatch), and
+the property suite asserts batched == scalar bit-for-bit offline.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cdfg.graph import Cdfg
+from repro.cdfg.node import Node
+from repro.channels.model import ChannelPlan
+from repro.errors import SimulationError
+from repro.obs.spans import span
+from repro.sim.seeding import NOMINAL, node_stream_seed
+from repro.sim.token_sim import TokenSimResult, TokenSimulator, simulate_tokens
+from repro.timing.delays import DelayModel
+
+try:  # gated: everything here must stay importable without numpy
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
+    HAVE_NUMPY = False
+
+NUMPY_HINT = (
+    "numpy is unavailable, so the batched max-plus engine cannot run; "
+    "fall back to the scalar simulator (--no-batched), which needs no "
+    "numpy."
+)
+
+#: Default fraction of clean samples re-run through the scalar oracle.
+#: 1/64 keeps the runtime cross-check always-on (4 re-runs per
+#: 256-sample batch) while costing well under half of the batch win.
+DEFAULT_SPOT_CHECK = 1.0 / 64.0
+
+
+class BatchedSimError(SimulationError):
+    """The batched engine cannot handle this design/batch."""
+
+
+class UnbatchableDesignError(BatchedSimError):
+    """Compilation failed: the NOMINAL reference run is itself unsafe
+    (violations or leftover tokens), so no per-sample structure can be
+    trusted.  Callers should fall back to the scalar path."""
+
+
+class BatchDivergenceError(BatchedSimError):
+    """A runtime spot-check found a batched/scalar mismatch.
+
+    This is a bug surface, not a recoverable condition: the whole point
+    of the engine is bit-exactness against the scalar oracle."""
+
+
+@dataclass
+class _ProgramFiring:
+    """One firing in the compiled straight-line program."""
+
+    fid: int
+    node: Node
+    occurrence: int
+    #: producer firings of the consumed tokens, plus the node's own
+    #: previous firing (busy-ness constraint); empty only for START
+    parents: Tuple[int, ...]
+
+
+@dataclass
+class _ArcToken:
+    """One token's life on one arc: produced by ``producer``, consumed
+    by ``consumer`` (None when it was still pending at quiescence)."""
+
+    producer: int
+    consumer: Optional[int] = None
+
+
+class _RecordingSimulator(TokenSimulator):
+    """Scalar NOMINAL run instrumented to emit the max-plus program.
+
+    The hooks piggyback on the exact points where the base simulator
+    moves tokens, so the recorded structure *is* the executed structure
+    — there is no second interpretation of the firing rule to drift out
+    of sync:
+
+    - ``_consume`` runs exactly once per firing (all consumed arcs
+      share the firing node as destination) → allocate the firing id
+      and resolve token producers to parent firings;
+    - ``_finish`` runs first in every completion callback → remember
+      which firing is completing, so…
+    - ``_track_production`` (called for both normal emissions and GT1
+      loop-entry pre-enabled backward arcs) can attribute the new token
+      to its producer firing.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.program: List[_ProgramFiring] = []
+        self.arc_tokens: Dict[Tuple[str, str], List[_ArcToken]] = {}
+        self._pending: Dict[Tuple[str, str], List[_ArcToken]] = {}
+        self._inflight: Dict[str, int] = {}
+        self._last_fid: Dict[str, int] = {}
+        self._occurrences: Dict[str, int] = {}
+        self._completing: Optional[int] = None
+
+    def _record_firing(self, node: Node, parents: List[int]) -> int:
+        fid = len(self.program)
+        previous = self._last_fid.get(node.name)
+        if previous is not None:
+            parents = parents + [previous]
+        occurrence = self._occurrences.get(node.name, 0)
+        self._occurrences[node.name] = occurrence + 1
+        self.program.append(
+            _ProgramFiring(fid=fid, node=node, occurrence=occurrence, parents=tuple(parents))
+        )
+        self._last_fid[node.name] = fid
+        self._inflight[node.name] = fid
+        return fid
+
+    def _try_fire_start(self) -> None:
+        self._record_firing(self.cdfg.start, [])
+        super()._try_fire_start()
+
+    def _consume(self, arcs) -> None:
+        node = self.cdfg.node(arcs[0].dst)
+        fid = len(self.program)
+        parents = []
+        for arc in arcs:
+            token = self._pending[arc.key].pop(0)
+            token.consumer = fid
+            parents.append(token.producer)
+        self._record_firing(node, parents)
+        super()._consume(arcs)
+
+    def _track_production(self, arc) -> None:
+        assert self._completing is not None, "production outside a completion"
+        token = _ArcToken(producer=self._completing)
+        self.arc_tokens.setdefault(arc.key, []).append(token)
+        self._pending.setdefault(arc.key, []).append(token)
+        super()._track_production(arc)
+
+    def _finish(self, node: Node, start: float) -> None:
+        self._completing = self._inflight[node.name]
+        super()._finish(node, start)
+
+
+@dataclass
+class CompiledProgram:
+    """A token simulation unrolled into a straight-line max-plus program."""
+
+    cdfg: Cdfg
+    base_delays: DelayModel
+    channel_plan: Optional[ChannelPlan]
+    firings: List[_ProgramFiring]
+    end_fid: int
+    arc_tokens: Dict[Tuple[str, str], List[_ArcToken]]
+    #: the NOMINAL reference run the program was recorded from — its
+    #: registers/loop counts/end_time double as the baseline verdict
+    reference: TokenSimResult
+    #: distinct nodes in first-firing order
+    nodes: List[Node] = field(default_factory=list)
+    node_index: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for firing in self.firings:
+            if firing.node.name not in self.node_index:
+                self.node_index[firing.node.name] = len(self.nodes)
+                self.nodes.append(firing.node)
+        #: firing column -> distinct-node column
+        self._firing_node = np.array(
+            [self.node_index[f.node.name] for f in self.firings], dtype=np.intp
+        )
+        #: distinct node -> firing columns in occurrence order
+        self._node_firings: List["np.ndarray"] = [
+            np.array([], dtype=np.intp) for __ in self.nodes
+        ]
+        by_node: Dict[int, List[int]] = {}
+        for firing in self.firings:
+            by_node.setdefault(self.node_index[firing.node.name], []).append(firing.fid)
+        for index, fids in by_node.items():
+            self._node_firings[index] = np.array(fids, dtype=np.intp)
+        self._last_fid_of_node = np.array(
+            [fids[-1] for fids in self._node_firings], dtype=np.intp
+        )
+        self.start_fid = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.firings)
+
+    def evaluate(self, delay_matrix: "np.ndarray") -> Tuple["np.ndarray", "np.ndarray"]:
+        """Sweep the recurrence once: ``(B, F)`` starts and completions."""
+        batch, width = delay_matrix.shape
+        if width != len(self.firings):
+            raise BatchedSimError(
+                f"delay matrix has {width} columns for a {len(self.firings)}-firing program"
+            )
+        starts = np.empty((batch, width), dtype=np.float64)
+        comps = np.empty((batch, width), dtype=np.float64)
+        zero = np.zeros(batch, dtype=np.float64)
+        for firing in self.firings:
+            parents = firing.parents
+            if not parents:
+                start = zero
+            else:
+                start = comps[:, parents[0]]
+                for parent in parents[1:]:
+                    start = np.maximum(start, comps[:, parent])
+            starts[:, firing.fid] = start
+            np.add(starts[:, firing.fid], delay_matrix[:, firing.fid], out=comps[:, firing.fid])
+        return starts, comps
+
+
+def compile_program(
+    cdfg: Cdfg,
+    delay_model: Optional[DelayModel] = None,
+    channel_plan: Optional[ChannelPlan] = None,
+    max_events: int = 1_000_000,
+) -> CompiledProgram:
+    """Record a NOMINAL scalar run of ``cdfg`` as a max-plus program.
+
+    Raises :class:`UnbatchableDesignError` when the reference run is
+    itself unsafe (channel violations or stray tokens) and any
+    :class:`~repro.errors.DeadlockError` from the reference run as-is —
+    in both cases callers should use the scalar path, which reproduces
+    the exact diagnostic.
+    """
+    if not HAVE_NUMPY:
+        raise BatchedSimError(NUMPY_HINT)
+    base = delay_model or DelayModel()
+    with span("sim/batched/compile", workload=cdfg.name):
+        recorder = _RecordingSimulator(
+            cdfg,
+            delay_model=base,
+            seed=NOMINAL,
+            strict=False,
+            max_events=max_events,
+            channel_plan=channel_plan,
+        )
+        reference = recorder.run()
+    if reference.violations:
+        raise UnbatchableDesignError(
+            "reference run is unsafe under NOMINAL delays; the compiled "
+            f"structure cannot be trusted: {reference.violations[0]}"
+        )
+    end_name = cdfg.end.name
+    end_fid = recorder._last_fid.get(end_name)
+    if end_fid is None:  # pragma: no cover - deadlock raises earlier
+        raise UnbatchableDesignError("reference run never fired END")
+    return CompiledProgram(
+        cdfg=cdfg,
+        base_delays=base,
+        channel_plan=channel_plan,
+        firings=recorder.program,
+        end_fid=end_fid,
+        arc_tokens=recorder.arc_tokens,
+        reference=reference,
+    )
+
+
+@dataclass
+class BatchResult:
+    """Timings of B delay samples evaluated over one compiled program."""
+
+    program: CompiledProgram
+    #: per-sample makespan (END completion); bit-identical to the
+    #: scalar simulator for every sample not flagged in ``suspect``
+    makespans: "np.ndarray"
+    #: (B, distinct nodes) completion time of each node's last firing,
+    #: columns ordered like ``program.nodes``
+    node_completions: "np.ndarray"
+    starts: "np.ndarray"
+    completions: "np.ndarray"
+    #: samples with a *strict* token overtake — a definite channel
+    #: violation; always a subset of ``suspect``
+    violation: "np.ndarray"
+    #: samples whose channel safety cannot be decided from the batch
+    #: (strict violation, exact tie, or merged-wire overlap) — these
+    #: must be re-run through the scalar oracle for their verdict
+    suspect: "np.ndarray"
+    #: per requested arc key: (B,) — the arc's token arrival achieved
+    #: the consumer's firing time (the arc "could be last")
+    arc_last: Dict[Tuple[str, str], "np.ndarray"] = field(default_factory=dict)
+
+    @property
+    def batch(self) -> int:
+        return int(self.makespans.shape[0])
+
+    def node_completion(self, name: str) -> "np.ndarray":
+        return self.node_completions[:, self.program.node_index[name]]
+
+
+class BatchedTokenEngine:
+    """Evaluate many delay samples of one CDFG at once.
+
+    Compiles the graph once (see :func:`compile_program`) and exposes
+    three batch modes that mirror the scalar simulator's delay modes:
+
+    - :meth:`run_models` — one NOMINAL (midpoint) evaluation per
+      :class:`DelayModel` (the fault-campaign trial mode);
+    - :meth:`run_plans` — fast path for :class:`FaultPlan`-perturbed
+      copies of the base model, skipping model construction entirely;
+    - :meth:`run_seeded` — one seeded-sampling evaluation per seed,
+      reproducing the scalar per-node substreams bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        cdfg: Cdfg,
+        delay_model: Optional[DelayModel] = None,
+        channel_plan: Optional[ChannelPlan] = None,
+        max_events: int = 1_000_000,
+        spot_check: float = DEFAULT_SPOT_CHECK,
+    ):
+        if not HAVE_NUMPY:
+            raise BatchedSimError(NUMPY_HINT)
+        self.program = compile_program(
+            cdfg, delay_model=delay_model, channel_plan=channel_plan, max_events=max_events
+        )
+        self.max_events = max_events
+        self.spot_check = spot_check
+        program = self.program
+        #: base midpoint delay per distinct node (the all-nominal row)
+        self._base_row = np.array(
+            [program.base_delays.nominal(node) for node in program.nodes], dtype=np.float64
+        )
+        #: (fu, operator) -> distinct-node columns whose interval the
+        #: pair participates in (for the FaultPlan fast path)
+        self._pair_nodes: Dict[Tuple[str, Optional[str]], List[int]] = {}
+        for index, node in enumerate(program.nodes):
+            if not node.is_operation or node.fu is None:
+                continue
+            for statement in node.statements:
+                self._pair_nodes.setdefault((node.fu, statement.operator), []).append(index)
+        self._channel_pairs = self._prepare_channel_pairs()
+
+    # -- construction helpers ------------------------------------------
+    def _prepare_channel_pairs(self):
+        """Cross-source token pairs per merged channel, for the
+        conservative merged-wire overlap check."""
+        plan = self.program.channel_plan
+        if plan is None:
+            return []
+        by_channel: Dict[str, List[Tuple[_ArcToken, str]]] = {}
+        for key, tokens in self.program.arc_tokens.items():
+            channel = plan.arc_to_channel.get(key)
+            if channel is None:
+                continue
+            for token in tokens:
+                by_channel.setdefault(channel, []).append((token, key[0]))
+        pairs = []
+        for tokens in by_channel.values():
+            for i in range(len(tokens)):
+                for j in range(i + 1, len(tokens)):
+                    if tokens[i][1] != tokens[j][1]:
+                        pairs.append((tokens[i][0], tokens[j][0]))
+        return pairs
+
+    # -- delay-matrix builders -----------------------------------------
+    def _scatter(self, node_rows: "np.ndarray") -> "np.ndarray":
+        """(B, distinct nodes) nominal rows -> (B, firings) columns."""
+        return node_rows[:, self.program._firing_node]
+
+    def _row_for_model(self, model: DelayModel) -> "np.ndarray":
+        return np.array(
+            [model.nominal(node) for node in self.program.nodes], dtype=np.float64
+        )
+
+    def _row_for_plan(self, plan) -> Optional["np.ndarray"]:
+        """Nominal row under ``base + plan`` without building the model.
+
+        Replays :meth:`FaultPlan.apply`'s override chain symbolically:
+        each spec perturbs the interval the accumulated model would
+        resolve for its ``(fu, operator)`` pair, and only nodes whose
+        statements touch a perturbed pair are recomputed.  Bails out
+        (returns None) for unit-wide specs, where override precedence
+        couples whole units and the generic model path is the safe one.
+        """
+        base = self.program.base_delays
+        effective: Dict[Tuple[str, Optional[str]], Tuple[float, float]] = {}
+        for spec in plan.specs:
+            if spec.operator is None or spec.fu is None:
+                return None
+            key = (spec.fu, spec.operator)
+            interval = effective.get(key)
+            if interval is None:
+                interval = base.operator_interval(spec.fu, spec.operator)
+            effective[key] = spec.perturb(interval)
+        row = self._base_row.copy()
+        touched = set()
+        for key in effective:
+            touched.update(self._pair_nodes.get(key, ()))
+        for index in touched:
+            node = self.program.nodes[index]
+            lows, highs = [], []
+            for statement in node.statements:
+                interval = effective.get((node.fu, statement.operator))
+                if interval is None:
+                    interval = base.operator_interval(node.fu, statement.operator)
+                lows.append(interval[0])
+                highs.append(interval[1])
+            row[index] = (max(lows) + max(highs)) / 2.0
+        return row
+
+    def _seeded_matrix(self, seeds: Sequence[int], model: DelayModel) -> "np.ndarray":
+        """(B, firings) matrix reproducing the scalar sampled mode.
+
+        Per sample, per node: the node's private substream (derived
+        exactly like the scalar simulator derives it) yields one draw
+        per firing, placed in occurrence order.  START never samples —
+        the scalar simulator schedules it with its nominal delay.
+        """
+        program = self.program
+        matrix = np.empty((len(seeds), program.size), dtype=np.float64)
+        start_node = program.firings[program.start_fid].node
+        for row, seed in enumerate(seeds):
+            for index, node in enumerate(program.nodes):
+                fids = program._node_firings[index]
+                if node.name == start_node.name:
+                    matrix[row, fids] = model.nominal(node)
+                    continue
+                stream = random.Random(node_stream_seed(int(seed), node.name))
+                draws = model.sample_matrix([node] * len(fids), stream, 1)[0]
+                matrix[row, fids] = draws
+        return matrix
+
+    # -- safety classification -----------------------------------------
+    def _classify(self, starts: "np.ndarray", comps: "np.ndarray"):
+        batch = starts.shape[0]
+        violation = np.zeros(batch, dtype=bool)
+        tie = np.zeros(batch, dtype=bool)
+        infinity = np.float64("inf")
+        for tokens in self.program.arc_tokens.values():
+            if len(tokens) < 2:
+                continue
+            emit = comps[:, [t.producer for t in tokens]]
+            take = np.empty((batch, len(tokens)), dtype=np.float64)
+            for column, token in enumerate(tokens):
+                if token.consumer is None:
+                    take[:, column] = infinity
+                else:
+                    take[:, column] = starts[:, token.consumer]
+            # token k+1 emitted before token k was taken = two
+            # transitions outstanding on the wire (the GT1-D property)
+            violation |= (emit[:, 1:] < take[:, :-1]).any(axis=1)
+            tie |= (emit[:, 1:] == take[:, :-1]).any(axis=1)
+        suspect = violation | tie
+        for left, right in self._channel_pairs:
+            left_e = comps[:, left.producer]
+            right_e = comps[:, right.producer]
+            left_t = (
+                starts[:, left.consumer] if left.consumer is not None else infinity
+            )
+            right_t = (
+                starts[:, right.consumer] if right.consumer is not None else infinity
+            )
+            # boundary-inclusive interval overlap between tokens of two
+            # different sources on one merged wire
+            suspect |= (left_e <= right_t) & (right_e <= left_t)
+        return violation, suspect
+
+    def _arc_last(
+        self, arcs, starts: "np.ndarray", comps: "np.ndarray", suspect: "np.ndarray"
+    ) -> Dict[Tuple[str, str], "np.ndarray"]:
+        """Per arc: did any of its tokens achieve the consumer's firing
+        time?  Suspect samples are conservatively counted as
+        could-be-last for every arc (their timeline is untrusted)."""
+        out: Dict[Tuple[str, str], "np.ndarray"] = {}
+        for key in arcs:
+            last = suspect.copy()
+            for token in self.program.arc_tokens.get(key, ()):
+                if token.consumer is None:
+                    continue
+                last |= comps[:, token.producer] == starts[:, token.consumer]
+            out[key] = last
+        return out
+
+    # -- scalar oracle --------------------------------------------------
+    def scalar_result(
+        self, model: Optional[DelayModel] = None, seed=NOMINAL
+    ) -> TokenSimResult:
+        """One authoritative scalar run with this engine's graph/plan."""
+        return simulate_tokens(
+            self.program.cdfg,
+            delay_model=model or self.program.base_delays,
+            seed=seed,
+            strict=False,
+            max_events=self.max_events,
+            channel_plan=self.program.channel_plan,
+        )
+
+    def _spot_check(self, result: BatchResult, describe, rerun, fraction: Optional[float]):
+        """Re-run a deterministic sample subset through the oracle."""
+        fraction = self.spot_check if fraction is None else fraction
+        if not fraction or fraction <= 0.0:
+            return
+        step = max(1, int(math.ceil(1.0 / fraction)))
+        for index in range(0, result.batch, step):
+            if result.suspect[index]:
+                continue  # flagged rows get full scalar verdicts anyway
+            scalar = rerun(index)
+            batched = float(result.makespans[index])
+            if scalar.violations or scalar.end_time != batched:
+                raise BatchDivergenceError(
+                    f"spot-check mismatch on sample {index} ({describe(index)}): "
+                    f"batched makespan {batched!r} vs scalar {scalar.end_time!r}"
+                    + (f"; scalar saw {scalar.violations[0]}" if scalar.violations else "")
+                )
+
+    # -- batch modes ----------------------------------------------------
+    def _finalize(self, delays: "np.ndarray", arcs=None) -> BatchResult:
+        starts, comps = self.program.evaluate(delays)
+        violation, suspect = self._classify(starts, comps)
+        result = BatchResult(
+            program=self.program,
+            makespans=comps[:, self.program.end_fid].copy(),
+            node_completions=comps[:, self.program._last_fid_of_node],
+            starts=starts,
+            completions=comps,
+            violation=violation,
+            suspect=suspect,
+        )
+        if arcs:
+            result.arc_last = self._arc_last(arcs, starts, comps, suspect)
+        return result
+
+    def run_models(
+        self, models: Sequence[DelayModel], arcs=None, spot_check: Optional[float] = None
+    ) -> BatchResult:
+        """One NOMINAL-delay evaluation per model (fault-trial mode)."""
+        with span("sim/batched/models", batch=len(models)):
+            rows = np.stack([self._row_for_model(model) for model in models])
+            result = self._finalize(self._scatter(rows), arcs=arcs)
+            self._spot_check(
+                result,
+                lambda i: f"model {i}",
+                lambda i: self.scalar_result(model=models[i], seed=NOMINAL),
+                spot_check,
+            )
+            return result
+
+    def run_plans(
+        self, plans: Sequence, arcs=None, spot_check: Optional[float] = None
+    ) -> BatchResult:
+        """NOMINAL evaluations of ``base + FaultPlan`` perturbations."""
+        with span("sim/batched/plans", batch=len(plans)):
+            rows = np.empty((len(plans), len(self.program.nodes)), dtype=np.float64)
+            models: Dict[int, DelayModel] = {}
+            for index, plan in enumerate(plans):
+                row = self._row_for_plan(plan)
+                if row is None:  # unit-wide spec: generic model path
+                    models[index] = plan.apply(self.program.base_delays)
+                    row = self._row_for_model(models[index])
+                rows[index] = row
+            result = self._finalize(self._scatter(rows), arcs=arcs)
+
+            def rerun(index):
+                model = models.get(index)
+                if model is None:
+                    model = plans[index].apply(self.program.base_delays)
+                return self.scalar_result(model=model, seed=NOMINAL)
+
+            self._spot_check(result, lambda i: f"fault plan {i}", rerun, spot_check)
+            return result
+
+    def run_seeded(
+        self,
+        seeds: Sequence[int],
+        model: Optional[DelayModel] = None,
+        arcs=None,
+        spot_check: Optional[float] = None,
+    ) -> BatchResult:
+        """One seeded-sampling evaluation per seed, bit-identical to
+        ``simulate_tokens(..., seed=s)`` for every clean sample."""
+        with span("sim/batched/seeded", batch=len(seeds)):
+            model = model or self.program.base_delays
+            result = self._finalize(self._seeded_matrix(seeds, model), arcs=arcs)
+            self._spot_check(
+                result,
+                lambda i: f"seed {seeds[i]}",
+                lambda i: self.scalar_result(model=model, seed=int(seeds[i])),
+                spot_check,
+            )
+            return result

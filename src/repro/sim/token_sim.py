@@ -30,6 +30,7 @@ emission finds a token already pending on an arc, a
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -43,7 +44,7 @@ from repro.obs.causal import EventTrace
 from repro.obs.spans import span
 from repro.rtl.semantics import evaluate_expr
 from repro.sim.kernel import EventKernel
-from repro.sim.seeding import SeedLike, resolve_seed
+from repro.sim.seeding import SeedLike, node_stream_seed, resolve_seed
 from repro.timing.delays import DelayModel
 
 
@@ -127,6 +128,24 @@ class TokenSimulator:
         self._ancestors = self._compute_ancestors()
         self._pending_writes: Dict[str, List[Tuple[str, float]]] = {}
         self._ended = False
+        #: per-node delay substreams (sampled mode only, lazily created).
+        #: Each node draws from its own stream seeded by
+        #: ``node_stream_seed(self.seed, name)``, so the k-th firing of a
+        #: node always sees the k-th draw of that stream regardless of
+        #: how firings of *other* nodes interleave.  This makes seeded
+        #: delay assignments a pure function of (seed, node, occurrence),
+        #: which the batched engine reproduces without an event loop.
+        self._delay_streams: Dict[str, random.Random] = {}
+
+    def _node_delay(self, node: Node) -> float:
+        """Delay for the next firing of ``node`` under the current mode."""
+        if self.rng is None:
+            return self.delays.nominal(node)
+        stream = self._delay_streams.get(node.name)
+        if stream is None:
+            stream = random.Random(node_stream_seed(self.seed, node.name))
+            self._delay_streams[node.name] = stream
+        return self.delays.sample(node, stream)
 
     # ------------------------------------------------------------------
     # static structure helpers
@@ -305,11 +324,7 @@ class TokenSimulator:
         if loop is not None:
             self._node_epoch[name] = self.loop_epoch.get(loop, 0)
         start = self.kernel.now
-        delay = (
-            self.delays.sample(node, self.rng)
-            if self.rng is not None
-            else self.delays.nominal(node)
-        )
+        delay = self._node_delay(node)
 
         label = f"{self.cdfg.fu_of(name)}:{name}"
         if node.kind is NodeKind.OPERATION:

@@ -146,6 +146,28 @@ class DelayModel:
         low, high = self.interval_for(node)
         return rng.uniform(low, high)
 
+    def sample_matrix(self, nodes, rng: random.Random, batch: int):
+        """Sample a ``(batch, len(nodes))`` delay matrix from one stream.
+
+        Draw order is **node-major, batch-minor** and is part of the
+        reproducibility contract: for each node (left to right), all
+        ``batch`` samples of that node are drawn consecutively from
+        ``rng``.  Consequently, with ``batch=1`` row 0 consumes draws in
+        exactly the order ``sample(nodes[0], rng), sample(nodes[1],
+        rng), ...`` would — the scalar-compat shim the batched engine
+        relies on to reproduce a scalar node substream bit-for-bit.
+
+        Requires numpy; raises a pointer at the scalar path otherwise.
+        """
+        np = _require_numpy()
+        matrix = np.empty((batch, len(nodes)), dtype=np.float64)
+        uniform = rng.uniform
+        for column, node in enumerate(nodes):
+            low, high = self.interval_for(node)
+            for row in range(batch):
+                matrix[row, column] = uniform(low, high)
+        return matrix
+
     def with_override(
         self, fu: str, operator: Optional[str], interval: Interval
     ) -> "DelayModel":
@@ -159,6 +181,20 @@ class DelayModel:
             structural_delay=self.structural_delay,
             overrides=overrides,
         )
+
+
+def _require_numpy():
+    """Import numpy or explain how to proceed without it."""
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - exercised only without numpy
+        raise ImportError(
+            "numpy is required for batched delay sampling "
+            "(DelayModel.sample_matrix / repro.sim.batched); install it "
+            "or stay on the scalar simulator path (--no-batched), which "
+            "has no numpy dependency."
+        ) from None
+    return numpy
 
 
 def _check_interval(name: str, interval: Interval) -> None:

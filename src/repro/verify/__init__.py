@@ -16,6 +16,9 @@ Entry points:
   machine-readable :class:`VerifyReport` (the ``repro verify`` CLI and
   the conformance stamp of ``explore_design_space`` sit on top);
 - :func:`shrink_case` — minimize a failing case;
+- :func:`sampled_timing_campaign` — batched-vs-scalar *timing*
+  conformance: B sampled delay assignments evaluated by the max-plus
+  engine and cross-checked bit-for-bit against the scalar kernel;
 - :func:`make_global_oracle` / :func:`make_local_oracle` — the
   per-pass invariant checkers, installable on any
   ``optimize_global`` / ``optimize_local`` call.
@@ -26,6 +29,7 @@ from repro.verify.fuzz import PARAM_SPACES, fuzz_workload, random_case
 from repro.verify.oracles import make_global_oracle, make_local_oracle
 from repro.verify.report import FailureRecord, VerifyReport, load_report
 from repro.verify.shrink import MINIMAL_PARAMS, shrink_case
+from repro.verify.timing import TimingLevelReport, TimingReport, sampled_timing_campaign
 
 __all__ = [
     "CaseResult",
@@ -41,4 +45,7 @@ __all__ = [
     "load_report",
     "MINIMAL_PARAMS",
     "shrink_case",
+    "TimingLevelReport",
+    "TimingReport",
+    "sampled_timing_campaign",
 ]

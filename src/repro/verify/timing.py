@@ -1,0 +1,164 @@
+"""Sampled-timing conformance campaigns.
+
+The fuzz campaigns (:mod:`repro.verify.fuzz`) check *values* — golden
+reference vs token vs system registers.  This module checks *times*:
+the batched max-plus engine (:mod:`repro.sim.batched`) claims to
+reproduce the scalar token simulator's makespans bit-for-bit for every
+seeded delay sample, and a sampled-timing campaign verifies that claim
+on a workload by evaluating B samples in one batch and re-running each
+through the scalar kernel.  Any divergence is a conformance failure of
+the engine (not the design) and fails the campaign.
+
+In the spirit of the flow-equivalence literature's sample-based
+confidence runs, the campaign also doubles as a cheap timing
+characterization: per transform level it reports min/mean/max makespan
+over the sampled delay assignments, all derived from one batch
+evaluation.
+
+Sample seeds are derived deterministically from the campaign seed via
+:func:`~repro.sim.seeding.node_stream_seed` with labels
+``timing:<level>:<index>``, so reports are replayable byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.seeding import node_stream_seed
+from repro.sim.token_sim import simulate_tokens
+from repro.timing.delays import DelayModel
+from repro.transforms import optimize_global
+
+__all__ = ["TimingLevelReport", "TimingReport", "sampled_timing_campaign"]
+
+
+@dataclass
+class TimingLevelReport:
+    """Batched-vs-scalar timing agreement at one transform level."""
+
+    level: str
+    samples: int
+    #: scalar cross-checks actually run (== samples when check=True)
+    checked: int
+    #: batched/scalar makespan mismatches — any nonzero fails the run
+    divergences: int
+    #: samples the engine routed through the scalar oracle itself
+    suspect: int
+    makespan_min: float
+    makespan_mean: float
+    makespan_max: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class TimingReport:
+    """Outcome of one sampled-timing campaign."""
+
+    workload: str
+    seed: int
+    samples: int
+    levels: List[TimingLevelReport] = field(default_factory=list)
+
+    @property
+    def conformant(self) -> bool:
+        return all(level.divergences == 0 for level in self.levels)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "samples": self.samples,
+            "conformant": self.conformant,
+            "levels": [level.to_dict() for level in self.levels],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        verdict = "TIMING-CONFORMANT" if self.conformant else "TIMING DIVERGENCE"
+        lines = [
+            f"{self.workload}: {verdict} — {self.samples} sampled delay "
+            f"assignments per level (seed {self.seed})"
+        ]
+        for level in self.levels:
+            lines.append(
+                f"  {level.level}: makespan [{level.makespan_min:.3f}, "
+                f"{level.makespan_max:.3f}] mean {level.makespan_mean:.3f}, "
+                f"{level.checked} scalar cross-checks, "
+                f"{level.divergences} divergences, {level.suspect} suspect"
+            )
+        return "\n".join(lines)
+
+
+def sampled_timing_campaign(
+    workload: str,
+    samples: int = 32,
+    seed: int = 0,
+    delays: Optional[DelayModel] = None,
+    check: bool = True,
+) -> TimingReport:
+    """Batched-vs-scalar timing conformance for one workload.
+
+    Two levels are exercised: the built CDFG (``token:base``) and the
+    fully GT-transformed design with its channel plan
+    (``token:optimized``).  With ``check=True`` (the default, and what
+    the CI job runs) every sample's scalar makespan is compared
+    bit-for-bit against the batch; ``check=False`` only re-runs the
+    samples the engine itself flags, turning the campaign into a pure
+    characterization sweep.
+    """
+    from repro.sim.batched import BatchedTokenEngine
+    from repro.workloads import build_workload
+
+    base = delays or DelayModel()
+    cdfg = build_workload(workload)
+    optimized = optimize_global(cdfg, delays=base)
+    report = TimingReport(workload=workload, seed=seed, samples=samples)
+    for level, graph, plan in (
+        ("token:base", cdfg, None),
+        ("token:optimized", optimized.cdfg, optimized.plan),
+    ):
+        engine = BatchedTokenEngine(graph, delay_model=base, channel_plan=plan)
+        level_seeds = [
+            node_stream_seed(seed, f"timing:{level}:{index}") for index in range(samples)
+        ]
+        batch = engine.run_seeded(level_seeds, spot_check=0.0)
+        makespans = [float(value) for value in batch.makespans]
+        divergences = 0
+        checked = 0
+        for index, sample_seed in enumerate(level_seeds):
+            if not check and not batch.suspect[index]:
+                continue
+            scalar = simulate_tokens(
+                graph,
+                delay_model=base,
+                seed=sample_seed,
+                strict=False,
+                channel_plan=plan,
+            )
+            checked += 1
+            if batch.suspect[index] or scalar.violations:
+                # the oracle's makespan is authoritative for flagged
+                # samples; a violation here is a design property, not
+                # an engine divergence
+                makespans[index] = scalar.end_time
+            elif scalar.end_time != makespans[index]:
+                divergences += 1
+        report.levels.append(
+            TimingLevelReport(
+                level=level,
+                samples=samples,
+                checked=checked,
+                divergences=divergences,
+                suspect=int(batch.suspect.sum()),
+                makespan_min=min(makespans),
+                makespan_mean=sum(makespans) / len(makespans) if makespans else 0.0,
+                makespan_max=max(makespans),
+            )
+        )
+    return report

@@ -125,3 +125,42 @@ class TestAnalysis:
         labels = {entry["label"] for entry in dumped if entry["label"]}
         assert any(label.startswith("ctrl:") for label in labels)
         assert any(label.startswith("dp:") for label in labels)
+
+
+class TestIncrementalExecutionOrder:
+    """``executed()``/``last_event()`` read an incrementally maintained
+    list; it must match a from-scratch sort of the event dict."""
+
+    def test_executed_matches_resorted_events(self):
+        design = synthesize("diffeq")
+        result = simulate_system(design, seed=3, trace=EventTrace())
+        trace = result.trace
+        incremental = trace.executed()
+        resorted = sorted(
+            (e for e in trace.events.values() if e.order >= 0),
+            key=lambda e: e.order,
+        )
+        assert incremental == resorted
+        assert [e.order for e in incremental] == list(range(len(incremental)))
+
+    def test_last_event_is_the_max_order_event(self):
+        trace = EventTrace()
+        kernel = EventKernel(trace=trace)
+        kernel.schedule(1.0, lambda: None, label="a")
+        kernel.schedule(2.0, lambda: None, label="b")
+        kernel.run()
+        assert trace.last_event().label == "b"
+        assert trace.last_event() is trace.executed()[-1]
+
+    def test_scheduled_but_never_executed_is_excluded(self):
+        trace = EventTrace()
+        trace.on_schedule(0, 0.0, 1.0, "ran")
+        trace.on_schedule(1, 0.0, 2.0, "pending")
+        trace.on_execute(0)
+        assert [event.label for event in trace.executed()] == ["ran"]
+        assert trace.last_event().label == "ran"
+
+    def test_empty_trace(self):
+        trace = EventTrace()
+        assert trace.executed() == []
+        assert trace.last_event() is None

@@ -1,0 +1,93 @@
+"""Property-based bit-exactness of the batched max-plus engine.
+
+The engine's whole contract is *bit-for-bit* agreement with the scalar
+token simulator for every sample it does not flag as suspect.  These
+properties fuzz that contract from three directions: randomly generated
+structured CDFGs, random seeds on the real workloads (base and fully
+transformed), and random :class:`~repro.resilience.faults.FaultPlan`
+batches against faulted scalar runs.
+"""
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.sim import NOMINAL, simulate_tokens
+from repro.sim.batched import BatchedTokenEngine, UnbatchableDesignError
+from repro.timing import DelayModel
+from repro.transforms import optimize_global
+from repro.workloads import build_workload
+
+from tests.strategies import build_program, fault_plans, programs
+
+WORKLOADS = ("diffeq", "gcd", "ewf", "fir")
+
+
+def _engine_or_skip(cdfg, base, plan=None):
+    try:
+        return BatchedTokenEngine(cdfg, delay_model=base, channel_plan=plan)
+    except UnbatchableDesignError:
+        # nominally-unsafe designs are outside the engine's contract by
+        # construction; the campaign layer falls back to scalar for them
+        assume(False)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(programs(), st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=4))
+def test_fuzzed_cdfg_seeded_batch_matches_scalar(program, seeds):
+    cdfg = build_program(program)
+    base = DelayModel()
+    engine = _engine_or_skip(cdfg, base)
+    batch = engine.run_seeded(seeds, spot_check=0.0)
+    for index, seed in enumerate(seeds):
+        scalar = simulate_tokens(cdfg, delay_model=base, seed=seed, strict=False)
+        if batch.suspect[index] or scalar.violations:
+            continue  # flagged samples take the scalar verdict anyway
+        assert float(batch.makespans[index]) == scalar.end_time
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.sampled_from(WORKLOADS),
+    st.booleans(),
+    st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=3),
+)
+def test_workload_seeded_batch_matches_scalar(workload, optimize, seeds):
+    base = DelayModel()
+    cdfg = build_workload(workload)
+    plan = None
+    if optimize:
+        optimized = optimize_global(cdfg, delays=base)
+        cdfg, plan = optimized.cdfg, optimized.plan
+    engine = BatchedTokenEngine(cdfg, delay_model=base, channel_plan=plan)
+    batch = engine.run_seeded(seeds, spot_check=0.0)
+    for index, seed in enumerate(seeds):
+        scalar = simulate_tokens(
+            cdfg, delay_model=base, seed=seed, strict=False, channel_plan=plan
+        )
+        if batch.suspect[index] or scalar.violations:
+            continue
+        assert float(batch.makespans[index]) == scalar.end_time
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.sampled_from(WORKLOADS), st.data())
+def test_faulted_batch_matches_faulted_scalar(workload, data):
+    base = DelayModel()
+    optimized = optimize_global(build_workload(workload), delays=base)
+    engine = _engine_or_skip(optimized.cdfg, base, optimized.plan)
+    plans = [data.draw(fault_plans(workload), label=f"plan{i}") for i in range(3)]
+    batch = engine.run_plans(plans, spot_check=0.0)
+    for index, plan in enumerate(plans):
+        scalar = simulate_tokens(
+            optimized.cdfg,
+            delay_model=plan.apply(base),
+            seed=NOMINAL,
+            strict=False,
+            channel_plan=optimized.plan,
+        )
+        if batch.suspect[index] or scalar.violations:
+            continue
+        assert float(batch.makespans[index]) == scalar.end_time

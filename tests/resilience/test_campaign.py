@@ -91,6 +91,44 @@ class TestOtherWorkloads:
         assert report.arc_slack == []
 
 
+class TestBatchedMode:
+    """`batched=True` must change wall-clock only — never a report byte."""
+
+    @pytest.mark.parametrize("workload", ["diffeq", "gcd"])
+    def test_batched_report_byte_identical(self, workload):
+        pytest.importorskip("numpy")
+        scalar = run_campaign(workload, seed=17, trials=8)
+        batched = run_campaign(workload, seed=17, trials=8, batched=True)
+        assert scalar.to_json() == batched.to_json()
+
+    def test_mc_reproof_runs_and_is_deterministic(self):
+        pytest.importorskip("numpy")
+        first = run_campaign("diffeq", seed=0, trials=2, mc_samples=16)
+        second = run_campaign("diffeq", seed=0, trials=2, mc_samples=16, batched=True)
+        assert first.to_json() == second.to_json()
+        assert first.mc_samples == 16
+        assert len(first.gt3_mc) == len(first.arc_slack) == 1
+        entry = first.gt3_mc[0]
+        assert entry.samples == 16
+        # the paper's GT3 proof says arc 10 is *never* last; the
+        # Monte-Carlo re-proof should agree under sampled delays
+        assert entry.never_last
+        assert entry.last_count == 0
+
+    def test_mc_entries_survive_the_roundtrip(self):
+        pytest.importorskip("numpy")
+        report = run_campaign("diffeq", seed=0, trials=1, mc_samples=8)
+        rebuilt = CampaignReport.from_dict(report.to_dict())
+        assert rebuilt.to_json() == report.to_json()
+        assert rebuilt.gt3_mc[0].arc == report.gt3_mc[0].arc
+
+    def test_mc_summary_mentions_the_verdict(self):
+        pytest.importorskip("numpy")
+        report = run_campaign("diffeq", seed=0, trials=1, mc_samples=8)
+        assert "GT3 MC" in report.summary()
+        assert "never last" in report.summary()
+
+
 class TestQuickProbe:
     def test_full_script_probe_ok(self, diffeq):
         verdict = quick_probe(diffeq, ("GT1", "GT2", "GT3", "GT4", "GT5"), trials=2)

@@ -1,0 +1,171 @@
+"""Batched max-plus engine: bit-exactness, refusal, and spot-checks."""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.cdfg import CdfgBuilder
+from repro.resilience.faults import FaultPlan, fault_targets
+from repro.sim.batched import (
+    BatchDivergenceError,
+    BatchedTokenEngine,
+    UnbatchableDesignError,
+    compile_program,
+)
+from repro.sim.seeding import NOMINAL, node_stream_seed
+from repro.sim.token_sim import simulate_tokens
+from repro.timing import DelayModel
+from repro.transforms import optimize_global
+from repro.workloads import build_workload
+
+WORKLOADS = ("diffeq", "gcd", "ewf", "fir")
+
+
+def _levels(workload):
+    base = DelayModel()
+    cdfg = build_workload(workload)
+    optimized = optimize_global(cdfg, delays=base)
+    return base, ((cdfg, None), (optimized.cdfg, optimized.plan))
+
+
+class TestSeededEquality:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_makespans_bit_identical_to_scalar(self, workload):
+        base, levels = _levels(workload)
+        seeds = list(range(8))
+        for graph, plan in levels:
+            engine = BatchedTokenEngine(graph, delay_model=base, channel_plan=plan)
+            batch = engine.run_seeded(seeds, spot_check=0.0)
+            for index, seed in enumerate(seeds):
+                scalar = simulate_tokens(
+                    graph, delay_model=base, seed=seed, strict=False, channel_plan=plan
+                )
+                assert scalar.violations == []
+                assert float(batch.makespans[index]) == scalar.end_time
+
+    def test_batch_of_one_equals_batch_of_many(self):
+        base, levels = _levels("diffeq")
+        graph, plan = levels[1]
+        engine = BatchedTokenEngine(graph, delay_model=base, channel_plan=plan)
+        many = engine.run_seeded(list(range(6)), spot_check=0.0)
+        for seed in range(6):
+            one = engine.run_seeded([seed], spot_check=0.0)
+            assert float(one.makespans[0]) == float(many.makespans[seed])
+
+
+class TestModelAndPlanEquality:
+    def test_run_plans_matches_scalar_nominal(self):
+        base, levels = _levels("diffeq")
+        graph, plan = levels[1]
+        engine = BatchedTokenEngine(graph, delay_model=base, channel_plan=plan)
+        targets = fault_targets(graph)
+        plans = [
+            FaultPlan.generate(targets, seed=seed, magnitude_max=1.0)
+            for seed in range(12)
+        ]
+        batch = engine.run_plans(plans, spot_check=0.0)
+        for index, fault_plan in enumerate(plans):
+            scalar = simulate_tokens(
+                graph,
+                delay_model=fault_plan.apply(base),
+                seed=NOMINAL,
+                strict=False,
+                channel_plan=plan,
+            )
+            if batch.suspect[index]:
+                continue  # the engine routes these to the oracle itself
+            assert scalar.violations == []
+            assert float(batch.makespans[index]) == scalar.end_time
+
+    def test_run_models_matches_run_plans(self):
+        base, levels = _levels("gcd")
+        graph, plan = levels[1]
+        engine = BatchedTokenEngine(graph, delay_model=base, channel_plan=plan)
+        targets = fault_targets(graph)
+        plans = [FaultPlan.generate(targets, seed=seed) for seed in range(6)]
+        via_plans = engine.run_plans(plans, spot_check=0.0)
+        via_models = engine.run_models(
+            [fault_plan.apply(base) for fault_plan in plans], spot_check=0.0
+        )
+        assert (via_plans.makespans == via_models.makespans).all()
+        assert (via_plans.node_completions == via_models.node_completions).all()
+
+
+class TestBatchResult:
+    def test_node_completion_column_lookup(self):
+        base, levels = _levels("diffeq")
+        graph, plan = levels[0]
+        engine = BatchedTokenEngine(graph, delay_model=base, channel_plan=plan)
+        batch = engine.run_seeded([0, 1, 2], spot_check=0.0)
+        assert batch.batch == 3
+        end = graph.end.name
+        assert (batch.node_completion(end) == batch.makespans).all()
+
+    def test_some_arc_into_end_is_always_last(self):
+        base, levels = _levels("diffeq")
+        graph, plan = levels[0]
+        engine = BatchedTokenEngine(graph, delay_model=base, channel_plan=plan)
+        end = graph.end.name
+        arcs = [key for key in engine.program.arc_tokens if key[1] == end]
+        assert arcs
+        batch = engine.run_seeded(list(range(5)), arcs=arcs, spot_check=0.0)
+        covered = np.zeros(batch.batch, dtype=bool)
+        for key in arcs:
+            indicator = batch.arc_last[key]
+            assert indicator.shape == (batch.batch,)
+            covered |= indicator
+        assert covered.all()
+
+
+class TestRefusalAndDivergence:
+    def _unsafe_cdfg(self):
+        builder = CdfgBuilder("unsafe")
+        with builder.loop("C", fu="FAST"):
+            builder.op("T := T + K", fu="FAST")
+            builder.op("C := T < L", fu="FAST")
+            builder.op("S := S * K", fu="SLOW")
+        cdfg = builder.build(initial={"T": 0, "C": 1, "S": 1, "K": 2, "L": 50})
+        # drop the ENDLOOP synchronization of the slow unit: the fast
+        # unit laps it, double-pumping LOOP -> S := S * K under NOMINAL
+        cdfg.remove_arc("S := S * K", "ENDLOOP")
+        return cdfg, DelayModel().with_override("SLOW", "*", (60.0, 70.0))
+
+    def test_nominally_unsafe_design_refused_at_compile(self):
+        cdfg, slow = self._unsafe_cdfg()
+        with pytest.raises(UnbatchableDesignError):
+            compile_program(cdfg, delay_model=slow)
+
+    def test_safe_design_compiles(self):
+        cdfg = build_workload("diffeq")
+        program = compile_program(cdfg)
+        assert program.size > 2
+        assert program.firings[0].node.name == cdfg.start.name
+        assert program.reference.violations == []
+
+    def test_tampered_makespan_trips_the_spot_check(self):
+        base, levels = _levels("diffeq")
+        graph, plan = levels[0]
+        engine = BatchedTokenEngine(graph, delay_model=base, channel_plan=plan)
+        batch = engine.run_seeded([0, 1], spot_check=0.0)
+        batch.makespans[0] += 1.0
+        with pytest.raises(BatchDivergenceError):
+            engine._spot_check(
+                batch,
+                lambda i: f"seed {i}",
+                lambda i: engine.scalar_result(seed=i),
+                1.0,
+            )
+
+    def test_untampered_spot_check_passes(self):
+        base, levels = _levels("diffeq")
+        graph, plan = levels[1]
+        engine = BatchedTokenEngine(graph, delay_model=base, channel_plan=plan)
+        engine.run_seeded(list(range(4)), spot_check=1.0)
+
+
+class TestStreamSeeding:
+    def test_node_stream_seed_is_stable_and_distinct(self):
+        first = node_stream_seed(7, "A := B + C")
+        assert node_stream_seed(7, "A := B + C") == first
+        assert node_stream_seed(8, "A := B + C") != first
+        assert node_stream_seed(7, "A := B - C") != first

@@ -76,3 +76,40 @@ class TestSampling:
         model = DelayModel()
         assert model.operator_interval("ALU", None) == model.copy_delay
         assert model.operator_interval("ALU", "*") == model.operator_delays["*"]
+
+
+class TestSampleMatrix:
+    """The batch sampler's documented draw-order contract."""
+
+    def _nodes(self):
+        return [_node("A := B + C"), _node("A := B * C"), _node("A := B - C")]
+
+    def test_batch_of_one_is_the_scalar_shim(self):
+        pytest.importorskip("numpy")
+        model = DelayModel()
+        nodes = self._nodes()
+        matrix = model.sample_matrix(nodes, random.Random(42), batch=1)
+        rng = random.Random(42)
+        expected = [model.sample(node, rng) for node in nodes]
+        assert list(matrix[0]) == expected
+
+    def test_draw_order_is_node_major(self):
+        pytest.importorskip("numpy")
+        model = DelayModel()
+        nodes = self._nodes()
+        matrix = model.sample_matrix(nodes, random.Random(7), batch=3)
+        rng = random.Random(7)
+        for column, node in enumerate(nodes):
+            for row in range(3):
+                assert matrix[row, column] == model.sample(node, rng)
+
+    def test_samples_within_bounds(self):
+        pytest.importorskip("numpy")
+        model = DelayModel()
+        nodes = self._nodes()
+        matrix = model.sample_matrix(nodes, random.Random(0), batch=16)
+        assert matrix.shape == (16, len(nodes))
+        for column, node in enumerate(nodes):
+            low, high = model.interval_for(node)
+            assert (matrix[:, column] >= low).all()
+            assert (matrix[:, column] <= high).all()
