@@ -134,11 +134,25 @@ class IncrementalExplorer:
         self._oracle = None
         self._local_oracle = None
         if golden is not None:
+            from repro.verify.flow import (
+                compose_global_oracles,
+                compose_local_oracles,
+                make_flow_global_oracle,
+                make_flow_local_oracle,
+            )
             from repro.verify.oracles import make_global_oracle, make_local_oracle
 
+            # same composition order as evaluate_point, so the first
+            # failure message (and thus the conformance/proof stamps)
+            # is bit-identical across both paths
             if check_edges:
-                self._oracle = make_global_oracle(delays=delays, deep=False)
-            self._local_oracle = make_local_oracle()
+                self._oracle = compose_global_oracles(
+                    make_global_oracle(delays=delays, deep=False),
+                    make_flow_global_oracle(delays=delays),
+                )
+            self._local_oracle = compose_local_oracles(
+                make_local_oracle(), make_flow_local_oracle()
+            )
 
     # ------------------------------------------------------------------
     # grid normalization
@@ -184,8 +198,12 @@ class IncrementalExplorer:
         # once an ancestor pass failed its oracle, the per-point path
         # re-runs the remaining script unchecked — mirror that here
         use_oracle = self._oracle is not None and parent.failure is None
+        # "f1" marks the flow-proof oracle generation: records written
+        # before the flow checker existed carry different failure
+        # semantics and must not be replayed
         key = make_key(
-            "gt-edge", parent.fp, name, self._delay_fp, "oracle" if use_oracle else "plain"
+            "gt-edge", "f1", parent.fp, name, self._delay_fp,
+            "oracle" if use_oracle else "plain",
         )
         record = self.cache.get(key) if self.cache is not None else None
         child_cdfg = child_plan = None
@@ -247,6 +265,7 @@ class IncrementalExplorer:
     def _eval_key(self, node: _TrieNode, lt: Tuple[str, ...]) -> str:
         return make_key(
             "eval",
+            "f1",  # flow-proof oracle generation (see _extend)
             node.fp,
             "+".join(lt) or "-",
             self._delay_fp,
@@ -343,6 +362,10 @@ class IncrementalExplorer:
             "local_failure": local_failure,
             "sim_conformance": sim_conformance,
             "registers": dict(result.registers),
+            # controller count, so the parent can reconstruct the
+            # per-point path's flow-certificate tally (one certificate
+            # per GT pass plus one per LT pass per machine)
+            "machines": len(design.controllers),
         }
 
     def _guarded_eval(self, node, lt: Tuple[str, ...]) -> dict:
@@ -372,7 +395,7 @@ class IncrementalExplorer:
     # assembly
     # ------------------------------------------------------------------
     def _assemble(self, gt, lt, node: _TrieNode, record: dict):
-        from repro.explore import DesignPoint, failed_point
+        from repro.explore import DesignPoint, failed_point, proof_stamp
 
         if record.get("status", "ok") != "ok":
             return failed_point(gt, lt, str(record.get("error", "unknown failure")))
@@ -384,6 +407,10 @@ class IncrementalExplorer:
             conformance = f"failed: {record['local_failure']}"
         else:
             conformance = record["sim_conformance"]
+        certificates = len(node.prefix) + len(self._normalize_lt(lt)) * int(
+            record.get("machines", 0)
+        )
+        proved, proof = proof_stamp(conformance, certificates)
         if self.reference is not None:
             registers = record["registers"]
             for register, value in self.reference.items():
@@ -402,6 +429,8 @@ class IncrementalExplorer:
             makespan=record["makespan"],
             conformant=conformance in ("conformant", "unchecked"),
             conformance=conformance,
+            proved=proved,
+            proof=proof,
             provenance_records=node.provenance + record["lt_provenance"],
             bottleneck=record["bottleneck"],
         )

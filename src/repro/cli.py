@@ -14,7 +14,9 @@ Commands
                 (incremental + cached by default; see ``--no-cache``)
 ``bench``       time the exploration sweep cold/warm and append the
                 result to ``BENCH_scaling.json``
-``verify``      conformance-fuzz the flow against the golden reference
+``verify``      conformance-fuzz the flow against the golden reference;
+                with ``--proofs``, discharge the flow-equivalence proof
+                obligations instead and emit replayable certificates
 ``faults``      delay-fault campaign: GT3 slack margins, GT5 channel
                 skew tolerance, seeded randomized fault trials
 ``dot``         export the (optionally optimized) CDFG as Graphviz
@@ -46,7 +48,7 @@ from repro.sim.system import ControllerSystem, simulate_system
 from repro.transforms import optimize_global
 from repro.workloads import WORKLOADS
 
-LEVELS = ("unoptimized", "gt", "gt+lt")
+LEVELS = ("unoptimized", "gt", "gt+lt", "gt+lt+min")
 
 
 def _parse_seed(text: str) -> SeedLike:
@@ -76,10 +78,24 @@ def _build_design(workload: str, level: str) -> Tuple[object, List[ProvenanceRec
     optimized = optimize_global(cdfg)
     provenance = list(optimized.provenance)
     design = extract_controllers(optimized.cdfg, optimized.plan)
-    if level == "gt+lt":
+    if level in ("gt+lt", "gt+lt+min"):
         local = optimize_local(design)
         design = local.design
         provenance.extend(local.provenance)
+    if level == "gt+lt+min":
+        from repro.afsm.minimize import minimize_design
+
+        design, reports, __ = minimize_design(design)
+        for report in reports:
+            if report.applied:
+                provenance.append(
+                    ProvenanceRecord(
+                        "MIN",
+                        "states-merged",
+                        report.machine,
+                        f"{report.before_states} -> {report.after_states} states",
+                    )
+                )
     return design, provenance
 
 
@@ -272,6 +288,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         "provenance",
         "bottleneck",
         "conformant",
+        "proved",
     ]
     probes = {}
     if args.faults:
@@ -295,11 +312,19 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             point.provenance_records,
             point.bottleneck or "-",
             "yes" if point.conformant else "NO",
+            "yes" if point.proved else "NO",
         ]
         if args.faults:
             row.append(probes[point.global_transforms])
         rows.append(tuple(row))
     print(render_table(tuple(headers), rows))
+    if args.json:
+        from repro.verify.schema import write_envelope
+
+        write_envelope(
+            args.json, "explore", [point.to_dict() for point in result.points]
+        )
+        print(f"wrote {args.json}")
     summary = f"{len(frontier)} Pareto-optimal of {len(result.points)} explored points"
     if interrupted:
         summary += " (interrupted — partial sweep)"
@@ -426,11 +451,60 @@ def _cmd_bench_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify_replay(args: argparse.Namespace) -> int:
+    """Re-derive a proof certificate file and byte-compare (``--replay``)."""
+    import json
+
+    from repro.verify import replay_flow_report
+    from repro.verify.schema import load_envelope
+
+    with open(args.replay, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict) and "reports" in payload:
+        documents = load_envelope(payload)["reports"]
+    else:
+        documents = [payload]
+    ok = True
+    for document in documents:
+        identical, message = replay_flow_report(document)
+        ok = ok and identical
+        print(("REPLAYED " if identical else "DIVERGED ") + message)
+    return 0 if ok else 1
+
+
+def _cmd_verify_proofs(args: argparse.Namespace, names: List[str]) -> int:
+    """Flow-equivalence proof mode (``--proofs`` / ``--proofs-json``)."""
+    from repro.verify import prove_workload
+    from repro.verify.schema import write_envelope
+
+    reports = []
+    for name in names:
+        report = prove_workload(name, minimize=args.minimize)
+        reports.append(report)
+        print(report.summary())
+        for proof in report.counterexamples():
+            print(f"  counterexample {proof.stage}[{proof.subject}]: "
+                  f"{proof.counterexample}")
+    if args.proofs_json:
+        write_envelope(
+            args.proofs_json, "flow-proofs", [report.to_dict() for report in reports]
+        )
+        print(f"wrote {args.proofs_json}")
+    return 0 if all(report.proved for report in reports) else 1
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify import fuzz_workload
     from repro.workloads import workload_names
 
+    if args.replay:
+        return _cmd_verify_replay(args)
+    if args.workload is None:
+        print("repro verify: a workload (or 'all') is required unless --replay is given")
+        return 2
     names = list(workload_names()) if args.workload == "all" else [args.workload]
+    if args.proofs or args.proofs_json:
+        return _cmd_verify_proofs(args, names)
     reports = []
     for name in names:
         report = fuzz_workload(
@@ -443,14 +517,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         reports.append(report)
         print(report.summary())
     if args.json:
-        import json
+        from repro.verify.schema import write_envelope
 
-        # always a list, even for a single workload, so consumers can
-        # iterate unconditionally
-        payload = [report.to_dict() for report in reports]
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        write_envelope(args.json, "verify", [report.to_dict() for report in reports])
         print(f"wrote {args.json}")
     conformant = all(report.conformant for report in reports)
     if args.timing_samples:
@@ -499,8 +568,9 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     for trial in failed_trials:
         print(f"  trial {trial.index}: {trial.status} — {trial.detail}")
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(report.to_json() + "\n")
+        from repro.verify.schema import write_envelope
+
+        write_envelope(args.json, "faults", [report.to_dict()])
         print(f"wrote {args.json}")
     return 0 if report.healthy else 1
 
@@ -621,6 +691,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-point wall-clock deadline in seconds (timed-out points fail)",
     )
     explore.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write every explored point (not just the frontier) to "
+        "PATH as a repro-report/v1 envelope",
+    )
+    explore.add_argument(
         "--inject-fail",
         default=None,
         metavar="SPEC",
@@ -687,7 +764,13 @@ def build_parser() -> argparse.ArgumentParser:
         "verify",
         help="differential conformance fuzzing of every transform level",
     )
-    verify.add_argument("workload", choices=sorted(WORKLOADS) + ["all"])
+    verify.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        choices=sorted(WORKLOADS) + ["all"],
+        help="workload to verify (not needed with --replay)",
+    )
     verify.add_argument("--runs", type=int, default=20, help="cases per workload")
     verify.add_argument("--seed", type=int, default=0, help="campaign master seed")
     verify.add_argument(
@@ -697,6 +780,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop the campaign after this many seconds",
     )
     verify.add_argument("--json", default=None, help="write the VerifyReport(s) to this path")
+    verify.add_argument(
+        "--proofs",
+        action="store_true",
+        help="run the flow-equivalence proof engine instead of the "
+        "fuzzer: discharge symbolic per-pass obligations and print one "
+        "certificate line per GT/LT application",
+    )
+    verify.add_argument(
+        "--proofs-json",
+        default=None,
+        metavar="PATH",
+        help="write the FlowProof certificates to PATH (implies --proofs)",
+    )
+    verify.add_argument(
+        "--minimize",
+        action="store_true",
+        help="with --proofs: also run and certify the post-extraction "
+        "state-minimization pass",
+    )
+    verify.add_argument(
+        "--replay",
+        default=None,
+        metavar="PATH",
+        help="re-derive the certificates in PATH and byte-compare "
+        "(the workload argument is ignored)",
+    )
     verify.add_argument(
         "--no-shrink",
         action="store_true",

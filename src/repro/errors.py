@@ -75,6 +75,15 @@ class VerificationError(ReproError):
     """
 
 
+class FlowRefutedError(VerificationError):
+    """A flow-equivalence proof obligation failed.
+
+    Raised by the :mod:`repro.verify.flow` oracles when a GT/LT pass
+    cannot be certified; the message carries a ``flow[<pass>]:``
+    prefix and the first refuted obligation.
+    """
+
+
 class DeadlockError(SimulationError):
     """The simulation quiesced with unfired operations.
 

@@ -31,22 +31,28 @@ from repro.timing.delays import DelayModel
 from repro.transforms import optimize_global
 from repro.workloads.diffeq import DIFFEQ_FUS, build_diffeq_cdfg
 
-LEVELS = ("unoptimized", "optimized-GT", "optimized-GT-and-LT")
+LEVELS = ("unoptimized", "optimized-GT", "optimized-GT-and-LT", "minimized")
 
 
 def synthesize_levels(
     cdfg=None, delays: Optional[DelayModel] = None
 ) -> Dict[str, DistributedDesign]:
-    """The three synthesis levels of Figure 12 for one CDFG."""
+    """The three synthesis levels of Figure 12 for one CDFG, plus the
+    post-paper ``minimized`` level (simulation-equivalence quotient,
+    gated by the flow checker — :mod:`repro.afsm.minimize`)."""
+    from repro.afsm.minimize import minimize_design
+
     cdfg = cdfg if cdfg is not None else build_diffeq_cdfg()
     unopt = extract_controllers(cdfg, derive_channels(cdfg))
     optimized = optimize_global(cdfg, delays=delays)
     gt = extract_controllers(optimized.cdfg, optimized.plan)
     gt_lt = optimize_local(gt).design
+    minimized, __, __ = minimize_design(gt_lt)
     return {
         "unoptimized": unopt,
         "optimized-GT": gt,
         "optimized-GT-and-LT": gt_lt,
+        "minimized": minimized,
     }
 
 
@@ -102,13 +108,16 @@ class Fig12Result:
         rows = []
         for level in LEVELS:
             counts = self.counts[level]
+            # the paper stops at GT+LT; the minimized row has no
+            # published column, rendered as "-"
+            paper_level = PAPER_FIG12.get(level, {})
             row: List[object] = [
                 level,
-                f"{self.channels[level]}/{PAPER_FIG12_CHANNELS[level]}",
+                f"{self.channels[level]}/{PAPER_FIG12_CHANNELS.get(level, '-')}",
             ]
             for fu in DIFFEQ_FUS:
                 states, transitions = counts.machines[fu]
-                paper_states, paper_transitions = PAPER_FIG12[level][fu]
+                paper_states, paper_transitions = paper_level.get(fu, ("-", "-"))
                 row.append(f"{states}/{paper_states}")
                 row.append(f"{transitions}/{paper_transitions}")
             rows.append(row)
@@ -130,6 +139,7 @@ def run_fig12(cdfg=None) -> Fig12Result:
         # channels of Figure 5/6 (environment wires excluded)
         "optimized-GT": counts["optimized-GT"].channels_controller,
         "optimized-GT-and-LT": counts["optimized-GT-and-LT"].channels_controller,
+        "minimized": counts["minimized"].channels_controller,
     }
     return Fig12Result(counts=counts, channels=channels)
 
@@ -140,14 +150,22 @@ def run_fig12(cdfg=None) -> Fig12Result:
 @dataclass
 class Fig13Result:
     summaries: Dict[str, LogicSummary]
+    #: gate-level cost after the post-paper minimization pass (empty
+    #: when the minimized level was not synthesized)
+    minimized: Dict[str, LogicSummary] = field(default_factory=dict)
 
     def totals(self) -> Tuple[int, int]:
         products = sum(s.products for s in self.summaries.values())
         literals = sum(s.literals for s in self.summaries.values())
         return products, literals
 
+    def minimized_totals(self) -> Tuple[int, int]:
+        products = sum(s.products for s in self.minimized.values())
+        literals = sum(s.literals for s in self.minimized.values())
+        return products, literals
+
     def table(self) -> str:
-        headers = (
+        headers = [
             "unit",
             "Yun #prod",
             "Yun #lits",
@@ -155,34 +173,39 @@ class Fig13Result:
             "paper #lits",
             "measured #prod",
             "measured #lits",
-        )
+        ]
+        if self.minimized:
+            headers += ["min #prod", "min #lits"]
         rows = []
         for fu in DIFFEQ_FUS:
             summary = self.summaries[fu]
-            rows.append(
-                (
-                    fu,
-                    YUN_FIG13[fu][0],
-                    YUN_FIG13[fu][1],
-                    PAPER_FIG13[fu][0],
-                    PAPER_FIG13[fu][1],
-                    summary.products,
-                    summary.literals,
-                )
-            )
+            row = [
+                fu,
+                YUN_FIG13[fu][0],
+                YUN_FIG13[fu][1],
+                PAPER_FIG13[fu][0],
+                PAPER_FIG13[fu][1],
+                summary.products,
+                summary.literals,
+            ]
+            if self.minimized:
+                minimized = self.minimized[fu]
+                row += [minimized.products, minimized.literals]
+            rows.append(tuple(row))
         products, literals = self.totals()
-        rows.append(
-            (
-                "total",
-                sum(v[0] for v in YUN_FIG13.values()),
-                sum(v[1] for v in YUN_FIG13.values()),
-                sum(v[0] for v in PAPER_FIG13.values()),
-                sum(v[1] for v in PAPER_FIG13.values()),
-                products,
-                literals,
-            )
-        )
-        return render_table(headers, rows)
+        total_row = [
+            "total",
+            sum(v[0] for v in YUN_FIG13.values()),
+            sum(v[1] for v in YUN_FIG13.values()),
+            sum(v[0] for v in PAPER_FIG13.values()),
+            sum(v[1] for v in PAPER_FIG13.values()),
+            products,
+            literals,
+        ]
+        if self.minimized:
+            total_row += list(self.minimized_totals())
+        rows.append(tuple(total_row))
+        return render_table(tuple(headers), rows)
 
 
 def run_fig13(cdfg=None) -> Fig13Result:
@@ -190,7 +213,8 @@ def run_fig13(cdfg=None) -> Fig13Result:
     # the paper synthesized ALU1 with Minimalist (shared products) and
     # the XBM controllers with 3D (single-output)
     summaries = synthesize_design(designs["optimized-GT-and-LT"], shared_for=("ALU1",))
-    return Fig13Result(summaries=summaries)
+    minimized = synthesize_design(designs["minimized"], shared_for=("ALU1",))
+    return Fig13Result(summaries=summaries, minimized=minimized)
 
 
 # ----------------------------------------------------------------------

@@ -47,6 +47,12 @@ class DesignPoint:
     conformant: bool = True
     #: "conformant", "failed: <reason>", or "unchecked"
     conformance: str = "unchecked"
+    #: proof stamp: did every GT/LT application of this point discharge
+    #: its flow-equivalence obligations (:mod:`repro.verify.flow`)?
+    proved: bool = False
+    #: "proved (<n> pass certificates)", "refuted: <reason>",
+    #: "not proved: <reason>", or "unchecked"
+    proof: str = "unchecked"
     #: how many provenance records the GT/LT scripts emitted
     provenance_records: int = 0
     #: dominant label group on the simulation's critical path
@@ -66,6 +72,25 @@ class DesignPoint:
 
     def objectives(self) -> Tuple[float, float, float]:
         return (self.channels, self.total_states, self.makespan)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Snake-case JSON document (the ``repro explore --json`` shape)."""
+        return {
+            "global_transforms": list(self.global_transforms),
+            "local_transforms": list(self.local_transforms),
+            "channels": self.channels,
+            "total_states": self.total_states,
+            "total_transitions": self.total_transitions,
+            "makespan": self.makespan,
+            "conformant": self.conformant,
+            "conformance": self.conformance,
+            "proved": self.proved,
+            "proof": self.proof,
+            "provenance_records": self.provenance_records,
+            "bottleneck": self.bottleneck,
+            "status": self.status,
+            "error": self.error,
+        }
 
     def dominates(self, other: "DesignPoint") -> bool:
         mine, theirs = self.objectives(), other.objectives()
@@ -121,6 +146,28 @@ class ExplorationResult:
         return min(candidates, key=key)
 
 
+def proof_stamp(conformance: str, certificates: int) -> Tuple[bool, str]:
+    """Derive the ``(proved, proof)`` stamp of a design point.
+
+    The flow oracles run inside the same scripts as the metamorphic
+    ones, so the conformance verdict already carries the proof outcome:
+    a conformant point was fully certified (``certificates`` counts the
+    per-pass :class:`~repro.verify.flow.FlowProof` certificates), a
+    ``flow[...]`` failure is a refutation with a counterexample, and
+    any other failure leaves the point merely unproved.
+    """
+    if conformance == "unchecked":
+        return False, "unchecked"
+    if conformance == "conformant":
+        return True, f"proved ({certificates} pass certificates)"
+    message = conformance
+    if message.startswith("failed: "):
+        message = message[len("failed: ") :]
+    if message.startswith("flow["):
+        return False, f"refuted: {message}"
+    return False, f"not proved: {message}"
+
+
 def evaluate_point(
     cdfg: Cdfg,
     global_transforms: Sequence[str],
@@ -141,11 +188,23 @@ def evaluate_point(
     """
     conformance = "unchecked"
     oracle = local_oracle = None
+    flow_proofs: List = []
     if golden is not None:
+        from repro.verify.flow import (
+            compose_global_oracles,
+            compose_local_oracles,
+            make_flow_global_oracle,
+            make_flow_local_oracle,
+        )
         from repro.verify.oracles import make_global_oracle, make_local_oracle
 
-        oracle = make_global_oracle(delays=delays, deep=False)
-        local_oracle = make_local_oracle()
+        oracle = compose_global_oracles(
+            make_global_oracle(delays=delays, deep=False),
+            make_flow_global_oracle(delays=delays, collect=flow_proofs),
+        )
+        local_oracle = compose_local_oracles(
+            make_local_oracle(), make_flow_local_oracle(collect=flow_proofs)
+        )
     try:
         optimized = optimize_global(
             cdfg, enabled=tuple(global_transforms), delays=delays, oracle=oracle
@@ -198,6 +257,7 @@ def evaluate_point(
                         f"failed: register {register} = {got!r}, golden says {value!r}"
                     )
                     break
+    proved, proof = proof_stamp(conformance, len(flow_proofs))
     return DesignPoint(
         global_transforms=tuple(global_transforms),
         local_transforms=tuple(local_transforms),
@@ -207,6 +267,8 @@ def evaluate_point(
         makespan=result.end_time,
         conformant=conformance in ("conformant", "unchecked"),
         conformance=conformance,
+        proved=proved,
+        proof=proof,
         provenance_records=provenance_records,
         bottleneck=bottleneck,
     )
@@ -227,6 +289,8 @@ def failed_point(
         makespan=0.0,
         conformant=False,
         conformance=f"failed: {error}",
+        proved=False,
+        proof=f"not proved: {error}",
         status="failed",
         error=error,
     )

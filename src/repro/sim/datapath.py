@@ -78,6 +78,10 @@ class Datapath:
         #: settling windows for hazard detection
         self._mux_flights: Dict[Tuple[str, object], float] = {}
         self.hazards: List[str] = []
+        #: chronological register-write log: (register, value) per
+        #: latch capture — the system-level write streams compared by
+        #: the flow-equivalence checker (:mod:`repro.verify.flow`)
+        self.writes: List[Tuple[str, float]] = []
 
     # ------------------------------------------------------------------
     def _delay(self, low: float, high: float) -> float:
@@ -168,7 +172,9 @@ class Datapath:
                 source = self.reg_muxes.get(register)
                 if source is None:
                     raise SimulationError(f"latch of {register!r} with no mux selection")
-                self.registers[register] = self._resolve(source)
+                value = self._resolve(source)
+                self.registers[register] = value
+                self.writes.append((register, value))
                 on_complete()
 
             self.kernel.schedule(delay, capture, label=f"dp:latch:{register}")

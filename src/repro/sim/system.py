@@ -12,7 +12,7 @@ terminates with the correct register file.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.afsm.extract import DistributedDesign
 from repro.cdfg.graph import ENV
@@ -41,6 +41,15 @@ class SystemResult:
     seed: Optional[int] = None
     #: causal event log (present when the run was traced)
     trace: Optional[EventTrace] = None
+    #: chronological register-write log from the datapath latches
+    writes: List[Tuple[str, float]] = field(default_factory=list)
+
+    def write_streams(self) -> Dict[str, List[float]]:
+        """Per-variable value streams, in latch order."""
+        streams: Dict[str, List[float]] = {}
+        for dest, value in self.writes:
+            streams.setdefault(dest, []).append(value)
+        return streams
 
 
 class ControllerSystem:
@@ -145,6 +154,7 @@ class ControllerSystem:
             events_processed=self.kernel.events_processed,
             seed=self.seed,
             trace=self.kernel.trace,
+            writes=list(self.datapath.writes),
         )
 
 

@@ -73,12 +73,23 @@ class TokenSimResult:
     trace: Optional[EventTrace] = None
     #: trace uid of the END completion (terminal of the critical path)
     end_event: Optional[int] = None
+    #: chronological register-write log: (dest, value) in application
+    #: order — the per-variable write streams the flow-equivalence
+    #: checker (:mod:`repro.verify.flow`) compares across transforms
+    writes: List[Tuple[str, float]] = field(default_factory=list)
 
     def firing_count(self, node: str) -> int:
         return sum(1 for firing in self.firings if firing.node == node)
 
     def register(self, name: str) -> float:
         return self.registers[name]
+
+    def write_streams(self) -> Dict[str, List[float]]:
+        """Per-variable value streams, in write order."""
+        streams: Dict[str, List[float]] = {}
+        for dest, value in self.writes:
+            streams.setdefault(dest, []).append(value)
+        return streams
 
 
 class TokenSimulator:
@@ -355,6 +366,7 @@ class TokenSimulator:
     ) -> None:
         for dest, value in writes:
             self.registers[dest] = value
+            self.result.writes.append((dest, value))
         self._finish(node, start)
         for arc in self.cdfg.arcs_from(node.name):
             self._emit(arc)

@@ -21,17 +21,49 @@ Entry points:
   engine and cross-checked bit-for-bit against the scalar kernel;
 - :func:`make_global_oracle` / :func:`make_local_oracle` — the
   per-pass invariant checkers, installable on any
-  ``optimize_global`` / ``optimize_local`` call.
+  ``optimize_global`` / ``optimize_local`` call;
+- :mod:`repro.verify.flow` — the flow-equivalence *proof* engine:
+  :func:`prove_workload` discharges symbolic per-pass obligations and
+  emits replayable :class:`FlowProof` certificates (``repro verify
+  --proofs``), upgrading the sampled trials above to proofs;
+- :func:`report_envelope` / :func:`load_envelope` — the normalized
+  ``repro-report/v1`` JSON envelope every verify-family subcommand
+  emits.
 """
 
 from repro.verify.conformance import CaseResult, VerifyCase, check_case
+from repro.verify.flow import (
+    FlowObligation,
+    FlowProof,
+    FlowReport,
+    check_global_flow,
+    check_local_flow,
+    load_flow_report,
+    make_flow_global_oracle,
+    make_flow_local_oracle,
+    prove_workload,
+    replay_flow_report,
+)
 from repro.verify.fuzz import PARAM_SPACES, fuzz_workload, random_case
 from repro.verify.oracles import make_global_oracle, make_local_oracle
 from repro.verify.report import FailureRecord, VerifyReport, load_report
+from repro.verify.schema import load_envelope, report_envelope
 from repro.verify.shrink import MINIMAL_PARAMS, shrink_case
 from repro.verify.timing import TimingLevelReport, TimingReport, sampled_timing_campaign
 
 __all__ = [
+    "FlowObligation",
+    "FlowProof",
+    "FlowReport",
+    "check_global_flow",
+    "check_local_flow",
+    "load_flow_report",
+    "make_flow_global_oracle",
+    "make_flow_local_oracle",
+    "prove_workload",
+    "replay_flow_report",
+    "load_envelope",
+    "report_envelope",
     "CaseResult",
     "VerifyCase",
     "check_case",

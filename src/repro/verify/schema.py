@@ -1,0 +1,79 @@
+"""The normalized JSON schema for verify-family reports.
+
+Historically each subcommand wrote its own top-level shape —
+``repro verify --json`` a bare list of campaign dicts, ``repro
+faults`` a single campaign object — so consumers had to sniff the
+payload.  Every report-producing subcommand now wraps its documents in
+one envelope::
+
+    {
+      "schema": "repro-report/v1",
+      "kind": "verify" | "faults" | "explore" | "flow-proofs",
+      "reports": [ ...kind-specific documents, snake_case keys... ]
+    }
+
+:func:`report_envelope` builds the envelope, :func:`canonical_json`
+renders it deterministically (sorted keys, two-space indent, trailing
+newline — the byte format the golden-report suite pins), and
+:func:`load_envelope` parses + validates one, accepting the legacy
+bare-list shape for pre-envelope reports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.errors import VerificationError
+
+SCHEMA = "repro-report/v1"
+
+#: envelope kinds the loaders accept
+KINDS = ("verify", "faults", "explore", "flow-proofs")
+
+
+def report_envelope(kind: str, reports: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Wrap ``reports`` in the normalized envelope."""
+    if kind not in KINDS:
+        raise VerificationError(f"unknown report kind {kind!r} (expected one of {KINDS})")
+    return {"schema": SCHEMA, "kind": kind, "reports": list(reports)}
+
+
+def canonical_json(payload: Dict[str, object]) -> str:
+    """The canonical byte rendering: sorted keys, indent 2, final newline."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_envelope(path: str, kind: str, reports: Sequence[Dict[str, object]]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(canonical_json(report_envelope(kind, reports)))
+
+
+def load_envelope(payload) -> Dict[str, object]:
+    """Parse and validate an envelope.
+
+    ``payload`` is a parsed dict, a JSON string, or a path.  A legacy
+    bare list (pre-envelope ``verify --json``) is upgraded to a
+    ``verify`` envelope so old reports keep loading.
+    """
+    if isinstance(payload, str):
+        if payload.lstrip().startswith(("{", "[")):
+            payload = json.loads(payload)
+        else:
+            with open(payload, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+    if isinstance(payload, list):  # legacy shape
+        return report_envelope("verify", payload)
+    if not isinstance(payload, dict):
+        raise VerificationError(f"not a report envelope: {type(payload).__name__}")
+    if payload.get("schema") != SCHEMA:
+        raise VerificationError(
+            f"unknown report schema {payload.get('schema')!r} (expected {SCHEMA!r})"
+        )
+    kind = payload.get("kind")
+    if kind not in KINDS:
+        raise VerificationError(f"unknown report kind {kind!r} (expected one of {KINDS})")
+    reports = payload.get("reports")
+    if not isinstance(reports, list):
+        raise VerificationError("envelope field 'reports' must be a list")
+    return {"schema": SCHEMA, "kind": kind, "reports": list(reports)}

@@ -109,6 +109,84 @@ class TestDiscipline:
         assert any("unreachable" in p for p in problems)
 
 
+class TestErrorPaths:
+    def test_signal_levels_raises_on_polarity_conflict(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        s2 = machine.fresh_state()
+        machine.add_transition("s0", s1, InputBurst((Edge("a", True),)), OutputBurst(()))
+        machine.add_transition(s1, s2, InputBurst((Edge("a", True),)), OutputBurst(()))
+        with pytest.raises(BurstModeError, match="fires from level"):
+            signal_levels(machine)
+
+    def test_check_machine_raise_prefixes_machine_name(self):
+        machine = _machine()
+        machine.add_state("island")
+        with pytest.raises(BurstModeError, match=r"^test: .*unreachable"):
+            check_machine(machine)
+
+    def test_check_machine_joins_all_problems(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        machine.add_state("island")
+        machine.add_transition("s0", s1, InputBurst((Edge("a", True),)), OutputBurst((Edge("b", True),)))
+        with pytest.raises(BurstModeError) as excinfo:
+            check_machine(machine)
+        message = str(excinfo.value)
+        assert "unreachable" in message
+        assert "driven in output burst" in message
+        assert "; " in message
+
+    def test_output_sampled_as_conditional(self):
+        from repro.afsm.burst import Cond
+
+        machine = _machine()
+        s1 = machine.fresh_state()
+        machine.add_transition(
+            "s0", s1,
+            InputBurst((Edge("a", True),), (Cond("z", True),)),
+            OutputBurst(()),
+        )
+        problems = collect_problems(machine)
+        assert any("sampled as conditional" in p for p in problems)
+
+    def test_allow_polarity_conflicts_suppresses_only_polarity(self):
+        machine = _machine()
+        s1 = machine.fresh_state()
+        s2 = machine.fresh_state()
+        machine.add_state("island")
+        machine.add_transition("s0", s1, InputBurst((Edge("a", True),)), OutputBurst(()))
+        machine.add_transition(s1, s2, InputBurst((Edge("a", True),)), OutputBurst(()))
+        strict = collect_problems(machine)
+        relaxed = collect_problems(machine, allow_polarity_conflicts=True)
+        assert any("fires from level" in p for p in strict)
+        assert not any("fires from level" in p for p in relaxed)
+        # non-polarity problems are still reported
+        assert any("unreachable" in p for p in relaxed)
+        with pytest.raises(BurstModeError):
+            check_machine(machine)
+        with pytest.raises(BurstModeError, match="unreachable"):
+            check_machine(machine, allow_polarity_conflicts=True)
+
+    def test_reconvergent_paths_weaken_level_to_unknown(self):
+        """Two paths that reach the same state with different levels
+        leave the wire's level unknown there — a later compulsory edge
+        of either polarity is then allowed, not a conflict."""
+        machine = _machine()
+        up = machine.fresh_state()
+        join = machine.fresh_state()
+        done = machine.fresh_state()
+        machine.add_transition("s0", up, InputBurst((Edge("a", True),)), OutputBurst((Edge("z", True),)))
+        machine.add_transition(up, join, InputBurst((Edge("b", True),)), OutputBurst(()))
+        machine.add_transition("s0", join, InputBurst((Edge("b", True),)), OutputBurst(()))
+        # b is high on both paths into join, so leaving on b- is clean
+        machine.add_transition(join, done, InputBurst((Edge("b", False),)), OutputBurst(()))
+        levels = signal_levels(machine)
+        assert levels[join]["z"] is None
+        assert levels[join]["a"] is None
+        assert levels[join]["b"] == 1
+
+
 class TestExtractedMachines:
     def test_all_diffeq_levels_clean(self, diffeq):
         from repro.afsm import extract_controllers

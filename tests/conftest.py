@@ -8,6 +8,21 @@ from repro.transforms import optimize_global
 from repro.workloads import build_diffeq_cdfg, build_ewf_cdfg, build_gcd_cdfg
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the checked-in golden reports (tests/golden/reports/) "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session")
 def diffeq():
     return build_diffeq_cdfg()

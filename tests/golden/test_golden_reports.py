@@ -1,0 +1,73 @@
+"""Byte-exact golden-report regression suite.
+
+Every verify-family report the CLI can emit is pinned as a checked-in
+canonical JSON file.  Any semantic drift in the flow — a transform
+firing differently, a proof obligation changing, a conformance stamp
+flipping — shows up as a byte diff here before it shows up anywhere
+else.
+
+After an *intentional* change, refresh the files and review the diff::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.verify.schema import load_envelope
+
+from tests.golden.generate import GENERATORS
+
+GOLDEN_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_report_matches_golden(name, update_golden):
+    path = GOLDEN_DIR / f"{name}.json"
+    text = GENERATORS[name]()
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        return
+    assert path.exists(), (
+        f"missing golden report {path.name}; generate it with "
+        "`python -m pytest tests/golden --update-golden`"
+    )
+    golden = path.read_text(encoding="utf-8")
+    assert text == golden, (
+        f"{path.name} drifted from the checked-in golden bytes — if the "
+        "change is intentional, rerun with --update-golden and review "
+        "the diff"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_golden_files_are_canonical_envelopes(name):
+    """The checked-in bytes themselves parse as valid v1 envelopes."""
+    path = GOLDEN_DIR / f"{name}.json"
+    if not path.exists():
+        pytest.skip("golden file not generated yet")
+    text = path.read_text(encoding="utf-8")
+    envelope = load_envelope(text)
+    assert envelope["kind"] in name.replace("flow_proofs", "flow-proofs")
+    assert json.dumps(envelope, indent=2, sort_keys=True) + "\n" == text
+
+
+def test_golden_reports_are_healthy():
+    """The pinned reports describe a *passing* flow: conformant fuzz
+    campaigns, healthy fault campaigns, fully proved certificates."""
+    if not GOLDEN_DIR.exists():
+        pytest.skip("golden files not generated yet")
+    for path in sorted(GOLDEN_DIR.glob("*.json")):
+        envelope = load_envelope(str(path))
+        for report in envelope["reports"]:
+            if envelope["kind"] == "verify":
+                assert report["failures"] == [], path.name
+            elif envelope["kind"] == "faults":
+                assert report["baseline_conformant"], path.name
+            elif envelope["kind"] == "flow-proofs":
+                assert report["proved"], path.name
+            elif envelope["kind"] == "explore":
+                assert report["status"] == "ok", path.name

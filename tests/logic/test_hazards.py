@@ -59,3 +59,41 @@ class TestChecker:
             [PrivilegedCube(Cube.from_string("1-"), Cube.from_string("10"))],
             Cover([Cube.from_string("0-")]),
         ) == []
+
+
+class TestAssertErrorPaths:
+    def test_clean_cover_does_not_raise(self):
+        assert_hazard_free(
+            Cover([Cube.from_string("1-")]),
+            [RequiredCube(Cube.from_string("11"))],
+            [],
+            Cover([Cube.from_string("0-")]),
+        )
+
+    def test_message_names_each_violation_kind(self):
+        split = Cover([Cube.from_string("1-0"), Cube.from_string("11-")])
+        with pytest.raises(HazardError) as excinfo:
+            assert_hazard_free(
+                split,
+                [RequiredCube(Cube.from_string("1--"))],
+                [PrivilegedCube(Cube.from_string("1--"), Cube.from_string("100"))],
+                Cover([Cube.from_string("100")]),
+            )
+        message = str(excinfo.value)
+        assert "required cube" in message
+        assert "illegally intersects privileged cube" in message
+        assert "covers OFF-set cube" in message
+
+    def test_message_truncates_to_five_problems(self):
+        """An off-set hit per (product, off) pair: 3 products x 3 OFF
+        cubes = 9 problems, but the raised message carries only 5."""
+        products = [Cube.from_string(p) for p in ("11-", "1-1", "-11")]
+        off = Cover([Cube.from_string(p) for p in ("111", "11-", "-11")])
+        cover = Cover(products)
+        problems = check_hazard_free(cover, [], [], off)
+        assert len(problems) > 5
+        with pytest.raises(HazardError) as excinfo:
+            assert_hazard_free(cover, [], [], off)
+        message = str(excinfo.value)
+        assert message == "; ".join(problems[:5])
+        assert problems[5] not in message

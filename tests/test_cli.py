@@ -22,9 +22,22 @@ class TestCli:
         assert "makespan" in out
         assert "12.0" in out  # gcd(84, 36)
 
-    @pytest.mark.parametrize("level", ["unoptimized", "gt", "gt+lt"])
+    @pytest.mark.parametrize("level", ["unoptimized", "gt", "gt+lt", "gt+lt+min"])
     def test_simulate_all_levels(self, level, capsys):
         assert main(["simulate", "ewf", "--level", level]) == 0
+
+    def test_simulate_minimized_level_matches(self, capsys):
+        assert main(["simulate", "gcd", "--level", "gt+lt+min"]) == 0
+        out = capsys.readouterr().out
+        assert "12.0" in out  # gcd(84, 36) survives minimization
+
+    def test_profile_minimized_has_min_provenance(self, capsys):
+        assert main(
+            ["profile", "diffeq", "--level", "gt+lt+min", "--seed", "nominal"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MIN" in out
+        assert "states-merged" in out
 
     def test_dot_stdout(self, capsys):
         assert main(["dot", "diffeq"]) == 0
@@ -110,7 +123,9 @@ class TestCli:
         import json
 
         payload = json.loads(target.read_text())
-        assert [report["workload"] for report in payload] == [
+        assert payload["schema"] == "repro-report/v1"
+        assert payload["kind"] == "verify"
+        assert [report["workload"] for report in payload["reports"]] == [
             "diffeq", "ewf", "fir", "gcd",
         ]
 
@@ -219,7 +234,7 @@ class TestTraceCommand:
 
 
 class TestVerifyJsonShape:
-    def test_single_workload_json_is_a_list(self, tmp_path, capsys):
+    def test_single_workload_json_is_an_envelope(self, tmp_path, capsys):
         import json
 
         target = tmp_path / "one.json"
@@ -227,9 +242,54 @@ class TestVerifyJsonShape:
             ["verify", "gcd", "--runs", "1", "--no-shrink", "--json", str(target)]
         ) == 0
         payload = json.loads(target.read_text())
-        assert isinstance(payload, list)
-        assert len(payload) == 1
-        assert payload[0]["workload"] == "gcd"
+        # normalized repro-report/v1 envelope, even for a single workload
+        assert payload["schema"] == "repro-report/v1"
+        assert payload["kind"] == "verify"
+        assert isinstance(payload["reports"], list)
+        assert len(payload["reports"]) == 1
+        assert payload["reports"][0]["workload"] == "gcd"
+
+    def test_verify_json_is_canonical(self, tmp_path):
+        from repro.verify.schema import canonical_json, load_envelope
+
+        target = tmp_path / "one.json"
+        assert main(
+            ["verify", "gcd", "--runs", "1", "--no-shrink", "--json", str(target)]
+        ) == 0
+        text = target.read_text()
+        assert canonical_json(load_envelope(text)) == text
+
+
+class TestVerifyProofs:
+    def test_proofs_mode_proves_gcd(self, capsys):
+        assert main(["verify", "gcd", "--proofs"]) == 0
+        out = capsys.readouterr().out
+        assert "proved" in out
+        assert "certificates" in out
+
+    def test_proofs_json_and_replay(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "proofs.json"
+        assert main(["verify", "gcd", "--proofs-json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["kind"] == "flow-proofs"
+        assert payload["reports"][0]["workload"] == "gcd"
+        assert payload["reports"][0]["proved"] is True
+        assert main(["verify", "gcd", "--replay", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identically" in out
+
+    def test_replay_detects_tampering(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "proofs.json"
+        assert main(["verify", "gcd", "--proofs-json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        payload["reports"][0]["proofs"][0]["verdict"] = "refuted"
+        target.write_text(json.dumps(payload))
+        assert main(["verify", "gcd", "--replay", str(target)]) == 1
+        assert "DIVERGED" in capsys.readouterr().out
 
 
 class TestExploreColumns:
@@ -238,6 +298,20 @@ class TestExploreColumns:
         out = capsys.readouterr().out
         assert "provenance" in out
         assert "bottleneck" in out
+        assert "proved" in out
+
+    def test_explore_json_envelope(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "points.json"
+        assert main(["explore", "gcd", "--no-cache", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["kind"] == "explore"
+        points = payload["reports"]
+        assert len(points) == 64  # full 2^5 x {LT on, LT off} grid
+        assert all(point["proved"] for point in points if point["conformant"])
+        stamped = [p for p in points if p["global_transforms"] and p["local_transforms"]]
+        assert all("pass certificates" in p["proof"] for p in stamped)
 
 
 class TestFaultsCommand:
@@ -255,8 +329,11 @@ class TestFaultsCommand:
             ["faults", "gcd", "--trials", "2", "--scale-max", "4", "--json", str(target)]
         ) == 0
         payload = json.loads(target.read_text())
-        assert payload["workload"] == "gcd"
-        assert payload["trials_ok"] == 2
+        assert payload["schema"] == "repro-report/v1"
+        assert payload["kind"] == "faults"
+        report = payload["reports"][0]
+        assert report["workload"] == "gcd"
+        assert report["trials_ok"] == 2
 
     def test_faults_json_deterministic(self, tmp_path, capsys):
         first = tmp_path / "a.json"

@@ -1,0 +1,189 @@
+"""The flow-equivalence proof engine (src/repro/verify/flow.py)."""
+
+import json
+
+import pytest
+
+from repro.errors import FlowRefutedError
+from repro.verify.flow import (
+    FlowObligation,
+    FlowProof,
+    FlowReport,
+    conflict_races,
+    check_global_flow,
+    load_flow_report,
+    make_flow_global_oracle,
+    prove_workload,
+    replay_flow_report,
+)
+from repro.workloads import workload_names
+
+ALL_WORKLOADS = sorted(workload_names())
+
+
+class TestProveWorkload:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return {name: prove_workload(name) for name in ALL_WORKLOADS}
+
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_every_workload_proves(self, reports, name):
+        report = reports[name]
+        assert report.error == ""
+        assert report.proved, report.summary()
+
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_every_pass_application_certified(self, reports, name):
+        """One certificate per GT/LT application plus two checkpoints."""
+        report = reports[name]
+        stages = [proof.stage for proof in report.proofs]
+        for gt in report.gts:
+            assert gt in stages
+        machines = sum(1 for s in stages if s == report.lts[0])
+        for lt in report.lts:
+            assert stages.count(lt) == machines
+        assert "extract" in stages
+        assert stages[-1] == "design"
+
+    def test_no_op_passes_recorded(self, reports):
+        # gcd has GT passes with nothing to do; they still get a
+        # (vacuous) certificate so the count is auditable
+        assert any(p.verdict == "no-op" for p in reports["gcd"].proofs)
+
+    @pytest.mark.parametrize("name", ["diffeq", "fir"])
+    def test_byte_deterministic(self, reports, name):
+        assert prove_workload(name).to_json() == reports[name].to_json()
+
+    def test_replay_is_byte_identical(self, reports):
+        identical, message = replay_flow_report(reports["diffeq"].to_dict())
+        assert identical, message
+        assert "byte-identically" in message
+
+    def test_round_trip(self, reports, tmp_path):
+        report = reports["ewf"]
+        assert FlowReport.from_dict(report.to_dict()).to_json() == report.to_json()
+        path = tmp_path / "ewf.json"
+        report.write(str(path))
+        assert load_flow_report(str(path)).to_json() == report.to_json()
+
+    def test_filtered_sequences(self):
+        report = prove_workload("gcd", gts=("GT1", "GT2"), lts=("LT1",))
+        assert report.gts == ("GT1", "GT2")
+        assert report.lts == ("LT1",)
+        assert report.proved
+
+    def test_unknown_workload_lands_in_error(self):
+        report = prove_workload("nonexistent")
+        assert report.error != ""
+        assert not report.proved
+
+
+class TestMinimizeProofs:
+    def test_minimize_certificates_prove(self):
+        report = prove_workload("diffeq", minimize=True)
+        assert report.proved, report.summary()
+        minimize_proofs = [p for p in report.proofs if p.stage == "minimize"]
+        assert len(minimize_proofs) == 4  # one per controller
+        assert any(p.verdict == "proved" for p in minimize_proofs)
+        # the design checkpoint still matches the golden reference
+        assert report.proofs[-1].stage == "design"
+        assert report.proofs[-1].verdict == "proved"
+
+
+class TestRefutation:
+    def test_unsound_gt5_is_refuted(self, monkeypatch):
+        """Merging channels that CAN be concurrently occupied must
+        refute the GT5 occupancy obligation."""
+        from repro.transforms.gt5_channel_elimination import ChannelElimination
+
+        monkeypatch.setattr(
+            ChannelElimination,
+            "_never_concurrent",
+            lambda self, cdfg, reach, left, right: True,
+        )
+        report = prove_workload("fir")
+        assert not report.proved
+        gt5 = next(p for p in report.proofs if p.stage == "GT5")
+        assert gt5.verdict == "refuted"
+        assert gt5.counterexample is not None
+        refuted = {o.name for o in gt5.refuted_obligations()}
+        assert refuted  # occupancy and/or streams, with a concrete schedule
+
+    def test_unsound_gt3_is_refuted(self, monkeypatch):
+        """Dropping a constraint arc without a timing witness must
+        refute the timing-witnesses obligation."""
+        import repro.transforms.gt3_relative_timing as gt3
+
+        monkeypatch.setattr(
+            gt3, "relative_arc_dominates", lambda *args, **kwargs: True
+        )
+        report = prove_workload("diffeq", gts=("GT3",), lts=())
+        assert not report.proved
+        proof = next(p for p in report.proofs if p.stage == "GT3")
+        assert proof.verdict == "refuted"
+        assert any(o.name == "timing-witnesses" for o in proof.refuted_obligations())
+
+    def test_strict_oracle_raises(self, monkeypatch):
+        from repro.transforms import optimize_global
+        from repro.transforms.gt5_channel_elimination import ChannelElimination
+        from repro.workloads import build_fir_cdfg
+
+        monkeypatch.setattr(
+            ChannelElimination,
+            "_never_concurrent",
+            lambda self, cdfg, reach, left, right: True,
+        )
+        with pytest.raises(FlowRefutedError, match="flow"):
+            optimize_global(build_fir_cdfg(), oracle=make_flow_global_oracle())
+
+
+class TestConflictRaces:
+    def test_input_diffeq_is_race_free(self, diffeq):
+        assert conflict_races(diffeq) == []
+
+    def test_races_are_canonical_tuples(self, diffeq_optimized):
+        for kind, var, first, second in conflict_races(diffeq_optimized.cdfg):
+            assert kind in ("write-write", "read-write")
+            assert isinstance(var, str)
+            assert (first, second) == tuple(sorted((first, second)))
+
+
+class TestCertificateShape:
+    def test_obligation_round_trip(self):
+        obligation = FlowObligation("order", "proved", "relaxation only", ["a -> b"])
+        assert FlowObligation.from_dict(obligation.to_dict()) == obligation
+
+    def test_proof_failure_renders_first_refuted(self):
+        proof = FlowProof(
+            "GT3",
+            "cdfg",
+            0,
+            "refuted",
+            [
+                FlowObligation("order", "proved"),
+                FlowObligation("timing-witnesses", "refuted", "no witness"),
+            ],
+        )
+        assert proof.failure() == "timing-witnesses: no witness"
+        assert not proof.proved
+
+    def test_report_summary_mentions_refutations(self):
+        report = FlowReport(
+            workload="x",
+            proofs=[
+                FlowProof(
+                    "GT1",
+                    "cdfg",
+                    0,
+                    "refuted",
+                    [FlowObligation("order", "refuted", "tightened")],
+                )
+            ],
+        )
+        assert "REFUTED GT1[cdfg]: order: tightened" in report.summary()
+
+    def test_proofs_json_is_sorted_and_newline_terminated(self):
+        report = prove_workload("gcd", gts=(), lts=())
+        text = report.to_json()
+        assert text.endswith("\n")
+        assert json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n" == text

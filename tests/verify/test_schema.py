@@ -1,0 +1,78 @@
+"""The normalized repro-report/v1 envelope (src/repro/verify/schema.py)."""
+
+import json
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify.schema import (
+    KINDS,
+    SCHEMA,
+    canonical_json,
+    load_envelope,
+    report_envelope,
+    write_envelope,
+)
+
+
+class TestEnvelope:
+    def test_shape(self):
+        envelope = report_envelope("verify", [{"workload": "gcd"}])
+        assert envelope == {
+            "schema": SCHEMA,
+            "kind": "verify",
+            "reports": [{"workload": "gcd"}],
+        }
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_all_kinds_accepted(self, kind):
+        assert load_envelope(report_envelope(kind, []))["kind"] == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(VerificationError, match="unknown report kind"):
+            report_envelope("mystery", [])
+
+
+class TestCanonicalJson:
+    def test_sorted_indented_newline_terminated(self):
+        text = canonical_json(report_envelope("faults", [{"b": 1, "a": 2}]))
+        assert text.endswith("\n")
+        assert text.index('"kind"') < text.index('"reports"') < text.index('"schema"')
+        assert json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n" == text
+
+    def test_byte_stable(self):
+        envelope = report_envelope("explore", [{"x": [1, 2], "y": None}])
+        assert canonical_json(envelope) == canonical_json(envelope)
+
+
+class TestRoundTrip:
+    def test_dict_string_and_path_inputs_agree(self, tmp_path):
+        reports = [{"workload": "fir", "conformant": True}]
+        write_envelope(str(tmp_path / "r.json"), "verify", reports)
+        from_path = load_envelope(str(tmp_path / "r.json"))
+        from_string = load_envelope((tmp_path / "r.json").read_text())
+        from_dict = load_envelope(report_envelope("verify", reports))
+        assert from_path == from_string == from_dict
+        assert canonical_json(from_path) == (tmp_path / "r.json").read_text()
+
+    def test_legacy_bare_list_upgraded(self):
+        envelope = load_envelope([{"workload": "gcd"}])
+        assert envelope["schema"] == SCHEMA
+        assert envelope["kind"] == "verify"
+        assert envelope["reports"] == [{"workload": "gcd"}]
+
+    def test_legacy_json_string_upgraded(self):
+        envelope = load_envelope('[{"workload": "gcd"}]')
+        assert envelope["kind"] == "verify"
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(VerificationError, match="unknown report schema"):
+            load_envelope({"schema": "repro-report/v0", "kind": "verify", "reports": []})
+
+    def test_non_list_reports_rejected(self):
+        with pytest.raises(VerificationError, match="must be a list"):
+            load_envelope({"schema": SCHEMA, "kind": "verify", "reports": {}})
+
+    def test_non_envelope_rejected(self):
+        with pytest.raises(VerificationError, match="not a report envelope"):
+            load_envelope(42)
