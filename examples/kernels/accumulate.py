@@ -1,0 +1,15 @@
+"""Minimal frontend example: a bounded accumulation loop.
+
+Compile with ``repro compile examples/kernels/accumulate.py --bounds
+ALU=2`` — the loop body's two additions schedule onto separate ALU
+instances in the same control step.
+"""
+
+
+def accumulate(n: float = 5.0, step: float = 1.0) -> float:
+    total = 0.0
+    i = 0.0
+    while i < n:
+        total = total + step
+        i = i + 1.0
+    return total

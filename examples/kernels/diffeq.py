@@ -1,0 +1,35 @@
+"""The paper's differential-equation solver, written for the frontend.
+
+Compiling this kernel with ``repro compile examples/kernels/diffeq.py
+--bounds MUL=2,ALU=2`` reproduces the hand-built ``diffeq`` workload:
+same per-iteration critical path, identical nominal makespan, and a
+register file that matches the golden model bit-for-bit (the update is
+factored exactly like the CDFG in :mod:`repro.workloads.diffeq`).
+
+``x1`` and ``dx2`` are parameters rather than locals on purpose: ``x1``
+needs an initial value equal to ``x``'s (the loop reads it before the
+first write), and precomputing ``dx2 = 2*dx`` keeps the loop preamble
+down to the single ``b = dx2 + dx`` addition of the hand-built design.
+"""
+
+
+def diffeq(
+    x: float = 0.0,
+    y: float = 1.0,
+    u: float = 0.0,
+    dx: float = 0.125,
+    a: float = 1.0,
+    x1: float = 0.0,
+    dx2: float = 0.25,
+) -> float:
+    b = dx2 + dx
+    while x < a:
+        m1 = u * x1
+        m2 = u * dx
+        x = x + dx
+        aa = y + m1
+        m1 = aa * b
+        y = y + m2
+        x1 = x
+        u = u - m1
+    return y

@@ -33,9 +33,10 @@ def synthesize(
 ):
     """One-call synthesis: CDFG -> optimized distributed controllers.
 
-    ``cdfg`` is either a :class:`Cdfg` or the name of a registered
-    workload (``synthesize("diffeq")`` — see
-    :data:`repro.workloads.WORKLOADS`).  Applies the standard global
+    ``cdfg`` is a :class:`Cdfg`, the name of a registered workload
+    (``synthesize("diffeq")`` — see :data:`repro.workloads.WORKLOADS`),
+    or a :class:`repro.frontend.CompiledKernel` (built with its default
+    parameter values).  Applies the standard global
     script (or ``global_transforms``), extracts one burst-mode
     controller per functional unit, and applies the standard local
     script (or ``local_transforms``).  Returns a
@@ -46,10 +47,15 @@ def synthesize(
 
         cdfg = build_workload(cdfg)
     elif not isinstance(cdfg, Cdfg):
-        raise TypeError(
-            "synthesize() expects a Cdfg or a workload name (str), "
-            f"got {type(cdfg).__name__}"
-        )
+        from repro.frontend import CompiledKernel
+
+        if isinstance(cdfg, CompiledKernel):
+            cdfg = cdfg.build()
+        else:
+            raise TypeError(
+                "synthesize() expects a Cdfg, a workload name (str) or a "
+                f"frontend CompiledKernel, got {type(cdfg).__name__}"
+            )
 
     from repro.afsm.extract import extract_controllers
     from repro.local_transforms import optimize_local

@@ -679,12 +679,31 @@ class _ControllerBuilder:
                         SignalKind.GLOBAL_READY,
                         is_input=False,
                         initial_level=init_levels.get(wire, 0),
+                        guards_condition=self._channel_guards_condition(channel),
                     )
                 )
             elif self.fu in channel.dst_fus:
                 self.machine.declare_signal(
                     Signal(wire, SignalKind.GLOBAL_READY, is_input=True)
                 )
+
+    def _channel_guards_condition(self, channel: Channel) -> bool:
+        """Does the channel synchronize a remote *condition* sample?
+
+        True when any arc of the channel ends at a decision node
+        (IF/LOOP) and names that node's condition register.  The
+        receiving controller samples ``cond_<register>`` immediately
+        after the done with no datapath delay, so the done must keep
+        trailing the register write (see :class:`Signal`).
+        """
+        for key in channel.arcs:
+            node = self.cdfg.node(key[1])
+            if node.condition is None:
+                continue
+            for arc in self.cdfg.arcs_to(key[1]):
+                if arc.key == key and node.condition in arc.registers:
+                    return True
+        return False
 
     def _cond_signal(self, register: str) -> str:
         name = f"cond_{register}"

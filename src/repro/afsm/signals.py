@@ -42,6 +42,14 @@ class Signal:
     #: the sender's output flop is initialized high, which the
     #: receivers consume as their first pending transition)
     initial_level: int = 0
+    #: True for a global done whose channel delivers a register some
+    #: remote decision node (IF/LOOP) samples as its *condition*.  The
+    #: consumer reads the condition level right after the done, with no
+    #: datapath delay in between, so such a done must stay behind its
+    #: fragment's register write — LT1 must not hoist it to the latch
+    #: burst (bundled-data timing covers operand reads, not condition
+    #: samples).
+    guards_condition: bool = False
 
     @property
     def is_local(self) -> bool:

@@ -123,7 +123,15 @@ def _item_fus(item: _Item) -> Set[str]:
 
 
 class CdfgBuilder:
-    """Incrementally describe a structured program, then :meth:`build`."""
+    """Incrementally describe a structured program, then :meth:`build`.
+
+    Functional units never need to be declared up front: ``op``,
+    ``loop`` and ``if_block`` all auto-register the unit they are bound
+    to on first use, exactly like :meth:`functional_unit` with an empty
+    description.  Call :meth:`functional_unit` explicitly only to
+    attach a description or to pin the declaration order of units that
+    first appear inside nested blocks.
+    """
 
     def __init__(self, name: str = "cdfg"):
         self.name = name
@@ -207,7 +215,7 @@ class CdfgBuilder:
         self._if_count += 1
         base = name or (f"IF" if self._if_count == 1 else f"IF{self._if_count}")
         root = self._fresh_name(base)
-        close = self._fresh_name(base.replace("IF", "ENDIF", 1))
+        close = self._fresh_name(base.replace("IF", "ENDIF", 1) if "IF" in base else f"END{base}")
         block = _BlockDef(NodeKind.IF, root, close, condition, fu)
         self._open[-1].append(block)
         self._open.append(block.items)

@@ -4,6 +4,8 @@ Commands
 --------
 ``tables``      regenerate every paper table/figure (Figures 5/12/13,
                 trajectory, performance)
+``compile``     compile a Python-subset kernel file to a scheduled CDFG
+                and report its schedule, makespan and golden match
 ``synthesize``  run the full flow on a workload and print the design
 ``simulate``    execute a synthesized design and report the register
                 file, makespan and event counts
@@ -49,6 +51,55 @@ from repro.transforms import optimize_global
 from repro.workloads import WORKLOADS
 
 LEVELS = ("unoptimized", "gt", "gt+lt", "gt+lt+min")
+
+
+def _cli_error(message: str) -> None:
+    """Print a CLI usage error and exit with the argparse status (2)."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def _resolve_workload(args: argparse.Namespace, extra: Tuple[str, ...] = ()) -> str:
+    """The workload name a command should run on.
+
+    ``--workload-from FILE[:KERNEL]`` compiles the file with the
+    frontend (honouring ``--bounds``) and registers it as a workload;
+    otherwise the positional name must already be registered (or one of
+    ``extra``, e.g. ``verify all``).  Workload positionals are
+    validated here instead of via argparse ``choices`` so kernels
+    registered at run time resolve like built-ins.
+    """
+    spec = getattr(args, "workload_from", None)
+    if spec:
+        from repro.errors import FrontendError
+        from repro.frontend import load_kernel_file, parse_bounds, register_kernel
+
+        path, __, kernel = spec.partition(":")
+        try:
+            compiled = load_kernel_file(
+                path,
+                kernel=kernel or None,
+                bounds=parse_bounds(getattr(args, "bounds", None)),
+            )
+            name = register_kernel(compiled, replace=True)
+        except FrontendError as exc:
+            _cli_error(str(exc))
+        if args.workload not in (None, name):
+            _cli_error(
+                f"--workload-from registered workload {name!r}; "
+                f"drop the conflicting positional {args.workload!r}"
+            )
+        return name
+    if args.workload is None:
+        _cli_error("a workload name (or --workload-from FILE[:KERNEL]) is required")
+    name = args.workload.strip().lower()
+    if name in WORKLOADS:
+        return name
+    if args.workload in extra:
+        return args.workload
+    known = ", ".join(sorted(WORKLOADS) + list(extra))
+    _cli_error(f"unknown workload {args.workload!r} (known: {known})")
+    raise AssertionError("unreachable")
 
 
 def _parse_seed(text: str) -> SeedLike:
@@ -99,6 +150,50 @@ def _build_design(workload: str, level: str) -> Tuple[object, List[ProvenanceRec
     return design, provenance
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.cdfg.validate import check_well_formed
+    from repro.errors import FrontendError, ValidationError
+    from repro.frontend import load_kernel_file, parse_bounds
+    from repro.sim.token_sim import simulate_tokens
+
+    try:
+        compiled = load_kernel_file(
+            args.file, kernel=args.kernel, bounds=parse_bounds(args.bounds)
+        )
+        cdfg = compiled.build()
+        check_well_formed(cdfg)
+    except (FrontendError, ValidationError) as exc:
+        print(f"repro compile: {exc}", file=sys.stderr)
+        return 2
+    info = compiled.describe()
+    print(
+        f"kernel {info['kernel']}: {info['operations']} operations on "
+        f"{', '.join(info['functional_units'])}"
+    )
+    print("params: " + ", ".join(f"{k}={v:g}" for k, v in info["params"].items()))
+    if info["inputs"]:
+        print("inputs: " + ", ".join(info["inputs"]))
+    if info["outputs"]:
+        print("outputs: " + ", ".join(info["outputs"]))
+    rows = [
+        (str(run_index), str(step), fu, str(op))
+        for run_index, run in enumerate(compiled.schedule.runs)
+        for op, step, fu in run
+    ]
+    print(render_table(("run", "step", "fu", "operation"), rows))
+    result = simulate_tokens(cdfg, seed=NOMINAL)
+    golden = compiled.golden()
+    mismatched = sorted(
+        name for name, value in golden.items() if result.registers.get(name) != value
+    )
+    print(
+        f"nominal makespan {result.end_time:.2f}; register file "
+        + (f"MISMATCH: {', '.join(mismatched)}" if mismatched else "matches the golden model")
+    )
+    print(f"fingerprint {info['fingerprint']}")
+    return 1 if mismatched else 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     for result in (run_fig5(), run_fig12(), run_fig13(), run_trajectory(), run_performance()):
         print(result.table())
@@ -107,6 +202,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
+    args.workload = _resolve_workload(args)
     if args.timings:
         perf.reset_timings()
     design, __ = _build_design(args.workload, args.level)
@@ -123,6 +219,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    args.workload = _resolve_workload(args)
     design, __ = _build_design(args.workload, args.level)
     result = simulate_system(design, seed=args.seed)
     rows = sorted(result.registers.items())
@@ -150,6 +247,7 @@ def _profiled_run(args: argparse.Namespace):
 
     perf.reset_timings()
     reset_spans()
+    args.workload = _resolve_workload(args)
     design, provenance = _build_design(args.workload, args.level)
     trace = EventTrace()
     result = simulate_system(design, seed=args.seed, trace=trace)
@@ -253,6 +351,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     from repro.cache.store import DEFAULT_CACHE_DIR, ArtifactCache
     from repro.explore import explore_design_space
 
+    args.workload = _resolve_workload(args)
     cdfg = WORKLOADS[args.workload]()
     cache = None
     if args.cache and not args.per_point:
@@ -329,6 +428,13 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     if interrupted:
         summary += " (interrupted — partial sweep)"
     print(summary)
+    if "watchdog_active" in result.stats:
+        state = (
+            "armed"
+            if result.stats["watchdog_active"]
+            else "NOT ENFORCED (SIGALRM unavailable or off the main thread)"
+        )
+        print(f"point watchdog: {state} ({args.timeout:g}s per point)")
     if cache is not None:
         stats = cache.stats()
         print(
@@ -499,9 +605,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
     if args.replay:
         return _cmd_verify_replay(args)
-    if args.workload is None:
+    if args.workload is None and not getattr(args, "workload_from", None):
         print("repro verify: a workload (or 'all') is required unless --replay is given")
         return 2
+    args.workload = _resolve_workload(args, extra=("all",))
     names = list(workload_names()) if args.workload == "all" else [args.workload]
     if args.proofs or args.proofs_json:
         return _cmd_verify_proofs(args, names)
@@ -547,6 +654,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.resilience import run_campaign
 
+    args.workload = _resolve_workload(args)
+
     if args.batched or args.mc_samples:
         from repro.sim.batched import HAVE_NUMPY, NUMPY_HINT
 
@@ -576,6 +685,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 
 def _cmd_dot(args: argparse.Namespace) -> int:
+    args.workload = _resolve_workload(args)
     cdfg = WORKLOADS[args.workload]()
     if args.optimized:
         cdfg = optimize_global(cdfg).cdfg
@@ -592,6 +702,7 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 def _cmd_vcd(args: argparse.Namespace) -> int:
     from repro.sim.trace import VcdTracer
 
+    args.workload = _resolve_workload(args)
     design, __ = _build_design(args.workload, args.level)
     system = ControllerSystem(design, seed=args.seed)
     tracer = VcdTracer(system)
@@ -612,6 +723,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("tables", help="regenerate every paper table/figure")
 
+    compile_cmd = sub.add_parser(
+        "compile", help="compile a Python-subset kernel file to a scheduled CDFG"
+    )
+    compile_cmd.add_argument("file", help="path to a .py file defining the kernel")
+    compile_cmd.add_argument(
+        "--kernel", default=None, help="function name when the file defines several"
+    )
+    compile_cmd.add_argument(
+        "--bounds",
+        default=None,
+        metavar="SPEC",
+        help="per-class functional-unit bounds, e.g. MUL=2,ALU=1",
+    )
+
+    def _add_workload_arguments(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "workload",
+            nargs="?",
+            default=None,
+            help="registered workload name (or use --workload-from)",
+        )
+        command.add_argument(
+            "--workload-from",
+            default=None,
+            metavar="FILE[:KERNEL]",
+            help="compile FILE with the Python-subset frontend and run "
+            "on the resulting kernel instead of a registered workload",
+        )
+        command.add_argument(
+            "--bounds",
+            default=None,
+            metavar="SPEC",
+            help="functional-unit bounds for --workload-from, e.g. MUL=2,ALU=1",
+        )
+
     for name, help_text in (
         ("synthesize", "run the synthesis flow and print the controllers"),
         ("simulate", "execute a synthesized design"),
@@ -620,7 +766,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("trace", "stream spans/provenance/events as JSONL"),
     ):
         command = sub.add_parser(name, help=help_text)
-        command.add_argument("workload", choices=sorted(WORKLOADS))
+        _add_workload_arguments(command)
         command.add_argument("--level", choices=LEVELS, default="gt+lt")
         command.add_argument(
             "--seed",
@@ -643,7 +789,7 @@ def build_parser() -> argparse.ArgumentParser:
             )
 
     explore = sub.add_parser("explore", help="design-space exploration")
-    explore.add_argument("workload", choices=sorted(WORKLOADS))
+    _add_workload_arguments(explore)
     explore.add_argument(
         "--workers",
         type=int,
@@ -764,13 +910,7 @@ def build_parser() -> argparse.ArgumentParser:
         "verify",
         help="differential conformance fuzzing of every transform level",
     )
-    verify.add_argument(
-        "workload",
-        nargs="?",
-        default=None,
-        choices=sorted(WORKLOADS) + ["all"],
-        help="workload to verify (not needed with --replay)",
-    )
+    _add_workload_arguments(verify)
     verify.add_argument("--runs", type=int, default=20, help="cases per workload")
     verify.add_argument("--seed", type=int, default=0, help="campaign master seed")
     verify.add_argument(
@@ -830,7 +970,7 @@ def build_parser() -> argparse.ArgumentParser:
         "faults",
         help="delay-fault campaign: GT3 slack, GT5 skew, randomized trials",
     )
-    faults.add_argument("workload", choices=sorted(WORKLOADS))
+    _add_workload_arguments(faults)
     faults.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
     faults.add_argument(
         "--trials", type=int, default=8, help="randomized fault trials (default 8)"
@@ -877,7 +1017,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     dot = sub.add_parser("dot", help="export a CDFG as Graphviz")
-    dot.add_argument("workload", choices=sorted(WORKLOADS))
+    _add_workload_arguments(dot)
     dot.add_argument("--optimized", action="store_true")
     dot.add_argument("--output", "-o", default=None)
 
@@ -888,6 +1028,7 @@ def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "tables": _cmd_tables,
+        "compile": _cmd_compile,
         "synthesize": _cmd_synthesize,
         "simulate": _cmd_simulate,
         "profile": _cmd_profile,

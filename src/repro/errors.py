@@ -130,6 +130,30 @@ class DeadlockError(SimulationError):
         }
 
 
+class FrontendError(ReproError):
+    """A Python kernel steps outside the compilable subset.
+
+    Raised by :mod:`repro.frontend` while parsing or lowering; carries
+    the offending source line when one is known.
+    """
+
+    def __init__(self, reason: str, lineno: int = None):
+        self.reason = reason
+        self.lineno = lineno
+        where = f" (line {lineno})" if lineno is not None else ""
+        super().__init__(f"{reason}{where}")
+
+
+class KernelBoundError(FrontendError):
+    """A compiled kernel exceeded its execution bound.
+
+    The frontend subset only admits *bounded* while loops; the IR
+    interpreter enforces the bound at execution time and raises this
+    when a kernel runs away (e.g. a loop whose condition register is
+    never updated).
+    """
+
+
 class ChannelSafetyError(SimulationError):
     """Two transitions were outstanding on a single-wire channel.
 

@@ -402,8 +402,19 @@ def explore_design_space(
     to serial evaluation; ``KeyboardInterrupt`` returns the completed
     points with ``stats["interrupted"]`` set.  ``fault_injector`` (see
     :mod:`repro.resilience.injection`) deterministically fails chosen
-    points — the hook CI uses to prove all of the above.
+    points — the hook CI uses to prove all of the above.  When
+    ``point_timeout`` is set, ``stats["watchdog_active"]`` records
+    whether the SIGALRM deadline can actually be armed where the points
+    run (it cannot off the main thread or without ``SIGALRM``; the
+    deadline is then skipped with a one-time warning).
     """
+    watchdog = None
+    if point_timeout:
+        from repro.resilience.injection import watchdog_active
+
+        pooled = workers is not None and workers != 1
+        watchdog = watchdog_active(pooled=pooled)
+
     golden = simulate_tokens(cdfg, seed=NOMINAL).registers if verify else None
     if global_subsets is None:
         global_subsets = [
@@ -442,6 +453,8 @@ def explore_design_space(
             evaluations=engine.evaluations_computed,
             edges=engine.edges_applied,
         )
+        if watchdog is not None:
+            result.stats["watchdog_active"] = watchdog
         if engine.interrupted:
             result.stats["interrupted"] = True
         if engine.pool_diagnostics is not None:
@@ -478,6 +491,8 @@ def explore_design_space(
         )
     result.points.extend(point for point in points if point is not None)
     result.stats["evaluations"] = len(result.points)
+    if watchdog is not None:
+        result.stats["watchdog_active"] = watchdog
     if diagnostics.interrupted:
         result.stats["interrupted"] = True
     if diagnostics.broken_pools or diagnostics.degraded_serial:

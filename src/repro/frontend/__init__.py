@@ -1,0 +1,235 @@
+"""Python-subset frontend: source → lowered IR → scheduled CDFG.
+
+The frontend compiles a restricted Python function (typed scalar
+parameters with numeric defaults; assignments over ``+ - * /`` and
+comparisons; ``if``/``else``; bounded ``while`` loops) into the same
+scheduled, resource-bound CDFGs the hand-written workloads produce —
+so every downstream stage (GT/LT transformation pipeline, flow-proof
+engine, controller extraction, token/batched simulation, fault
+campaigns, design-space exploration) consumes compiled kernels
+unchanged.
+
+>>> kernel = compile_kernel('''
+... def accumulate(n: float = 5.0, step: float = 1.0) -> float:
+...     total = 0.0
+...     i = 0.0
+...     while i < n:
+...         total = total + step
+...         i = i + 1.0
+...     return total
+... ''', bounds={"ALU": 2})
+>>> cdfg = kernel.build()
+>>> kernel.golden()["total"]
+5.0
+
+Registering a kernel (:func:`register_kernel`) places its builder and
+golden model in the workload registries, after which ``synthesize``,
+``prove_workload``, exploration sweeps and fault campaigns resolve it
+by name like any built-in workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.cache.fingerprint import fingerprint_cdfg
+from repro.cdfg.graph import Cdfg
+from repro.errors import FrontendError
+from repro.frontend.emit import emit_cdfg
+from repro.frontend.ir import (
+    DEFAULT_BOUNDS,
+    DEFAULT_MAX_STEPS,
+    KernelIR,
+    interpret,
+)
+from repro.frontend.parse import parse_kernel
+from repro.frontend.schedule import ListScheduler, Schedule, normalize_bounds
+
+__all__ = [
+    "CompiledKernel",
+    "compile_kernel",
+    "load_kernel_file",
+    "parse_bounds",
+    "register_kernel",
+    "unregister_kernel",
+    "DEFAULT_BOUNDS",
+    "DEFAULT_MAX_STEPS",
+]
+
+
+@dataclass
+class CompiledKernel:
+    """A parsed, scheduled kernel, ready to build CDFGs.
+
+    ``build``/``golden`` have the exact calling convention of the
+    workload registries (keyword parameter overrides, or one ``params``
+    dict), so a compiled kernel drops into ``WORKLOADS`` /
+    ``GOLDEN_MODELS`` untouched.
+    """
+
+    ir: KernelIR
+    schedule: Schedule
+    bounds: Dict[str, int]
+    source: str = ""
+    max_steps: int = DEFAULT_MAX_STEPS
+    _fingerprint: Optional[str] = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        return self.ir.name
+
+    @property
+    def params(self) -> Dict[str, float]:
+        """Parameter defaults, in declaration order."""
+        return dict(self.ir.params)
+
+    def _values(self, params: Optional[Mapping[str, float]], kwargs: Mapping[str, float]) -> Dict[str, float]:
+        values = dict(self.ir.params)
+        for overrides in (params or {}), kwargs:
+            for key, value in overrides.items():
+                if key not in values:
+                    raise FrontendError(
+                        f"kernel {self.name!r} has no parameter {key!r} "
+                        f"(parameters: {', '.join(values)})"
+                    )
+                values[key] = value
+        return values
+
+    def build(self, params: Optional[Mapping[str, float]] = None, **kwargs: float) -> Cdfg:
+        """Build the scheduled CDFG for the given parameter values."""
+        return emit_cdfg(
+            self.ir,
+            self.schedule,
+            self._values(params, kwargs),
+            max_steps=self.max_steps,
+        )
+
+    def golden(self, params: Optional[Mapping[str, float]] = None, **kwargs: float) -> Dict[str, float]:
+        """Golden register file: the IR interpreted with the exact
+        arithmetic of :mod:`repro.rtl.semantics`."""
+        values = self._values(params, kwargs)
+        env = interpret(self.ir, values, max_steps=self.max_steps).registers
+        golden = {name: values[name] for name in self.ir.inputs}
+        golden.update({name: env[name] for name in self.ir.written})
+        return golden
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the default-parameter CDFG.
+
+        Compiled CDFGs are ordinary :class:`~repro.cdfg.graph.Cdfg`
+        objects, so the incremental cache dedupes them with the same
+        :func:`~repro.cache.fingerprint.fingerprint_cdfg` digest as the
+        built-in workloads.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint_cdfg(self.build())
+        return self._fingerprint
+
+    def describe(self) -> Dict[str, object]:
+        """Summary payload for CLI/report output."""
+        ops = self.ir.ops()
+        return {
+            "kernel": self.name,
+            "params": dict(self.ir.params),
+            "inputs": list(self.ir.inputs),
+            "outputs": list(self.ir.outputs),
+            "operations": len(ops),
+            "bounds": dict(self.bounds),
+            "functional_units": list(self.schedule.functional_units()),
+            "fingerprint": self.fingerprint(),
+        }
+
+
+def compile_kernel(
+    source: str,
+    kernel: Optional[str] = None,
+    bounds: Optional[Mapping[str, int]] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> CompiledKernel:
+    """Compile Python source text to a scheduled kernel.
+
+    ``kernel`` selects a function by name when the source defines more
+    than one; ``bounds`` caps functional-unit instances per class
+    (e.g. ``{"MUL": 2, "ALU": 1}``).
+    """
+    ir = parse_kernel(source, kernel=kernel)
+    normalized = normalize_bounds(bounds)
+    schedule = ListScheduler(normalized).schedule(ir)
+    return CompiledKernel(
+        ir=ir,
+        schedule=schedule,
+        bounds=normalized,
+        source=source,
+        max_steps=max_steps,
+    )
+
+
+def load_kernel_file(
+    path: str,
+    kernel: Optional[str] = None,
+    bounds: Optional[Mapping[str, int]] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> CompiledKernel:
+    """Compile a kernel from a ``.py`` file on disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise FrontendError(f"cannot read kernel file {path!r}: {exc}") from exc
+    return compile_kernel(source, kernel=kernel, bounds=bounds, max_steps=max_steps)
+
+
+def parse_bounds(text: Optional[str]) -> Dict[str, int]:
+    """Parse a CLI bounds spec like ``"MUL=2,ALU=1"``."""
+    bounds: Dict[str, int] = {}
+    for chunk in (text or "").split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, _, count = chunk.partition("=")
+        if not _ or not name.strip():
+            raise FrontendError(
+                f"malformed resource bound {chunk!r}; expected CLASS=COUNT "
+                "(e.g. MUL=2,ALU=1)"
+            )
+        try:
+            bounds[name.strip()] = int(count)
+        except ValueError:
+            raise FrontendError(
+                f"malformed resource bound {chunk!r}: {count!r} is not an integer"
+            ) from None
+    return normalize_bounds(bounds) if bounds else dict(DEFAULT_BOUNDS)
+
+
+def register_kernel(
+    compiled: CompiledKernel,
+    name: Optional[str] = None,
+    replace: bool = False,
+) -> str:
+    """Register a compiled kernel as a named workload.
+
+    After registration, ``build_workload(name)`` / ``golden_reference``
+    — and therefore ``synthesize``, ``prove_workload``, the explorer
+    and the fault-campaign runner — resolve the kernel by name.
+    """
+    from repro.workloads import GOLDEN_MODELS, WORKLOADS
+
+    workload = (name or compiled.name).strip().lower()
+    if not replace and workload in WORKLOADS:
+        raise FrontendError(
+            f"workload {workload!r} is already registered; pass a different "
+            "name or replace=True"
+        )
+    WORKLOADS[workload] = compiled.build
+    GOLDEN_MODELS[workload] = compiled.golden
+    return workload
+
+
+def unregister_kernel(name: str) -> None:
+    """Remove a kernel registered with :func:`register_kernel`."""
+    from repro.workloads import GOLDEN_MODELS, WORKLOADS
+
+    workload = name.strip().lower()
+    WORKLOADS.pop(workload, None)
+    GOLDEN_MODELS.pop(workload, None)

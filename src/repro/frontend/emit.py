@@ -1,0 +1,151 @@
+"""Emission of a scheduled kernel IR through :class:`CdfgBuilder`.
+
+The emitter replays the item tree in program order, with one twist: the
+ops of each straight-line run are emitted in ``(step, program index)``
+order, so the builder's program-order arc derivation reconstructs the
+scheduler's decisions.  Two invariants make this sound:
+
+- strict (read-after-write / write-after-write) dependences always
+  cross a step boundary, so producers are emitted before consumers;
+- a weak (write-after-read) pair sharing a step keeps reader before
+  writer via the index tie-break, so register-allocation arcs still
+  point from the old value's reader to the overwrite.
+
+LOOP/ENDLOOP nodes are bound to the functional unit of the loop latch
+(the op computing the condition at the end of the body), falling back
+to the first ALU instance for bare-register conditions.  IF/ENDIF
+nodes are bound to the single instance hosting the arms (see
+:meth:`~repro.frontend.schedule.ListScheduler._if_host`): the
+extraction requires the decision and every conditional op on one
+controller, so the scheduler pins all arm ops to one instance and the
+emitter binds the IF to it.  The condition itself may still be
+computed on any unit — its producing channel keeps the done behind
+the register write (``Signal.guards_condition``), so the host samples
+a settled value.
+
+Top-level loops have their entry condition *folded*: instead of a
+pre-header op, the condition register's initial value is set to the
+condition evaluated at loop entry (parameters are concrete at build
+time, so this is a constant).  :func:`repro.frontend.ir.interpret`
+records exactly those values while producing the golden register file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cdfg.builder import CdfgBuilder
+from repro.cdfg.graph import Cdfg
+from repro.frontend.ir import (
+    DEFAULT_MAX_STEPS,
+    IfBlock,
+    Item,
+    KernelIR,
+    KernelOp,
+    WhileBlock,
+    interpret,
+    walk_ops,
+)
+from repro.frontend.schedule import Schedule
+
+
+def emit_cdfg(
+    ir: KernelIR,
+    schedule: Schedule,
+    values: Dict[str, float],
+    name: Optional[str] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Cdfg:
+    """Build the CDFG of a scheduled kernel for concrete ``values``."""
+    interp = interpret(ir, values, max_steps=max_steps)
+    builder = CdfgBuilder(name or ir.name)
+    for fu in schedule.functional_units():
+        builder.functional_unit(fu)
+    for register in ir.inputs:
+        builder.input(register, values[register])
+
+    default_fu = _default_fu(schedule)
+    _emit_items(builder, ir.items, default_fu)
+
+    initial: Dict[str, float] = {}
+    for register in ir.written:
+        initial[register] = values.get(register, 0.0)
+    for loop, value in _folded_entries(ir.items, interp.entry_conditions):
+        initial[loop.condition] = value
+    return builder.build(initial=initial)
+
+
+def _default_fu(schedule: Schedule) -> str:
+    """Fallback control-node binding: the first ALU, else the first FU."""
+    alus = schedule.instances.get("ALU")
+    if alus:
+        return alus[0]
+    units = schedule.functional_units()
+    return units[0] if units else "ALU1"
+
+
+def _condition_fu(items: Sequence[Item], position: int, condition: str, default: str) -> str:
+    """Host FU of the block at ``position``.
+
+    A while-block is hosted on its latch (the op computing the
+    condition at the end of the body).  An if-block is hosted on the
+    instance its arm ops were pinned to by the scheduler — hosting it
+    anywhere else (e.g. on the unit that computes the condition) puts
+    conditional ops on a non-deciding controller, which the burst-mode
+    extraction cannot express.  Empty arms fall back to the
+    materialized comparison's unit.
+    """
+    block = items[position]
+    if isinstance(block, WhileBlock):
+        for item in reversed(block.body):
+            if isinstance(item, KernelOp) and item.statement.dest == condition:
+                return item.fu or default
+        return default
+    assert isinstance(block, IfBlock)
+    for op in walk_ops(list(block.then_items) + list(block.else_items)):
+        if op.fu:
+            return op.fu
+    for i in range(position - 1, -1, -1):
+        item = items[i]
+        if not isinstance(item, KernelOp):
+            break
+        if item.statement.dest == condition:
+            return item.fu or default
+    return default
+
+
+def _emit_items(builder: CdfgBuilder, items: Sequence[Item], default_fu: str) -> None:
+    run: List[KernelOp] = []
+
+    def flush() -> None:
+        for op in sorted(run, key=lambda op: (op.step, op.index)):
+            builder.op(str(op.statement), fu=op.fu or default_fu)
+        run.clear()
+
+    for position, item in enumerate(items):
+        if isinstance(item, KernelOp):
+            run.append(item)
+            continue
+        flush()
+        fu = _condition_fu(items, position, item.condition, default_fu)
+        if isinstance(item, WhileBlock):
+            with builder.loop(item.condition, fu=fu):
+                _emit_items(builder, item.body, default_fu)
+        else:
+            with builder.if_block(item.condition, fu=fu) as branch:
+                _emit_items(builder, item.then_items, default_fu)
+                with branch.otherwise():
+                    _emit_items(builder, item.else_items, default_fu)
+    flush()
+
+
+def _folded_entries(items: Sequence[Item], entry_conditions: Dict[int, float]):
+    """Yield every folded-entry loop with its recorded entry value."""
+    for item in items:
+        if isinstance(item, WhileBlock):
+            if item.folded_entry and id(item) in entry_conditions:
+                yield item, entry_conditions[id(item)]
+            yield from _folded_entries(item.body, entry_conditions)
+        elif isinstance(item, IfBlock):
+            yield from _folded_entries(item.then_items, entry_conditions)
+            yield from _folded_entries(item.else_items, entry_conditions)

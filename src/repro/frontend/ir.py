@@ -1,0 +1,228 @@
+"""Intermediate representation of a frontend kernel.
+
+The Python-subset parser (:mod:`repro.frontend.parse`) lowers a kernel
+to this IR: a block-structured tree of three-address :class:`KernelOp`
+items (each wrapping one :class:`~repro.rtl.ast.RtlStatement`)
+interleaved with :class:`IfBlock` / :class:`WhileBlock` nodes.  The IR
+is the contract between the three frontend stages:
+
+- the parser produces it (compound expressions broken into ``_tN``
+  temporaries, loop/branch conditions materialized into ``_cN``
+  condition registers);
+- the list scheduler (:mod:`repro.frontend.schedule`) annotates every
+  op with a ``(step, fu)`` assignment;
+- the emitter (:mod:`repro.frontend.emit`) replays it through
+  :class:`~repro.cdfg.builder.CdfgBuilder`.
+
+:func:`interpret` executes the IR directly with the exact arithmetic
+of :mod:`repro.rtl.semantics` — the same code path the CDFG token
+simulator uses — so the interpreter doubles as the kernel's *golden
+model*: every synthesis level of the compiled design must reproduce
+its register file bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import KernelBoundError
+from repro.rtl.ast import RtlStatement
+from repro.rtl.semantics import evaluate_expr, execute_statement
+
+#: Functional-unit class of each RTL operator.  Multiplies and divides
+#: get their own (expensive) unit classes; additive operations,
+#: comparisons and register copies (operator ``None``) share the ALU.
+OPERATOR_CLASSES: Dict[Optional[str], str] = {
+    "*": "MUL",
+    "/": "DIV",
+    "+": "ALU",
+    "-": "ALU",
+    "<": "ALU",
+    "<=": "ALU",
+    ">": "ALU",
+    ">=": "ALU",
+    "==": "ALU",
+    "!=": "ALU",
+    None: "ALU",  # register copy
+}
+
+#: Default per-class instance counts when no bounds are given.
+DEFAULT_BOUNDS: Dict[str, int] = {"ALU": 1, "MUL": 1}
+
+#: Iteration budget of the IR interpreter: the frontend only admits
+#: *bounded* loops, and this is where the bound is enforced.
+DEFAULT_MAX_STEPS = 1 << 16
+
+
+def fu_class_of(statement: RtlStatement) -> str:
+    """Functional-unit class a statement executes on."""
+    return OPERATOR_CLASSES[statement.operator]
+
+
+@dataclass
+class KernelOp:
+    """One three-address operation, annotated by the scheduler."""
+
+    statement: RtlStatement
+    #: position in the lowered program (global, pre-scheduling); the
+    #: scheduler uses it as the deterministic tie-break and the emitter
+    #: to restore write-after-read order inside one schedule step
+    index: int
+    #: control step within the op's scheduling run (set by the scheduler)
+    step: int = -1
+    #: bound functional-unit instance, e.g. ``"MUL2"`` (set by the scheduler)
+    fu: str = ""
+
+    @property
+    def fu_class(self) -> str:
+        return fu_class_of(self.statement)
+
+    def __str__(self) -> str:
+        return str(self.statement)
+
+
+@dataclass
+class IfBlock:
+    """A two-way branch on the truth of ``condition`` (a register).
+
+    Non-trivial conditions are materialized by the parser into a
+    :class:`KernelOp` writing ``condition`` immediately before the
+    block, so the register always holds the freshly evaluated value
+    when the branch executes.
+    """
+
+    condition: str
+    then_items: List["Item"] = field(default_factory=list)
+    else_items: List["Item"] = field(default_factory=list)
+
+
+@dataclass
+class WhileBlock:
+    """A bounded loop on the truth of ``condition`` (a register).
+
+    ``latch`` names the condition-recomputation op the parser appended
+    to the body (``None`` when the source condition is a bare register
+    the body updates itself).  ``entry_statement`` re-evaluates the
+    condition at loop entry; for a *top-level* loop it is folded into
+    the condition register's initial value at build time, for a nested
+    loop the parser emits it as a real pre-header op in the enclosing
+    block instead.
+    """
+
+    condition: str
+    body: List["Item"] = field(default_factory=list)
+    entry_statement: Optional[RtlStatement] = None
+    #: True when ``entry_statement`` is folded into the initial
+    #: register file (top-level loops) rather than emitted as an op
+    folded_entry: bool = False
+
+
+Item = Union[KernelOp, IfBlock, WhileBlock]
+
+
+@dataclass
+class KernelIR:
+    """A lowered kernel: parameters, register sets and the item tree."""
+
+    name: str
+    items: List[Item]
+    #: parameter name -> default value, in declaration order
+    params: Dict[str, float]
+    #: parameters never written by the kernel: read-only CDFG inputs
+    inputs: Tuple[str, ...]
+    #: every register the kernel writes (params, locals, temporaries,
+    #: condition registers), in first-write order
+    written: Tuple[str, ...]
+    #: registers named by a trailing ``return`` statement (reporting only)
+    outputs: Tuple[str, ...] = ()
+
+    def ops(self) -> List[KernelOp]:
+        """All :class:`KernelOp` items, in program order."""
+        return walk_ops(self.items)
+
+    def registers(self) -> Tuple[str, ...]:
+        """Initial register file names (written registers, since inputs
+        are declared separately on the CDFG)."""
+        return self.written
+
+
+def walk_ops(items: List[Item]) -> List[KernelOp]:
+    """All :class:`KernelOp` items of an item tree, in program order."""
+    collected: List[KernelOp] = []
+
+    def visit(level: List[Item]) -> None:
+        for item in level:
+            if isinstance(item, KernelOp):
+                collected.append(item)
+            elif isinstance(item, IfBlock):
+                visit(item.then_items)
+                visit(item.else_items)
+            else:
+                visit(item.body)
+
+    visit(items)
+    return collected
+
+
+@dataclass
+class Interpretation:
+    """Result of :func:`interpret`: the golden register file plus the
+    loop-entry condition values the emitter folds into initial state."""
+
+    registers: Dict[str, float]
+    #: id(WhileBlock) -> condition value at (first) loop entry, for
+    #: every ``folded_entry`` loop
+    entry_conditions: Dict[int, float]
+    steps: int
+
+
+def interpret(
+    ir: KernelIR,
+    values: Dict[str, float],
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Interpretation:
+    """Execute the lowered IR on concrete parameter ``values``.
+
+    Uses :func:`repro.rtl.semantics.execute_statement` for every op, so
+    arithmetic (including the int-0/1 results of comparisons) is
+    bit-identical to the CDFG token simulator.  Raises
+    :class:`~repro.errors.KernelBoundError` after ``max_steps``
+    executed ops — the boundedness guarantee of the subset.
+    """
+    env: Dict[str, float] = dict(values)
+    for register in ir.written:
+        env.setdefault(register, 0.0)
+    result = Interpretation(registers=env, entry_conditions={}, steps=0)
+
+    def run(items: List[Item]) -> None:
+        for item in items:
+            if isinstance(item, KernelOp):
+                _tick(result, ir, max_steps)
+                execute_statement(item.statement, env)
+            elif isinstance(item, IfBlock):
+                if env[item.condition]:
+                    run(item.then_items)
+                else:
+                    run(item.else_items)
+            else:
+                if item.folded_entry:
+                    assert item.entry_statement is not None
+                    value = evaluate_expr(item.entry_statement.expr, env)
+                    env[item.condition] = value
+                    result.entry_conditions.setdefault(id(item), value)
+                while env[item.condition]:
+                    run(item.body)
+
+    run(ir.items)
+    return result
+
+
+def _tick(result: Interpretation, ir: KernelIR, max_steps: int) -> None:
+    result.steps += 1
+    if result.steps > max_steps:
+        raise KernelBoundError(
+            f"kernel {ir.name!r} exceeded its execution bound of "
+            f"{max_steps} operations — the frontend subset only admits "
+            "bounded loops (is a loop condition never updated?)"
+        )

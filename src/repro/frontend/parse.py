@@ -1,0 +1,408 @@
+"""Parse a restricted Python subset into the frontend IR.
+
+The compilable subset, by design exactly expressive enough for the
+paper's style of behavioural kernels (DIFFEQ, GCD, FIR, ...):
+
+- one function definition with **typed scalar parameters**
+  (``x: float = 0.0`` / ``n: int = 8``); every parameter needs a
+  default, which becomes the workload's default input vector;
+- **assignments** to plain names (``y = t1 + t2``, ``x += dx``);
+  right-hand sides are arbitrarily nested expressions over names,
+  non-negative numeric literals and the binary operators
+  ``+ - * /`` and comparisons ``< <= > >= == !=`` — the parser breaks
+  nesting into ``_tN`` temporaries, one RTL statement per operation;
+- **``if``/``else``** on a bare name or a single comparison;
+- **bounded ``while``** loops on a bare name or a single comparison
+  (boundedness is enforced by the IR interpreter's step budget);
+- an optional trailing **``return``** of a name or tuple of names
+  (recorded as the kernel's declared outputs).
+
+Everything else — calls, attributes, subscripts, ``for``, unary minus,
+chained comparisons, ``and``/``or``, non-scalar types — is rejected
+with a :class:`~repro.errors.FrontendError` naming the source line.
+
+Condition lowering follows the hand-built workloads' idiom: a
+comparison condition is materialized into a fresh ``_cN`` register.
+For ``while`` loops the re-evaluation is appended to the body (the
+*latch* op, mirroring DIFFEQ's ``C := X < a``); the loop-entry value is
+folded into the initial register file for top-level loops and emitted
+as a real pre-header op for nested ones (where the entry value is not
+a build-time constant).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import FrontendError
+from repro.frontend.ir import IfBlock, Item, KernelIR, KernelOp, WhileBlock, walk_ops
+from repro.rtl.ast import BINARY_OPERATORS, BinaryExpr, Operand, RtlStatement
+
+_BINOPS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.Div: "/",
+}
+
+_CMPOPS = {
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+}
+
+_PARAM_TYPES = ("float", "int")
+
+
+def _fail(reason: str, node: Optional[ast.AST] = None) -> "FrontendError":
+    lineno = getattr(node, "lineno", None)
+    return FrontendError(reason, lineno=lineno)
+
+
+class _Lowerer:
+    """Stateful lowering of one function body."""
+
+    def __init__(self, name: str, params: Dict[str, float]):
+        self.name = name
+        self.params = params
+        self.defined: Set[str] = set(params)
+        self.written: List[str] = []
+        self._written_set: Set[str] = set()
+        self._temp_count = 0
+        self._cond_count = 0
+        self.outputs: Tuple[str, ...] = ()
+
+    # -- registers ------------------------------------------------------
+    def _record_write(self, register: str) -> None:
+        self.defined.add(register)
+        if register not in self._written_set:
+            self._written_set.add(register)
+            self.written.append(register)
+
+    def _fresh(self, prefix: str, count: int) -> str:
+        name = f"_{prefix}{count}"
+        while name in self.defined:
+            count += 1
+            name = f"_{prefix}{count}"
+        return name
+
+    def _fresh_temp(self) -> str:
+        name = self._fresh("t", self._temp_count)
+        self._temp_count += 1
+        return name
+
+    def _fresh_cond(self) -> str:
+        name = self._fresh("c", self._cond_count)
+        self._cond_count += 1
+        return name
+
+    # -- expressions ----------------------------------------------------
+    def _operand(self, node: ast.expr, items: List[Item]) -> Operand:
+        """Lower an expression to a single operand, spilling to temps."""
+        if isinstance(node, ast.Name):
+            if node.id not in self.defined:
+                raise _fail(
+                    f"register {node.id!r} read before assignment", node
+                )
+            return Operand(register=node.id)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(node.value, (int, float)):
+                raise _fail(
+                    f"unsupported literal {node.value!r} (only int/float)", node
+                )
+            if node.value < 0:
+                raise _fail(
+                    "negative literals are outside the subset "
+                    "(write '0 - x' instead of unary minus)",
+                    node,
+                )
+            return Operand(literal=node.value)
+        if isinstance(node, (ast.BinOp, ast.Compare)):
+            temp = self._fresh_temp()
+            self._emit_assign(temp, node, items)
+            return Operand(register=temp)
+        raise _fail(
+            f"unsupported expression {ast.dump(node)[:40]!r} — the subset "
+            "admits names, non-negative literals, binary arithmetic and "
+            "single comparisons",
+            node,
+        )
+
+    def _expr(self, node: ast.expr, items: List[Item]):
+        """Lower an expression into an RTL Expr (operand or one binop)."""
+        if isinstance(node, ast.BinOp):
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                raise _fail(
+                    f"unsupported operator {type(node.op).__name__} "
+                    f"(supported: {' '.join(sorted(set(_BINOPS.values())))})",
+                    node,
+                )
+            left = self._operand(node.left, items)
+            right = self._operand(node.right, items)
+            return BinaryExpr(op=op, left=left, right=right)
+        if isinstance(node, ast.Compare):
+            return self._comparison(node, items)
+        if isinstance(node, ast.UnaryOp):
+            raise _fail(
+                "unary operators are outside the subset "
+                "(write '0 - x' instead of '-x')",
+                node,
+            )
+        if isinstance(node, ast.BoolOp):
+            raise _fail(
+                "and/or are outside the subset (nest if blocks instead)", node
+            )
+        return self._operand(node, items)
+
+    def _comparison(self, node: ast.Compare, items: List[Item]) -> BinaryExpr:
+        if len(node.ops) != 1 or len(node.comparators) != 1:
+            raise _fail("chained comparisons are outside the subset", node)
+        op = _CMPOPS.get(type(node.ops[0]))
+        if op is None:
+            raise _fail(
+                f"unsupported comparison {type(node.ops[0]).__name__}", node
+            )
+        assert op in BINARY_OPERATORS
+        left = self._operand(node.left, items)
+        right = self._operand(node.comparators[0], items)
+        return BinaryExpr(op=op, left=left, right=right)
+
+    def _emit_assign(self, dest: str, value: ast.expr, items: List[Item]) -> None:
+        expr = self._expr(value, items)
+        items.append(KernelOp(RtlStatement(dest=dest, expr=expr), index=-1))
+        self._record_write(dest)
+
+    # -- conditions -----------------------------------------------------
+    def _condition(
+        self, node: ast.expr, items: List[Item]
+    ) -> Tuple[str, Optional[RtlStatement]]:
+        """Lower a branch/loop condition.
+
+        Returns ``(register, statement)``: for a bare name the register
+        itself and ``None``; otherwise a fresh ``_cN`` register plus the
+        statement that (re)computes it.  The caller decides where the
+        statement lands (pre-block op, loop latch, folded entry).
+        """
+        if isinstance(node, ast.Name):
+            if node.id not in self.defined:
+                raise _fail(f"condition register {node.id!r} never assigned", node)
+            return node.id, None
+        if isinstance(node, ast.Compare):
+            for operand in (node.left, *node.comparators):
+                if not isinstance(operand, (ast.Name, ast.Constant)):
+                    raise _fail(
+                        "condition operands must be names or literals — "
+                        "assign compound expressions to a register first",
+                        node,
+                    )
+            register = self._fresh_cond()
+            expr = self._comparison(node, items)
+            self._record_write(register)
+            return register, RtlStatement(dest=register, expr=expr)
+        raise _fail(
+            "conditions must be a bare name or a single comparison "
+            "(e.g. 'while x < a:' or 'if d:')",
+            node,
+        )
+
+    # -- statements -----------------------------------------------------
+    def lower_body(self, body: Sequence[ast.stmt], depth: int) -> List[Item]:
+        items: List[Item] = []
+        for position, statement in enumerate(body):
+            last = position == len(body) - 1
+            if isinstance(statement, ast.Assign):
+                if len(statement.targets) != 1 or not isinstance(
+                    statement.targets[0], ast.Name
+                ):
+                    raise _fail(
+                        "assignments must target a single plain name", statement
+                    )
+                self._emit_assign(statement.targets[0].id, statement.value, items)
+            elif isinstance(statement, ast.AugAssign):
+                if not isinstance(statement.target, ast.Name):
+                    raise _fail("augmented assignment must target a name", statement)
+                op = _BINOPS.get(type(statement.op))
+                if op is None:
+                    raise _fail(
+                        f"unsupported augmented operator "
+                        f"{type(statement.op).__name__}",
+                        statement,
+                    )
+                target = statement.target.id
+                if target not in self.defined:
+                    raise _fail(
+                        f"register {target!r} read before assignment", statement
+                    )
+                right = self._operand(statement.value, items)
+                items.append(
+                    KernelOp(
+                        RtlStatement(
+                            dest=target,
+                            expr=BinaryExpr(
+                                op=op, left=Operand(register=target), right=right
+                            ),
+                        ),
+                        index=-1,
+                    )
+                )
+                self._record_write(target)
+            elif isinstance(statement, ast.If):
+                register, cond = self._condition(statement.test, items)
+                if cond is not None:
+                    items.append(KernelOp(cond, index=-1))
+                block = IfBlock(condition=register)
+                block.then_items = self.lower_body(statement.body, depth + 1)
+                block.else_items = self.lower_body(statement.orelse, depth + 1)
+                items.append(block)
+            elif isinstance(statement, ast.While):
+                if statement.orelse:
+                    raise _fail("while/else is outside the subset", statement)
+                register, cond = self._condition(statement.test, items)
+                block = WhileBlock(condition=register)
+                block.body = self.lower_body(statement.body, depth + 1)
+                if cond is not None:
+                    block.entry_statement = cond
+                    # latch: recompute the condition at the end of the body
+                    block.body.append(KernelOp(cond, index=-1))
+                    if depth == 0:
+                        # loop entry value is a build-time constant:
+                        # folded into the initial register file
+                        block.folded_entry = True
+                    else:
+                        # entry value depends on the enclosing iteration:
+                        # evaluate it with a real pre-header op
+                        items.append(KernelOp(cond, index=-1))
+                items.append(block)
+            elif isinstance(statement, ast.Return):
+                if depth != 0 or not last:
+                    raise _fail(
+                        "return is only allowed as the kernel's final statement",
+                        statement,
+                    )
+                self.outputs = self._return_names(statement)
+            elif isinstance(statement, ast.Pass):
+                continue
+            elif isinstance(statement, ast.Expr) and isinstance(
+                statement.value, ast.Constant
+            ) and isinstance(statement.value.value, str):
+                continue  # docstring
+            else:
+                raise _fail(
+                    f"unsupported statement {type(statement).__name__} — the "
+                    "subset admits assignments, if/else, bounded while loops "
+                    "and a trailing return",
+                    statement,
+                )
+        return items
+
+    def _return_names(self, statement: ast.Return) -> Tuple[str, ...]:
+        value = statement.value
+        if value is None:
+            return ()
+        elements = value.elts if isinstance(value, ast.Tuple) else [value]
+        names = []
+        for element in elements:
+            if not isinstance(element, ast.Name) or element.id not in self.defined:
+                raise _fail(
+                    "return values must be names assigned by the kernel", statement
+                )
+            names.append(element.id)
+        return tuple(names)
+
+
+def _parse_params(function: ast.FunctionDef) -> Dict[str, float]:
+    """Typed scalar parameters with defaults, in declaration order."""
+    args = function.args
+    if args.vararg or args.kwarg or args.kwonlyargs or args.posonlyargs:
+        raise _fail(
+            "only plain positional parameters are supported", function
+        )
+    defaults: List[ast.expr] = list(args.defaults)
+    missing = len(args.args) - len(defaults)
+    params: Dict[str, float] = {}
+    for position, arg in enumerate(args.args):
+        annotation = arg.annotation
+        if not (isinstance(annotation, ast.Name) and annotation.id in _PARAM_TYPES):
+            raise _fail(
+                f"parameter {arg.arg!r} needs a scalar type annotation "
+                f"({' or '.join(_PARAM_TYPES)})",
+                arg,
+            )
+        if position < missing:
+            raise _fail(
+                f"parameter {arg.arg!r} needs a default value "
+                "(it becomes the workload's default input)",
+                arg,
+            )
+        default = defaults[position - missing]
+        if not (
+            isinstance(default, ast.Constant)
+            and isinstance(default.value, (int, float))
+            and not isinstance(default.value, bool)
+        ):
+            raise _fail(
+                f"default of parameter {arg.arg!r} must be a numeric literal",
+                arg,
+            )
+        if arg.arg in params:
+            raise _fail(f"duplicate parameter {arg.arg!r}", arg)
+        params[arg.arg] = float(default.value)
+    return params
+
+
+def _find_function(
+    module: ast.Module, kernel: Optional[str]
+) -> ast.FunctionDef:
+    functions = [
+        node for node in module.body if isinstance(node, ast.FunctionDef)
+    ]
+    if kernel is not None:
+        for function in functions:
+            if function.name == kernel:
+                return function
+        raise FrontendError(
+            f"no kernel function named {kernel!r} "
+            f"(found: {', '.join(f.name for f in functions) or 'none'})"
+        )
+    if len(functions) != 1:
+        raise FrontendError(
+            f"expected exactly one kernel function, found {len(functions)} "
+            "(pass kernel=<name> to pick one)"
+        )
+    return functions[0]
+
+
+def parse_kernel(source: str, kernel: Optional[str] = None) -> KernelIR:
+    """Parse ``source`` (Python text) into a :class:`KernelIR`.
+
+    ``kernel`` selects a function by name when the source defines more
+    than one.  Raises :class:`~repro.errors.FrontendError` for anything
+    outside the subset.
+    """
+    try:
+        module = ast.parse(source)
+    except SyntaxError as exc:
+        raise FrontendError(f"invalid Python: {exc.msg}", lineno=exc.lineno) from None
+    function = _find_function(module, kernel)
+    params = _parse_params(function)
+    lowerer = _Lowerer(function.name, params)
+    items = lowerer.lower_body(function.body, depth=0)
+
+    written = tuple(lowerer.written)
+    written_set = set(written)
+    inputs = tuple(name for name in params if name not in written_set)
+    for index, op in enumerate(walk_ops(items)):
+        op.index = index
+    return KernelIR(
+        name=function.name,
+        items=items,
+        params=params,
+        inputs=inputs,
+        written=written,
+        outputs=lowerer.outputs,
+    )

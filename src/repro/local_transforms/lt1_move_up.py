@@ -13,6 +13,14 @@ reaches any consumer; bundled-data timing covers the latch settle).
 Local output edges may move up while no crossed burst waits for a
 signal produced by the edge's datapath action (conservative: local
 edges only move into bursts later than their trigger's ack).
+
+One class of done is exempt: a done whose channel delivers a register
+that a *decision node on another controller* samples as its condition
+(``Signal.guards_condition``).  The consumer's choice state reads the
+condition level right after the done arrives, with no datapath delay
+in between, so bundled-data timing does not cover the latch settle —
+hoisting such a done beside the latch lets the remote sample race the
+write and take the wrong branch.  Those dones stay in place.
 """
 
 from __future__ import annotations
@@ -40,6 +48,16 @@ class MoveUp(LocalTransform):
                 for edge in list(transition.output_burst.edges):
                     signal = machine.signal(edge.signal)
                     if signal.kind is not SignalKind.GLOBAL_READY:
+                        continue
+                    if signal.guards_condition:
+                        report.record(
+                            "edge-kept-for-condition", str(edge),
+                            fragment=transition.tags.get("node"),
+                        )
+                        report.note(
+                            f"kept done {edge} in place: its channel guards a "
+                            "remote condition sample"
+                        )
                         continue
                     target = chain[latch_position]
                     if edge.signal in target.output_burst.signals():

@@ -19,6 +19,20 @@ predecessor fragment, when:
 The moved selection happens strictly earlier, which is safe because a
 mux selection only routes data; the consuming latch/operation of the
 *next* fragment still waits for its own triggers.
+
+One extra applicability condition protects register muxes.  Routing an
+operand (source mux) early is always harmless, but re-steering a
+*register's input mux* races any still-settling capture of that
+register.  If the register's latch acknowledgment is still consumed
+somewhere in the machine, the walk from latch to preselect point
+crosses the ack wait and the capture is sequenced.  After LT4 has
+stripped that ack (fragments with a functional-unit go), nothing
+observes the capture completing — the unoptimized schedule is safe
+only because the next select request comes several bursts later, and
+hoisting it to a predecessor's tail can land it inside the settling
+window (observed: a loop-head preselect racing the latch of a fused
+``i := 0`` copy).  So LT3 refuses to preselect the register mux of any
+register whose latch request is no longer ack-sequenced.
 """
 
 from __future__ import annotations
@@ -49,6 +63,7 @@ class MuxPreselection(LocalTransform):
 
     def apply(self, machine: BurstModeMachine) -> LocalReport:
         report = LocalReport(self.name, machine.name)
+        unsequenced = self._unsequenced_latch_registers(machine)
         chains = fragment_chains(machine)
         by_first_state: Dict[str, List[Transition]] = {}
         for chain in chains:
@@ -74,6 +89,11 @@ class MuxPreselection(LocalTransform):
                 if not edge.rising or not _is_preselectable(machine, edge.signal):
                     continue
                 conflict = False
+                if self._targets_register(machine, edge.signal, unsequenced):
+                    # the register's capture is no longer ack-sequenced
+                    # (LT4 removed the latch ack): an earlier select
+                    # could re-steer the mux inside the settling window
+                    conflict = True
                 for tail in tails:
                     if edge.signal in tail.output_burst.signals():
                         conflict = True
@@ -97,6 +117,41 @@ class MuxPreselection(LocalTransform):
         report.folded_states = machine.fold_trivial_states()
         report.applied = bool(report.moved_edges)
         return report
+
+    @staticmethod
+    def _unsequenced_latch_registers(machine: BurstModeMachine) -> set:
+        """Registers latched without a surviving latch acknowledgment.
+
+        A latch request whose ack edge still appears in some input
+        burst is *sequenced*: the machine waits out the capture before
+        moving on, so any later mux selection is safe.  Once LT4 has
+        removed the ack, the capture window is invisible to the
+        control flow and LT3 must not move that register's mux select
+        any earlier.
+        """
+        latch_reqs: Dict[str, str] = {}  # req signal name -> register
+        for signal in machine.signals():
+            if signal.kind is not SignalKind.LOCAL_REQ or signal.action is None:
+                continue
+            actions = (
+                signal.action[1] if signal.action[0] == "multi" else [signal.action]
+            )
+            for action in actions:
+                if action[0] == "latch":
+                    latch_reqs[signal.name] = action[1]
+        requested = set()
+        acked = set()
+        for transition in machine.transitions():
+            for edge in transition.output_burst.edges:
+                if edge.rising and edge.signal in latch_reqs:
+                    requested.add(edge.signal)
+            for edge in transition.input_burst.edges:
+                if not edge.rising:
+                    continue
+                signal = machine.signal(edge.signal)
+                if signal.partner in latch_reqs:
+                    acked.add(signal.partner)
+        return {latch_reqs[req] for req in requested - acked}
 
     @staticmethod
     def _latched_registers(machine: BurstModeMachine, chain: List[Transition]) -> set:

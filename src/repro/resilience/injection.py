@@ -28,6 +28,7 @@ from __future__ import annotations
 import os
 import signal
 import threading
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -114,6 +115,45 @@ def parse_inject_spec(spec: str, mode: str = "raise") -> ConfigFaultInjector:
     return ConfigFaultInjector.for_configs(configs, mode=mode)
 
 
+#: One-time flag: a sweep evaluating hundreds of points off the main
+#: thread should warn once, not once per point.
+_watchdog_warned = False
+
+
+def _reset_watchdog_warning() -> None:
+    """Re-arm the one-time skip warning (test hook)."""
+    global _watchdog_warned
+    _watchdog_warned = False
+
+
+def watchdog_unavailable_reason() -> Optional[str]:
+    """Why :func:`point_deadline` would be skipped *here*, else ``None``.
+
+    Checks the calling thread, so call it from wherever the deadline
+    would actually be armed.
+    """
+    if not hasattr(signal, "SIGALRM"):
+        return "signal.SIGALRM is unavailable on this platform"
+    if threading.current_thread() is not threading.main_thread():
+        return "the current thread is not the main thread"
+    return None
+
+
+def watchdog_active(pooled: bool = False) -> bool:
+    """Whether upcoming point deadlines will actually be enforced.
+
+    ``pooled`` evaluations run on the main thread of dedicated worker
+    processes, so only platform ``SIGALRM`` support matters there; a
+    serial sweep arms the timer on the calling thread, which must be
+    the process's main thread.
+    """
+    if not hasattr(signal, "SIGALRM"):
+        return False
+    if pooled:
+        return True
+    return threading.current_thread() is threading.main_thread()
+
+
 @contextmanager
 def point_deadline(seconds: Optional[float]):
     """Raise :class:`PointTimeout` if the block runs longer than ``seconds``.
@@ -121,14 +161,23 @@ def point_deadline(seconds: Optional[float]):
     Uses ``SIGALRM``/``setitimer``, which is only available on the main
     thread of a Unix process — exactly where pool workers and the
     serial exploration path evaluate points.  Anywhere else (Windows,
-    background threads) the deadline is silently skipped rather than
-    half-enforced.
+    background threads) the deadline is skipped rather than
+    half-enforced, with a one-time :class:`RuntimeWarning` naming the
+    reason so a silently-unbounded sweep is at least a visible one.
     """
-    if (
-        not seconds
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    if not seconds:
+        yield
+        return
+    reason = watchdog_unavailable_reason()
+    if reason is not None:
+        global _watchdog_warned
+        if not _watchdog_warned:
+            _watchdog_warned = True
+            warnings.warn(
+                f"point deadline of {seconds:g}s is not enforced: {reason}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         yield
         return
 

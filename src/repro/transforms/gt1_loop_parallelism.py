@@ -11,7 +11,12 @@ B. *Add backward arcs* for loop-body variables: for each variable, from
    precede it).  Backward arcs are pre-enabled for the first iteration.
    Candidates already implied by a cross-iteration path of remaining
    constraints are pruned (the paper's steps C/D show the same
-   dominated-constraint reasoning; we apply it uniformly).
+   dominated-constraint reasoning; we apply it uniformly).  A variable
+   whose only body access is a single node (a write nothing else
+   reads) admits no backward arc — src and dst would coincide — yet
+   its write stream still races across iterations; such lone accessors
+   are serialized through ENDLOOP instead, like step C's loop
+   variable.
 C. *Add an arc for the loop variable*: from its last write to ENDLOOP,
    so the LOOP node examines an up-to-date value — unless implied.
 D. *Limit parallelism*: from the first body node of each functional
@@ -54,7 +59,7 @@ class LoopParallelism(Transform):
         members = self._body_members(cdfg, loop)
 
         self._step_a(cdfg, endloop, report)
-        self._step_b(cdfg, loop, members, report)
+        self._step_b(cdfg, loop, endloop, members, report)
         self._step_c(cdfg, loop, endloop, members, report)
         self._step_d(cdfg, loop, endloop, members, report)
 
@@ -90,14 +95,43 @@ class LoopParallelism(Transform):
 
     # -- step B ---------------------------------------------------------
     def _step_b(
-        self, cdfg: Cdfg, loop: str, members: List[str], report: TransformReport
+        self, cdfg: Cdfg, loop: str, endloop: str, members: List[str], report: TransformReport
     ) -> None:
+        condition = cdfg.node(loop).condition
         candidates: List[Tuple[str, str, str]] = []  # (src, dst, variable)
+        lone_writers: List[Tuple[str, str]] = []  # (node, variable)
         for variable, (firsts, lasts) in sorted(self._variable_instances(cdfg, members).items()):
+            if len(firsts) == 1 and firsts == lasts:
+                # sole accessor node: a write nothing else in the body
+                # touches.  No backward arc can order it (src == dst),
+                # but successive iterations still race on the write
+                # stream — serialize it through ENDLOOP, like step C
+                # does for the loop variable (which already gets its
+                # arc there).
+                if variable != condition:
+                    lone_writers.append((firsts[0], variable))
+                continue
             for last in lasts:
                 for first in firsts:
                     if last != first:
                         candidates.append((last, first, variable))
+
+        for name, variable in lone_writers:
+            if cdfg.implies(name, endloop):
+                report.note(
+                    f"B: lone write {name} [{variable}] already ordered "
+                    "before ENDLOOP"
+                )
+                continue
+            arc = cdfg.add_arc(Arc(name, endloop, frozenset({control_tag()})))
+            report.added_arcs.append(str(arc))
+            report.record(
+                "lone-write-serialized", str(arc), step="B", variable=variable,
+            )
+            report.note(
+                f"B: serialized lone write of {variable!r} through {endloop} "
+                "(write-write ordering across iterations)"
+            )
 
         added: List[Tuple[str, str, str]] = []
         for src, dst, variable in candidates:

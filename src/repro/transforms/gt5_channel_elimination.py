@@ -140,6 +140,53 @@ class ChannelElimination(Transform):
             group.arcs.append(arc.key)
         return list(groups.values())
 
+    @staticmethod
+    def _mixed_receivers(cdfg: Cdfg, arcs: Sequence[ArcKey]) -> bool:
+        """True when some receiver FU would hold both backward and
+        forward arcs on one wire.  A backward arc makes the wire
+        pre-enabled; a receiver with only forward arcs then absorbs the
+        startup transition, but a receiver with *both* cannot tell the
+        startup event from a same-iteration one, and extraction rejects
+        the channel."""
+        flags: Dict[str, Set[bool]] = {}
+        for src, dst in arcs:
+            flags.setdefault(cdfg.fu_of(dst), set()).add(cdfg.arc(src, dst).backward)
+        return any(len(seen) > 1 for seen in flags.values())
+
+    def _split_mixed_groups(
+        self,
+        cdfg: Cdfg,
+        groups: List[_Group],
+        report: Optional[TransformReport] = None,
+    ) -> List[_Group]:
+        """Give backward and forward arcs separate wires where a
+        receiver would otherwise see both (the unoptimized plan keeps
+        them separate anyway; only the mixed case pays the extra
+        channel)."""
+        result: List[_Group] = []
+        for group in groups:
+            if not self._mixed_receivers(cdfg, group.arcs):
+                result.append(group)
+                continue
+            forward = _Group(group.source, group.src_fu)
+            backward = _Group(group.source, group.src_fu)
+            for key in group.arcs:
+                target = backward if cdfg.arc(*key).backward else forward
+                target.arcs.append(key)
+            result.extend([forward, backward])
+            if report is not None:
+                report.record(
+                    "group-split-pre-enabled", group.source,
+                    sub_transform="GT5.1",
+                    forward=[f"{s} -> {d}" for s, d in sorted(forward.arcs)],
+                    backward=[f"{s} -> {d}" for s, d in sorted(backward.arcs)],
+                )
+                report.note(
+                    f"5.1: split {group.source}'s wire: a receiver mixed "
+                    "backward and forward arcs (pre-enabled wire)"
+                )
+        return result
+
     # ------------------------------------------------------------------
     # GT5.2 concurrency reduction
     # ------------------------------------------------------------------
@@ -352,6 +399,7 @@ class ChannelElimination(Transform):
         self, cdfg: Cdfg, groups: List[_Group], report: Optional[TransformReport] = None
     ) -> ChannelPlan:
         reach = cached_unfolded_reach(cdfg, unfold=self.unfold)
+        groups = self._split_mixed_groups(cdfg, groups, report)
         merged: List[List[_Group]] = []
         for group in groups:
             placed = False
@@ -359,6 +407,10 @@ class ChannelElimination(Transform):
                 if cluster[0].src_fu != group.src_fu:
                     continue
                 if cluster[0].receiver_fus(cdfg) != group.receiver_fus(cdfg):
+                    continue
+                combined = [key for member in cluster for key in member.arcs]
+                combined.extend(group.arcs)
+                if self._mixed_receivers(cdfg, combined):
                     continue
                 if all(self._groups_never_concurrent(cdfg, reach, member, group) for member in cluster):
                     cluster.append(group)

@@ -175,3 +175,51 @@ class TestInputs:
         cdfg = builder.build(initial={"B": 1.0})
         assert cdfg.inputs["k"] == 2.5
         assert cdfg.initial_registers["B"] == 1.0
+
+
+class TestBlockNaming:
+    def test_custom_if_name_without_IF_gets_END_prefix(self):
+        # regression: close names used to come from replace("IF", "ENDIF"),
+        # a no-op for names like 'branch', so the close node collided with
+        # the root and was disambiguated to 'branch #2'
+        builder = CdfgBuilder("t")
+        with builder.if_block("D", fu="ALU", name="branch"):
+            builder.op("A := A + B", fu="ALU")
+        cdfg = builder.build(initial={"A": 0.0, "B": 1.0, "D": 1.0})
+        names = {node.name for node in cdfg.nodes()}
+        assert "ENDbranch" in names
+        assert "branch #2" not in names
+        assert cdfg.node("ENDbranch").kind is NodeKind.ENDIF
+
+    def test_custom_if_name_containing_IF_still_rewrites(self):
+        builder = CdfgBuilder("t")
+        with builder.if_block("D", fu="ALU", name="IFguard"):
+            builder.op("A := A + B", fu="ALU")
+        cdfg = builder.build(initial={"A": 0.0, "B": 1.0, "D": 1.0})
+        assert cdfg.node("ENDIFguard").kind is NodeKind.ENDIF
+
+    def test_custom_loop_name_without_LOOP_gets_END_prefix(self):
+        builder = CdfgBuilder("t")
+        with builder.loop("C", fu="ALU", name="spin"):
+            builder.op("C := C - D", fu="ALU")
+        cdfg = builder.build(initial={"C": 1.0, "D": 1.0})
+        assert cdfg.node("ENDspin").kind is NodeKind.ENDLOOP
+
+
+class TestFunctionalUnitAutoRegistration:
+    def test_op_loop_and_if_block_all_auto_register(self):
+        builder = CdfgBuilder("t")
+        builder.op("A := A + B", fu="FU_OP")
+        with builder.loop("C", fu="FU_LOOP"):
+            builder.op("C := C - A", fu="FU_OP")
+        with builder.if_block("D", fu="FU_IF"):
+            builder.op("A := A + B", fu="FU_OP")
+        cdfg = builder.build(initial={"A": 0.0, "B": 1.0, "C": 0.0, "D": 0.0})
+        assert set(cdfg.functional_units()) == {"FU_OP", "FU_LOOP", "FU_IF"}
+
+    def test_explicit_declaration_keeps_its_description(self):
+        builder = CdfgBuilder("t")
+        unit = builder.functional_unit("ALU", description="adder")
+        builder.op("A := A + B", fu="ALU")
+        assert unit.description == "adder"
+        assert builder._fus["ALU"] is unit

@@ -1,0 +1,150 @@
+"""Compiled kernels through the CDFG pipeline: build, simulate, prove."""
+
+import pytest
+
+from repro import synthesize
+from repro.cache.fingerprint import fingerprint_cdfg
+from repro.cdfg.validate import check_well_formed
+from repro.errors import FrontendError
+from repro.frontend import (
+    compile_kernel,
+    parse_bounds,
+    register_kernel,
+    unregister_kernel,
+)
+from repro.sim import simulate_tokens
+from repro.sim.seeding import NOMINAL
+from repro.workloads import build_workload, golden_reference
+
+BRANCHY = """
+def clip(x: float = 5.0, lo: float = 1.0, hi: float = 3.0) -> float:
+    y = x
+    if y < lo:
+        y = lo
+    else:
+        if hi < y:
+            y = hi
+        else:
+            pass
+    return y
+"""
+
+NESTED = """
+def nest(n: float = 3.0) -> float:
+    acc = 0.0
+    i = 0.0
+    while i < n:
+        j = 0.0
+        while j < i:
+            acc = acc + 1.0
+            j = j + 1.0
+        i = i + 1.0
+    return acc
+"""
+
+
+def _roundtrip(source, bounds=None, **params):
+    kernel = compile_kernel(source, bounds=bounds)
+    cdfg = kernel.build(**params)
+    check_well_formed(cdfg)
+    golden = kernel.golden(**params)
+    for seed in (NOMINAL, 0, 1):
+        result = simulate_tokens(cdfg, seed=seed)
+        for name, value in golden.items():
+            assert result.registers[name] == value, (seed, name)
+    return kernel, golden
+
+
+class TestRoundtrip:
+    def test_straight_line(self):
+        __, golden = _roundtrip(
+            "def f(a: float = 3.0, b: float = 4.0):\n    c = a * b + a\n"
+        )
+        assert golden["c"] == 15.0
+
+    def test_if_else(self):
+        __, golden = _roundtrip(BRANCHY)
+        assert golden["y"] == 3.0
+
+    def test_if_else_other_branch(self):
+        __, golden = _roundtrip(BRANCHY, x=0.5)
+        assert golden["y"] == 1.0
+
+    def test_nested_loops(self):
+        __, golden = _roundtrip(NESTED, bounds={"ALU": 2})
+        assert golden["acc"] == 3.0
+
+    def test_param_override_changes_the_initial_file(self):
+        kernel = compile_kernel(NESTED)
+        assert kernel.golden(n=5.0)["acc"] == 10.0
+        assert kernel.build(n=5.0).inputs["n"] == 5.0
+
+    def test_unknown_param_override_rejected(self):
+        kernel = compile_kernel(NESTED)
+        with pytest.raises(FrontendError):
+            kernel.build(zzz=1.0)
+
+
+class TestRegistry:
+    def test_registered_kernel_resolves_like_a_builtin(self):
+        kernel = compile_kernel(BRANCHY)
+        name = register_kernel(kernel)
+        try:
+            assert name == "clip"
+            cdfg = build_workload("clip")
+            assert fingerprint_cdfg(cdfg) == kernel.fingerprint()
+            assert golden_reference("clip", x=0.5)["y"] == 1.0
+        finally:
+            unregister_kernel(name)
+
+    def test_name_collision_rejected_without_replace(self):
+        kernel = compile_kernel(BRANCHY)
+        with pytest.raises(FrontendError):
+            register_kernel(kernel, name="diffeq")
+
+    def test_synthesize_accepts_a_compiled_kernel(self):
+        kernel = compile_kernel(
+            "def mul(a: float = 2.0, b: float = 3.0):\n    c = a * b\n"
+        )
+        design = synthesize(kernel)
+        assert design.controllers
+
+    def test_prove_workload_on_a_registered_kernel(self):
+        from repro.verify.flow import prove_workload
+
+        kernel = compile_kernel(
+            "def mac(a: float = 2.0, b: float = 3.0, c: float = 1.0):\n"
+            "    p = a * b\n"
+            "    s = p + c\n"
+        )
+        name = register_kernel(kernel)
+        try:
+            report = prove_workload(name)
+            assert report.proved, report.summary()
+        finally:
+            unregister_kernel(name)
+
+
+class TestFingerprint:
+    def test_same_source_same_fingerprint(self):
+        first = compile_kernel(BRANCHY)
+        second = compile_kernel(BRANCHY)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_bounds_change_the_fingerprint(self):
+        narrow = compile_kernel(NESTED, bounds={"ALU": 1})
+        wide = compile_kernel(NESTED, bounds={"ALU": 2})
+        assert narrow.fingerprint() != wide.fingerprint()
+
+
+class TestParseBounds:
+    def test_spec_parsed(self):
+        assert parse_bounds("MUL=2,ALU=1") == {"MUL": 2, "ALU": 1}
+
+    def test_empty_spec_gives_defaults(self):
+        assert parse_bounds(None) == {"ALU": 1, "MUL": 1}
+
+    @pytest.mark.parametrize("spec", ["MUL", "MUL=x", "=2", "FPU=1"])
+    def test_malformed_spec_rejected(self, spec):
+        with pytest.raises(FrontendError):
+            parse_bounds(spec)

@@ -1,0 +1,209 @@
+"""Parsing and lowering of the Python subset."""
+
+import pytest
+
+from repro.errors import FrontendError, KernelBoundError
+from repro.frontend.ir import IfBlock, KernelOp, WhileBlock, interpret
+from repro.frontend.parse import parse_kernel
+
+SIMPLE = """
+def madd(a: float = 3.0, b: float = 4.0, c: float = 5.0) -> float:
+    p = a * b
+    s = p + c
+    return s
+"""
+
+
+class TestAcceptance:
+    def test_params_in_declaration_order(self):
+        ir = parse_kernel(SIMPLE)
+        assert ir.name == "madd"
+        assert ir.params == {"a": 3.0, "b": 4.0, "c": 5.0}
+
+    def test_inputs_are_unwritten_params(self):
+        ir = parse_kernel(SIMPLE)
+        assert ir.inputs == ("a", "b", "c")
+        assert ir.written == ("p", "s")
+
+    def test_outputs_from_trailing_return(self):
+        ir = parse_kernel(SIMPLE)
+        assert ir.outputs == ("s",)
+
+    def test_ops_indexed_in_program_order(self):
+        ir = parse_kernel(SIMPLE)
+        assert [op.index for op in ir.ops()] == [0, 1]
+
+    def test_written_param_is_a_register_not_an_input(self):
+        ir = parse_kernel(
+            """
+def bump(x: float = 1.0, dx: float = 0.5) -> float:
+    x = x + dx
+    return x
+"""
+        )
+        assert ir.inputs == ("dx",)
+        assert "x" in ir.written
+
+    def test_nested_expression_spills_to_temporaries(self):
+        ir = parse_kernel(
+            """
+def fma(a: float = 2.0, b: float = 3.0, c: float = 4.0) -> float:
+    r = a * b + c
+    return r
+"""
+        )
+        statements = [str(op) for op in ir.ops()]
+        assert statements == ["_t0 := a * b", "r := _t0 + c"]
+
+    def test_augmented_assignment_desugars(self):
+        ir = parse_kernel(
+            """
+def bump(x: float = 0.0, dx: float = 1.0):
+    x += dx
+"""
+        )
+        assert [str(op) for op in ir.ops()] == ["x := x + dx"]
+
+    def test_if_condition_materialized_before_block(self):
+        ir = parse_kernel(
+            """
+def pick(a: float = 1.0, b: float = 2.0):
+    r = 0.0
+    if a < b:
+        r = a
+    else:
+        r = b
+"""
+        )
+        cond_op, block = ir.items[1], ir.items[2]
+        assert isinstance(cond_op, KernelOp)
+        assert str(cond_op) == "_c0 := a < b"
+        assert isinstance(block, IfBlock)
+        assert block.condition == "_c0"
+        assert len(block.then_items) == 1 and len(block.else_items) == 1
+
+    def test_while_latch_appended_to_body(self):
+        ir = parse_kernel(
+            """
+def count(n: float = 3.0):
+    i = 0.0
+    while i < n:
+        i = i + 1.0
+"""
+        )
+        loop = ir.items[-1]
+        assert isinstance(loop, WhileBlock)
+        assert loop.folded_entry
+        assert str(loop.body[-1]) == "_c0 := i < n"
+
+    def test_nested_loop_gets_preheader_op(self):
+        ir = parse_kernel(
+            """
+def nest(n: float = 2.0):
+    i = 0.0
+    acc = 0.0
+    while i < n:
+        j = 0.0
+        while j < n:
+            acc = acc + 1.0
+            j = j + 1.0
+        i = i + 1.0
+"""
+        )
+        outer = next(item for item in ir.items if isinstance(item, WhileBlock))
+        inner_index = next(
+            index
+            for index, item in enumerate(outer.body)
+            if isinstance(item, WhileBlock)
+        )
+        inner = outer.body[inner_index]
+        assert not inner.folded_entry
+        preheader = outer.body[inner_index - 1]
+        assert isinstance(preheader, KernelOp)
+        assert preheader.statement.dest == inner.condition
+
+    def test_bare_name_condition_needs_no_cond_register(self):
+        ir = parse_kernel(
+            """
+def drain(go: float = 1.0):
+    while go:
+        go = go - 1.0
+"""
+        )
+        loop = ir.items[-1]
+        assert loop.condition == "go"
+        assert loop.entry_statement is None
+
+    def test_kernel_selection_by_name(self):
+        source = SIMPLE + "\n\ndef other(x: float = 1.0):\n    y = x + 1.0\n"
+        assert parse_kernel(source, kernel="other").name == "other"
+
+    def test_interpreter_matches_python(self):
+        ir = parse_kernel(SIMPLE)
+        env = interpret(ir, {"a": 3.0, "b": 4.0, "c": 5.0}).registers
+        assert env["s"] == 17.0
+
+    def test_comparisons_yield_int_semantics(self):
+        ir = parse_kernel(
+            """
+def cmp(a: float = 1.0, b: float = 2.0):
+    c = a < b
+"""
+        )
+        assert interpret(ir, ir.params).registers["c"] == 1
+
+    def test_runaway_loop_hits_the_bound(self):
+        ir = parse_kernel(
+            """
+def spin(go: float = 1.0):
+    x = 0.0
+    while go:
+        x = x + 1.0
+"""
+        )
+        with pytest.raises(KernelBoundError):
+            interpret(ir, ir.params, max_steps=64)
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "source, fragment",
+        [
+            ("def f(x) -> float:\n    y = x\n", "type annotation"),
+            ("def f(x: float):\n    y = x\n", "default value"),
+            ("def f(x: str = 'a'):\n    y = x\n", "type annotation"),
+            ("def f(*args: float):\n    pass\n", "positional parameters"),
+            ("def f(x: float = 1.0):\n    y = x % 2\n", "unsupported operator"),
+            ("def f(x: float = 1.0):\n    y = -x\n", "unary"),
+            ("def f(x: float = 1.0):\n    y = x < 1 < 2\n", "chained"),
+            ("def f(x: float = 1.0):\n    y = x and x\n", "and/or"),
+            ("def f(x: float = 1.0):\n    y = g(x)\n", "unsupported expression"),
+            ("def f(x: float = 1.0):\n    y = z\n", "read before assignment"),
+            ("def f(x: float = 1.0):\n    y = -1.0\n", "unary"),
+            ("def f(x: float = 1.0):\n    for i in x:\n        pass\n", "unsupported statement"),
+            ("def f(x: float = 1.0):\n    while x:\n        pass\n    else:\n        pass\n", "while/else"),
+            ("def f(x: float = 1.0):\n    return x\n    y = x\n", "final statement"),
+            ("def f(x: float = 1.0):\n    if x + 1 < 2:\n        pass\n", "names or literals"),
+            ("def f(x: float = 1.0):\n    y, z = x, x\n", "single plain name"),
+            ("x = 1\n", "exactly one kernel function"),
+        ],
+    )
+    def test_outside_subset_rejected(self, source, fragment):
+        with pytest.raises(FrontendError) as info:
+            parse_kernel(source)
+        assert fragment in str(info.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(FrontendError) as info:
+            parse_kernel("def f(x: float = 1.0):\n    y = x\n    z = -y\n")
+        assert info.value.lineno == 3
+        assert "(line 3)" in str(info.value)
+
+    def test_unknown_kernel_name(self):
+        with pytest.raises(FrontendError) as info:
+            parse_kernel(SIMPLE, kernel="missing")
+        assert "madd" in str(info.value)
+
+    def test_syntax_error_wrapped(self):
+        with pytest.raises(FrontendError):
+            parse_kernel("def f(:\n")

@@ -1,0 +1,179 @@
+"""Resource-bounded list scheduling."""
+
+import pytest
+
+from repro.errors import FrontendError
+from repro.frontend.parse import parse_kernel
+from repro.frontend.schedule import ListScheduler, normalize_bounds
+
+WIDE = """
+def wide(a: float = 1.0, b: float = 2.0):
+    p = a * b
+    q = a * a
+    r = b * b
+    s = a + b
+    t = a - b
+"""
+
+
+def _schedule(source, bounds=None):
+    ir = parse_kernel(source)
+    return ir, ListScheduler(bounds).schedule(ir)
+
+
+def _per_step_usage(run):
+    usage = {}
+    for op, step, fu in run:
+        key = (step, op.fu_class)
+        usage.setdefault(key, set()).add(fu)
+    return usage
+
+
+class TestResourceBounds:
+    @pytest.mark.parametrize("bounds", [{"MUL": 1, "ALU": 1}, {"MUL": 2, "ALU": 2}, {"MUL": 3, "ALU": 1}])
+    def test_per_cycle_capacity_never_exceeded(self, bounds):
+        __, schedule = _schedule(WIDE, bounds)
+        for run in schedule.runs:
+            for (step, cls), fus in _per_step_usage(run).items():
+                assert len(fus) <= bounds.get(cls, 1), (step, cls, fus)
+
+    def test_no_fu_double_booked_in_one_step(self):
+        __, schedule = _schedule(WIDE, {"MUL": 2, "ALU": 2})
+        for run in schedule.runs:
+            seen = set()
+            for op, step, fu in run:
+                assert (step, fu) not in seen
+                seen.add((step, fu))
+
+    def test_instances_named_from_class_and_index(self):
+        __, schedule = _schedule(WIDE, {"MUL": 2, "ALU": 2})
+        assert schedule.instances["MUL"] == ("MUL1", "MUL2")
+        assert schedule.functional_units() == ("ALU1", "ALU2", "MUL1", "MUL2")
+
+    def test_single_unit_serializes_everything(self):
+        __, schedule = _schedule(WIDE, {"MUL": 1, "ALU": 1})
+        (run,) = schedule.runs
+        mul_steps = [step for op, step, __ in run if op.fu_class == "MUL"]
+        assert mul_steps == sorted(mul_steps)
+        assert len(set(mul_steps)) == len(mul_steps)
+
+    def test_unlisted_used_class_gets_one_instance(self):
+        ir, schedule = _schedule(
+            "def d(a: float = 8.0, b: float = 2.0):\n    q = a / b\n",
+            {"ALU": 1},
+        )
+        assert schedule.instances["DIV"] == ("DIV1",)
+
+
+class TestDependences:
+    def test_raw_crosses_a_step_boundary(self):
+        __, schedule = _schedule(
+            """
+def chain(a: float = 1.0):
+    b = a + a
+    c = b + a
+    d = c + b
+""",
+            {"ALU": 4},
+        )
+        (run,) = schedule.runs
+        steps = {str(op): step for op, step, __ in run}
+        assert steps["b := a + a"] < steps["c := b + a"] < steps["d := c + b"]
+
+    def test_war_may_share_a_step_but_keeps_program_order(self):
+        __, schedule = _schedule(
+            """
+def overwrite(a: float = 1.0, b: float = 2.0):
+    c = a + b
+    a = b + b
+""",
+            {"ALU": 2},
+        )
+        (run,) = schedule.runs
+        labels = [str(op) for op, __, __ in run]
+        assert labels.index("c := a + b") < labels.index("a := b + b")
+
+    def test_waw_serialized(self):
+        __, schedule = _schedule(
+            """
+def redo(a: float = 1.0):
+    b = a + a
+    b = a * a
+""",
+            {"ALU": 2, "MUL": 2},
+        )
+        (run,) = schedule.runs
+        steps = {str(op): step for op, step, __ in run}
+        assert steps["b := a + a"] < steps["b := a * a"]
+
+    def test_deterministic_across_invocations(self):
+        first = _schedule(WIDE, {"MUL": 2, "ALU": 2})[1]
+        second = _schedule(WIDE, {"MUL": 2, "ALU": 2})[1]
+        render = lambda s: [[(str(op), step, fu) for op, step, fu in run] for run in s.runs]
+        assert render(first) == render(second)
+
+
+class TestBoundsValidation:
+    def test_unknown_class_rejected(self):
+        with pytest.raises(FrontendError):
+            normalize_bounds({"FPU": 1})
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(FrontendError):
+            normalize_bounds({"ALU": 0})
+
+    def test_defaults_merged_in(self):
+        assert normalize_bounds({"MUL": 2}) == {"ALU": 1, "MUL": 2}
+
+
+class TestIfArmPinning:
+    """All ops of an if-block's arms serialize onto one instance.
+
+    The burst-mode extraction requires the decision node and every
+    conditional op on a single controller (the GCD pattern); the
+    scheduler enforces it by pinning both arms — whatever their op
+    classes — to instance 1 of the first arm op's class.
+    """
+
+    BRANCHY = """
+def branchy(a: float = 1.0, b: float = 2.0):
+    u = a + b
+    if u < 2.0:
+        w = a + 1.0
+        x = b + 2.0
+        y = a * 3.0
+    else:
+        w = a - 1.0
+    z = a + 4.0
+"""
+
+    def _arm_ops(self, ir):
+        from repro.frontend.ir import IfBlock, walk_ops
+
+        block = next(item for item in ir.items if isinstance(item, IfBlock))
+        return walk_ops(list(block.then_items) + list(block.else_items))
+
+    def test_arm_ops_share_one_instance(self):
+        ir, __ = _schedule(self.BRANCHY, {"ALU": 2, "MUL": 2})
+        hosts = {op.fu for op in self._arm_ops(ir)}
+        assert hosts == {"ALU1"}, hosts
+
+    def test_arm_ops_serialize_one_per_step(self):
+        from repro.frontend.ir import IfBlock, walk_ops
+
+        ir, __ = _schedule(self.BRANCHY, {"ALU": 2, "MUL": 2})
+        block = next(item for item in ir.items if isinstance(item, IfBlock))
+        for arm in (block.then_items, block.else_items):
+            steps = [op.step for op in walk_ops(list(arm))]
+            assert len(steps) == len(set(steps)), steps
+
+    def test_ops_outside_arms_still_spread(self):
+        ir, schedule = _schedule(self.BRANCHY, {"ALU": 2, "MUL": 2})
+        arm_indices = {op.index for op in self._arm_ops(ir)}
+        outside = [
+            op
+            for run in schedule.runs
+            for op, __, ___ in run
+            if op.index not in arm_indices
+        ]
+        assert outside and all(op.fu for op in outside)

@@ -1,0 +1,51 @@
+"""Property-based fuzzing of the Python-subset frontend.
+
+Random subset programs (generated terminating-by-construction by
+:func:`tests.strategies.frontend_programs`) must survive the whole
+chain: compile → well-formed CDFG → token simulation matching the
+golden interpreter bit-for-bit → full GT/LT flow proof.  Nothing in
+the chain may raise — a frontend that emits an ill-formed or
+semantically wrong CDFG for *any* subset program is broken.
+"""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.cdfg.validate import check_well_formed
+from repro.frontend import compile_kernel, register_kernel, unregister_kernel
+from repro.sim import simulate_tokens
+from repro.sim.seeding import NOMINAL
+from tests.strategies import frontend_programs
+
+#: unique registry names across examples (prove runs need registration)
+_counter = itertools.count()
+
+
+class TestFrontendCompileProperties:
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(frontend_programs())
+    def test_compile_is_well_formed_and_matches_golden(self, program):
+        source, bounds = program
+        kernel = compile_kernel(source, bounds=bounds)
+        cdfg = kernel.build()
+        check_well_formed(cdfg)
+        golden = kernel.golden()
+        for seed in (NOMINAL, 0):
+            result = simulate_tokens(cdfg, seed=seed)
+            for name, value in golden.items():
+                assert result.registers[name] == value, (seed, name)
+
+    @settings(max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(frontend_programs())
+    def test_compiled_designs_prove(self, program):
+        from repro.verify.flow import prove_workload
+
+        source, bounds = program
+        kernel = compile_kernel(source, bounds=bounds)
+        name = register_kernel(kernel, name=f"_fuzzed_{next(_counter)}")
+        try:
+            report = prove_workload(name)
+            assert report.proved, report.summary()
+        finally:
+            unregister_kernel(name)

@@ -74,3 +74,116 @@ class TestKernelWatchdog:
         assert "at t=" in message
         assert "still pending" in message
         assert "runaway" in message  # the last executed labels are listed
+
+
+class TestPointDeadlineWatchdog:
+    """The SIGALRM point watchdog must say so when it cannot arm."""
+
+    def _run_off_main_thread(self, fn):
+        import threading
+
+        box = {}
+
+        def runner():
+            try:
+                box["result"] = fn()
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                box["error"] = exc
+
+        thread = threading.Thread(target=runner)
+        thread.start()
+        thread.join()
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    def test_enforced_on_the_main_thread(self):
+        from repro.errors import ReproError
+        from repro.resilience.injection import (
+            PointTimeout,
+            point_deadline,
+            watchdog_unavailable_reason,
+        )
+
+        assert watchdog_unavailable_reason() is None
+        with pytest.raises(PointTimeout):
+            with point_deadline(0.01):
+                while True:
+                    pass
+        assert issubclass(PointTimeout, ReproError)
+
+    def test_skip_off_main_thread_warns_once_naming_the_reason(self):
+        import warnings
+
+        from repro.resilience.injection import (
+            _reset_watchdog_warning,
+            point_deadline,
+            watchdog_unavailable_reason,
+        )
+
+        def scenario():
+            assert "main thread" in watchdog_unavailable_reason()
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                with point_deadline(5.0):
+                    pass
+                with point_deadline(5.0):
+                    pass
+            return caught
+
+        _reset_watchdog_warning()
+        try:
+            caught = self._run_off_main_thread(scenario)
+        finally:
+            _reset_watchdog_warning()
+        messages = [str(w.message) for w in caught]
+        assert len(messages) == 1, messages
+        assert "not enforced" in messages[0]
+        assert "main thread" in messages[0]
+
+    def test_no_warning_when_no_deadline_requested(self):
+        import warnings
+
+        from repro.resilience.injection import _reset_watchdog_warning, point_deadline
+
+        def scenario():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                with point_deadline(None):
+                    pass
+            return caught
+
+        _reset_watchdog_warning()
+        try:
+            caught = self._run_off_main_thread(scenario)
+        finally:
+            _reset_watchdog_warning()
+        assert caught == []
+
+    def test_watchdog_active_helper(self):
+        from repro.resilience.injection import watchdog_active
+
+        assert watchdog_active() is True
+        # pool workers evaluate on their own main thread, so a pooled
+        # sweep is armed even when the parent checks from elsewhere
+        assert self._run_off_main_thread(lambda: watchdog_active(pooled=True)) is True
+        assert self._run_off_main_thread(lambda: watchdog_active()) is False
+
+
+class TestExploreWatchdogStat:
+    def test_stats_record_armed_watchdog(self, gcd):
+        from repro.explore import explore_design_space
+
+        result = explore_design_space(
+            gcd,
+            global_subsets=[()],
+            local_subsets=[()],
+            point_timeout=60.0,
+        )
+        assert result.stats["watchdog_active"] is True
+
+    def test_stats_silent_without_a_timeout(self, gcd):
+        from repro.explore import explore_design_space
+
+        result = explore_design_space(gcd, global_subsets=[()], local_subsets=[()])
+        assert "watchdog_active" not in result.stats

