@@ -8,7 +8,11 @@ key metrics the bench wants to preserve (speedups, point counts, ...).
 The file is a JSON object ``{"runs": [...]}``; entries are appended,
 never rewritten, so successive CI runs and local measurements
 accumulate into a history that diffing tools (and future PRs) can
-compare against.
+compare against.  Appends are atomic — each writer re-reads the file,
+appends its entry, and renames a temp file into place under an
+advisory lock — so concurrent shard benches or parallel CI jobs
+serialize their appends and can never leave a torn or half-merged
+history behind.
 
 The implementation lives in :mod:`repro.bench` (so the ``repro bench``
 CLI shares it); this module re-exports it for the benchmark scripts.

@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Distributed-exploration smoke drill: kill a sharded run, resume it,
+and demand the final report be byte-identical to a serial run.
+
+The scenario CI gates on (see ``.github/workflows/ci.yml``):
+
+1. sweep a 256-point parameter space (2 scenarios x 2 delay variants x
+   the 64-point GT/LT grid) serially and uninterrupted -> report A;
+2. start the same sweep on 2 work-stealing shards with a journal
+   directory, let it land some points, SIGKILL one of its pool worker
+   processes (exercising the broken-pool rebuild), then SIGKILL the
+   whole process group mid-run;
+3. ``--resume`` the journal directory -> report B;
+4. assert the journal actually carried state across the kill, and
+   ``cmp`` A and B byte-for-byte.
+
+Exit code 0 only if every step holds.  Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/distributed_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+SPACE = {
+    "schema": "repro-space/v1",
+    "scenarios": [{"workload": "diffeq"}, {"random": 11}],
+    "delays": [{"name": "nominal"}, {"name": "x1.5", "scale": 1.5}],
+    "seeds": [9],
+}
+
+
+def explore(space_file: Path, *extra: str) -> subprocess.CompletedProcess:
+    command = [
+        sys.executable, "-m", "repro", "explore", "--space", str(space_file), *extra,
+    ]
+    return subprocess.run(
+        command, cwd=ROOT, env=_env(), capture_output=True, text=True
+    )
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    return env
+
+
+def _children_of(pid: int) -> list:
+    """Transitive child PIDs via /proc (Linux CI)."""
+    try:
+        entries = [int(p) for p in os.listdir("/proc") if p.isdigit()]
+    except OSError:
+        return []
+    parents = {}
+    for proc in entries:
+        try:
+            with open(f"/proc/{proc}/stat", "r") as handle:
+                fields = handle.read().rsplit(")", 1)[1].split()
+            parents[proc] = int(fields[1])  # ppid is field 4 overall
+        except (OSError, IndexError, ValueError):
+            continue
+    children, frontier = [], [pid]
+    while frontier:
+        parent = frontier.pop()
+        for proc, ppid in parents.items():
+            if ppid == parent:
+                children.append(proc)
+                frontier.append(proc)
+    return children
+
+
+def main() -> int:
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        tmp = Path(tmp)
+        space_file = tmp / "space.json"
+        space_file.write_text(json.dumps(SPACE, indent=2) + "\n", encoding="utf-8")
+        run_dir = tmp / "run"
+        report_serial = tmp / "serial.json"
+        report_resumed = tmp / "resumed.json"
+
+        print("== serial uninterrupted run ==", flush=True)
+        serial = explore(space_file, "--shards", "1", "--json", str(report_serial))
+        if serial.returncode != 0:
+            print(serial.stdout)
+            print(serial.stderr)
+            print(f"FAIL: serial run exited {serial.returncode}")
+            return 1
+
+        print("== sharded run, killed mid-flight ==", flush=True)
+        victim = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "explore",
+                "--space", str(space_file), "--shards", "2",
+                "--run-dir", str(run_dir), "--json", str(tmp / "never.json"),
+            ],
+            cwd=ROOT,
+            env=_env(),
+            start_new_session=True,  # own process group: killable as a unit
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.time() + 120
+            journaled = 0
+            while time.time() < deadline:
+                journaled = sum(
+                    len(path.read_text(encoding="utf-8").splitlines())
+                    for path in run_dir.glob("journal*.jsonl")
+                ) if run_dir.exists() else 0
+                if journaled >= 24 or victim.poll() is not None:
+                    break
+                time.sleep(0.25)
+            if victim.poll() is not None:
+                print("FAIL: sharded run finished before it could be killed "
+                      "(journal too fast? raise the space size)")
+                return 1
+            workers = _children_of(victim.pid)
+            if workers:
+                os.kill(workers[-1], signal.SIGKILL)  # one pool worker dies
+                print(f"killed pool worker {workers[-1]}")
+                time.sleep(1.0)
+            os.killpg(os.getpgid(victim.pid), signal.SIGKILL)
+            print(f"killed shard run (pid {victim.pid}) after {journaled} journal lines")
+        finally:
+            try:
+                os.killpg(os.getpgid(victim.pid), signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                pass
+            victim.wait()
+
+        lines = sum(
+            len(path.read_text(encoding="utf-8").splitlines())
+            for path in run_dir.glob("journal*.jsonl")
+        )
+        if lines == 0:
+            print("FAIL: the killed run journaled nothing — resume would be a cold run")
+            return 1
+        print(f"journal survived with {lines} lines")
+
+        print("== resumed run ==", flush=True)
+        resumed = explore(
+            space_file, "--shards", "2", "--resume", str(run_dir),
+            "--json", str(report_resumed),
+        )
+        if resumed.returncode != 0:
+            print(resumed.stdout)
+            print(resumed.stderr)
+            print(f"FAIL: resumed run exited {resumed.returncode}")
+            return 1
+        if "resumed" not in resumed.stdout:
+            print(resumed.stdout)
+            print("FAIL: resume did not pick up journaled points")
+            return 1
+
+        a = report_serial.read_bytes()
+        b = report_resumed.read_bytes()
+        if a != b:
+            print("FAIL: resumed report differs from the serial run")
+            return 1
+        print(f"OK: resumed report byte-identical to serial run ({len(b)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,7 +62,13 @@ class InputBurst:
 
     @property
     def compulsory_edges(self) -> Tuple[Edge, ...]:
-        return tuple(edge for edge in self.edges if not edge.ddc)
+        # memoized like signals(): the simulator re-reads this once per
+        # poke while matching pending transitions
+        cached = self.__dict__.get("_compulsory")
+        if cached is None:
+            cached = tuple(edge for edge in self.edges if not edge.ddc)
+            object.__setattr__(self, "_compulsory", cached)
+        return cached
 
     @property
     def is_empty(self) -> bool:

@@ -57,8 +57,9 @@ def record(
     ``wall_time`` is seconds, and ``metrics`` are any JSON-scalar
     key/value pairs worth tracking across PRs.
     """
+    from repro.cache.store import file_lock
+
     path = Path(path) if path is not None else RESULTS_PATH
-    data = _load(path)
     entry = {
         "bench": bench,
         "wall_time": round(float(wall_time), 6),
@@ -68,8 +69,28 @@ def record(
         "python": platform.python_version(),
         "metrics": dict(metrics),
     }
-    data["runs"].append(entry)
-    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    # read-append-rename under an advisory lock: concurrent appenders
+    # (shard benches, parallel CI jobs) serialize instead of interleaving
+    # read-modify-write cycles, and the rename is atomic so a reader can
+    # never observe a torn file even if the lock degrades to a no-op
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with file_lock(path.with_name(path.name + ".lock")):
+        data = _load(path)
+        data["runs"].append(entry)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=str(path.parent), prefix=path.name, suffix=".tmp",
+            delete=False, encoding="utf-8",
+        )
+        try:
+            with handle:
+                handle.write(json.dumps(data, indent=2) + "\n")
+            Path(handle.name).replace(path)
+        except BaseException:
+            try:
+                Path(handle.name).unlink()
+            except OSError:
+                pass
+            raise
     return entry
 
 
@@ -153,6 +174,115 @@ def run_explore_bench(
     if baseline is not None:
         out["speedup_cold"] = round(out["per_point_cold"] / out["incremental_cold"], 2)
         out["speedup_warm"] = round(out["per_point_cold"] / out["warm"], 2)
+    return out
+
+
+def run_scaling_bench(
+    shards: int = 4,
+    workers: int = 4,
+    workloads=("diffeq",),
+    random_scenarios: int = 3,
+    delay_scales=(1.0, 1.25, 1.5, 2.0),
+    check_resume: bool = True,
+) -> Dict:
+    """Measure sharded parameter-space exploration vs the single-pool path.
+
+    The space is :func:`repro.cache.space.bench_space`'s default shape —
+    named workloads plus seeded random scenarios, crossed with uniform
+    delay scalings and the 64-point GT/LT grid (1024 points at the
+    defaults).  The *single-pool* baseline sweeps it the only way the
+    pre-shard code could: one ``explore_design_space`` process pool per
+    context, contexts strictly in sequence, nothing shared between
+    them.  The sharded run covers the same points with ``shards``
+    work-stealing shards (one worker each, so both sides use comparable
+    process counts) and worker-global content-addressed memos.
+
+    Verdicts: ``identical`` — the sharded points are bit-identical to
+    the baseline's, in canonical order; ``identical_resume`` — a run
+    stopped halfway and resumed from its journal reproduces the
+    uninterrupted report byte-for-byte.  Throughput lands in
+    ``pps_single`` / ``pps_sharded`` (points per second),
+    ``speedup`` (sharded vs single-pool), and ``shard_efficiency``
+    (speedup / ``effective_shards`` — the fleet after clamping to the
+    host's available CPUs; requested ``shards`` is reported alongside).
+    """
+    import json as _json
+
+    from repro.cache.shards import explore_space
+    from repro.cache.space import bench_space
+    from repro.explore import explore_design_space
+
+    space = bench_space(
+        workloads=workloads,
+        random_scenarios=random_scenarios,
+        delay_scales=delay_scales,
+    )
+    out: Dict[str, object] = {
+        "points": len(space),
+        "contexts": space.context_count,
+        "shards": shards,
+        "workers": workers,
+    }
+
+    start = time.perf_counter()
+    baseline = []
+    for context in space.contexts():
+        result = explore_design_space(
+            context.cdfg,
+            global_subsets=space.gt_subsets,
+            local_subsets=space.lt_subsets,
+            delays=context.delays,
+            seed=context.seed,
+            verify=space.verify,
+            workers=workers,
+            incremental=True,
+        )
+        baseline.extend(result.points)
+    out["single_pool_wall"] = time.perf_counter() - start
+
+    tmp = tempfile.mkdtemp(prefix="repro-bench-space-")
+    try:
+        start = time.perf_counter()
+        sharded = explore_space(space, shards=shards, workers_per_shard=1, run_dir=tmp)
+        out["sharded_wall"] = time.perf_counter() - start
+
+        out["stolen_units"] = sharded.stats.get("stolen_units")
+        out["effective_shards"] = sharded.stats.get("effective_shards", shards)
+        out["identical"] = [p.to_dict() for p in sharded.points] == [
+            p.to_dict() for p in baseline
+        ]
+        out["pps_single"] = round(len(space) / out["single_pool_wall"], 2)
+        out["pps_sharded"] = round(len(space) / out["sharded_wall"], 2)
+        out["speedup"] = round(out["single_pool_wall"] / out["sharded_wall"], 2)
+        out["shard_efficiency"] = round(out["speedup"] / out["effective_shards"], 3)
+
+        # warm resume of the completed run: everything served from the
+        # compacted mirror, nothing recomputed
+        start = time.perf_counter()
+        warm = explore_space(space, shards=shards, run_dir=tmp, resume=True)
+        out["resume_wall"] = time.perf_counter() - start
+        out["resume_speedup"] = round(out["sharded_wall"] / out["resume_wall"], 2)
+        out["identical"] = out["identical"] and (
+            _json.dumps(warm.documents, sort_keys=True)
+            == _json.dumps(sharded.documents, sort_keys=True)
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    if check_resume:
+        # killed-run drill: stop halfway, resume, compare byte-for-byte
+        tmp = tempfile.mkdtemp(prefix="repro-bench-resume-")
+        try:
+            explore_space(
+                space, shards=shards, run_dir=tmp, stop_after=len(space) // 2
+            )
+            resumed = explore_space(space, shards=shards, run_dir=tmp, resume=True)
+            out["identical_resume"] = _json.dumps(
+                resumed.documents, sort_keys=True
+            ) == _json.dumps(sharded.documents, sort_keys=True)
+            out["identical"] = out["identical"] and out["identical_resume"]
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
     return out
 
 

@@ -13,6 +13,17 @@ Three cooperating layers (see DESIGN.md §12):
   application happens once per trie *edge* instead of once per point,
   one ``extract_controllers`` result is shared across the ``()``/LT
   pair of a GT subset, and local optimization is memoized per machine.
+
+Parameter-space scale adds four more (DESIGN.md §17):
+
+- :mod:`repro.cache.space` — :class:`ParameterSpace`: scenarios
+  (workloads, frontend kernels, seeded random CDFGs) × delay variants ×
+  seeds × GT/LT subsets, content-addressed per context and point;
+- :mod:`repro.cache.shards` — the work-stealing shard scheduler
+  (:func:`explore_space`), streaming every completed point;
+- :mod:`repro.cache.journal` — the append-only result journal that
+  makes killed runs resume bit-identically;
+- :mod:`repro.cache.frontier` — the incremental Pareto skyline.
 """
 
 from repro.cache.fingerprint import (
@@ -26,11 +37,24 @@ from repro.cache.fingerprint import (
 )
 from repro.cache.store import ArtifactCache, DEFAULT_CACHE_DIR
 from repro.cache.incremental import IncrementalExplorer
+from repro.cache.frontier import StreamingFrontier
+from repro.cache.journal import ResultJournal
+from repro.cache.space import DelayVariant, ParameterSpace, Scenario, bench_space
+from repro.cache.shards import ShardRunner, SpaceResult, explore_space
 
 __all__ = [
     "ArtifactCache",
     "DEFAULT_CACHE_DIR",
+    "DelayVariant",
     "IncrementalExplorer",
+    "ParameterSpace",
+    "ResultJournal",
+    "Scenario",
+    "ShardRunner",
+    "SpaceResult",
+    "StreamingFrontier",
+    "bench_space",
+    "explore_space",
     "fingerprint_cdfg",
     "fingerprint_content",
     "fingerprint_delays",

@@ -1,0 +1,79 @@
+"""Incremental Pareto skyline over streaming design points.
+
+The end-of-run frontier (:meth:`repro.explore.ExplorationResult.
+pareto_points`) sorts the finished sweep; fine at 64 points, useless
+for reporting mid-flight at 10k.  :class:`StreamingFrontier` maintains
+the skyline *as points land*, in any order:
+
+- a candidate dominated by the current skyline is rejected in one scan;
+  an accepted candidate evicts every member it dominates — the skyline
+  is exactly the non-dominated subset of everything offered so far
+  (order-insensitive: a property test permutes arrival orders and pins
+  set-equality with the sort-based frontier);
+- a min-heap on ``(objectives, arrival)`` with lazy deletion gives O(1)
+  peek at the current best point under the same lexicographic
+  ``(channels, states, makespan)`` order ``ExplorationResult.best()``
+  uses, without re-sorting per arrival;
+- failed points are skipped on entry, mirroring the end-of-run
+  frontier's ``status == "ok"`` filter.
+
+Equal-objective points are *all* kept: :meth:`DesignPoint.dominates`
+is strict, so ties are mutually non-dominating — again matching the
+sort-based skyline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.explore import DesignPoint
+
+
+class StreamingFrontier:
+    """Maintain the Pareto skyline incrementally as points arrive."""
+
+    def __init__(self):
+        self._skyline: List[DesignPoint] = []
+        self._heap: List[Tuple[Tuple[float, ...], int, DesignPoint]] = []
+        self._arrivals = 0
+        #: points offered (ok-status only) / accepted into the skyline
+        self.offered = 0
+        self.accepted = 0
+
+    def add(self, point: DesignPoint) -> bool:
+        """Offer one point; True iff it joined the skyline."""
+        if point.status != "ok":
+            return False
+        self.offered += 1
+        for member in self._skyline:
+            if member.dominates(point):
+                return False
+        survivors = [m for m in self._skyline if not point.dominates(m)]
+        survivors.append(point)
+        self._skyline = survivors
+        self._arrivals += 1
+        heapq.heappush(self._heap, (point.objectives(), self._arrivals, point))
+        self.accepted += 1
+        return True
+
+    def points(self) -> List[DesignPoint]:
+        """The current skyline, in canonical objective order."""
+        return sorted(
+            self._skyline,
+            key=lambda p: (p.objectives(), p.global_transforms, p.local_transforms),
+        )
+
+    def best(self) -> Optional[DesignPoint]:
+        """O(1) amortized peek at the lexicographic-best skyline point.
+
+        Lazy deletion: heap entries evicted from the skyline are popped
+        on the way to the first live one.
+        """
+        live = set(map(id, self._skyline))
+        while self._heap and id(self._heap[0][2]) not in live:
+            heapq.heappop(self._heap)
+        return self._heap[0][2] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._skyline)

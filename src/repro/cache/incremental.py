@@ -106,6 +106,10 @@ class IncrementalExplorer:
         fault_injector=None,
         point_timeout: Optional[float] = None,
         retries: int = 2,
+        machine_memo: Optional[Dict[str, tuple]] = None,
+        design_memo: Optional[Dict[str, DistributedDesign]] = None,
+        edge_memo: Optional[Dict[str, dict]] = None,
+        edge_scope: Optional[str] = None,
     ):
         self.cdfg = cdfg
         self.delays = delays
@@ -125,8 +129,30 @@ class IncrementalExplorer:
         self._golden_fp = fingerprint_registers(golden)
         self._seed_key = "nominal" if seed is NOMINAL else repr(seed)
         self._nodes: Dict[Tuple[str, ...], _TrieNode] = {}
-        #: (fu, machine fp, lt) -> (Controller, provenance, failure)
-        self._machine_memo: Dict[str, tuple] = {}
+        #: (fu, machine fp, lt, oracle marker) -> (Controller, provenance,
+        #: failure).  May be shared across explorer instances (the shard
+        #: runner passes one worker-global dict so contexts that differ
+        #: only in delay model or seed reuse each locally-optimized
+        #: controller — the keys are content-addressed, so sharing is
+        #: sound across any set of contexts)
+        self._machine_memo: Dict[str, tuple] = (
+            machine_memo if machine_memo is not None else {}
+        )
+        #: content fp -> extracted (pre-LT) design, optionally shared
+        #: across explorer instances the same way
+        self._design_memo: Optional[Dict[str, DistributedDesign]] = design_memo
+        #: (parent fp, pass, scope, oracle tag) -> trie-edge record,
+        #: optionally shared across explorer instances.  ``edge_scope``
+        #: names the equivalence class of delay models the records may
+        #: be shared across: transform decisions (GT3 included) compare
+        #: *sums* of delays, so any uniform scaling of one delay table
+        #: preserves every decision, every oracle verdict and every
+        #: content fingerprint — the speed-independence argument of the
+        #: source paper, pinned by tests/cache/test_shards.py.  The
+        #: default scope is this context's exact delay fingerprint,
+        #: which is sound unconditionally (it still shares across seeds)
+        self._edge_memo: Optional[Dict[str, dict]] = edge_memo
+        self._edge_scope = edge_scope if edge_scope is not None else self._delay_fp
         #: eval key -> eval record (run-local; mirrored to the cache)
         self._evals: Dict[str, dict] = {}
         self.evaluations_computed = 0
@@ -201,11 +227,12 @@ class IncrementalExplorer:
         # "f1" marks the flow-proof oracle generation: records written
         # before the flow checker existed carry different failure
         # semantics and must not be replayed
-        key = make_key(
-            "gt-edge", "f1", parent.fp, name, self._delay_fp,
-            "oracle" if use_oracle else "plain",
-        )
-        record = self.cache.get(key) if self.cache is not None else None
+        oracle_tag = "oracle" if use_oracle else "plain"
+        key = make_key("gt-edge", "f1", parent.fp, name, self._delay_fp, oracle_tag)
+        memo_key = make_key("gt-edge", "f1", parent.fp, name, self._edge_scope, oracle_tag)
+        record = self._edge_memo.get(memo_key) if self._edge_memo is not None else None
+        if record is None and self.cache is not None:
+            record = self.cache.get(key)
         child_cdfg = child_plan = None
         if record is None:
             self._materialize(parent)
@@ -233,6 +260,8 @@ class IncrementalExplorer:
             }
             if self.cache is not None:
                 self.cache.put(key, record)
+        if self._edge_memo is not None:
+            self._edge_memo[memo_key] = record
         return _TrieNode(
             prefix=parent.prefix + (name,),
             parent=parent,
@@ -255,8 +284,17 @@ class IncrementalExplorer:
 
     def _design(self, node: _TrieNode) -> DistributedDesign:
         if node.design is None:
-            self._materialize(node)
-            node.design = extract_controllers(node.cdfg, node.plan)
+            design = (
+                self._design_memo.get(node.fp)
+                if self._design_memo is not None
+                else None
+            )
+            if design is None:
+                self._materialize(node)
+                design = extract_controllers(node.cdfg, node.plan)
+                if self._design_memo is not None:
+                    self._design_memo[node.fp] = design
+            node.design = design
         return node.design
 
     # ------------------------------------------------------------------
@@ -290,8 +328,15 @@ class IncrementalExplorer:
         controllers = {}
         provenance = 0
         first_failure: Optional[str] = None
+        # the oracle marker keeps memo entries computed with and without
+        # the local flow oracle apart — their failure fields differ, and
+        # the memo may be shared across explorers with different oracles
+        oracle_tag = "loracle" if self._local_oracle is not None else "plain"
         for fu, controller in design.controllers.items():
-            mkey = make_key("machine", fu, fingerprint_machine(controller.machine), "+".join(lt))
+            mkey = make_key(
+                "machine", fu, fingerprint_machine(controller.machine),
+                "+".join(lt), oracle_tag,
+            )
             cached = self._machine_memo.get(mkey)
             if cached is None:
                 failure = None
@@ -395,45 +440,65 @@ class IncrementalExplorer:
     # assembly
     # ------------------------------------------------------------------
     def _assemble(self, gt, lt, node: _TrieNode, record: dict):
-        from repro.explore import DesignPoint, failed_point, proof_stamp
+        return assemble_point(
+            gt,
+            lt,
+            record,
+            gt_len=len(node.prefix),
+            gt_provenance=node.provenance,
+            gt_failure=node.failure,
+            lt_len=len(self._normalize_lt(lt)),
+            golden_checked=self.golden is not None,
+            reference=self.reference,
+        )
 
-        if record.get("status", "ok") != "ok":
-            return failed_point(gt, lt, str(record.get("error", "unknown failure")))
-        if self.golden is None:
-            conformance = "unchecked"
-        elif node.failure is not None:
-            conformance = f"failed: {node.failure}"
-        elif record["local_failure"]:
-            conformance = f"failed: {record['local_failure']}"
-        else:
-            conformance = record["sim_conformance"]
-        certificates = len(node.prefix) + len(self._normalize_lt(lt)) * int(
-            record.get("machines", 0)
-        )
-        proved, proof = proof_stamp(conformance, certificates)
-        if self.reference is not None:
-            registers = record["registers"]
-            for register, value in self.reference.items():
-                if registers.get(register) != value:
-                    raise AssertionError(
-                        f"configuration {gt}/{lt} "
-                        f"computed {register}={registers.get(register)!r}, "
-                        f"expected {value!r}"
-                    )
-        return DesignPoint(
-            global_transforms=tuple(gt),
-            local_transforms=tuple(lt),
-            channels=record["channels"],
-            total_states=record["states"],
-            total_transitions=record["transitions"],
-            makespan=record["makespan"],
-            conformant=conformance in ("conformant", "unchecked"),
-            conformance=conformance,
-            proved=proved,
-            proof=proof,
-            provenance_records=node.provenance + record["lt_provenance"],
-            bottleneck=record["bottleneck"],
-        )
+    def evaluate_prefix(self, gt: Sequence[str], lt: Sequence[str]) -> dict:
+        """Evaluate one ``(gt, lt)`` point and return a self-contained record.
+
+        The shard-runner entry point: unlike :meth:`run`, the result
+        carries the trie-path facts (``gt_len``, ``gt_provenance``,
+        ``gt_failure``) inline, so a *different* process can assemble
+        the final :class:`~repro.explore.DesignPoint` with
+        :func:`assemble_point` without ever touching a trie.  Evaluation
+        is still deduplicated by content key within this explorer.
+        """
+        prefix = self._normalize_gt(gt)
+        lt_norm = self._normalize_lt(lt)
+        # raise-mode injectors target grid points by prefix; decide the
+        # match before the content-keyed memo can blur it (see run())
+        if (
+            self.fault_injector is not None
+            and getattr(self.fault_injector, "mode", None) == "raise"
+            and getattr(self.fault_injector, "matches", lambda gt: False)(prefix)
+        ):
+            try:
+                self.fault_injector(prefix, lt_norm)
+                error = "injected fault"
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+            return {"status": "failed", "error": error}
+        try:
+            node = self._node(prefix)
+        except (KeyboardInterrupt, AssertionError):
+            raise
+        except Exception as exc:
+            return {"status": "failed", "error": f"{type(exc).__name__}: {exc}"}
+        key = self._eval_key(node, lt_norm)
+        record = self._evals.get(key)
+        if record is None:
+            record = self._guarded_eval(node, lt_norm)
+            if record.get("status", "ok") == "ok":
+                # failed records are never memoized — re-attempt, not
+                # replay, a crash (same contract as the cache mirror)
+                self._evals[key] = record
+            self.evaluations_computed += 1
+        return {
+            **record,
+            "gt_len": len(node.prefix),
+            "gt_provenance": node.provenance,
+            "gt_failure": node.failure,
+            "lt_len": len(lt_norm),
+        }
 
     # ------------------------------------------------------------------
     # drivers
@@ -559,6 +624,65 @@ class IncrementalExplorer:
             self._evals[key] = record
             if self.cache is not None and record.get("status", "ok") == "ok":
                 self.cache.put(key, record)
+
+
+def assemble_point(
+    gt,
+    lt,
+    record: dict,
+    *,
+    gt_len: int,
+    gt_provenance: int,
+    gt_failure: Optional[str],
+    lt_len: int,
+    golden_checked: bool,
+    reference: Optional[Dict[str, float]] = None,
+):
+    """Build a :class:`~repro.explore.DesignPoint` from an eval record.
+
+    Shared by the in-process trie (:meth:`IncrementalExplorer._assemble`)
+    and the shard runner, whose records come back from other processes
+    via :meth:`IncrementalExplorer.evaluate_prefix` with the trie-path
+    facts inline — the stamping logic must be one function or the two
+    paths could drift apart on conformance/proof semantics.
+    """
+    from repro.explore import DesignPoint, failed_point, proof_stamp
+
+    if record.get("status", "ok") != "ok":
+        return failed_point(gt, lt, str(record.get("error", "unknown failure")))
+    if not golden_checked:
+        conformance = "unchecked"
+    elif gt_failure is not None:
+        conformance = f"failed: {gt_failure}"
+    elif record["local_failure"]:
+        conformance = f"failed: {record['local_failure']}"
+    else:
+        conformance = record["sim_conformance"]
+    certificates = gt_len + lt_len * int(record.get("machines", 0))
+    proved, proof = proof_stamp(conformance, certificates)
+    if reference is not None:
+        registers = record["registers"]
+        for register, value in reference.items():
+            if registers.get(register) != value:
+                raise AssertionError(
+                    f"configuration {gt}/{lt} "
+                    f"computed {register}={registers.get(register)!r}, "
+                    f"expected {value!r}"
+                )
+    return DesignPoint(
+        global_transforms=tuple(gt),
+        local_transforms=tuple(lt),
+        channels=record["channels"],
+        total_states=record["states"],
+        total_transitions=record["transitions"],
+        makespan=record["makespan"],
+        conformant=conformance in ("conformant", "unchecked"),
+        conformance=conformance,
+        proved=proved,
+        proof=proof,
+        provenance_records=gt_provenance + record["lt_provenance"],
+        bottleneck=record["bottleneck"],
+    )
 
 
 # ----------------------------------------------------------------------

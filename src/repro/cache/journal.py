@@ -1,0 +1,121 @@
+"""Append-only result journal for crash-exact resumable exploration.
+
+The :class:`~repro.cache.store.ArtifactCache` mirror is a whole-file
+snapshot: correct, but only as fresh as the last ``save()``.  A sweep
+that dies mid-run between snapshots loses everything since the last
+one.  The journal closes that gap with the classic write-ahead shape:
+
+- every completed evaluation is **appended** to ``journal.jsonl`` in
+  the run directory — one canonical-JSON line per record, flushed to
+  the OS before the result is reported upward, so a SIGKILL loses at
+  most the records whose lines never completed;
+- :meth:`ResultJournal.load` replays the journal **tolerantly**: a
+  truncated or garbled trailing line (the signature of a crash mid-
+  append) is skipped, not fatal — the evaluation is simply recomputed,
+  and since records are deterministic the resumed run is bit-identical
+  to an uninterrupted one;
+- on clean completion, :meth:`compact` folds the journal into the
+  cache mirror (``space.json``) via the merge-on-save path and
+  truncates the journal, so steady-state resume cost is one snapshot
+  read plus a short tail.
+
+Each shard appends to its **own** journal file (``journal-<shard>.jsonl``)
+so appenders never interleave; ``load`` merges every ``journal*.jsonl``
+in the directory.  Keys are the content-addressed point keys of
+:meth:`repro.cache.space.ParameterSpace.point_key`, so a journal can
+never resume the wrong space.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.cache.store import ArtifactCache
+
+#: cache-mirror filename used for compacted space results
+MIRROR_FILENAME = "space.json"
+
+
+class ResultJournal:
+    """One run directory's journal + compacted mirror, as a unit."""
+
+    def __init__(self, directory: Union[str, Path], shard: Optional[int] = None):
+        self.directory = Path(directory)
+        self.shard = shard
+        name = "journal.jsonl" if shard is None else f"journal-{shard}.jsonl"
+        self.path = self.directory / name
+        self._handle = None
+        #: lines dropped by the tolerant loader (crash-truncated tails)
+        self.skipped_lines = 0
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, key: str, record: dict) -> None:
+        """Durably append one completed evaluation."""
+        if self._handle is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        line = json.dumps({"key": key, "record": record}, sort_keys=True)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # reading / compaction
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[str, dict]:
+        """All durable records: compacted mirror + every journal tail.
+
+        Bad journal lines are counted in :attr:`skipped_lines` and
+        skipped; a corrupt mirror is quarantined by the cache loader.
+        Failed records are filtered out — a resume must re-attempt
+        crashes, mirroring the cache-mirror contract.
+        """
+        records: Dict[str, dict] = {}
+        if self.directory.exists():
+            mirror = ArtifactCache(self.directory, filename=MIRROR_FILENAME)
+            records.update(mirror.memory)
+            self.skipped_lines = 0
+            for path in sorted(self.directory.glob("journal*.jsonl")):
+                for line in path.read_text(encoding="utf-8").splitlines():
+                    if not line.strip():
+                        continue
+                    try:
+                        entry = json.loads(line)
+                        key, record = entry["key"], entry["record"]
+                    except (ValueError, TypeError, KeyError):
+                        self.skipped_lines += 1
+                        continue
+                    records[key] = record
+        return {
+            key: record
+            for key, record in records.items()
+            if record.get("status", "ok") == "ok"
+        }
+
+    def compact(self) -> None:
+        """Fold every journal into the mirror and truncate the journals.
+
+        Called on clean completion only; merge-on-save makes this safe
+        even if another process compacts the same directory.
+        """
+        self.close()
+        records = self.load()
+        if not self.directory.exists():
+            return
+        mirror = ArtifactCache(self.directory, filename=MIRROR_FILENAME)
+        for key, record in records.items():
+            mirror.put(key, record)
+        mirror.save()
+        for path in sorted(self.directory.glob("journal*.jsonl")):
+            try:
+                path.unlink()
+            except OSError:
+                pass

@@ -22,10 +22,42 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro import perf
+
+
+@contextmanager
+def file_lock(path: Union[str, Path]):
+    """Advisory exclusive lock on a sidecar file (best-effort).
+
+    Serializes cooperating writers (shards, concurrent benches) around
+    read-merge-rename critical sections.  Degrades to a no-op where
+    ``fcntl`` or the filesystem refuses — the rename itself is still
+    atomic, so an unserialized writer can lose *other* writers' fresh
+    entries but can never produce a torn file.
+    """
+    try:
+        import fcntl
+    except ImportError:  # non-POSIX: rename-atomicity only
+        yield
+        return
+    try:
+        handle = open(path, "a+", encoding="utf-8")
+    except OSError:
+        yield
+        return
+    try:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        except OSError:
+            pass
+        handle.close()
 
 #: default on-disk location (relative to the working directory)
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -72,26 +104,35 @@ class ArtifactCache:
         path = self.path
         if path is None or not path.exists():
             return 0
-        try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-        except OSError:
-            return 0  # unreadable (permissions, transient IO): treat as cold
-        except ValueError:
-            self._quarantine(path, "not valid JSON")
-            return 0
-        if not isinstance(data, dict):
-            self._quarantine(path, "top-level payload is not an object")
-            return 0
-        if data.get("version") != _FORMAT_VERSION:
-            return 0
-        entries = data.get("entries")
-        if not isinstance(entries, dict):
-            self._quarantine(path, "'entries' is not an object")
+        entries, reason = self._read_entries(path)
+        if entries is None:
+            if reason is not None:
+                self._quarantine(path, reason)
             return 0
         for key, record in entries.items():
             self.memory.setdefault(key, record)
         self.loaded_entries = len(entries)
         return self.loaded_entries
+
+    @staticmethod
+    def _read_entries(path: Path):
+        """Parse a mirror file: ``(entries, None)`` on success,
+        ``(None, reason)`` when corrupt, ``(None, None)`` when merely
+        unreadable or of another format version."""
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except OSError:
+            return None, None  # unreadable (permissions, transient IO)
+        except ValueError:
+            return None, "not valid JSON"
+        if not isinstance(data, dict):
+            return None, "top-level payload is not an object"
+        if data.get("version") != _FORMAT_VERSION:
+            return None, None
+        entries = data.get("entries")
+        if not isinstance(entries, dict):
+            return None, "'entries' is not an object"
+        return entries, None
 
     @staticmethod
     def _quarantine(path: Path, reason: str) -> None:
@@ -114,29 +155,43 @@ class ArtifactCache:
             stacklevel=3,
         )
 
-    def save(self) -> Optional[Path]:
-        """Atomically persist every record; no-op without a directory."""
+    def save(self, merge: bool = True) -> Optional[Path]:
+        """Atomically persist every record; no-op without a directory.
+
+        With ``merge`` (the default), the current on-disk entries are
+        re-read under an advisory lock and unioned in first (memory
+        wins on key collisions — irrelevant in practice, since keys are
+        content-addressed and colliding records are identical), so two
+        processes saving concurrently converge to the union instead of
+        the last writer clobbering the other's entries.
+        """
         path = self.path
         if path is None:
             return None
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(
-            {"version": _FORMAT_VERSION, "entries": self.memory}, sort_keys=True
-        )
-        handle = tempfile.NamedTemporaryFile(
-            "w", dir=str(path.parent), prefix=path.name, suffix=".tmp",
-            delete=False, encoding="utf-8",
-        )
-        try:
-            with handle:
-                handle.write(payload)
-            os.replace(handle.name, path)
-        except BaseException:
+        with file_lock(path.with_name(path.name + ".lock")):
+            entries = dict(self.memory)
+            if merge and path.exists():
+                on_disk, __ = self._read_entries(path)
+                for key, record in (on_disk or {}).items():
+                    entries.setdefault(key, record)
+            payload = json.dumps(
+                {"version": _FORMAT_VERSION, "entries": entries}, sort_keys=True
+            )
+            handle = tempfile.NamedTemporaryFile(
+                "w", dir=str(path.parent), prefix=path.name, suffix=".tmp",
+                delete=False, encoding="utf-8",
+            )
             try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+                with handle:
+                    handle.write(payload)
+                os.replace(handle.name, path)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
         return path
 
     # ------------------------------------------------------------------

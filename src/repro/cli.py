@@ -347,10 +347,136 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore_space(args: argparse.Namespace) -> int:
+    """Sharded parameter-space mode (``--space`` / ``--shards``)."""
+    from repro.cache.shards import explore_space
+    from repro.cache.space import ParameterSpace
+    from repro.errors import SpaceError
+
+    try:
+        if args.space:
+            space = ParameterSpace.from_file(args.space)
+        else:
+            args.workload = _resolve_workload(args)
+            space = ParameterSpace.for_workload(args.workload)
+    except SpaceError as exc:
+        print(f"repro explore: {exc}")
+        return 2
+    injector = None
+    if args.inject_fail is not None:
+        from repro.resilience import parse_inject_spec
+
+        injector = parse_inject_spec(args.inject_fail)
+    run_dir = args.resume or args.run_dir
+    shards = args.shards or 2
+
+    live = None
+    if args.live_frontier:
+        last = {"size": 0, "best": None}
+
+        def live(completed, total, frontier, point):
+            best = frontier.best()
+            snapshot = (len(frontier), None if best is None else best.objectives())
+            if snapshot == (last["size"], last["best"]):
+                return
+            last["size"], last["best"] = snapshot
+            if best is not None:
+                print(
+                    f"[{completed}/{total}] frontier={len(frontier)} "
+                    f"best=(channels={best.channels}, states={best.total_states}, "
+                    f"makespan={best.makespan:.1f})",
+                    flush=True,
+                )
+
+    try:
+        result = explore_space(
+            space,
+            shards=shards,
+            workers_per_shard=args.workers or 1,
+            run_dir=run_dir,
+            resume=args.resume is not None,
+            live=live,
+            stop_after=args.stop_after,
+            fault_injector=injector,
+            point_timeout=args.timeout,
+        )
+    except KeyboardInterrupt:
+        print("interrupted before any results completed")
+        return 130
+    interrupted = bool(result.stats.get("interrupted"))
+
+    frontier = result.pareto_points()
+    frontier_ids = set(map(id, frontier))
+    headers = (
+        "scenario", "delays", "seed", "configuration",
+        "channels", "states", "makespan", "conformant", "proved",
+    )
+    rows = []
+    for point, document in zip(result.points, result.documents):
+        if id(point) not in frontier_ids:
+            continue
+        rows.append(
+            (
+                document["scenario"],
+                document["delay_model"],
+                document["sim_seed"],
+                point.label,
+                point.channels,
+                point.total_states,
+                f"{point.makespan:.1f}",
+                "yes" if point.conformant else "NO",
+                "yes" if point.proved else "NO",
+            )
+        )
+    rows.sort(key=lambda row: (row[0], row[1], row[2], row[3]))
+    print(render_table(headers, tuple(rows)))
+    if args.json:
+        from repro.verify.schema import write_envelope
+
+        write_envelope(args.json, "explore", result.documents)
+        print(f"wrote {args.json}")
+    effective = result.stats.get("effective_shards", shards)
+    shard_label = f"{shards} shards"
+    if effective != shards:  # clamped to the host's available CPUs
+        shard_label += f" ({effective} effective)"
+    summary = (
+        f"{len(frontier)} Pareto-optimal of {len(result.points)} explored points "
+        f"({result.stats['contexts']} contexts x {space.points_per_context} grid points, "
+        f"{shard_label})"
+    )
+    if result.stats.get("resumed_points"):
+        summary += f"; resumed {result.stats['resumed_points']} from {run_dir}"
+    if result.stats.get("stolen_units"):
+        summary += f"; {result.stats['stolen_units']} units stolen"
+    if interrupted or not result.complete:
+        summary += " (partial sweep)"
+    print(summary)
+    for error in result.stats.get("shard_errors", ()):
+        print(f"SHARD ERROR: {error}")
+    failed = result.failed_points()
+    if failed:
+        print(f"{len(failed)} FAILED points (excluded from the frontier):")
+        for point in failed:
+            print(f"  {point.label}: {point.error}")
+    bad = [p for p in result.points if p.status == "ok" and not p.conformant]
+    if bad:
+        print(f"{len(bad)} NON-CONFORMANT points:")
+        for point in bad:
+            print(f"  {point.label}: {point.conformance}")
+    if interrupted:
+        return 130
+    if result.points and len(failed) == len(result.points):
+        print("every point failed to evaluate")
+        return 2
+    return 1 if bad else 0
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
     from repro.cache.store import DEFAULT_CACHE_DIR, ArtifactCache
     from repro.explore import explore_design_space
 
+    if args.space or args.shards or args.resume or args.run_dir:
+        return _cmd_explore_space(args)
     args.workload = _resolve_workload(args)
     cdfg = WORKLOADS[args.workload]()
     cache = None
@@ -464,6 +590,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.sim:
         return _cmd_bench_sim(args)
+    if args.explore:
+        return _cmd_bench_scaling(args)
     bench_name = f"explore_incremental/{args.workload}"
     result = run_explore_bench(
         args.workload,
@@ -514,6 +642,67 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"recorded {entry['bench']} ({entry['timestamp']})")
     if args.check and not result["identical"]:
         print("FAIL: cold and warm exploration results diverge")
+        return 1
+    return 0
+
+
+def _cmd_bench_scaling(args: argparse.Namespace) -> int:
+    """Sharded-exploration scaling benchmark (``bench --explore``)."""
+    from repro.bench import compare_last, record, run_scaling_bench
+
+    workers = args.workers if args.workers else 4
+    bench_name = f"explore_sharded/{args.workload}/shards={args.shards}"
+    result = run_scaling_bench(
+        shards=args.shards,
+        workers=workers,
+        workloads=(args.workload,),
+        check_resume=not args.no_resume_check,
+    )
+    print(f"{'space':>18}: {result['points']} points over {result['contexts']} contexts")
+    print(f"{'single-pool':>18}: {result['single_pool_wall']:.3f}s "
+          f"({result['pps_single']} points/s, {workers} workers)")
+    effective = result.get("effective_shards", args.shards)
+    shard_label = f"{args.shards} shards"
+    if effective != args.shards:  # clamped to the host's available CPUs
+        shard_label += f" ({effective} effective)"
+    print(f"{'sharded':>18}: {result['sharded_wall']:.3f}s "
+          f"({result['pps_sharded']} points/s, {shard_label})")
+    print(f"{'speedup':>18}: {result['speedup']}x "
+          f"(shard efficiency {result['shard_efficiency']})")
+    print(f"{'resume':>18}: {result['resume_wall']:.3f}s "
+          f"({result['resume_speedup']}x vs cold)")
+    if "identical_resume" in result:
+        print(f"{'killed-run resume':>18}: "
+              f"{'byte-identical' if result['identical_resume'] else 'DIVERGED'}")
+    print(f"{'identical':>18}: {result['identical']}")
+
+    comparison = compare_last(bench_name, result["sharded_wall"], path=args.output)
+    if args.compare:
+        if comparison is None:
+            print("no prior run to compare against")
+        else:
+            direction = "slower" if comparison["ratio"] > 1 else "faster"
+            print(
+                f"vs last run ({comparison['previous_timestamp']}): "
+                f"{comparison['previous']:.3f}s -> {comparison['current']:.3f}s "
+                f"({comparison['ratio']:.2f}x, {direction})"
+            )
+    if not args.no_record:
+        metrics = {
+            key: result[key]
+            for key in (
+                "points", "contexts", "shards", "effective_shards", "workers",
+                "single_pool_wall", "pps_single", "pps_sharded",
+                "speedup", "shard_efficiency", "stolen_units",
+                "resume_wall", "resume_speedup", "identical",
+                "identical_resume",
+            )
+            if key in result
+        }
+        entry = record(bench_name, result["sharded_wall"], path=args.output, **metrics)
+        print(f"recorded {entry['bench']} ({entry['timestamp']})")
+    if args.check and not result["identical"]:
+        print("FAIL: sharded and single-pool exploration results diverge")
         return 1
     return 0
 
@@ -851,6 +1040,50 @@ def build_parser() -> argparse.ArgumentParser:
         "'GT1+GT2,GT3' ('-' for the no-GT point) — for testing the "
         "fault-tolerant sweep",
     )
+    explore.add_argument(
+        "--space",
+        default=None,
+        metavar="FILE",
+        help="explore a repro-space/v1 parameter space (scenarios x "
+        "delay models x seeds x GT/LT grids) instead of one workload's "
+        "fixed grid; implies the sharded engine",
+    )
+    explore.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the sweep on N work-stealing shards (each with "
+        "--workers pool processes); default 2 in space mode",
+    )
+    explore.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="journal every completed point to DIR so a killed run can "
+        "be resumed exactly (sharded mode)",
+    )
+    explore.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="resume a journaled run from DIR (bit-identical to an "
+        "uninterrupted run); implies --run-dir DIR",
+    )
+    explore.add_argument(
+        "--live-frontier",
+        action="store_true",
+        help="stream the incremental Pareto skyline while points land "
+        "(sharded mode)",
+    )
+    explore.add_argument(
+        "--stop-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop the sharded sweep after N newly-completed points "
+        "(deterministic killed-run drills; the journal stays resumable)",
+    )
 
     bench = sub.add_parser(
         "bench", help="benchmark the exploration sweep and record BENCH_scaling.json"
@@ -904,6 +1137,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="randomized fault trials for --sim (default 256)",
+    )
+    bench.add_argument(
+        "--explore",
+        action="store_true",
+        help="benchmark sharded parameter-space exploration against the "
+        "single-pool path on a 1k-point space (records points/sec, "
+        "shard efficiency, and resume speedups; --check fails on any "
+        "result divergence)",
+    )
+    bench.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard count for --explore (default 4)",
+    )
+    bench.add_argument(
+        "--no-resume-check",
+        action="store_true",
+        help="skip the killed-run resume drill in --explore (faster)",
     )
 
     verify = sub.add_parser(

@@ -130,6 +130,15 @@ class DeadlockError(SimulationError):
         }
 
 
+class SpaceError(ReproError):
+    """A design-space specification is malformed.
+
+    Raised by :mod:`repro.cache.space` while parsing a ``--space`` file
+    or materializing a scenario (unknown workload, bad delay variant,
+    unparseable kernel reference, empty axis).
+    """
+
+
 class FrontendError(ReproError):
     """A Python kernel steps outside the compilable subset.
 

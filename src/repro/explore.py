@@ -130,7 +130,16 @@ class ExplorationResult:
 
     def best(self, objective: str) -> DesignPoint:
         """The single best point for one objective
-        ('channels' | 'states' | 'makespan')."""
+        ('channels' | 'states' | 'makespan').
+
+        Ties on the chosen objective are broken by the full objective
+        vector, which guarantees the winner is itself on the Pareto
+        frontier: any dominator would sort strictly earlier under
+        ``(objective, objectives())``, contradicting minimality.  (A
+        bare ``min`` over one objective can return a dominated point —
+        same channel count, strictly worse states/makespan — making
+        ``best`` disagree with ``pareto_points``.)
+        """
         keys = {
             "channels": lambda p: p.channels,
             "states": lambda p: p.total_states,
@@ -143,7 +152,7 @@ class ExplorationResult:
         candidates = [point for point in self.points if point.status == "ok"]
         if not candidates:
             raise ValueError("no successfully evaluated points")
-        return min(candidates, key=key)
+        return min(candidates, key=lambda p: (key(p),) + p.objectives())
 
 
 def proof_stamp(conformance: str, certificates: int) -> Tuple[bool, str]:

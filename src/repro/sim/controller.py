@@ -101,6 +101,10 @@ class ControllerRuntime:
     state: str = ""
     busy: bool = False
     transitions_taken: int = 0
+    #: per-state snapshot of ``machine.transitions_from`` — the machine
+    #: is frozen for the lifetime of a simulation, and re-sorting the
+    #: transition list on every poke dominated the kernel profile
+    _transitions: Dict[str, tuple] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         self.state = self.machine.initial_state
@@ -116,7 +120,11 @@ class ControllerRuntime:
     def _step(self) -> None:
         if self.busy:
             return
-        enabled = [t for t in self.machine.transitions_from(self.state) if self._satisfied(t)]
+        transitions = self._transitions.get(self.state)
+        if transitions is None:
+            transitions = tuple(self.machine.transitions_from(self.state))
+            self._transitions[self.state] = transitions
+        enabled = [t for t in transitions if self._satisfied(t)]
         if not enabled:
             return
         if len(enabled) > 1:

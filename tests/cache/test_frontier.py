@@ -1,0 +1,99 @@
+"""Streaming Pareto skyline vs the end-of-run sort-based frontier."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.frontier import StreamingFrontier
+from repro.explore import DesignPoint, ExplorationResult, failed_point
+
+
+def point(channels, states, makespan, tag="", status="ok"):
+    return DesignPoint(
+        global_transforms=("GT1", tag) if tag else ("GT1",),
+        local_transforms=(),
+        channels=channels,
+        total_states=states,
+        total_transitions=0,
+        makespan=float(makespan),
+        status=status,
+    )
+
+
+objective_points = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=4),
+    ),
+    max_size=24,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(objectives=objective_points, order_seed=st.randoms(use_true_random=False))
+def test_streaming_skyline_matches_sorted_frontier_in_any_order(
+    objectives, order_seed
+):
+    points = [
+        point(c, s, m, tag=f"p{i}") for i, (c, s, m) in enumerate(objectives)
+    ]
+    reference = ExplorationResult(points=list(points))
+    expected = {
+        (p.objectives(), p.global_transforms) for p in reference.pareto_points()
+    }
+
+    shuffled = list(points)
+    order_seed.shuffle(shuffled)
+    frontier = StreamingFrontier()
+    for p in shuffled:
+        frontier.add(p)
+
+    got = {(p.objectives(), p.global_transforms) for p in frontier.points()}
+    assert got == expected
+    assert len(frontier) == len(expected)
+    if expected:
+        assert frontier.best().objectives() == min(
+            p.objectives() for p in reference.pareto_points()
+        )
+    else:
+        assert frontier.best() is None
+
+
+def test_failed_points_never_enter_the_skyline():
+    frontier = StreamingFrontier()
+    assert not frontier.add(failed_point(("GT1",), (), "boom"))
+    assert not frontier.add(point(0, 0, 0, status="failed"))
+    assert len(frontier) == 0
+    assert frontier.offered == 0
+    assert frontier.best() is None
+
+
+def test_dominated_arrival_is_rejected_and_dominator_evicts():
+    frontier = StreamingFrontier()
+    assert frontier.add(point(2, 2, 2.0, "a"))
+    assert not frontier.add(point(3, 3, 3.0, "worse"))  # dominated
+    assert frontier.add(point(1, 2, 2.0, "b"))  # dominates a -> evicts it
+    labels = {p.global_transforms[-1] for p in frontier.points()}
+    assert labels == {"b"}
+    assert frontier.best().global_transforms[-1] == "b"
+    assert frontier.offered == 3
+    assert frontier.accepted == 2
+
+
+def test_ties_are_all_kept():
+    frontier = StreamingFrontier()
+    assert frontier.add(point(1, 1, 1.0, "a"))
+    assert frontier.add(point(1, 1, 1.0, "b"))
+    assert len(frontier) == 2
+    # best() is the earliest arrival among equal objectives
+    assert frontier.best().global_transforms[-1] == "a"
+
+
+def test_best_survives_eviction_churn():
+    frontier = StreamingFrontier()
+    frontier.add(point(5, 5, 5.0, "a"))
+    frontier.add(point(4, 4, 4.0, "b"))  # evicts a
+    frontier.add(point(3, 3, 3.0, "c"))  # evicts b
+    frontier.add(point(0, 9, 9.0, "d"))  # incomparable, lexicographically first
+    assert frontier.best().global_transforms[-1] == "d"
+    assert len(frontier) == 2

@@ -15,20 +15,26 @@ Three families, shared by the property tests and the verify tests:
 
 from hypothesis import strategies as st
 
-from repro.cdfg import CdfgBuilder
+from repro.cache.space import (
+    RANDOM_OPERATORS as OPERATORS,
+    RANDOM_REGISTERS as REGISTERS,
+    RANDOM_UNITS as UNITS,
+    build_random_program,
+)
 from repro.local_transforms.scripts import STANDARD_LOCAL_SEQUENCE
 from repro.transforms.scripts import STANDARD_SEQUENCE
 from repro.verify import VerifyCase
 from repro.verify.fuzz import _override_targets
 
-UNITS = ("FU_A", "FU_B", "FU_C")
-REGISTERS = ("R0", "R1", "R2", "R3")
-OPERATORS = ("+", "-", "*")
-
 
 @st.composite
 def programs(draw):
-    """(pre-ops, body-ops, iterations) with data-dependency-safe reads."""
+    """(pre-ops, body-ops, iterations) with data-dependency-safe reads.
+
+    The pools and the builder live in :mod:`repro.cache.space` (shared
+    with the exploration ``random`` scenarios) so a failing scenario
+    replays as a fuzz case and vice versa.
+    """
     op_strategy = st.tuples(
         st.sampled_from(REGISTERS),
         st.sampled_from(REGISTERS),
@@ -39,26 +45,12 @@ def programs(draw):
     pre = draw(st.lists(op_strategy, min_size=0, max_size=3))
     body = draw(st.lists(op_strategy, min_size=1, max_size=5))
     iterations = draw(st.integers(min_value=0, max_value=4))
-    return pre, body, iterations
+    return tuple(pre), tuple(body), iterations
 
 
 def build_program(program):
     """Materialize a :func:`programs` draw as a well-formed CDFG."""
-    pre, body, iterations = program
-    builder = CdfgBuilder("random")
-    builder.input("one", 1.0)
-    builder.input("limit", float(iterations))
-    for index, (dest, left, operator, right, fu) in enumerate(pre):
-        builder.op(f"{dest} := {left} {operator} {right}", fu=fu, name=f"pre{index}")
-    with builder.loop("C", fu="CNT"):
-        for index, (dest, left, operator, right, fu) in enumerate(body):
-            builder.op(f"{dest} := {left} {operator} {right}", fu=fu, name=f"body{index}")
-        builder.op("I := I + one", fu="CNT")
-        builder.op("C := I < limit", fu="CNT")
-    initial = {reg: float(i + 1) for i, reg in enumerate(REGISTERS)}
-    initial["I"] = 0.0
-    initial["C"] = 1.0 if iterations > 0 else 0.0
-    return builder.build(initial=initial)
+    return build_random_program(program)
 
 
 #: per-workload strategies over provably-terminating input vectors —

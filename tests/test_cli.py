@@ -426,3 +426,123 @@ class TestFrontendCli:
     def test_missing_workload_and_file_rejected(self):
         with pytest.raises(SystemExit):
             main(["simulate"])
+
+
+class TestExploreSpaceCli:
+    """Sharded parameter-space mode: --space / --shards / --resume."""
+
+    def space_file(self, tmp_path):
+        import json
+
+        doc = {
+            "schema": "repro-space/v1",
+            "scenarios": [{"workload": "diffeq"}],
+            "delays": [{"name": "nominal"}, {"name": "x1.5", "scale": 1.5}],
+            "seeds": [9],
+            "gt": [[], ["GT1"], ["GT3"]],
+            "lt": [[]],
+        }  # 2 contexts x 3 points
+        path = tmp_path / "space.json"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        return str(path)
+
+    def test_stop_resume_report_byte_identical_to_serial(self, tmp_path, capsys):
+        space = self.space_file(tmp_path)
+        run_dir = str(tmp_path / "run")
+
+        assert main(
+            ["explore", "--space", space, "--shards", "2",
+             "--run-dir", run_dir, "--stop-after", "2"]
+        ) == 0
+        assert "(partial sweep)" in capsys.readouterr().out
+
+        resumed_json = str(tmp_path / "resumed.json")
+        assert main(
+            ["explore", "--space", space, "--shards", "2",
+             "--resume", run_dir, "--json", resumed_json]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out
+        assert "(partial sweep)" not in out
+        assert "Pareto-optimal" in out
+
+        serial_json = str(tmp_path / "serial.json")
+        assert main(
+            ["explore", "--space", space, "--shards", "1", "--json", serial_json]
+        ) == 0
+        from pathlib import Path
+
+        assert Path(resumed_json).read_bytes() == Path(serial_json).read_bytes()
+
+    def test_live_frontier_streams_while_points_land(self, tmp_path, capsys):
+        space = self.space_file(tmp_path)
+        assert main(
+            ["explore", "--space", space, "--shards", "1", "--live-frontier"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "frontier=" in out
+        assert "best=(channels=" in out
+
+    def test_shards_flag_without_space_uses_workload_grid(self, capsys):
+        assert main(["explore", "gcd", "--shards", "2", "--stop-after", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "2 shards" in out
+        assert "(partial sweep)" in out
+
+    def test_bad_space_file_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["explore", "--space", str(bad)]) == 2
+        assert "repro explore:" in capsys.readouterr().out
+
+    def test_inject_fail_in_space_mode_reports_failed_points(self, tmp_path, capsys):
+        space = self.space_file(tmp_path)
+        assert main(
+            ["explore", "--space", space, "--shards", "1", "--inject-fail", "GT1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "FAILED points" in out
+        assert "injected fault" in out
+
+
+class TestBenchExploreCli:
+    """bench --explore wiring (the measurement itself is canned)."""
+
+    CANNED = {
+        "points": 1024, "contexts": 16, "shards": 4, "workers": 4,
+        "single_pool_wall": 60.0, "pps_single": 17.07,
+        "sharded_wall": 25.0, "pps_sharded": 40.96,
+        "speedup": 2.4, "shard_efficiency": 0.6, "stolen_units": 7,
+        "resume_wall": 1.0, "resume_speedup": 25.0,
+        "identical": True, "identical_resume": True,
+    }
+
+    def test_scaling_bench_prints_and_records(self, tmp_path, monkeypatch, capsys):
+        import repro.bench
+
+        monkeypatch.setattr(
+            repro.bench, "run_scaling_bench", lambda **kwargs: dict(self.CANNED)
+        )
+        output = str(tmp_path / "bench.json")
+        assert main(
+            ["bench", "diffeq", "--explore", "--shards", "4", "--output", output]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2.4x" in out
+        assert "byte-identical" in out
+        assert "recorded explore_sharded/diffeq/shards=4" in out
+        import json
+        from pathlib import Path
+
+        history = json.loads(Path(output).read_text(encoding="utf-8"))
+        assert history["runs"][0]["metrics"]["speedup"] == 2.4
+
+    def test_check_fails_on_divergence(self, monkeypatch, capsys):
+        import repro.bench
+
+        diverged = dict(self.CANNED, identical=False)
+        monkeypatch.setattr(
+            repro.bench, "run_scaling_bench", lambda **kwargs: diverged
+        )
+        assert main(["bench", "diffeq", "--explore", "--check", "--no-record"]) == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.explore import DesignPoint, evaluate_point, explore_design_space
+from repro.explore import (
+    DesignPoint,
+    ExplorationResult,
+    evaluate_point,
+    explore_design_space,
+    failed_point,
+)
 from repro.workloads import build_diffeq_cdfg, diffeq_reference
 
 
@@ -101,6 +107,50 @@ class TestConformanceStamp:
         point = evaluate_point(diffeq, ("GT1",), (), golden=diffeq_reference())
         assert point.conformant
         assert point.conformance == "conformant"
+
+
+class TestBestFrontierAgreement:
+    """``best()`` must return a frontier point, whatever the mix.
+
+    Regression: with ties on the chosen objective, a plain ``min`` by
+    that objective alone can return a point *dominated* by another tie
+    member (arrival order decides), so ``best('channels')`` would name
+    a design ``pareto_points()`` rejects.  Ties are now broken by the
+    full objective vector.
+    """
+
+    def mixed(self):
+        return ExplorationResult(
+            points=[
+                # ties best() on channels with its own dominator below
+                DesignPoint(("GT1",), (), 2, 50, 55, 100.0),
+                DesignPoint(("GT2",), (), 2, 30, 33, 80.0),
+                DesignPoint(("GT3",), (), 3, 20, 22, 60.0),
+                # zeroed failed point: would win every objective if the
+                # status filter dropped out of either method
+                failed_point(("GT4",), (), "injected"),
+            ]
+        )
+
+    def test_best_is_on_the_frontier_for_every_objective(self):
+        result = self.mixed()
+        frontier = {id(point) for point in result.pareto_points()}
+        for objective in ("channels", "states", "makespan"):
+            assert id(result.best(objective)) in frontier
+
+    def test_tie_on_objective_resolves_to_the_dominator(self):
+        assert self.mixed().best("channels").global_transforms == ("GT2",)
+
+    def test_failed_points_excluded_from_both(self):
+        result = self.mixed()
+        assert all(p.status == "ok" for p in result.pareto_points())
+        assert result.best("makespan").status == "ok"
+
+    def test_all_failed_raises(self):
+        result = ExplorationResult(points=[failed_point((), (), "boom")])
+        assert result.pareto_points() == []
+        with pytest.raises(ValueError):
+            result.best("channels")
 
 
 class TestDominance:
