@@ -325,3 +325,87 @@ def run_batched_sim_bench(
     out["speedup"] = round(out["scalar_wall"] / out["batched_wall"], 2)
     out["trials_ok"] = scalar.trials_ok
     return out
+
+
+def run_serve_bench(
+    clients: int = 64,
+    workload: str = "gcd",
+    executor: str = "thread",
+    workers: int = 4,
+    store_dir: Optional[str] = None,
+) -> Dict:
+    """Duplicate-load test against a live job server.
+
+    ``clients`` threads simultaneously submit the *same* job over real
+    HTTP and wait for its result.  Content-addressed dedup should fold
+    the burst onto one execution: the bench reports submit-latency
+    percentiles (p50/p99), the dedup hit-rate (the acceptance floor is
+    0.9 — for 64 clients the expected rate is 63/64), how many
+    executions actually ran, and whether every client got a
+    byte-identical result document.
+    """
+    import concurrent.futures
+
+    from repro.serve.harness import ServerHarness
+    from repro.serve.jobs import canonical_json
+    from repro.serve.server import ServerConfig
+
+    clients = max(2, int(clients))
+    params = {"workload": workload, "level": "gt+lt"}
+    cleanup: Optional[tempfile.TemporaryDirectory] = None
+    if store_dir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-serve-bench-")
+        store_dir = cleanup.name
+    store_path = Path(store_dir) / "bench.sqlite3"
+
+    config = ServerConfig(
+        workers=workers,
+        executor=executor,
+        queue_depth=max(64, clients),
+        client_cap=max(64, clients),
+    )
+    latencies: list = [None] * clients
+    results: list = [None] * clients
+
+    def one_client(index: int) -> None:
+        client = harness.client(timeout=120.0)
+        start = time.perf_counter()
+        job = client.submit(kind="synthesize", params=params, client=f"c{index:02d}")
+        latencies[index] = time.perf_counter() - start
+        if job["state"] != "DONE" or job.get("result") is None:
+            job = client.wait(job["job_id"], timeout=180.0)
+        results[index] = canonical_json(job.get("result"))
+
+    try:
+        with ServerHarness(store_path, config) as harness:
+            wall_start = time.perf_counter()
+            with concurrent.futures.ThreadPoolExecutor(max_workers=clients) as pool:
+                list(pool.map(one_client, range(clients)))
+            wall = time.perf_counter() - wall_start
+            stats = harness.client().stats()
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    ordered = sorted(latencies)
+
+    def percentile(fraction: float) -> float:
+        index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    store_stats = stats["store"]
+    return {
+        "clients": clients,
+        "workload": workload,
+        "executor": executor,
+        "workers": workers,
+        "wall": round(wall, 4),
+        "p50_ms": round(percentile(0.50) * 1000, 2),
+        "p99_ms": round(percentile(0.99) * 1000, 2),
+        "max_ms": round(ordered[-1] * 1000, 2),
+        "dedup_hit_rate": store_stats["dedup_hit_rate"],
+        "dedup_hits": store_stats["dedup_hits"],
+        "executions": store_stats["executions"],
+        "submissions": store_stats["submissions"],
+        "identical": len(set(results)) == 1 and results[0] != "null",
+    }

@@ -1,0 +1,249 @@
+"""SQLite-backed artifact store, safe for many concurrent writers.
+
+The JSON mirror (:class:`~repro.cache.store.ArtifactCache`) is a
+whole-file snapshot: every ``save()`` rewrites the world under an
+advisory lock, so N concurrent writers pay N full-file rewrites and a
+lock convoy.  That is fine for one process and a handful of shards; a
+job server with dozens of request handlers needs row-granular writes.
+:class:`SqliteArtifactCache` keeps the exact ``ArtifactCache``
+interface (in-process ``memory`` dict, ``load``/``save``/``get``/
+``put``, hit/miss counters) but persists through SQLite in WAL mode:
+
+- **Concurrent writers**: WAL allows one writer and many readers at a
+  time without blocking each other; writers serialize on the internal
+  SQLite lock with a generous ``busy_timeout`` instead of clobbering
+  whole files.  ``save()`` upserts only this process's records, so the
+  on-disk union converges exactly like merge-on-save did — keys are
+  content-addressed, colliding records are identical.
+- **Quarantine on corruption**: a database file that SQLite refuses to
+  open (torn header, scribbled pages) is renamed to
+  ``<name>.corrupt-<timestamp>`` — same semantics, same warning shape
+  as the JSON mirror — and the run proceeds cold.  A *row* whose
+  record no longer parses as JSON is deleted and counted
+  (:attr:`quarantined_rows`) instead of poisoning every future load.
+- **Format versioning**: a ``meta`` table carries the format version;
+  a mismatch reads as cold, not as corruption, mirroring the JSON
+  contract.
+
+:func:`connect_wal` is the shared connection helper — the serve-layer
+:class:`~repro.serve.store.JobStore` opens its databases the same way,
+so crash-safety pragmas live in exactly one place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+import warnings
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.cache.store import ArtifactCache
+
+_FORMAT_VERSION = 1
+
+#: default wait for SQLite's internal write lock before giving up
+BUSY_TIMEOUT = 30.0
+
+
+def connect_wal(path: Union[str, Path], timeout: float = BUSY_TIMEOUT) -> sqlite3.Connection:
+    """Open ``path`` in WAL mode with crash-safe pragmas.
+
+    ``isolation_level=None`` puts the connection in autocommit mode so
+    transactions are explicit (``BEGIN IMMEDIATE`` ... ``COMMIT``) —
+    the sqlite3 module's implicit transaction management commits at
+    surprising times.  ``synchronous=FULL`` makes every commit durable
+    against process death (the job server's whole premise);
+    ``busy_timeout`` turns writer contention into bounded waiting
+    instead of immediate ``database is locked`` errors.
+    """
+    conn = sqlite3.connect(str(path), timeout=timeout, isolation_level=None)
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute("PRAGMA synchronous=FULL")
+    conn.execute(f"PRAGMA busy_timeout={int(timeout * 1000)}")
+    return conn
+
+
+def quarantine_database(path: Path, reason: str) -> Optional[Path]:
+    """Rename a corrupt database (and WAL/SHM siblings) out of the way.
+
+    Returns the quarantine path, or ``None`` when nothing could be
+    renamed (read-only directory).  Mirrors the JSON mirror's
+    quarantine naming so operators find both kinds the same way.
+    """
+    stamp = time.strftime("%Y%m%dT%H%M%S")
+    target = path.with_name(f"{path.name}.corrupt-{stamp}")
+    counter = 0
+    while target.exists():
+        counter += 1
+        target = path.with_name(f"{path.name}.corrupt-{stamp}-{counter}")
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    for suffix in ("-wal", "-shm"):
+        sidecar = path.with_name(path.name + suffix)
+        try:
+            if sidecar.exists():
+                os.replace(sidecar, Path(str(target) + suffix))
+        except OSError:
+            pass
+    warnings.warn(
+        f"quarantined corrupt artifact store {path} -> {target.name} ({reason})",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return target
+
+
+class SqliteArtifactCache(ArtifactCache):
+    """Drop-in :class:`ArtifactCache` persisted through SQLite WAL.
+
+    Same constructor shape (``directory`` + ``filename``), same memo
+    semantics; only the disk format differs.  ``filename`` defaults to
+    ``explore.sqlite3`` so a JSON mirror and a SQLite store can share
+    one cache directory during migration, and the import/export
+    helpers (:meth:`export_json` / :meth:`import_json`) round-trip
+    records bit-identically between the two formats.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        filename: str = "explore.sqlite3",
+    ):
+        #: rows dropped because their record text no longer parsed
+        self.quarantined_rows = 0
+        super().__init__(directory, filename)
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        conn = connect_wal(self.path)
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS meta (name TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS artifacts "
+            "(key TEXT PRIMARY KEY, record TEXT NOT NULL)"
+        )
+        conn.execute(
+            "INSERT OR IGNORE INTO meta (name, value) VALUES ('version', ?)",
+            (str(_FORMAT_VERSION),),
+        )
+        return conn
+
+    def _version_matches(self, conn: sqlite3.Connection) -> bool:
+        row = conn.execute("SELECT value FROM meta WHERE name = 'version'").fetchone()
+        return row is not None and row[0] == str(_FORMAT_VERSION)
+
+    def load(self) -> int:
+        path = self.path
+        if path is None or not path.exists():
+            return 0
+        try:
+            conn = self._connect()
+        except sqlite3.Error as exc:
+            quarantine_database(path, f"cannot open: {exc}")
+            return 0
+        try:
+            if not self._version_matches(conn):
+                return 0  # another format's file: cold, not corrupt
+            entries = {}
+            bad_keys = []
+            for key, text in conn.execute("SELECT key, record FROM artifacts"):
+                try:
+                    record = json.loads(text)
+                except ValueError:
+                    bad_keys.append(key)
+                    continue
+                if not isinstance(record, dict):
+                    bad_keys.append(key)
+                    continue
+                entries[key] = record
+            if bad_keys:
+                # torn rows: drop them (the evaluation is recomputed)
+                # rather than fail every future load
+                self.quarantined_rows += len(bad_keys)
+                conn.execute("BEGIN IMMEDIATE")
+                conn.executemany(
+                    "DELETE FROM artifacts WHERE key = ?",
+                    [(key,) for key in bad_keys],
+                )
+                conn.execute("COMMIT")
+                warnings.warn(
+                    f"quarantined {len(bad_keys)} corrupt record(s) in {path}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        except sqlite3.DatabaseError as exc:
+            conn.close()
+            quarantine_database(path, f"unreadable: {exc}")
+            return 0
+        else:
+            conn.close()
+        for key, record in entries.items():
+            self.memory.setdefault(key, record)
+        self.loaded_entries = len(entries)
+        return self.loaded_entries
+
+    def save(self, merge: bool = True) -> Optional[Path]:
+        """Upsert every in-memory record; row-granular, so concurrent
+        savers converge to the union without whole-file rewrites.
+
+        ``merge=False`` additionally deletes rows this process does not
+        hold (snapshot semantics, for compaction); the default matches
+        the JSON mirror's merge-on-save.
+        """
+        path = self.path
+        if path is None:
+            return None
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            conn = self._connect()
+        except sqlite3.Error as exc:
+            quarantine_database(path, f"cannot open: {exc}")
+            conn = self._connect()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            if not merge:
+                conn.execute("DELETE FROM artifacts")
+            conn.executemany(
+                "INSERT OR REPLACE INTO artifacts (key, record) VALUES (?, ?)",
+                [
+                    (key, json.dumps(record, sort_keys=True))
+                    for key, record in self.memory.items()
+                ],
+            )
+            conn.execute("COMMIT")
+        finally:
+            conn.close()
+        return path
+
+    # ------------------------------------------------------------------
+    # JSON <-> SQLite round-trips (migration + equivalence tests)
+    # ------------------------------------------------------------------
+    def export_json(self, filename: str = "explore.json") -> Optional[Path]:
+        """Write the current records as a JSON mirror in the same
+        directory; round-trips bit-identically (both formats serialize
+        records with ``json.dumps(sort_keys=True)`` float semantics)."""
+        if self.directory is None:
+            return None
+        mirror = ArtifactCache(self.directory, filename=filename)
+        mirror.memory.update(self.memory)
+        return mirror.save()
+
+    @classmethod
+    def import_json(
+        cls,
+        directory: Union[str, Path],
+        json_filename: str = "explore.json",
+        filename: str = "explore.sqlite3",
+    ) -> "SqliteArtifactCache":
+        """Build (and persist) a SQLite store from a JSON mirror."""
+        source = ArtifactCache(directory, filename=json_filename)
+        store = cls(directory, filename=filename)
+        store.memory.update(source.memory)
+        store.save()
+        return store

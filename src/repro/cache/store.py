@@ -19,6 +19,7 @@ that was *not* redone.
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import tempfile
@@ -27,6 +28,42 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro import perf
+
+#: lock sidecars this process has touched (cleaned up at normal exit)
+_lock_cleanups = set()
+
+
+def _remove_stale_lock(path: str) -> None:
+    """Unlink a lock sidecar at interpreter exit if nobody holds it.
+
+    Lock files are coordination scratch, not state: leaving them behind
+    litters the repo root (and confuses ``git status``) for no benefit.
+    The non-blocking probe means a sibling process still mid-write
+    keeps its lock untouched.
+    """
+    try:
+        import fcntl
+    except ImportError:
+        return
+    try:
+        handle = open(path, "a+", encoding="utf-8")
+    except OSError:
+        return
+    try:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        handle.close()
+        return  # another process holds it: not ours to clean
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+    finally:
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        except OSError:
+            pass
+        handle.close()
 
 
 @contextmanager
@@ -49,6 +86,9 @@ def file_lock(path: Union[str, Path]):
     except OSError:
         yield
         return
+    if str(path) not in _lock_cleanups:
+        _lock_cleanups.add(str(path))
+        atexit.register(_remove_stale_lock, str(path))
     try:
         fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
         yield

@@ -401,8 +401,10 @@ def _cmd_explore_space(args: argparse.Namespace) -> int:
             point_timeout=args.timeout,
         )
     except KeyboardInterrupt:
+        from repro.errors import EXIT_INTERRUPTED
+
         print("interrupted before any results completed")
-        return 130
+        return EXIT_INTERRUPTED
     interrupted = bool(result.stats.get("interrupted"))
 
     frontier = result.pareto_points()
@@ -463,12 +465,16 @@ def _cmd_explore_space(args: argparse.Namespace) -> int:
         print(f"{len(bad)} NON-CONFORMANT points:")
         for point in bad:
             print(f"  {point.label}: {point.conformance}")
-    if interrupted:
-        return 130
+    from repro.errors import sweep_exit_code
+
     if result.points and len(failed) == len(result.points):
         print("every point failed to evaluate")
-        return 2
-    return 1 if bad else 0
+    return sweep_exit_code(
+        interrupted=interrupted,
+        total=len(result.points),
+        failed=len(failed),
+        issues=len(bad),
+    )
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
@@ -501,8 +507,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         # but whatever the cache already holds is worth keeping
         if cache is not None and cache.directory is not None:
             cache.save()
+        from repro.errors import EXIT_INTERRUPTED
+
         print("interrupted before any results completed")
-        return 130
+        return EXIT_INTERRUPTED
     interrupted = bool(result.stats.get("interrupted"))
     frontier = result.pareto_points()
     headers = [
@@ -577,12 +585,16 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         print(f"{len(bad)} NON-CONFORMANT points:")
         for point in bad:
             print(f"  {point.label}: {point.conformance}")
-    if interrupted:
-        return 130
+    from repro.errors import sweep_exit_code
+
     if result.points and len(failed) == len(result.points):
         print("every point failed to evaluate")
-        return 2
-    return 1 if bad else 0
+    return sweep_exit_code(
+        interrupted=interrupted,
+        total=len(result.points),
+        failed=len(failed),
+        issues=len(bad),
+    )
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -592,6 +604,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_sim(args)
     if args.explore:
         return _cmd_bench_scaling(args)
+    if args.serve:
+        return _cmd_bench_serve(args)
     bench_name = f"explore_incremental/{args.workload}"
     result = run_explore_bench(
         args.workload,
@@ -704,6 +718,58 @@ def _cmd_bench_scaling(args: argparse.Namespace) -> int:
     if args.check and not result["identical"]:
         print("FAIL: sharded and single-pool exploration results diverge")
         return 1
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Duplicate-load test against a live job server (``bench --serve``)."""
+    from repro.bench import compare_last, record, run_serve_bench
+
+    clients = args.clients
+    bench_name = f"serve_duplicate_load/{args.workload}/clients={clients}"
+    result = run_serve_bench(
+        clients=clients,
+        workload=args.workload,
+        workers=args.workers or 4,
+    )
+    print(f"{'clients':>18}: {result['clients']} duplicate submissions over HTTP")
+    print(f"{'submit latency':>18}: p50 {result['p50_ms']}ms, "
+          f"p99 {result['p99_ms']}ms, max {result['max_ms']}ms")
+    print(f"{'dedup':>18}: {result['dedup_hits']} hits / "
+          f"{result['submissions']} submissions "
+          f"(rate {result['dedup_hit_rate']}, {result['executions']} execution(s))")
+    print(f"{'wall':>18}: {result['wall']:.3f}s until every client had the result")
+    print(f"{'identical':>18}: {result['identical']}")
+
+    comparison = compare_last(bench_name, result["wall"], path=args.output)
+    if args.compare:
+        if comparison is None:
+            print("no prior run to compare against")
+        else:
+            direction = "slower" if comparison["ratio"] > 1 else "faster"
+            print(
+                f"vs last run ({comparison['previous_timestamp']}): "
+                f"{comparison['previous']:.3f}s -> {comparison['current']:.3f}s "
+                f"({comparison['ratio']:.2f}x, {direction})"
+            )
+    if not args.no_record:
+        metrics = {
+            key: result[key]
+            for key in (
+                "clients", "workers", "executor", "p50_ms", "p99_ms", "max_ms",
+                "dedup_hit_rate", "dedup_hits", "executions", "submissions",
+                "identical",
+            )
+        }
+        entry = record(bench_name, result["wall"], path=args.output, **metrics)
+        print(f"recorded {entry['bench']} ({entry['timestamp']})")
+    if args.check:
+        if result["dedup_hit_rate"] < 0.9:
+            print(f"FAIL: dedup hit-rate {result['dedup_hit_rate']} below the 0.9 floor")
+            return 1
+        if not result["identical"]:
+            print("FAIL: clients observed diverging result documents")
+            return 1
     return 0
 
 
@@ -846,11 +912,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     args.workload = _resolve_workload(args)
 
     if args.batched or args.mc_samples:
+        from repro.errors import EXIT_FATAL
         from repro.sim.batched import HAVE_NUMPY, NUMPY_HINT
 
         if not HAVE_NUMPY:
             print(NUMPY_HINT)
-            return 2
+            return EXIT_FATAL
     report = run_campaign(
         args.workload,
         seed=args.seed,
@@ -870,7 +937,52 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
         write_envelope(args.json, "faults", [report.to_dict()])
         print(f"wrote {args.json}")
-    return 0 if report.healthy else 1
+    from repro.errors import sweep_exit_code
+
+    return sweep_exit_code(issues=0 if report.healthy else 1)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import EXIT_INTERRUPTED, EXIT_ISSUES, EXIT_OK
+    from repro.resilience.pool import RetryPolicy
+    from repro.serve.server import ServerConfig, serve_forever
+
+    policy = RetryPolicy(
+        max_retries=args.max_retries,
+        base_delay=args.base_delay,
+        max_delay=args.max_delay,
+        seed=args.seed,
+    )
+    if args.drill:
+        import tempfile
+
+        from repro.serve.chaos import chaos_drill, format_drill_report
+
+        with tempfile.TemporaryDirectory(prefix="repro-serve-drill-") as workdir:
+            report = chaos_drill(
+                workdir, seed=args.seed, executor=args.executor
+            )
+        print(format_drill_report(report))
+        return EXIT_OK if report["ok"] else EXIT_ISSUES
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        executor=args.executor,
+        queue_depth=args.queue_depth,
+        client_cap=args.client_cap,
+        job_timeout=args.timeout,
+        policy=policy,
+        drain_grace=args.drain_grace,
+    )
+    import asyncio
+
+    try:
+        asyncio.run(serve_forever(args.store, config))
+    except KeyboardInterrupt:
+        return EXIT_INTERRUPTED
+    return EXIT_OK
 
 
 def _cmd_dot(args: argparse.Namespace) -> int:
@@ -1157,6 +1269,65 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the killed-run resume drill in --explore (faster)",
     )
+    bench.add_argument(
+        "--serve",
+        action="store_true",
+        help="duplicate-load test against a live job server: N clients "
+        "submit the same job over HTTP; records submit-latency p50/p99 "
+        "and the dedup hit-rate (--check fails below the 0.9 floor or "
+        "on any result divergence)",
+    )
+    bench.add_argument(
+        "--clients",
+        type=int,
+        default=64,
+        help="concurrent HTTP clients for --serve (default 64)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the crash-safe synthesis job server (HTTP/JSON)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="listen port (0 picks an ephemeral one)")
+    serve.add_argument(
+        "--store",
+        default=".repro-cache/serve.sqlite3",
+        help="durable job store (SQLite WAL); restartable across kills",
+    )
+    serve.add_argument("--workers", type=int, default=2,
+                       help="pool width for job execution")
+    serve.add_argument(
+        "--executor",
+        choices=("process", "thread"),
+        default="process",
+        help="worker pool kind (process pools survive worker kills "
+        "via rebuild; thread pools are lighter for small jobs)",
+    )
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="admitted-but-unfinished jobs before 429 shed")
+    serve.add_argument("--client-cap", type=int, default=8,
+                       help="per-client concurrent job cap before 429 shed")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall deadline in seconds (default none)")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="retry budget for transient worker deaths")
+    serve.add_argument("--base-delay", type=float, default=0.05,
+                       help="first retry backoff in seconds")
+    serve.add_argument("--max-delay", type=float, default=2.0,
+                       help="backoff ceiling in seconds")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for the jittered backoff (and --drill)")
+    serve.add_argument("--drain-grace", type=float, default=30.0,
+                       help="seconds SIGTERM waits for running jobs")
+    serve.add_argument(
+        "--drill",
+        action="store_true",
+        help="run the chaos acceptance drill (kills, drops, torn rows, "
+        "crash + resume) in a scratch directory and exit non-zero on "
+        "any lost or diverging job",
+    )
 
     verify = sub.add_parser(
         "verify",
@@ -1289,6 +1460,7 @@ def main(argv: Optional[list] = None) -> int:
         "bench": _cmd_bench,
         "verify": _cmd_verify,
         "faults": _cmd_faults,
+        "serve": _cmd_serve,
         "dot": _cmd_dot,
         "vcd": _cmd_vcd,
     }

@@ -163,6 +163,84 @@ class KernelBoundError(FrontendError):
     """
 
 
+class JobError(ReproError):
+    """A served job could not be executed.
+
+    Raised by :mod:`repro.serve.jobs` for malformed submissions
+    (unknown kind/workload, bad parameters).  Maps to the ``fatal``
+    exit class — resubmitting the same request can never succeed, so
+    the server must not burn its retry budget on it.
+    """
+
+
+# ----------------------------------------------------------------------
+# Exit-code taxonomy
+# ----------------------------------------------------------------------
+# Every sweep-shaped command (``repro explore``, ``repro faults``, the
+# job server's per-job verdicts) maps its outcome through one shared
+# table so scripts and CI can branch on a single convention:
+#
+#   0   ok           completed, nothing wrong
+#   1   issues       completed, but found problems (non-conformant
+#                    points, unhealthy campaign, divergent bench)
+#   2   fatal        could not evaluate at all (usage error, every
+#                    point failed, missing optional dependency)
+#   130 interrupted  stopped by the user (SIGINT convention)
+
+EXIT_OK = 0
+EXIT_ISSUES = 1
+EXIT_FATAL = 2
+EXIT_INTERRUPTED = 130
+
+#: exit-class label -> process exit code (the serve layer stamps each
+#: terminal job with the label; CLIs return the code)
+EXIT_CODES = {
+    "ok": EXIT_OK,
+    "issues": EXIT_ISSUES,
+    "fatal": EXIT_FATAL,
+    "interrupted": EXIT_INTERRUPTED,
+}
+
+
+def exit_class(
+    *,
+    interrupted: bool = False,
+    total: int = 0,
+    failed: int = 0,
+    issues: int = 0,
+) -> str:
+    """Classify a sweep outcome into the shared exit taxonomy.
+
+    ``total``/``failed`` count evaluated vs crashed units (points,
+    trials, jobs); ``issues`` counts units that evaluated but reported
+    problems.  Interruption dominates; a sweep whose every unit failed
+    is ``fatal`` (there is nothing to report on); reported problems are
+    ``issues``; otherwise ``ok`` — *partial* failures alone stay ``ok``,
+    matching the historical ``repro explore`` contract where quarantined
+    points are reported but do not fail the sweep.
+    """
+    if interrupted:
+        return "interrupted"
+    if total and failed == total:
+        return "fatal"
+    if issues:
+        return "issues"
+    return "ok"
+
+
+def sweep_exit_code(
+    *,
+    interrupted: bool = False,
+    total: int = 0,
+    failed: int = 0,
+    issues: int = 0,
+) -> int:
+    """:func:`exit_class` folded through :data:`EXIT_CODES`."""
+    return EXIT_CODES[
+        exit_class(interrupted=interrupted, total=total, failed=failed, issues=issues)
+    ]
+
+
 class ChannelSafetyError(SimulationError):
     """Two transitions were outstanding on a single-wire channel.
 

@@ -32,7 +32,7 @@ from repro.resilience.injection import (
     parse_inject_spec,
     point_deadline,
 )
-from repro.resilience.pool import MapDiagnostics, resilient_map, serial_map
+from repro.resilience.pool import MapDiagnostics, RetryPolicy, resilient_map, serial_map
 
 __all__ = [
     "ArcSlackEntry",
@@ -46,6 +46,7 @@ __all__ = [
     "InjectedFault",
     "MapDiagnostics",
     "PointTimeout",
+    "RetryPolicy",
     "fault_targets",
     "load_report",
     "parse_inject_spec",

@@ -26,6 +26,7 @@ Exceptions raised by individual payloads are converted through
 
 from __future__ import annotations
 
+import random
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -34,6 +35,43 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 #: distinguishes "never computed" from a legitimate None result
 _UNSET = object()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff schedule for pool rebuilds and retries.
+
+    The schedule is **seeded-deterministic**: the jitter for retry
+    attempt *n* is drawn from a generator seeded with ``(seed, n)``, so
+    the same policy produces the same delay sequence in every process
+    and every run — reproducible crash drills, no thundering herd when
+    many shards share a policy with distinct seeds.
+
+    ``delay(attempt)`` for attempt 0, 1, 2, ... is
+    ``min(base_delay * 2**attempt, max_delay)`` plus a jitter term
+    uniform in ``[0, jitter * backoff)``.  ``max_retries`` is how many
+    times a caller should retry before giving up (or degrading).
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def delay(self, attempt: int) -> float:
+        """The deterministic backoff before retry ``attempt`` (0-based)."""
+        backoff = min(self.base_delay * (2 ** attempt), self.max_delay)
+        if not self.jitter or backoff <= 0.0:
+            return backoff
+        # string seeding hashes via SHA-512 in CPython: stable across
+        # processes and PYTHONHASHSEED values, unlike hash(tuple)
+        rng = random.Random(f"retry:{self.seed}:{attempt}")
+        return backoff + rng.uniform(0.0, self.jitter * backoff)
+
+    def schedule(self) -> List[float]:
+        """Every delay the policy would sleep, in order."""
+        return [self.delay(attempt) for attempt in range(self.max_retries)]
 
 
 @dataclass
@@ -59,6 +97,7 @@ def resilient_map(
     retries: int = 2,
     backoff: float = 0.05,
     on_error: Optional[Callable] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> Tuple[List, MapDiagnostics]:
     """Map ``func`` over ``payloads`` on a process pool, tolerating crashes.
 
@@ -66,8 +105,12 @@ def resilient_map(
     ``payloads``; entries never computed (interrupt) are ``None``.
     ``on_error`` converts a payload's exception into its result slot
     (default: re-raise, which callers that pre-catch inside ``func``
-    never hit).
+    never hit).  ``policy`` governs how many pool collapses are
+    retried and how long to back off between rebuilds; the legacy
+    ``retries``/``backoff`` arguments build one when it is omitted.
     """
+    if policy is None:
+        policy = RetryPolicy(max_retries=retries, base_delay=backoff)
     results = [_UNSET] * len(payloads)
     diagnostics = MapDiagnostics()
     pending = list(range(len(payloads)))
@@ -117,7 +160,7 @@ def resilient_map(
             continue  # defensive: nothing crashed, loop resubmits leftovers
         diagnostics.broken_pools += 1
         diagnostics.retried_payloads += len(pending)
-        if attempt >= retries:
+        if attempt >= policy.max_retries:
             diagnostics.degraded_serial = True
             serial_results, serial_diag = serial_map(
                 func,
@@ -132,7 +175,7 @@ def resilient_map(
             diagnostics.completed += serial_diag.completed
             diagnostics.interrupted = diagnostics.interrupted or serial_diag.interrupted
             break
-        time.sleep(backoff * (2 ** attempt))
+        time.sleep(policy.delay(attempt))
         attempt += 1
 
     return _finalize(results), diagnostics

@@ -1,0 +1,53 @@
+"""Synthesis-as-a-service: the crash-safe async job server.
+
+``repro serve`` turns the pipeline into a durable HTTP/JSON service:
+submissions are content-addressed and deduplicated, every lifecycle
+transition is one committed SQLite-WAL transaction, workers retry
+transient deaths under a jittered budget, admission control sheds
+overload with ``429``, and a ``kill -9`` at any instant resumes
+exactly on restart.  See ``DESIGN.md`` §18 for the architecture and
+:mod:`repro.serve.chaos` for the drill that pins the guarantees down.
+"""
+
+from repro.serve.client import ServeClient, ServeUnavailable
+from repro.serve.harness import ServerHarness
+from repro.serve.jobs import (
+    DONE,
+    FAILED,
+    JOB_KINDS,
+    RUNNING,
+    SUBMITTED,
+    TERMINAL_STATES,
+    TIMED_OUT,
+    Job,
+    canonical_params,
+    classify_failure,
+    execute_job,
+    job_key,
+)
+from repro.serve.runner import JobRunner
+from repro.serve.server import JobServer, ServerConfig, serve_forever
+from repro.serve.store import JobStore
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "JOB_KINDS",
+    "Job",
+    "JobRunner",
+    "JobServer",
+    "JobStore",
+    "RUNNING",
+    "SUBMITTED",
+    "ServeClient",
+    "ServeUnavailable",
+    "ServerConfig",
+    "ServerHarness",
+    "TERMINAL_STATES",
+    "TIMED_OUT",
+    "canonical_params",
+    "classify_failure",
+    "execute_job",
+    "job_key",
+    "serve_forever",
+]

@@ -1,0 +1,294 @@
+"""Chaos harness for the job server: seeded fault plans + the drill.
+
+Extends the :mod:`repro.resilience.injection` discipline (seeded,
+deterministic, only-real-workers) from the synthesis pipeline to the
+serving path.  Two layers of injected misbehaviour:
+
+- **Request faults** — :class:`ServeFaultPlan` decides, per request
+  index and seed, whether the server delays its response or drops the
+  connection cold.  Clients see real socket errors and must resubmit;
+  content-addressed dedup is what makes that safe.
+- **Job faults** — the ``_chaos`` parameter side channel
+  (:func:`repro.serve.jobs._apply_chaos`): sleep inside the worker,
+  die once (``os._exit`` in a real pool worker, breaking the pool),
+  or raise once (for in-process executors).
+
+:func:`chaos_drill` is the acceptance drill the issue demands: a
+fault-free baseline, then the same workload under drops, delays, a
+worker kill, a mid-job crash (``kill -9`` semantics via
+:meth:`~repro.serve.harness.ServerHarness.crash`), a restart, and a
+scribbled result row — asserting **no job is lost, none is
+double-executed, and every resumed result is byte-identical** to the
+fault-free run.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.resilience.pool import RetryPolicy
+from repro.serve.harness import ServerHarness
+from repro.serve.jobs import canonical_json, canonical_params, job_key
+from repro.serve.server import ServerConfig
+from repro.serve.store import JobStore
+
+
+class ServeFaultPlan:
+    """Seeded per-request fault decisions (deterministic by index)."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop_prob: float = 0.0,
+        delay_prob: float = 0.0,
+        delay: float = 0.02,
+    ):
+        self.seed = seed
+        self.drop_prob = drop_prob
+        self.delay_prob = delay_prob
+        self.delay = delay
+
+    def request_action(self, index: int) -> Optional[Tuple[str, float]]:
+        """``("drop", 0)``, ``("delay", s)`` or ``None`` for request N.
+
+        String-seeded per index (SHA-512 seeding, like
+        :meth:`RetryPolicy.delay <repro.resilience.pool.RetryPolicy>`),
+        so the same plan replays the same faults in any process.
+        """
+        rng = random.Random(f"serve-chaos:{self.seed}:{index}")
+        roll = rng.random()
+        if roll < self.drop_prob:
+            return ("drop", 0.0)
+        if roll < self.drop_prob + self.delay_prob:
+            return ("delay", self.delay)
+        return None
+
+
+#: fast, kind-diverse workload for the drill (all finish in seconds)
+DEFAULT_DRILL_JOBS: Tuple[Tuple[str, dict], ...] = (
+    ("synthesize", {"workload": "gcd", "level": "gt+lt"}),
+    ("synthesize", {"workload": "gcd", "level": "unoptimized"}),
+    ("verify", {"workload": "gcd", "runs": 2, "seed": 7}),
+    ("synthesize", {"workload": "fir", "level": "gt"}),
+)
+
+
+def _result_text(job: dict) -> str:
+    return canonical_json(job.get("result"))
+
+
+def chaos_drill(
+    workdir: Union[str, Path],
+    seed: int = 0,
+    executor: str = "thread",
+    jobs: Sequence[Tuple[str, dict]] = DEFAULT_DRILL_JOBS,
+    drop_prob: float = 0.15,
+    delay_prob: float = 0.2,
+    crash_sleep: float = 1.2,
+) -> Dict[str, object]:
+    """Run the acceptance drill; returns a report with pass/fail checks.
+
+    ``executor="thread"`` exercises the raise-once fault (in-process
+    pools must survive); ``"process"`` upgrades it to a genuine worker
+    kill (``os._exit`` → ``BrokenProcessPool`` → rebuild + retry).
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    jobs = list(jobs)
+    if len(jobs) < 3:
+        raise ValueError("the drill needs at least three distinct jobs")
+    policy = RetryPolicy(max_retries=3, base_delay=0.02, max_delay=0.2, seed=seed)
+
+    # ------------------------------------------------------------------
+    # phase 1: fault-free baseline
+    # ------------------------------------------------------------------
+    baseline: Dict[str, str] = {}
+    keys: List[str] = []
+    config = ServerConfig(workers=2, executor=executor, policy=policy)
+    with ServerHarness(workdir / "baseline.sqlite3", config) as harness:
+        client = harness.client()
+        for kind, params in jobs:
+            key = job_key(kind, canonical_params(kind, params))
+            keys.append(key)
+            job = client.run(kind, params, client="baseline", timeout=120.0)
+            if job["state"] != "DONE":
+                raise RuntimeError(
+                    f"baseline {kind} job failed: {job['state']} {job['error']}"
+                )
+            baseline[key] = _result_text(job)
+
+    # ------------------------------------------------------------------
+    # phase 2: the same jobs under fire
+    # ------------------------------------------------------------------
+    store_path = workdir / "chaos.sqlite3"
+    plan = ServeFaultPlan(
+        seed=seed, drop_prob=drop_prob, delay_prob=delay_prob
+    )
+    die_mode = "kill_once" if executor == "process" else "raise_once"
+    marker = workdir / f"chaos-{die_mode}.marker"
+    chaos_config = ServerConfig(
+        workers=2, executor=executor, policy=policy, chaos=plan
+    )
+
+    # 2a: submit the crash victim (held in the worker by a sleep),
+    # wait until it is genuinely RUNNING, then kill the server cold
+    harness = ServerHarness(store_path, chaos_config).start()
+    client = harness.client()
+    victim_kind, victim_params = jobs[0]
+    victim = client.submit(
+        victim_kind,
+        dict(victim_params, _chaos={"sleep": crash_sleep}),
+        client="drill",
+    )
+    victim_id = victim["job_id"]
+    import time as _time
+
+    deadline = _time.monotonic() + 30.0
+    while _time.monotonic() < deadline:
+        current = client.job(victim_id)
+        if current is not None and current["state"] == "RUNNING":
+            break
+        _time.sleep(0.02)
+    else:
+        harness.crash()
+        raise RuntimeError("crash victim never reached RUNNING")
+    harness.crash()
+    crashed_store = JobStore(store_path)
+    state_after_crash = crashed_store.get(victim_id).state
+    crashed_store.close()
+
+    # 2b: restart on the same store; the victim must be recovered and
+    # re-executed to the byte-identical baseline result
+    harness = ServerHarness(store_path, chaos_config).start()
+    client = harness.client()
+    recovered_jobs = harness.server.recovered_jobs
+
+    # the rest of the workload: one job that dies once mid-execution
+    # (retried under the policy budget), the others plain — plus three
+    # duplicate submissions to exercise coalescing under dropped
+    # connections
+    submitted_ids = {victim_id}
+    for index, (kind, params) in enumerate(jobs[1:], start=1):
+        run_params = dict(params)
+        if index == 1:
+            run_params["_chaos"] = {die_mode: str(marker)}
+        job = client.submit(kind, run_params, client="drill")
+        submitted_ids.add(job["job_id"])
+    for __ in range(3):
+        duplicate = client.submit(jobs[2][0], dict(jobs[2][1]), client="drill")
+        submitted_ids.add(duplicate["job_id"])
+
+    finals: Dict[str, dict] = {}
+    for job_id in sorted(submitted_ids):
+        finals[job_id] = client.wait(job_id, timeout=180.0)
+    stats_mid = client.stats()
+    harness.stop(drain=True)
+
+    # 2c: scribble over one cached result row, restart, resubmit — the
+    # store must quarantine the torn row and recompute identically
+    corrupt_key = keys[2]
+    store = JobStore(store_path)
+    store.corrupt_result_row(corrupt_key)
+    store.close()
+    harness = ServerHarness(store_path, chaos_config).start()
+    client = harness.client()
+    healed = client.run(jobs[2][0], dict(jobs[2][1]), client="drill", timeout=120.0)
+    stats_final = client.stats()
+    harness.stop(drain=True)
+
+    # ------------------------------------------------------------------
+    # verdicts
+    # ------------------------------------------------------------------
+    checks: List[Dict[str, object]] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        checks.append({"name": name, "ok": bool(ok), "detail": detail})
+
+    check(
+        "crash leaves the job durable (RUNNING on disk)",
+        state_after_crash == "RUNNING",
+        f"state after crash: {state_after_crash}",
+    )
+    check(
+        "restart recovers the in-flight job",
+        recovered_jobs >= 1,
+        f"recovered_jobs={recovered_jobs}",
+    )
+    check(
+        "no job lost: every submission reached a terminal state",
+        all(job["state"] in ("DONE", "FAILED", "TIMED_OUT") for job in finals.values()),
+        str({job_id: job["state"] for job_id, job in finals.items()}),
+    )
+    check(
+        "every job DONE (chaos never changed outcomes)",
+        all(job["state"] == "DONE" for job in finals.values()),
+        str({job_id: job["state"] for job_id, job in finals.items()}),
+    )
+    by_key = {job["key"]: job for job in finals.values()}
+    mismatched = [
+        key
+        for key in keys
+        if key in by_key and _result_text(by_key[key]) != baseline[key]
+    ]
+    check(
+        "resumed + retried results byte-identical to fault-free run",
+        not mismatched,
+        f"mismatched keys: {mismatched}" if mismatched else "all equal",
+    )
+    counters = stats_final["store"]
+    check(
+        "no double execution (no late result was ever applied)",
+        counters.get("ignored_results", 0) == 0,
+        f"ignored_results={counters.get('ignored_results')}",
+    )
+    check(
+        "worker death was retried under the policy budget",
+        counters.get("retries", 0) >= 1 and marker.exists(),
+        f"retries={counters.get('retries')}, marker={marker.exists()}",
+    )
+    check(
+        "duplicate submissions were deduplicated",
+        counters.get("dedup_hits", 0) >= 3,
+        f"dedup_hits={counters.get('dedup_hits')}",
+    )
+    check(
+        "torn result row quarantined and recomputed identically",
+        counters.get("quarantined_rows", 0) >= 1
+        and healed["state"] == "DONE"
+        and _result_text(healed) == baseline[corrupt_key],
+        f"quarantined_rows={counters.get('quarantined_rows')}, "
+        f"healed={healed['state']}",
+    )
+    check(
+        "store settled (nothing queued or running at the end)",
+        counters["states"]["SUBMITTED"] == 0 and counters["states"]["RUNNING"] == 0,
+        str(counters["states"]),
+    )
+
+    return {
+        "ok": all(entry["ok"] for entry in checks),
+        "checks": checks,
+        "counters": counters,
+        "requests_dropped": stats_final["server"]["dropped_connections"]
+        + stats_mid["server"]["dropped_connections"],
+        "executor": executor,
+        "seed": seed,
+        "jobs": len(jobs),
+    }
+
+
+def format_drill_report(report: Dict[str, object]) -> str:
+    lines = [
+        f"chaos drill: {'PASS' if report['ok'] else 'FAIL'} "
+        f"(executor={report['executor']}, seed={report['seed']}, "
+        f"{report['jobs']} jobs, "
+        f"{report['requests_dropped']} connections dropped)"
+    ]
+    for entry in report["checks"]:
+        mark = "ok " if entry["ok"] else "FAIL"
+        lines.append(f"  [{mark}] {entry['name']}")
+        if entry["detail"] and not entry["ok"]:
+            lines.append(f"         {entry['detail']}")
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Blocking HTTP client for the job server.
+
+Built on :mod:`http.client` so tests, benchmarks and the chaos drill
+need no async plumbing (and no third-party HTTP stack).  The client
+embodies the protocol's retry contract:
+
+- Every request opens a fresh connection (the server answers
+  ``Connection: close``), so a chaos-dropped connection is visible as
+  a plain socket error, never a wedged keep-alive.
+- :meth:`submit` **resubmits** on dropped connections and on ``429``
+  backpressure, pacing itself with a
+  :class:`~repro.resilience.pool.RetryPolicy`.  Resubmission is safe
+  *because* submissions are content-addressed: the server dedups the
+  second copy onto the first, so at-least-once delivery from the
+  client composes with exactly-once execution at the store.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.resilience.pool import RetryPolicy
+
+
+class ServeUnavailable(ReproError):
+    """The server could not be reached (or kept shedding) in budget."""
+
+
+class ServeClient:
+    """Talks to one ``repro serve`` instance."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        timeout: float = 30.0,
+        policy: Optional[RetryPolicy] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.policy = policy or RetryPolicy(max_retries=5, base_delay=0.05)
+
+    # ------------------------------------------------------------------
+    def request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        """One raw round-trip; raises ``ConnectionError`` on drops."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            conn.request(
+                method,
+                path,
+                body=payload,
+                headers={"Content-Type": "application/json"} if payload else {},
+            )
+            response = conn.getresponse()
+            text = response.read().decode("utf-8")
+        except (http.client.BadStatusLine, http.client.RemoteDisconnected) as exc:
+            raise ConnectionError(f"server dropped the connection: {exc}") from exc
+        except socket.timeout as exc:
+            raise ConnectionError(f"request timed out: {exc}") from exc
+        finally:
+            conn.close()
+        try:
+            document = json.loads(text) if text else {}
+        except ValueError:
+            document = {"error": f"unparseable response: {text[:200]!r}"}
+        return response.status, document
+
+    def _request_with_retries(
+        self, method: str, path: str, body: Optional[dict] = None,
+        retry_status: Tuple[int, ...] = (),
+    ) -> Tuple[int, dict]:
+        last_error: Optional[str] = None
+        for attempt in range(self.policy.max_retries + 1):
+            if attempt:
+                time.sleep(self.policy.delay(attempt - 1))
+            try:
+                status, document = self.request(method, path, body)
+            except (ConnectionError, OSError) as exc:
+                last_error = str(exc)
+                continue
+            if status in retry_status:
+                last_error = f"HTTP {status}: {document.get('error', '')}"
+                continue
+            return status, document
+        raise ServeUnavailable(
+            f"{method} {path} failed after "
+            f"{self.policy.max_retries + 1} attempts ({last_error})"
+        )
+
+    # ------------------------------------------------------------------
+    # typed endpoints
+    # ------------------------------------------------------------------
+    def submit(
+        self, kind: str, params: dict, client: str = "", wait_shed: bool = True
+    ) -> dict:
+        """Submit one job, retrying drops and (optionally) ``429`` shed.
+
+        Returns the job document; raises :class:`ServeUnavailable` when
+        the budget runs out and :class:`ReproError` on a ``400``.
+        """
+        retry_status = (429, 503) if wait_shed else ()
+        status, document = self._request_with_retries(
+            "POST",
+            "/jobs",
+            {"kind": kind, "params": params, "client": client},
+            retry_status=retry_status,
+        )
+        if status in (200, 202):
+            return document["job"]
+        raise ReproError(
+            f"submission rejected (HTTP {status}): {document.get('error', '?')}"
+        )
+
+    def job(self, job_id: str) -> Optional[dict]:
+        status, document = self._request_with_retries("GET", f"/jobs/{job_id}")
+        return document.get("job") if status == 200 else None
+
+    def wait(self, job_id: str, timeout: float = 60.0, poll: float = 0.05) -> dict:
+        """Poll until the job is terminal; raises on deadline."""
+        deadline = time.monotonic() + timeout
+        from repro.serve.jobs import TERMINAL_STATES
+
+        while time.monotonic() < deadline:
+            job = self.job(job_id)
+            if job is not None and job["state"] in TERMINAL_STATES:
+                return job
+            time.sleep(poll)
+        raise ServeUnavailable(f"job {job_id} not terminal after {timeout:g}s")
+
+    def run(self, kind: str, params: dict, client: str = "", timeout: float = 60.0) -> dict:
+        """Submit-and-wait convenience: returns the terminal job."""
+        job = self.submit(kind, params, client=client)
+        if job["state"] in ("DONE", "FAILED", "TIMED_OUT") and (
+            job.get("result") is not None or job["state"] != "DONE"
+        ):
+            return job
+        return self.wait(job["job_id"], timeout=timeout)
+
+    def jobs(self) -> list:
+        __, document = self._request_with_retries("GET", "/jobs")
+        return document.get("jobs", [])
+
+    def stats(self) -> Dict[str, object]:
+        __, document = self._request_with_retries("GET", "/stats")
+        return document
+
+    def healthz(self) -> Dict[str, object]:
+        __, document = self._request_with_retries("GET", "/healthz")
+        return document
+
+    def drain(self) -> Dict[str, object]:
+        __, document = self._request_with_retries("POST", "/drain")
+        return document

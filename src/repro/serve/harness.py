@@ -1,0 +1,130 @@
+"""In-process server harness for tests, benchmarks and drills.
+
+The suite has no async test runner, so the harness hosts a
+:class:`~repro.serve.server.JobServer` on a dedicated event-loop
+thread and hands synchronous callers a
+:class:`~repro.serve.client.ServeClient` bound to the real (ephemeral)
+port — the full HTTP stack is exercised, not a shortcut around it.
+
+:meth:`ServerHarness.crash` is the ``kill -9`` stand-in for
+single-process tests: it stops the event loop dead — no drain, no
+``store.close()``, no state transitions — so jobs that were
+``RUNNING`` stay ``RUNNING`` on disk exactly as they would under a
+real SIGKILL, and the next server's ``recover()`` has real work to do.
+(The cross-*process* version of the same drill, with an actual
+``SIGKILL``, lives in ``benchmarks/serve_smoke.py``.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.serve.client import ServeClient
+from repro.serve.server import JobServer, ServerConfig
+
+
+class ServerHarness:
+    """Runs one job server on a background event-loop thread."""
+
+    def __init__(
+        self, store_path: Union[str, Path], config: Optional[ServerConfig] = None
+    ):
+        self.store_path = Path(store_path)
+        self.config = config or ServerConfig()
+        self.server: Optional[JobServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServerHarness":
+        ready = threading.Event()
+        failure = []
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            self.server = JobServer(self.store_path, self.config)
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # surface startup errors to caller
+                failure.append(exc)
+                ready.set()
+                return
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                # drain-stop path closes things itself; crash path skips
+                # all of that on purpose — here we only quiet the loop
+                # (bounded: a task that ignores cancellation must not
+                # wedge the test process)
+                pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    try:
+                        loop.run_until_complete(asyncio.wait(pending, timeout=2.0))
+                    except (RuntimeError, asyncio.CancelledError):
+                        pass
+                try:
+                    loop.run_until_complete(loop.shutdown_asyncgens())
+                except (RuntimeError, asyncio.CancelledError):
+                    pass
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-serve-harness", daemon=True
+        )
+        self._thread.start()
+        ready.wait(timeout=30.0)
+        if failure:
+            raise failure[0]
+        if self.server is None or self.server.port is None:
+            raise RuntimeError("server failed to start within 30s")
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def client(self, **kwargs) -> ServeClient:
+        return ServeClient("127.0.0.1", self.port, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _call(self, coro) -> None:
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        future.result(timeout=max(60.0, self.config.drain_grace + 10.0))
+
+    def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: running jobs finish (durable queue stays)."""
+        if self._loop is None or not self._thread.is_alive():
+            return
+        self._call(self.server.stop(drain=drain))
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30.0)
+
+    def crash(self) -> None:
+        """SIGKILL stand-in: stop the loop with no cleanup whatsoever.
+
+        The store connection is abandoned mid-WAL (SQLite's recovery
+        territory, which is the point); pool workers are torn down only
+        so the *test process* does not leak them — the store never
+        hears about it.
+        """
+        if self._loop is None or not self._thread.is_alive():
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30.0)
+        if self.server is not None and self.server.runner is not None:
+            self.server.runner.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServerHarness":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop(drain=True)

@@ -1,0 +1,65 @@
+"""Lock sidecars are scratch: cleaned up at normal exit, never committed.
+
+A stale ``BENCH_scaling.json.lock`` once sat in the repo root for
+several PRs.  The contract now: ``file_lock`` registers an atexit
+sweep that unlinks sidecars this process touched — unless another
+process still holds the flock, in which case it is left alone.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cache.store import _remove_stale_lock, file_lock
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+class TestAtexitCleanup:
+    def test_lock_sidecar_removed_at_normal_interpreter_exit(self, tmp_path):
+        history = tmp_path / "hist.json"
+        script = (
+            "from repro.bench import record\n"
+            f"record('lock-hygiene', 0.5, path=r'{history}')\n"
+        )
+        env = dict(os.environ, PYTHONPATH=SRC)
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert history.exists()  # the data survived ...
+        assert not history.with_name("hist.json.lock").exists()  # ... the lock did not
+
+    def test_held_lock_is_left_alone(self, tmp_path):
+        lock_path = tmp_path / "busy.lock"
+        import fcntl
+
+        holder = open(lock_path, "a+")
+        fcntl.flock(holder.fileno(), fcntl.LOCK_EX)
+        try:
+            _remove_stale_lock(str(lock_path))
+            assert lock_path.exists()  # another holder: not ours to clean
+        finally:
+            holder.close()
+
+    def test_unheld_lock_is_removed(self, tmp_path):
+        lock_path = tmp_path / "stale.lock"
+        lock_path.touch()
+        _remove_stale_lock(str(lock_path))
+        assert not lock_path.exists()
+
+    def test_file_lock_still_serializes(self, tmp_path):
+        lock_path = tmp_path / "x.lock"
+        with file_lock(lock_path):
+            assert lock_path.exists()
+
+
+class TestRepoHygiene:
+    def test_no_lock_files_in_the_repo_root(self):
+        root = Path(__file__).resolve().parents[2]
+        assert not list(root.glob("*.lock"))
+
+    def test_gitignore_covers_lock_files(self):
+        root = Path(__file__).resolve().parents[2]
+        assert "*.lock" in (root / ".gitignore").read_text().split()

@@ -1,0 +1,59 @@
+"""Jittered retry backoff: seeded-deterministic, capped, monotonic."""
+
+import multiprocessing
+
+from repro.resilience.pool import RetryPolicy
+
+
+def _delays_in_subprocess(queue) -> None:
+    policy = RetryPolicy(max_retries=4, base_delay=0.1, max_delay=2.0, seed=9)
+    queue.put(policy.schedule())
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        one = RetryPolicy(seed=42)
+        two = RetryPolicy(seed=42)
+        assert one.schedule() == two.schedule()
+
+    def test_different_seeds_jitter_differently(self):
+        one = RetryPolicy(seed=1, jitter=0.5)
+        two = RetryPolicy(seed=2, jitter=0.5)
+        assert one.schedule() != two.schedule()
+
+    def test_schedule_is_stable_across_processes(self):
+        """String seeding hashes with SHA-512, not PYTHONHASHSEED, so a
+        retrying worker in another process paces identically — the
+        regression this test pins after the serve layer started
+        sharing policies between the dispatcher and drill scripts."""
+        queue = multiprocessing.Queue()
+        worker = multiprocessing.Process(target=_delays_in_subprocess, args=(queue,))
+        worker.start()
+        worker.join(timeout=30)
+        assert worker.exitcode == 0
+        local = RetryPolicy(max_retries=4, base_delay=0.1, max_delay=2.0, seed=9)
+        assert queue.get(timeout=10) == local.schedule()
+
+
+class TestShape:
+    def test_exponential_base_with_bounded_jitter(self):
+        policy = RetryPolicy(
+            max_retries=6, base_delay=0.1, max_delay=1.0, jitter=0.5, seed=0
+        )
+        for attempt in range(7):
+            backoff = min(0.1 * (2 ** attempt), 1.0)
+            delay = policy.delay(attempt)
+            assert backoff <= delay <= backoff * 1.5
+
+    def test_max_delay_caps_the_base(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=2.0, jitter=0.0)
+        assert policy.delay(0) == 1.0
+        assert policy.delay(5) == 2.0  # capped, not 32
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(base_delay=0.25, max_delay=8.0, jitter=0.0)
+        assert [policy.delay(a) for a in range(4)] == [0.25, 0.5, 1.0, 2.0]
+
+    def test_schedule_length_matches_budget(self):
+        assert len(RetryPolicy(max_retries=3).schedule()) == 3
+        assert RetryPolicy(max_retries=0).schedule() == []

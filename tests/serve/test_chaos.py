@@ -1,0 +1,42 @@
+"""The chaos acceptance drill, run for real.
+
+One test, deliberately heavyweight (~15s): a fault-free baseline, then
+the same jobs under dropped connections, delayed responses, a worker
+death, a mid-job crash with restart, and a scribbled result row.  The
+drill's own checks are the assertions — no job lost, none double-
+executed, every resumed result byte-identical.
+"""
+
+from repro.serve.chaos import ServeFaultPlan, chaos_drill, format_drill_report
+
+
+class TestFaultPlan:
+    def test_decisions_are_deterministic_per_index(self):
+        plan = ServeFaultPlan(seed=7, drop_prob=0.3, delay_prob=0.3)
+        replay = ServeFaultPlan(seed=7, drop_prob=0.3, delay_prob=0.3)
+        decisions = [plan.request_action(index) for index in range(200)]
+        assert decisions == [replay.request_action(index) for index in range(200)]
+        kinds = {decision[0] for decision in decisions if decision}
+        assert kinds == {"drop", "delay"}
+
+    def test_seed_changes_the_plan(self):
+        one = ServeFaultPlan(seed=1, drop_prob=0.5)
+        two = ServeFaultPlan(seed=2, drop_prob=0.5)
+        assert [one.request_action(i) for i in range(64)] != [
+            two.request_action(i) for i in range(64)
+        ]
+
+    def test_zero_probabilities_never_fire(self):
+        plan = ServeFaultPlan(seed=0)
+        assert all(plan.request_action(i) is None for i in range(64))
+
+
+class TestDrill:
+    def test_acceptance_drill_passes(self, tmp_path):
+        report = chaos_drill(tmp_path, seed=3, executor="thread")
+        assert report["ok"], "\n" + format_drill_report(report)
+        names = {entry["name"] for entry in report["checks"]}
+        # the three headline guarantees must be among the checks
+        assert any("no job lost" in name for name in names)
+        assert any("no double execution" in name for name in names)
+        assert any("byte-identical" in name for name in names)

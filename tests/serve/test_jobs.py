@@ -1,0 +1,113 @@
+"""Job model contracts: canonicalization, keys, execution, taxonomy."""
+
+import pytest
+
+from repro.errors import JobError
+from repro.serve.jobs import (
+    FAILED,
+    TIMED_OUT,
+    canonical_json,
+    canonical_params,
+    classify_failure,
+    execute_job,
+    job_key,
+)
+
+
+class TestCanonicalParams:
+    def test_defaults_filled_and_sorted(self):
+        canon = canonical_params("verify", {"workload": "gcd"})
+        assert canon == {"runs": 5, "seed": 0, "workload": "gcd"}
+
+    def test_equivalent_submissions_become_identical(self):
+        loose = canonical_params("verify", {"workload": " GCD ", "runs": "5"})
+        strict = canonical_params("verify", {"workload": "gcd", "runs": 5, "seed": 0})
+        assert canonical_json(loose) == canonical_json(strict)
+
+    @pytest.mark.parametrize(
+        "kind, params, fragment",
+        [
+            ("mine", {"workload": "gcd"}, "unknown job kind"),
+            ("verify", None, "missing required parameter"),
+            ("verify", {"workload": "gcd", "bogus": 1}, "unknown parameter"),
+            ("verify", {"workload": "nope"}, "unknown workload"),
+            ("synthesize", {"workload": "gcd", "level": "max"}, "unknown level"),
+            ("verify", {"workload": "gcd", "runs": "many"}, "bad value"),
+        ],
+    )
+    def test_invalid_submissions_are_joberror(self, kind, params, fragment):
+        with pytest.raises(JobError, match=fragment):
+            canonical_params(kind, params)
+
+    def test_chaos_side_channel_passes_through(self):
+        canon = canonical_params(
+            "verify", {"workload": "gcd", "_chaos": {"sleep": 0.1}}
+        )
+        assert canon["_chaos"] == {"sleep": 0.1}
+        with pytest.raises(JobError, match="_chaos"):
+            canonical_params("verify", {"workload": "gcd", "_chaos": "yes"})
+
+
+class TestJobKey:
+    def test_same_meaning_same_key(self):
+        one = job_key("verify", canonical_params("verify", {"workload": "gcd"}))
+        two = job_key(
+            "verify", canonical_params("verify", {"workload": "GCD", "runs": 5})
+        )
+        assert one == two
+
+    def test_different_params_different_key(self):
+        base = canonical_params("verify", {"workload": "gcd"})
+        other = canonical_params("verify", {"workload": "gcd", "seed": 1})
+        assert job_key("verify", base) != job_key("verify", other)
+
+    def test_kind_is_part_of_identity(self):
+        verify = canonical_params("verify", {"workload": "gcd"})
+        explore = canonical_params("explore", {"workload": "gcd"})
+        assert job_key("verify", verify) != job_key("explore", explore)
+
+    def test_chaos_is_excluded_from_identity(self):
+        plain = canonical_params("verify", {"workload": "gcd"})
+        chaotic = canonical_params(
+            "verify", {"workload": "gcd", "_chaos": {"sleep": 1}}
+        )
+        assert job_key("verify", plain) == job_key("verify", chaotic)
+
+
+class TestExecution:
+    def test_synthesize_is_deterministic(self):
+        params = canonical_params(
+            "synthesize", {"workload": "gcd", "level": "gt+lt"}
+        )
+        first = execute_job("synthesize", params)
+        second = execute_job("synthesize", params)
+        assert canonical_json(first) == canonical_json(second)
+        assert first["channels"] > 0 and first["makespan"] > 0
+
+    def test_verify_result_has_no_wall_clock(self):
+        params = canonical_params("verify", {"workload": "gcd", "runs": 1})
+        first = execute_job("verify", params)
+        second = execute_job("verify", params)
+        assert canonical_json(first) == canonical_json(second)
+        assert first["report"]["duration"] == 0.0
+
+
+class TestClassifyFailure:
+    def test_worker_death_is_transient(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.serve.jobs import WorkerKilled
+
+        for exc in (BrokenProcessPool("dead"), WorkerKilled("chaos")):
+            state, exit_class, retryable = classify_failure(exc)
+            assert (state, exit_class, retryable) == (FAILED, "issues", True)
+
+    def test_timeout_is_terminal_not_retried(self):
+        from repro.resilience.injection import PointTimeout
+
+        state, exit_class, retryable = classify_failure(PointTimeout("slow"))
+        assert (state, exit_class, retryable) == (TIMED_OUT, "issues", False)
+
+    def test_bad_submission_is_fatal(self):
+        state, exit_class, retryable = classify_failure(JobError("nope"))
+        assert (state, exit_class, retryable) == (FAILED, "fatal", False)

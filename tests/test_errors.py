@@ -50,3 +50,47 @@ class TestCatchability:
 
         with pytest.raises(errors.ReproError):
             parse_statement("not a statement !!!")
+
+
+class TestExitTaxonomy:
+    """The shared exit-code contract (CLI sweeps + the job server)."""
+
+    def test_codes_are_the_documented_constants(self):
+        assert errors.EXIT_CODES == {"ok": 0, "issues": 1, "fatal": 2,
+                                     "interrupted": 130}
+
+    def test_ok_when_nothing_went_wrong(self):
+        assert errors.exit_class(total=10) == "ok"
+        assert errors.sweep_exit_code(total=10) == errors.EXIT_OK
+
+    def test_partial_failures_alone_stay_ok(self):
+        """The historical explore contract: quarantined points are
+        reported but do not fail the sweep."""
+        assert errors.exit_class(total=10, failed=3) == "ok"
+
+    def test_issues_when_units_report_problems(self):
+        assert errors.exit_class(total=10, issues=1) == "issues"
+        assert errors.sweep_exit_code(issues=2) == errors.EXIT_ISSUES
+
+    def test_fatal_when_every_unit_failed(self):
+        assert errors.exit_class(total=5, failed=5) == "fatal"
+        assert errors.sweep_exit_code(total=5, failed=5) == errors.EXIT_FATAL
+
+    def test_interruption_dominates_everything(self):
+        assert errors.exit_class(interrupted=True, total=5, failed=5,
+                                 issues=5) == "interrupted"
+        assert errors.sweep_exit_code(interrupted=True) == errors.EXIT_INTERRUPTED
+
+    def test_job_error_is_a_repro_error(self):
+        assert issubclass(errors.JobError, errors.ReproError)
+
+    def test_serve_failures_map_into_the_same_table(self):
+        """Every exit_class the serve layer stamps is a key in EXIT_CODES."""
+        from repro.serve.jobs import WorkerKilled, classify_failure
+        from repro.resilience.injection import PointTimeout
+
+        for exc in (WorkerKilled("x"), PointTimeout("x"),
+                    errors.JobError("x"), errors.SimulationError("x"),
+                    RuntimeError("x")):
+            __, exit_class, __ = classify_failure(exc)
+            assert exit_class in errors.EXIT_CODES
